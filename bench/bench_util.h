@@ -1,0 +1,62 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Scale: every bench reads IMON_BENCH_SCALE (a double, default 1.0) and
+// multiplies its workload sizes by it. The defaults are laptop-scale
+// stand-ins for the paper's testbed (see EXPERIMENTS.md); raising the
+// scale sharpens the measured ratios at the price of wall-clock time.
+
+#ifndef IMON_BENCH_BENCH_UTIL_H_
+#define IMON_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "engine/database.h"
+
+namespace imon::bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("IMON_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline int64_t Scaled(int64_t base) {
+  double v = static_cast<double>(base) * BenchScale();
+  return v < 1 ? 1 : static_cast<int64_t>(v);
+}
+
+/// Execute a statement, aborting the bench on failure.
+inline engine::QueryResult MustExec(engine::Database* db,
+                                    const std::string& sql) {
+  auto r = db->Execute(sql);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench: statement failed: %s\n  %s\n", sql.c_str(),
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return r.TakeValue();
+}
+
+/// Run a batch of statements; returns wall-clock seconds.
+inline double TimeStatements(engine::Database* db,
+                             const std::vector<std::string>& statements) {
+  int64_t start = MonotonicNanos();
+  for (const std::string& sql : statements) MustExec(db, sql);
+  return static_cast<double>(MonotonicNanos() - start) / 1e9;
+}
+
+inline void PrintHeader(const char* figure, const char* caption) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", figure, caption);
+  std::printf("(IMON_BENCH_SCALE=%.2f)\n", BenchScale());
+  std::printf("================================================================\n");
+}
+
+}  // namespace imon::bench
+
+#endif  // IMON_BENCH_BENCH_UTIL_H_

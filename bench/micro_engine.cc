@@ -1,0 +1,156 @@
+// Substrate microbenchmarks: storage, SQL front end and executor.
+// Not a paper figure — sanity numbers for the engine the monitoring is
+// integrated into.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "engine/database.h"
+#include "sql/parser.h"
+#include "storage/btree.h"
+#include "storage/key_codec.h"
+#include "workload/nref.h"
+
+namespace imon {
+namespace {
+
+void BM_BTreeInsert(benchmark::State& state) {
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 4096);
+  storage::FileId file = disk.CreateFile();
+  storage::BTree tree(&pool, file);
+  if (!tree.Create().ok()) std::abort();
+  std::mt19937_64 rng(1);
+  int64_t i = 0;
+  for (auto _ : state) {
+    std::string key = storage::EncodeKey({Value::Int(
+        static_cast<int64_t>(rng()) % 1000000)});
+    benchmark::DoNotOptimize(tree.Insert(key, std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 4096);
+  storage::FileId file = disk.CreateFile();
+  storage::BTree tree(&pool, file);
+  if (!tree.Create().ok()) std::abort();
+  constexpr int64_t kEntries = 100000;
+  for (int64_t i = 0; i < kEntries; ++i) {
+    if (!tree.Insert(storage::EncodeKey({Value::Int(i)}), "payload").ok())
+      std::abort();
+  }
+  std::mt19937_64 rng(2);
+  for (auto _ : state) {
+    std::string key =
+        storage::EncodeKey({Value::Int(static_cast<int64_t>(rng() % kEntries))});
+    auto cursor = tree.SeekLowerBound(key);
+    benchmark::DoNotOptimize(cursor);
+  }
+}
+BENCHMARK(BM_BTreeLookup);
+
+void BM_KeyEncode(benchmark::State& state) {
+  Row key = {Value::Int(123456), Value::Text("swissprot")};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::EncodeKey(key));
+  }
+}
+BENCHMARK(BM_KeyEncode);
+
+void BM_ParseSimpleSelect(benchmark::State& state) {
+  const std::string sql = workload::PointQuery(12345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::Parse(sql));
+  }
+}
+BENCHMARK(BM_ParseSimpleSelect);
+
+void BM_ParseComplexJoin(benchmark::State& state) {
+  const std::string sql =
+      "SELECT p.nref_id, t.lineage, f.feature_type FROM protein p JOIN "
+      "taxonomy t ON p.taxonomy_id = t.taxonomy_id JOIN feature f ON "
+      "p.nref_id = f.nref_id WHERE p.seq_length BETWEEN 100 AND 500 AND "
+      "t.rank_name = 'genus' ORDER BY p.nref_id LIMIT 100";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::Parse(sql));
+  }
+}
+BENCHMARK(BM_ParseComplexJoin);
+
+class NrefFixture {
+ public:
+  NrefFixture() {
+    engine::DatabaseOptions options;
+    options.monitor.enabled = false;
+    db = std::make_unique<engine::Database>(options);
+    workload::NrefConfig nref;
+    nref.proteins = 4000;
+    nref.taxa = 100;
+    if (!workload::SetupNref(db.get(), nref).ok()) std::abort();
+    for (const char* t : {"protein", "organism", "source", "taxonomy",
+                          "feature", "cross_ref"}) {
+      db->Execute("ANALYZE " + std::string(t)).ok();
+    }
+  }
+  std::unique_ptr<engine::Database> db;
+};
+
+NrefFixture* Fixture() {
+  static NrefFixture fixture;
+  return &fixture;
+}
+
+void BM_PlanThreeWayJoin(benchmark::State& state) {
+  auto* f = Fixture();
+  const std::string sql =
+      "EXPLAIN SELECT p.nref_id FROM protein p JOIN organism o ON "
+      "p.nref_id = o.nref_id JOIN source s ON p.nref_id = s.nref_id WHERE "
+      "p.seq_length > 200";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f->db->Execute(sql));
+  }
+}
+BENCHMARK(BM_PlanThreeWayJoin);
+
+void BM_ExecuteHashJoin(benchmark::State& state) {
+  auto* f = Fixture();
+  const std::string sql =
+      "SELECT count(*) FROM protein p JOIN organism o ON p.nref_id = "
+      "o.nref_id WHERE p.seq_length < 300";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f->db->Execute(sql));
+  }
+}
+BENCHMARK(BM_ExecuteHashJoin);
+
+void BM_ExecuteSeqScanAggregate(benchmark::State& state) {
+  auto* f = Fixture();
+  const std::string sql =
+      "SELECT taxonomy_id, count(*) FROM protein GROUP BY taxonomy_id";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f->db->Execute(sql));
+  }
+}
+BENCHMARK(BM_ExecuteSeqScanAggregate);
+
+void BM_InsertSingleRow(benchmark::State& state) {
+  engine::DatabaseOptions options;
+  options.monitor.enabled = false;
+  engine::Database db(options);
+  db.Execute("CREATE TABLE bench_ins (id INT, payload TEXT)").ok();
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto r = db.Execute("INSERT INTO bench_ins VALUES (" +
+                        std::to_string(i++) + ", 'payload')");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_InsertSingleRow);
+
+}  // namespace
+}  // namespace imon
+
+BENCHMARK_MAIN();

@@ -1,0 +1,157 @@
+// Sensor-level microbenchmarks (paper §V-A text).
+//
+// "The measurement revealed that each call to a monitoring function
+//  takes about one or two microseconds. Depending on the complexity of
+//  the query ... this added between 30 and 70 microseconds per
+//  statement, while the 1m statements alone took less than 30
+//  microseconds to execute."
+//
+// Also ablates DESIGN.md §5.1: the cost of a *disabled* sensor (one
+// predictable branch) vs. an enabled one.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/database.h"
+#include "ima/ima.h"
+#include "monitor/monitor.h"
+#include "monitor/ring_buffer.h"
+#include "workload/nref.h"
+
+namespace imon {
+namespace {
+
+monitor::MonitorConfig Config(bool enabled) {
+  monitor::MonitorConfig c;
+  c.enabled = enabled;
+  c.stats_sample_every = 0;
+  return c;
+}
+
+void BM_SensorDisabled(benchmark::State& state) {
+  monitor::Monitor m(Config(false), RealClock::Instance());
+  monitor::QueryTrace trace;
+  for (auto _ : state) {
+    m.OnQueryStart(&trace);
+    m.OnParseComplete(&trace, "SELECT 1");
+    benchmark::DoNotOptimize(trace);
+  }
+}
+BENCHMARK(BM_SensorDisabled);
+
+void BM_SensorOnQueryStart(benchmark::State& state) {
+  monitor::Monitor m(Config(true), RealClock::Instance());
+  for (auto _ : state) {
+    monitor::QueryTrace trace;
+    m.OnQueryStart(&trace);
+    benchmark::DoNotOptimize(trace);
+  }
+}
+BENCHMARK(BM_SensorOnQueryStart);
+
+void BM_SensorOnParseComplete(benchmark::State& state) {
+  monitor::Monitor m(Config(true), RealClock::Instance());
+  const std::string text =
+      "SELECT p.nref_id, p.sequence FROM protein p WHERE p.nref_id = 42";
+  for (auto _ : state) {
+    monitor::QueryTrace trace;
+    trace.active = true;
+    m.OnParseComplete(&trace, text);
+    benchmark::DoNotOptimize(trace);
+  }
+}
+BENCHMARK(BM_SensorOnParseComplete);
+
+void BM_SensorOnBindComplete(benchmark::State& state) {
+  monitor::Monitor m(Config(true), RealClock::Instance());
+  std::vector<int64_t> tables = {1, 2};
+  std::vector<std::pair<int64_t, int>> attrs = {{1, 0}, {1, 2}, {2, 1}};
+  std::vector<int64_t> indexes = {7, 9};
+  for (auto _ : state) {
+    monitor::QueryTrace trace;
+    trace.active = true;
+    m.OnBindComplete(&trace, tables, attrs, indexes);
+    benchmark::DoNotOptimize(trace);
+  }
+}
+BENCHMARK(BM_SensorOnBindComplete);
+
+void BM_SensorCommit(benchmark::State& state) {
+  monitor::Monitor m(Config(true), RealClock::Instance());
+  const std::string text = "SELECT v FROM t WHERE v = 1";
+  int64_t i = 0;
+  for (auto _ : state) {
+    monitor::QueryTrace trace;
+    m.OnQueryStart(&trace);
+    // Vary the hash like the 50k test so the registry churns.
+    m.OnParseComplete(&trace, text + std::to_string(i++ % 2000));
+    m.OnBindComplete(&trace, {1}, {{1, 0}}, {});
+    m.OnExecuteComplete(&trace, 1000, 0, 1.0, 1, 1);
+    m.Commit(&trace);
+  }
+}
+BENCHMARK(BM_SensorCommit);
+
+void BM_RingBufferPush(benchmark::State& state) {
+  monitor::RingBuffer<monitor::WorkloadRecord> ring(4000);
+  monitor::WorkloadRecord record;
+  record.hash = 42;
+  for (auto _ : state) {
+    ring.Push(record);
+  }
+  benchmark::DoNotOptimize(ring);
+}
+BENCHMARK(BM_RingBufferPush);
+
+void BM_StatementHash(benchmark::State& state) {
+  const std::string text =
+      "SELECT p.nref_id, sequence, ordinal FROM protein p JOIN organism o "
+      "ON p.nref_id = o.nref_id WHERE p.nref_id = 12345678";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashStatement(text));
+  }
+}
+BENCHMARK(BM_StatementHash);
+
+/// End-to-end per-statement overhead: the same point query through a
+/// monitored vs. unmonitored engine (the "1m" effect in one number).
+class EngineFixture {
+ public:
+  explicit EngineFixture(bool monitored) {
+    engine::DatabaseOptions options;
+    options.monitor.enabled = monitored;
+    options.monitor.stats_sample_every = 0;
+    db = std::make_unique<engine::Database>(options);
+    workload::NrefConfig nref;
+    nref.proteins = 2000;
+    nref.taxa = 50;
+    if (!workload::SetupNref(db.get(), nref).ok()) std::abort();
+    // Warm caches.
+    db->Execute(workload::PointQuery(1)).ok();
+  }
+  std::unique_ptr<engine::Database> db;
+};
+
+void BM_PointQueryUnmonitored(benchmark::State& state) {
+  static EngineFixture fixture(false);
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto r = fixture.db->Execute(workload::PointQuery(i++ % 2000));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PointQueryUnmonitored);
+
+void BM_PointQueryMonitored(benchmark::State& state) {
+  static EngineFixture fixture(true);
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto r = fixture.db->Execute(workload::PointQuery(i++ % 2000));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PointQueryMonitored);
+
+}  // namespace
+}  // namespace imon
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+# Benchmark binaries. One per paper table/figure plus microbenchmarks.
+# Included from the top-level CMakeLists so the binaries land in a clean
+# ${CMAKE_BINARY_DIR}/bench directory.
+
+function(imon_add_bench name)
+  add_executable(${name} ${ARGN})
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
+  target_link_libraries(${name} PRIVATE
+    imon_workload imon_analyzer imon_daemon imon_ima imon_engine)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+imon_add_bench(fig4_overhead bench/fig4_overhead.cc)
+imon_add_bench(fig5_share bench/fig5_share.cc)
+imon_add_bench(fig6_costs bench/fig6_costs.cc)
+imon_add_bench(fig7_analyzer bench/fig7_analyzer.cc)
+imon_add_bench(fig8_locks bench/fig8_locks.cc)
+imon_add_bench(micro_daemon bench/micro_daemon.cc)
+
+imon_add_bench(micro_monitor bench/micro_monitor.cc)
+target_link_libraries(micro_monitor PRIVATE benchmark::benchmark)
+imon_add_bench(micro_engine bench/micro_engine.cc)
+target_link_libraries(micro_engine PRIVATE benchmark::benchmark)
+imon_add_bench(ablation_plan_cache bench/ablation_plan_cache.cc)

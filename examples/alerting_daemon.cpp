@@ -1,0 +1,85 @@
+// DBA alerting through the storage daemon (paper §IV-B): the daemon
+// persists monitoring data into the workload DB, where ordinary triggers
+// watch the appended rows and raise alerts — "the DBA can easily set up
+// his own alerts by creating more triggers".
+//
+// This example installs two alert rules, provokes both conditions
+// (a session spike and deadlocks), and prints the alerts as they fire.
+//
+//   ./examples/alerting_daemon
+
+#include <cstdio>
+#include <thread>
+
+#include "daemon/daemon.h"
+#include "ima/ima.h"
+#include "workload/contention.h"
+
+using namespace imon;
+
+int main() {
+  engine::Database db{engine::DatabaseOptions{}};
+  if (!ima::RegisterImaTables(&db).ok()) return 1;
+
+  engine::DatabaseOptions wl_options;
+  wl_options.monitor.enabled = false;
+  engine::Database workload_db(wl_options);
+
+  daemon::DaemonConfig config;
+  config.poll_interval = std::chrono::milliseconds(100);
+  config.polls_per_flush = 1;  // alert promptly in this demo
+  daemon::StorageDaemon storage_daemon(&db, &workload_db, config);
+  if (!storage_daemon.Initialize().ok()) return 1;
+
+  // Alert rules are plain triggers on the workload DB.
+  if (!storage_daemon
+           .AddAlertRule("too_many_sessions", "wl_statistics",
+                         "current_sessions >= 5",
+                         "session count reached the configured maximum")
+           .ok()) {
+    return 1;
+  }
+  if (!storage_daemon
+           .AddAlertRule("deadlocks_seen", "wl_statistics", "deadlocks >= 1",
+                         "deadlocks detected - check the locks diagram")
+           .ok()) {
+    return 1;
+  }
+
+  storage_daemon.SetAlertHandler([](const engine::AlertEvent& event) {
+    std::printf("  [ALERT:%s] %s\n", event.trigger_name.c_str(),
+                event.message.c_str());
+  });
+  storage_daemon.Start();
+
+  std::printf("daemon running; provoking a session spike...\n");
+  {
+    std::vector<std::unique_ptr<engine::Session>> sessions;
+    for (int i = 0; i < 6; ++i) sessions.push_back(db.CreateSession());
+    db.SampleSystemStats();
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  }
+
+  std::printf("provoking lock contention and deadlocks...\n");
+  workload::ContentionConfig contention;
+  contention.threads = 4;
+  contention.transactions_per_thread = 30;
+  contention.tables = 2;
+  if (!workload::SetupContentionTables(&db, contention).ok()) return 1;
+  auto result = workload::RunContentionWorkload(&db, contention);
+  if (!result.ok()) return 1;
+  std::printf("contention done: %lld committed, %lld deadlock aborts\n",
+              static_cast<long long>(result->committed),
+              static_cast<long long>(result->deadlock_aborts));
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+  storage_daemon.Stop();
+  auto stats = storage_daemon.stats();
+  std::printf("\ndaemon: %lld polls, %lld flushes, %lld rows persisted, "
+              "%lld alert(s) raised\n",
+              static_cast<long long>(stats.polls),
+              static_cast<long long>(stats.flushes),
+              static_cast<long long>(stats.rows_written),
+              static_cast<long long>(stats.alerts_raised));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// The full autonomous-tuning control loop from the paper, end to end:
+//
+//   monitor  -> the engine records the NREF-style workload as it runs
+//   store    -> the storage daemon persists it into a workload DB
+//   analyze  -> the analyzer scans the workload DB and recommends
+//               statistics, B-Tree restructures and indexes (via what-if)
+//   implement-> the recommendations are applied, and the same workload
+//               is measured again
+//
+//   ./examples/autotune_advisor
+
+#include <cstdio>
+
+#include "analyzer/analyzer.h"
+#include "bench/bench_util.h"
+#include "daemon/daemon.h"
+#include "ima/ima.h"
+#include "workload/nref.h"
+
+using namespace imon;
+
+int main() {
+  workload::NrefConfig nref;
+  nref.proteins = 6000;
+  nref.taxa = 200;
+  nref.main_pages = 2;
+
+  std::printf("setting up the NREF-like database (%lld proteins)...\n",
+              static_cast<long long>(nref.proteins));
+  engine::Database db{engine::DatabaseOptions{}};
+  if (!ima::RegisterImaTables(&db).ok()) return 1;
+  if (!workload::SetupNref(&db, nref).ok()) return 1;
+
+  engine::DatabaseOptions wl_options;
+  wl_options.monitor.enabled = false;
+  engine::Database workload_db(wl_options);
+  daemon::DaemonConfig daemon_config;
+  daemon_config.polls_per_flush = 1;
+  daemon::StorageDaemon storage_daemon(&db, &workload_db, daemon_config);
+  if (!storage_daemon.Initialize().ok()) return 1;
+
+  auto queries = workload::ComplexQuerySet(nref, 50);
+  std::printf("running the 50-query workload under monitoring...\n");
+  double before_s = bench::TimeStatements(&db, queries);
+  if (!storage_daemon.PollOnce().ok()) return 1;
+
+  std::printf("analyzing the recorded workload...\n\n");
+  analyzer::Analyzer an(&db, &workload_db);
+  auto report = an.Analyze();
+  if (!report.ok()) {
+    std::printf("analysis failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report->ToString().c_str());
+
+  std::printf("applying the recommendations...\n");
+  auto applied = an.Apply(report->recommendations);
+  if (!applied.ok()) return 1;
+  std::printf("applied %lld change(s)\n\n", static_cast<long long>(*applied));
+
+  // Re-run the workload with monitoring still on — the monitor keeps
+  // watching the tuned system, closing the control loop.
+  double after_s = bench::TimeStatements(&db, queries);
+  std::printf("workload runtime: %.3f s before tuning, %.3f s after "
+              "(%.0f%%)\n",
+              before_s, after_s, 100.0 * after_s / before_s);
+  std::printf("database size now: %.1f MB\n",
+              static_cast<double>(db.DataSizeBytes()) / (1024 * 1024));
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: open a monitored database, run some SQL, then read the
+// monitoring data back through IMA — over plain SQL, like any other
+// table.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "engine/database.h"
+#include "ima/ima.h"
+
+using imon::engine::Database;
+using imon::engine::DatabaseOptions;
+using imon::engine::QueryResult;
+
+namespace {
+
+void Run(Database* db, const std::string& sql) {
+  auto result = db->Execute(sql);
+  if (!result.ok()) {
+    std::printf("!! %s\n   %s\n", sql.c_str(),
+                result.status().ToString().c_str());
+    return;
+  }
+  std::printf(">> %s\n", sql.c_str());
+  if (!result->columns.empty()) {
+    std::printf("   ");
+    for (const auto& c : result->columns) std::printf("%-18s", c.c_str());
+    std::printf("\n");
+    for (const auto& row : result->rows) {
+      std::printf("   ");
+      for (const auto& v : row) std::printf("%-18s", v.ToString().c_str());
+      std::printf("\n");
+    }
+  } else if (!result->message.empty()) {
+    std::printf("   %s\n", result->message.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  // 1. An engine with integrated monitoring (on by default) and the IMA
+  //    virtual tables registered.
+  Database db{DatabaseOptions{}};
+  if (!imon::ima::RegisterImaTables(&db).ok()) return 1;
+
+  // 2. Ordinary SQL.
+  Run(&db, "CREATE TABLE protein (nref_id INT PRIMARY KEY, sequence TEXT, "
+           "seq_length INT)");
+  Run(&db, "INSERT INTO protein VALUES (1, 'MKVA', 4), (2, 'ACDEFG', 6), "
+           "(3, 'MM', 2)");
+  Run(&db, "SELECT nref_id, seq_length FROM protein WHERE seq_length >= 4 "
+           "ORDER BY seq_length DESC");
+  Run(&db, "SELECT count(*) AS proteins, avg(seq_length) AS avg_len "
+           "FROM protein");
+  // Run one statement twice so its frequency becomes visible.
+  Run(&db, "SELECT sequence FROM protein WHERE nref_id = 2");
+  Run(&db, "SELECT sequence FROM protein WHERE nref_id = 2");
+
+  // 3. Everything above was monitored; read it back over SQL.
+  std::printf("\n--- what the monitor saw (IMA virtual tables) ---\n");
+  Run(&db, "SELECT query_text, frequency FROM imp_statements "
+           "ORDER BY frequency DESC LIMIT 5");
+  Run(&db, "SELECT hash, est_cost, actual_cost, rows_output FROM "
+           "imp_workload ORDER BY seq DESC LIMIT 3");
+  Run(&db, "SELECT table_name, storage, row_count, frequency FROM "
+           "imp_tables");
+  db.SampleSystemStats();
+  Run(&db, "SELECT current_sessions, cache_hit_ratio, statements FROM "
+           "imp_statistics ORDER BY seq DESC LIMIT 1");
+  return 0;
+}

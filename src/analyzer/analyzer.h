@@ -1,0 +1,183 @@
+// The analyzer tool (paper §IV-C / §V-B).
+//
+// Scans the collected monitoring data (workload DB, or the live IMA
+// tables when no workload DB is attached) and produces rule-based
+// recommendations:
+//
+//   R1  "Actual and estimated costs of a statement differ significantly"
+//       -> statistics may be missing or outdated: collect statistics.
+//   R2  "One or more attributes of a table have no statistics"
+//       -> histograms should be created.
+//   R3  "A table with a fixed amount of main data pages has already more
+//        than 10% overflow pages" -> restructure to B-Tree.
+//   R4  Index recommendation: candidate indexes are generated from the
+//       recorded statements' predicates and evaluated by feeding the
+//       engine's own optimizer *virtual indexes* (AutoAdmin-style
+//       what-if), "exploiting its decision about which indexes will
+//       actually be used"; a frequency-weighted greedy search selects
+//       the final set.
+//
+// The analyzer also produces the paper's report data: the Fig. 6 cost
+// diagram (actual / estimated / estimated-with-virtual-indexes for the
+// most expensive statements) and the Fig. 8 locks diagram series.
+
+#ifndef IMON_ANALYZER_ANALYZER_H_
+#define IMON_ANALYZER_ANALYZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace imon::analyzer {
+
+enum class RecommendationKind {
+  kCollectStatistics,  // R1 + R2
+  kModifyToBtree,      // R3
+  kCreateIndex,        // R4
+  kDropIndex,          // R5: index never used by the recorded workload
+};
+
+const char* RecommendationKindName(RecommendationKind kind);
+
+struct Recommendation {
+  RecommendationKind kind;
+  std::string table;
+  std::vector<std::string> columns;
+  /// Human-readable rule justification.
+  std::string reason;
+  /// The statement that implements the change.
+  std::string sql;
+  /// Frequency-weighted optimizer-cost saving (R4) or 0.
+  double estimated_benefit = 0;
+  /// Statements supporting this recommendation.
+  int64_t supporting_statements = 0;
+  /// Estimated index size in pages (R4).
+  double estimated_pages = 0;
+};
+
+/// One bar group of the Fig. 6 cost diagram.
+struct StatementCostReport {
+  uint64_t hash = 0;
+  std::string text;
+  int64_t frequency = 0;
+  double actual_cost = 0;
+  double estimated_cost = 0;
+  /// Optimizer estimate when the recommended (virtual) index set exists.
+  double virtual_estimated_cost = 0;
+};
+
+/// Linear-trend summary for one table, fitted over the workload DB's
+/// timestamped snapshots (paper §II: "recording those values
+/// continuously over a longer period of time allows ... to a certain
+/// degree, the prediction of future problems").
+struct TableTrend {
+  std::string table;
+  double current_pages = 0;
+  double pages_per_day = 0;     ///< fitted growth rate
+  double rows_per_day = 0;
+  /// Days until the table doubles its current size at the fitted rate
+  /// (infinity when not growing).
+  double days_to_double = 0;
+};
+
+/// One point of the Fig. 8 locks diagram.
+struct LockReportPoint {
+  int64_t time_micros = 0;
+  int64_t locks_held = 0;
+  int64_t lock_waits_delta = 0;
+  int64_t deadlocks_delta = 0;
+};
+
+struct AnalysisReport {
+  std::vector<Recommendation> recommendations;
+  std::vector<StatementCostReport> cost_diagram;
+  std::vector<LockReportPoint> locks_diagram;
+  /// Growth trends; filled only when a workload DB (time series) is
+  /// attached and spans more than one capture time.
+  std::vector<TableTrend> trends;
+  int64_t statements_analyzed = 0;
+  int64_t cost_mismatch_statements = 0;  ///< flagged by R1
+  int64_t analysis_micros = 0;
+
+  std::string ToString() const;  ///< textual report for the DBA
+};
+
+struct AnalyzerConfig {
+  /// R1 fires when max(actual,est)/min(actual,est) exceeds this.
+  double cost_mismatch_factor = 3.0;
+  /// R3 fires when overflow_pages > threshold * main_pages (paper: 10%).
+  double overflow_threshold = 0.10;
+  /// Rows of the Fig. 6 cost diagram.
+  int top_statements = 10;
+  /// Greedy index-selection bounds.
+  size_t max_indexes = 16;
+  double min_index_benefit = 1.0;
+  int max_index_key_columns = 2;
+};
+
+class Analyzer {
+ public:
+  /// `workload_db` may be null: the analyzer then reads the live IMA
+  /// tables of `monitored` directly.
+  Analyzer(engine::Database* monitored, engine::Database* workload_db,
+           AnalyzerConfig config = {});
+
+  /// Scan collected data, run all rules, return the report.
+  Result<AnalysisReport> Analyze();
+
+  /// Implement recommendations on the monitored engine (the paper's
+  /// manual "implementation" phase, scripted). Returns how many applied.
+  Result<int64_t> Apply(const std::vector<Recommendation>& recommendations);
+
+ private:
+  struct StatementInfo {
+    uint64_t hash = 0;
+    std::string text;
+    int64_t frequency = 1;
+    double total_actual = 0;
+    double total_estimated = 0;
+    int64_t executions = 0;
+    bool is_select = false;
+  };
+
+  /// Fetch all rows of `table` from the workload DB (wl_*) or live IMA
+  /// (imp_*), whichever is attached; returns rows + name->position map.
+  Result<std::pair<std::vector<Row>, std::map<std::string, int>>> Fetch(
+      const std::string& logical_name);
+
+  Result<std::vector<StatementInfo>> LoadStatements();
+
+  /// R1: cost-mismatch -> collect statistics on referenced tables.
+  Status RuleCostMismatch(const std::vector<StatementInfo>& statements,
+                          AnalysisReport* report);
+  /// R2: referenced attributes without histograms.
+  Status RuleMissingHistograms(AnalysisReport* report);
+  /// R3: heap/hash tables with too many overflow pages.
+  Status RuleOverflowPages(AnalysisReport* report);
+  /// R5: indexes the recorded workload never used.
+  Status RuleUnusedIndexes(AnalysisReport* report);
+  /// R4: greedy what-if index selection.
+  Status RuleIndexSelection(const std::vector<StatementInfo>& statements,
+                            AnalysisReport* report);
+
+  Status BuildCostDiagram(const std::vector<StatementInfo>& statements,
+                          const std::vector<catalog::IndexInfo>& chosen,
+                          AnalysisReport* report);
+  Status BuildLocksDiagram(AnalysisReport* report);
+  /// Fit per-table growth trends over the workload DB's wl_tables series.
+  Status BuildTrends(AnalysisReport* report);
+
+  /// Candidate index columns per table, mined from statement predicates.
+  Result<std::vector<catalog::IndexInfo>> GenerateCandidates(
+      const std::vector<StatementInfo>& statements);
+
+  engine::Database* monitored_;
+  engine::Database* workload_db_;  // may be null
+  AnalyzerConfig config_;
+};
+
+}  // namespace imon::analyzer
+
+#endif  // IMON_ANALYZER_ANALYZER_H_

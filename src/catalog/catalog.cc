@@ -1,0 +1,250 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+namespace imon::catalog {
+
+const char* StorageStructureName(StorageStructure s) {
+  switch (s) {
+    case StorageStructure::kHeap:
+      return "HEAP";
+    case StorageStructure::kBtree:
+      return "BTREE";
+    case StorageStructure::kHash:
+      return "HASH";
+    case StorageStructure::kIsam:
+      return "ISAM";
+  }
+  return "?";
+}
+
+std::optional<int> TableInfo::FindColumn(const std::string& name) const {
+  for (const ColumnInfo& c : columns) {
+    if (c.name == name) return c.ordinal;
+  }
+  return std::nullopt;
+}
+
+Result<ObjectId> Catalog::CreateTable(TableInfo info) {
+  std::unique_lock lock(mutex_);
+  if (tables_.count(info.name) || virtual_tables_.count(info.name)) {
+    return Status::AlreadyExists("table '" + info.name + "' already exists");
+  }
+  info.id = next_id_++;
+  for (size_t i = 0; i < info.columns.size(); ++i) {
+    info.columns[i].id = next_id_++;
+    info.columns[i].ordinal = static_cast<int>(i);
+  }
+  table_names_[info.id] = info.name;
+  ObjectId id = info.id;
+  tables_[info.name] = std::move(info);
+  BumpVersion();
+  return id;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::unique_lock lock(mutex_);
+  auto it = tables_.find(name);
+  if (it == tables_.end())
+    return Status::NotFound("table '" + name + "' does not exist");
+  // Drop dependent indexes.
+  for (ObjectId idx_id : it->second.index_ids) {
+    auto nit = index_names_.find(idx_id);
+    if (nit != index_names_.end()) {
+      indexes_.erase(nit->second);
+      index_names_.erase(nit);
+    }
+  }
+  // Drop stats.
+  for (const ColumnInfo& c : it->second.columns) {
+    column_stats_.erase(StatsKey(it->second.id, c.ordinal));
+  }
+  table_names_.erase(it->second.id);
+  tables_.erase(it);
+  BumpVersion();
+  return Status::OK();
+}
+
+Result<TableInfo> Catalog::GetTable(const std::string& name) const {
+  std::shared_lock lock(mutex_);
+  auto it = tables_.find(name);
+  if (it == tables_.end())
+    return Status::NotFound("table '" + name + "' does not exist");
+  return it->second;
+}
+
+Result<TableInfo> Catalog::GetTableById(ObjectId id) const {
+  std::shared_lock lock(mutex_);
+  auto it = table_names_.find(id);
+  if (it == table_names_.end())
+    return Status::NotFound("no table with id " + std::to_string(id));
+  return tables_.at(it->second);
+}
+
+std::vector<TableInfo> Catalog::ListTables() const {
+  std::shared_lock lock(mutex_);
+  std::vector<TableInfo> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, info] : tables_) out.push_back(info);
+  return out;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  std::shared_lock lock(mutex_);
+  return tables_.count(name) > 0;
+}
+
+Status Catalog::UpdateTable(const TableInfo& info) {
+  IMON_RETURN_IF_ERROR(UpdateTableStats(info));
+  BumpVersion();
+  return Status::OK();
+}
+
+Status Catalog::UpdateTableStats(const TableInfo& info) {
+  std::unique_lock lock(mutex_);
+  auto it = table_names_.find(info.id);
+  if (it == table_names_.end())
+    return Status::NotFound("no table with id " + std::to_string(info.id));
+  tables_[it->second] = info;
+  return Status::OK();
+}
+
+Result<ObjectId> Catalog::CreateIndex(IndexInfo info) {
+  std::unique_lock lock(mutex_);
+  if (indexes_.count(info.name)) {
+    return Status::AlreadyExists("index '" + info.name + "' already exists");
+  }
+  auto tit = table_names_.find(info.table_id);
+  if (tit == table_names_.end())
+    return Status::NotFound("index on unknown table id " +
+                            std::to_string(info.table_id));
+  info.id = next_id_++;
+  index_names_[info.id] = info.name;
+  tables_[tit->second].index_ids.push_back(info.id);
+  ObjectId id = info.id;
+  indexes_[info.name] = std::move(info);
+  BumpVersion();
+  return id;
+}
+
+Status Catalog::DropIndex(const std::string& name) {
+  std::unique_lock lock(mutex_);
+  auto it = indexes_.find(name);
+  if (it == indexes_.end())
+    return Status::NotFound("index '" + name + "' does not exist");
+  auto tit = table_names_.find(it->second.table_id);
+  if (tit != table_names_.end()) {
+    auto& ids = tables_[tit->second].index_ids;
+    ids.erase(std::remove(ids.begin(), ids.end(), it->second.id), ids.end());
+  }
+  index_names_.erase(it->second.id);
+  indexes_.erase(it);
+  BumpVersion();
+  return Status::OK();
+}
+
+Result<IndexInfo> Catalog::GetIndex(const std::string& name) const {
+  std::shared_lock lock(mutex_);
+  auto it = indexes_.find(name);
+  if (it == indexes_.end())
+    return Status::NotFound("index '" + name + "' does not exist");
+  return it->second;
+}
+
+Result<IndexInfo> Catalog::GetIndexById(ObjectId id) const {
+  std::shared_lock lock(mutex_);
+  auto it = index_names_.find(id);
+  if (it == index_names_.end())
+    return Status::NotFound("no index with id " + std::to_string(id));
+  return indexes_.at(it->second);
+}
+
+std::vector<IndexInfo> Catalog::IndexesOnTable(ObjectId table_id) const {
+  std::shared_lock lock(mutex_);
+  std::vector<IndexInfo> out;
+  for (const auto& [name, info] : indexes_) {
+    if (info.table_id == table_id && !info.is_virtual) out.push_back(info);
+  }
+  return out;
+}
+
+std::vector<IndexInfo> Catalog::ListIndexes() const {
+  std::shared_lock lock(mutex_);
+  std::vector<IndexInfo> out;
+  out.reserve(indexes_.size());
+  for (const auto& [name, info] : indexes_) out.push_back(info);
+  return out;
+}
+
+Status Catalog::UpdateIndex(const IndexInfo& info) {
+  std::unique_lock lock(mutex_);
+  auto it = index_names_.find(info.id);
+  if (it == index_names_.end())
+    return Status::NotFound("no index with id " + std::to_string(info.id));
+  indexes_[it->second] = info;
+  BumpVersion();
+  return Status::OK();
+}
+
+Status Catalog::SetColumnStats(ObjectId table_id, int ordinal,
+                               ColumnStats stats) {
+  std::unique_lock lock(mutex_);
+  if (!table_names_.count(table_id))
+    return Status::NotFound("stats for unknown table id " +
+                            std::to_string(table_id));
+  column_stats_[StatsKey(table_id, ordinal)] = std::move(stats);
+  BumpVersion();
+  return Status::OK();
+}
+
+ColumnStats Catalog::GetColumnStats(ObjectId table_id, int ordinal) const {
+  std::shared_lock lock(mutex_);
+  auto it = column_stats_.find(StatsKey(table_id, ordinal));
+  if (it == column_stats_.end()) return ColumnStats{};
+  return it->second;
+}
+
+Status Catalog::ClearColumnStats(ObjectId table_id) {
+  std::unique_lock lock(mutex_);
+  for (auto it = column_stats_.begin(); it != column_stats_.end();) {
+    if ((it->first >> 16) == table_id) {
+      it = column_stats_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  BumpVersion();
+  return Status::OK();
+}
+
+Status Catalog::RegisterVirtualTable(
+    const std::string& name, std::shared_ptr<VirtualTableProvider> provider) {
+  std::unique_lock lock(mutex_);
+  if (tables_.count(name) || virtual_tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  virtual_tables_[name] = std::move(provider);
+  BumpVersion();
+  return Status::OK();
+}
+
+std::shared_ptr<VirtualTableProvider> Catalog::GetVirtualTable(
+    const std::string& name) const {
+  std::shared_lock lock(mutex_);
+  auto it = virtual_tables_.find(name);
+  return it == virtual_tables_.end() ? nullptr : it->second;
+}
+
+bool Catalog::HasVirtualTable(const std::string& name) const {
+  std::shared_lock lock(mutex_);
+  return virtual_tables_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::ListVirtualTables() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [name, p] : virtual_tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace imon::catalog

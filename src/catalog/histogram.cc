@@ -1,0 +1,208 @@
+#include "catalog/histogram.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace imon::catalog {
+
+Histogram Histogram::Build(std::vector<Value> values, int num_buckets) {
+  Histogram h;
+  h.total_rows_ = static_cast<int64_t>(values.size());
+  std::vector<Value> non_null;
+  non_null.reserve(values.size());
+  for (Value& v : values) {
+    if (v.is_null()) {
+      ++h.null_count_;
+    } else {
+      non_null.push_back(std::move(v));
+    }
+  }
+  if (non_null.empty()) return h;
+  std::sort(non_null.begin(), non_null.end());
+  h.min_ = non_null.front();
+  h.max_ = non_null.back();
+
+  // Run-length pass: distinct values and their counts, sorted.
+  std::vector<std::pair<Value, int64_t>> runs;
+  for (size_t i = 0; i < non_null.size();) {
+    size_t j = i + 1;
+    while (j < non_null.size() &&
+           non_null[j].Compare(non_null[i]) == 0) {
+      ++j;
+    }
+    runs.emplace_back(non_null[i], static_cast<int64_t>(j - i));
+    i = j;
+  }
+  h.distinct_count_ = static_cast<int64_t>(runs.size());
+
+  int buckets = std::max(1, num_buckets);
+
+  // MCV extraction: any value holding more than ~1.5 bucket depths of
+  // mass is tracked exactly (bounded by `buckets` entries).
+  int64_t nn = static_cast<int64_t>(non_null.size());
+  int64_t mcv_threshold =
+      std::max<int64_t>(2, (3 * nn) / (2 * buckets));
+  std::vector<size_t> mcv_runs;
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (runs[r].second >= mcv_threshold) mcv_runs.push_back(r);
+  }
+  if (mcv_runs.size() > static_cast<size_t>(buckets)) {
+    std::sort(mcv_runs.begin(), mcv_runs.end(), [&](size_t a, size_t b) {
+      return runs[a].second > runs[b].second;
+    });
+    mcv_runs.resize(buckets);
+    std::sort(mcv_runs.begin(), mcv_runs.end());
+  }
+  std::vector<bool> is_mcv(runs.size(), false);
+  for (size_t r : mcv_runs) {
+    is_mcv[r] = true;
+    h.mcv_values_.push_back(runs[r].first);
+    h.mcv_counts_.push_back(runs[r].second);
+  }
+
+  // Residual rows (non-MCV) in sorted order.
+  std::vector<std::pair<Value, int64_t>> residual;
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (!is_mcv[r]) {
+      residual.push_back(runs[r]);
+      h.residual_rows_ += runs[r].second;
+      ++h.residual_distinct_;
+    }
+  }
+  if (residual.empty()) return h;
+
+  // Counted equi-depth buckets over the residual distribution.
+  int64_t target_depth =
+      std::max<int64_t>(1, h.residual_rows_ / buckets);
+  h.bounds_.push_back(residual.front().first);
+  int64_t acc = 0;
+  for (size_t r = 0; r < residual.size(); ++r) {
+    acc += residual[r].second;
+    bool last = r + 1 == residual.size();
+    if (acc >= target_depth || last) {
+      h.bounds_.push_back(residual[r].first);
+      h.bucket_counts_.push_back(acc);
+      acc = 0;
+    }
+  }
+  // A single-distinct residual yields bounds [v, v] with one bucket.
+  if (h.bounds_.size() == 1) {
+    h.bounds_.push_back(residual.front().first);
+    h.bucket_counts_.push_back(h.residual_rows_);
+  }
+  return h;
+}
+
+double Histogram::EqualitySelectivity(const Value& v) const {
+  if (total_rows_ == 0) return 0.0;
+  if (v.is_null()) {
+    return static_cast<double>(null_count_) / total_rows_;
+  }
+  int64_t non_null = total_rows_ - null_count_;
+  if (non_null == 0) return 0.0;
+  if (v.Compare(min_) < 0 || v.Compare(max_) > 0) return 0.0;
+
+  // Exact answer for tracked heavy hitters.
+  auto it = std::lower_bound(
+      mcv_values_.begin(), mcv_values_.end(), v,
+      [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  if (it != mcv_values_.end() && it->Compare(v) == 0) {
+    return static_cast<double>(
+               mcv_counts_[it - mcv_values_.begin()]) /
+           total_rows_;
+  }
+  // Uniform share of the residual distribution.
+  if (residual_distinct_ <= 0) return 0.0;
+  return static_cast<double>(residual_rows_) /
+         static_cast<double>(residual_distinct_) / total_rows_;
+}
+
+double Histogram::ResidualRowsBelow(const Value& v, bool inclusive) const {
+  if (bucket_counts_.empty()) return 0.0;
+  if (v.Compare(bounds_.front()) < 0) return 0.0;
+  double acc = 0;
+  for (size_t b = 0; b < bucket_counts_.size(); ++b) {
+    const Value& lo = bounds_[b];
+    const Value& hi = bounds_[b + 1];
+    int cmp_hi = v.Compare(hi);
+    if (cmp_hi > 0 || (cmp_hi == 0 && inclusive)) {
+      acc += static_cast<double>(bucket_counts_[b]);
+      continue;
+    }
+    // v falls inside this bucket (lo, hi]; interpolate for numerics,
+    // split text buckets in half.
+    int cmp_lo = v.Compare(lo);
+    if (cmp_lo <= 0) break;
+    double frac = 0.5;
+    if (lo.type() != TypeId::kText && hi.type() != TypeId::kText) {
+      double lo_d = lo.AsDouble();
+      double hi_d = hi.AsDouble();
+      if (hi_d > lo_d) {
+        frac = std::clamp((v.AsDouble() - lo_d) / (hi_d - lo_d), 0.0, 1.0);
+      }
+    }
+    acc += static_cast<double>(bucket_counts_[b]) * frac;
+    break;
+  }
+  return acc;
+}
+
+bool Histogram::InRange(const Value& v, const Value& lower, bool has_lower,
+                        bool lower_inclusive, const Value& upper,
+                        bool has_upper, bool upper_inclusive) {
+  if (has_lower) {
+    int cmp = v.Compare(lower);
+    if (cmp < 0 || (cmp == 0 && !lower_inclusive)) return false;
+  }
+  if (has_upper) {
+    int cmp = v.Compare(upper);
+    if (cmp > 0 || (cmp == 0 && !upper_inclusive)) return false;
+  }
+  return true;
+}
+
+double Histogram::RangeSelectivity(const Value& lower, bool has_lower,
+                                   bool lower_inclusive, const Value& upper,
+                                   bool has_upper,
+                                   bool upper_inclusive) const {
+  if (total_rows_ == 0) return 0.0;
+  int64_t non_null = total_rows_ - null_count_;
+  if (non_null == 0) return 0.0;
+
+  double rows = 0;
+  // MCVs counted exactly.
+  for (size_t i = 0; i < mcv_values_.size(); ++i) {
+    if (InRange(mcv_values_[i], lower, has_lower, lower_inclusive, upper,
+                has_upper, upper_inclusive)) {
+      rows += static_cast<double>(mcv_counts_[i]);
+    }
+  }
+  // Residual mass via the counted buckets.
+  double below_upper = has_upper
+                           ? ResidualRowsBelow(upper, upper_inclusive)
+                           : static_cast<double>(residual_rows_);
+  double below_lower =
+      has_lower ? ResidualRowsBelow(lower, !lower_inclusive) : 0.0;
+  rows += std::max(0.0, below_upper - below_lower);
+
+  // Point ranges should not round to zero.
+  if (has_lower && has_upper && lower_inclusive && upper_inclusive &&
+      lower.Compare(upper) == 0) {
+    rows = std::max(rows, EqualitySelectivity(lower) * total_rows_);
+  }
+  return std::clamp(rows / static_cast<double>(total_rows_), 0.0, 1.0);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "histogram(rows=" << total_rows_ << ", nulls=" << null_count_
+     << ", distinct=" << distinct_count_ << ", mcvs=" << num_mcvs()
+     << ", buckets=" << num_buckets();
+  if (!bounds_.empty() || !mcv_values_.empty()) {
+    os << ", min=" << min_.ToString() << ", max=" << max_.ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace imon::catalog

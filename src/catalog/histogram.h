@@ -1,0 +1,92 @@
+// Column statistics: most-common-values list + counted equi-depth
+// histogram (the PostgreSQL pg_stats design).
+//
+// Built by ANALYZE (the analog of Ingres' optimizedb), consumed by the
+// optimizer's cardinality estimation. "One or more attributes of a table
+// have no statistics: histograms should be created" is one of the paper's
+// analyzer rules, so presence/absence is first-class here.
+//
+// Heavily skewed columns are the reason for the MCV list: a plain
+// equi-depth histogram collapses duplicate bucket fences and loses the
+// heavy hitters' mass, underestimating their equality selectivity by
+// orders of magnitude.
+
+#ifndef IMON_CATALOG_HISTOGRAM_H_
+#define IMON_CATALOG_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace imon::catalog {
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Build from the column's values (nulls allowed). `num_buckets` bounds
+  /// both the MCV list and the residual histogram's bucket count.
+  static Histogram Build(std::vector<Value> values, int num_buckets = 32);
+
+  bool empty() const { return total_rows_ == 0; }
+  int64_t total_rows() const { return total_rows_; }
+  int64_t null_count() const { return null_count_; }
+  int64_t distinct_count() const { return distinct_count_; }
+  const Value& min() const { return min_; }
+  const Value& max() const { return max_; }
+  int num_buckets() const { return static_cast<int>(bucket_counts_.size()); }
+  int num_mcvs() const { return static_cast<int>(mcv_values_.size()); }
+
+  /// Estimated fraction of all rows (nulls included in the denominator)
+  /// with column == v.
+  double EqualitySelectivity(const Value& v) const;
+
+  /// Estimated fraction of all rows in the given (optionally half-open /
+  /// unbounded) range.
+  double RangeSelectivity(const Value& lower, bool has_lower,
+                          bool lower_inclusive, const Value& upper,
+                          bool has_upper, bool upper_inclusive) const;
+
+  std::string ToString() const;
+
+ private:
+  /// Number of *residual* (non-MCV, non-null) rows with value < v
+  /// (or <= v when `inclusive`).
+  double ResidualRowsBelow(const Value& v, bool inclusive) const;
+
+  /// True when v lies within [lower?, upper?] under the given flags.
+  static bool InRange(const Value& v, const Value& lower, bool has_lower,
+                      bool lower_inclusive, const Value& upper,
+                      bool has_upper, bool upper_inclusive);
+
+  // -- most common values ----------------------------------------------------
+  std::vector<Value> mcv_values_;   // sorted by value
+  std::vector<int64_t> mcv_counts_;
+
+  // -- residual equi-depth histogram (bucket i covers (bounds_[i],
+  //    bounds_[i+1]], bucket 0 closed at the left) -----------------------
+  std::vector<Value> bounds_;
+  std::vector<int64_t> bucket_counts_;
+  int64_t residual_rows_ = 0;
+  int64_t residual_distinct_ = 0;
+
+  int64_t total_rows_ = 0;
+  int64_t null_count_ = 0;
+  int64_t distinct_count_ = 0;
+  Value min_;
+  Value max_;
+};
+
+/// Statistics attached to one column; absent histogram = "no statistics".
+struct ColumnStats {
+  bool has_histogram = false;
+  Histogram histogram;
+  /// Wall-clock micros when ANALYZE built this (staleness checks).
+  int64_t built_at_micros = 0;
+};
+
+}  // namespace imon::catalog
+
+#endif  // IMON_CATALOG_HISTOGRAM_H_

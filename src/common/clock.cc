@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace imon {
+
+RealClock* RealClock::Instance() {
+  static RealClock clock;
+  return &clock;
+}
+
+}  // namespace imon

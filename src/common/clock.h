@@ -1,0 +1,75 @@
+// Wall-clock abstraction. The daemon's poll scheduling, workload-DB
+// timestamps and retention purging all read time through a Clock so tests
+// and benchmarks can drive days of "wall time" in microseconds.
+
+#ifndef IMON_COMMON_CLOCK_H_
+#define IMON_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace imon {
+
+/// Source of wall-clock time (microseconds since epoch).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t NowMicros() const = 0;
+};
+
+/// System wall clock.
+class RealClock : public Clock {
+ public:
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+  /// Process-wide shared instance.
+  static RealClock* Instance();
+};
+
+/// Manually advanced clock for tests (retention windows, trend series).
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(int64_t start_micros = 0) : now_(start_micros) {}
+  int64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void AdvanceMicros(int64_t delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void AdvanceSeconds(int64_t s) { AdvanceMicros(s * 1000000); }
+  void SetMicros(int64_t t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+/// High-resolution monotonic timer for measuring durations (sensor costs,
+/// per-phase statement timings). Not a Clock: durations only.
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// RAII stopwatch adding its elapsed nanoseconds to a counter.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(int64_t* sink)
+      : sink_(sink), start_(MonotonicNanos()) {}
+  ~ScopedTimerNs() { *sink_ += MonotonicNanos() - start_; }
+
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  int64_t* sink_;
+  int64_t start_;
+};
+
+}  // namespace imon
+
+#endif  // IMON_COMMON_CLOCK_H_

@@ -1,0 +1,40 @@
+// FNV-1a hashing. Statement texts are identified throughout the monitor,
+// IMA tables and workload DB by their 64-bit FNV-1a hash, mirroring the
+// paper's "unique hash key" on the statements table.
+
+#ifndef IMON_COMMON_HASH_H_
+#define IMON_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace imon {
+
+inline constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
+inline constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+/// FNV-1a over a byte range.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = kFnvOffsetBasis;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Hash of a statement text; key of the monitor's statements table.
+inline uint64_t HashStatement(std::string_view text) {
+  return HashBytes(text.data(), text.size());
+}
+
+/// Mix two hashes (boost::hash_combine-style, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace imon
+
+#endif  // IMON_COMMON_HASH_H_

@@ -1,0 +1,44 @@
+// Minimal leveled logging to stderr. Off by default above kWarn so that
+// benchmark output stays clean; tests flip the level when debugging.
+
+#ifndef IMON_COMMON_LOGGING_H_
+#define IMON_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace imon {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Emit one line to stderr ("[level] message").
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace imon
+
+#define IMON_LOG(level)                                   \
+  if (::imon::GetLogLevel() <= ::imon::LogLevel::level)   \
+  ::imon::internal::LogLine(::imon::LogLevel::level)
+
+#endif  // IMON_COMMON_LOGGING_H_

@@ -1,0 +1,151 @@
+// Status / Result error model for imon.
+//
+// The core library does not throw exceptions on anticipated failures
+// (bad SQL, missing objects, deadlocks, resource exhaustion); every
+// fallible operation returns a Status, or a Result<T> carrying either a
+// value or a Status. This follows the RocksDB/Arrow idiom.
+
+#ifndef IMON_COMMON_STATUS_H_
+#define IMON_COMMON_STATUS_H_
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace imon {
+
+/// Error categories used across all imon modules.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed SQL, bad parameter, type mismatch
+  kNotFound,          ///< unknown table/column/index/row
+  kAlreadyExists,     ///< duplicate object or unique-key violation
+  kCorruption,        ///< on-"disk" structure invariant violated
+  kNotSupported,      ///< recognized but unimplemented feature
+  kAborted,           ///< transaction aborted (deadlock victim)
+  kBusy,              ///< lock wait timeout
+  kResourceExhausted, ///< buffer pool / ring buffer / page space exhausted
+  kInternal,          ///< bug: invariant the engine itself violated
+};
+
+/// Lightweight success/error descriptor. Copyable; success carries no
+/// allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}            // NOLINT(implicit)
+  Result(Status status) : rep_(std::move(status)) {      // NOLINT(implicit)
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  T& value() {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& TakeValue() {
+    assert(ok());
+    return std::move(std::get<T>(rep_));
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace imon
+
+/// Propagate a non-OK Status to the caller.
+#define IMON_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::imon::Status _s = (expr);                     \
+    if (!_s.ok()) return _s;                        \
+  } while (0)
+
+#define IMON_CONCAT_IMPL(a, b) a##b
+#define IMON_CONCAT(a, b) IMON_CONCAT_IMPL(a, b)
+
+/// Evaluate a Result<T> expression; on error propagate its Status, on
+/// success move the value into `lhs` (a declaration or assignable lvalue).
+#define IMON_ASSIGN_OR_RETURN(lhs, expr)                     \
+  auto IMON_CONCAT(_res_, __LINE__) = (expr);                \
+  if (!IMON_CONCAT(_res_, __LINE__).ok())                    \
+    return IMON_CONCAT(_res_, __LINE__).status();            \
+  lhs = std::move(IMON_CONCAT(_res_, __LINE__).TakeValue())
+
+#endif  // IMON_COMMON_STATUS_H_

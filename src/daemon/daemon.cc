@@ -1,0 +1,323 @@
+#include "daemon/daemon.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace imon::daemon {
+
+using engine::Database;
+using engine::QueryResult;
+
+namespace {
+
+struct WlTable {
+  const char* name;
+  const char* ddl;
+};
+
+const WlTable kWlTables[] = {
+    {"wl_statements",
+     "CREATE TABLE IF NOT EXISTS wl_statements (captured_at INT, hash INT, "
+     "query_text TEXT, frequency INT, first_seen INT, last_seen INT)"},
+    {"wl_workload",
+     "CREATE TABLE IF NOT EXISTS wl_workload (captured_at INT, seq INT, "
+     "hash INT, start_micros INT, wallclock_nanos INT, opt_cpu_nanos INT, "
+     "opt_disk_io INT, exec_cpu_nanos INT, exec_disk_io INT, est_cpu DOUBLE, "
+     "est_io DOUBLE, est_cost DOUBLE, actual_cost DOUBLE, rows_examined INT, "
+     "rows_output INT, monitor_nanos INT)"},
+    {"wl_references",
+     "CREATE TABLE IF NOT EXISTS wl_references (captured_at INT, seq INT, "
+     "hash INT, object_type TEXT, object_id INT, table_id INT, ordinal INT)"},
+    {"wl_tables",
+     "CREATE TABLE IF NOT EXISTS wl_tables (captured_at INT, table_id INT, "
+     "table_name TEXT, frequency INT, storage TEXT, data_pages INT, "
+     "overflow_pages INT, row_count INT)"},
+    {"wl_attributes",
+     "CREATE TABLE IF NOT EXISTS wl_attributes (captured_at INT, "
+     "table_id INT, ordinal INT, attr_name TEXT, frequency INT, "
+     "has_histogram INT)"},
+    {"wl_indexes",
+     "CREATE TABLE IF NOT EXISTS wl_indexes (captured_at INT, index_id INT, "
+     "index_name TEXT, table_id INT, frequency INT, pages INT, "
+     "is_unique INT)"},
+    {"wl_statistics",
+     "CREATE TABLE IF NOT EXISTS wl_statistics (captured_at INT, seq INT, "
+     "time_micros INT, current_sessions INT, max_sessions INT, "
+     "locks_held INT, lock_waits INT, deadlocks INT, cache_logical INT, "
+     "cache_physical INT, cache_hit_ratio DOUBLE, disk_reads INT, "
+     "disk_writes INT, statements INT)"},
+};
+
+/// Render a Value as a SQL literal (with '' escaping for text).
+std::string SqlLiteral(const Value& v) {
+  if (v.is_null()) return "NULL";
+  switch (v.type()) {
+    case TypeId::kInt:
+      return std::to_string(v.AsInt());
+    case TypeId::kDouble: {
+      std::ostringstream os;
+      os.precision(17);
+      os << v.AsDouble();
+      std::string s = os.str();
+      // Ensure the literal parses as a DOUBLE.
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case TypeId::kText: {
+      std::string out = "'";
+      for (char c : v.AsText()) {
+        out.push_back(c);
+        if (c == '\'') out.push_back('\'');
+      }
+      out.push_back('\'');
+      return out;
+    }
+  }
+  return "NULL";
+}
+
+}  // namespace
+
+Status CreateWorkloadSchema(Database* workload_db) {
+  for (const WlTable& t : kWlTables) {
+    auto r = workload_db->Execute(t.ddl);
+    IMON_RETURN_IF_ERROR(r.status());
+  }
+  return Status::OK();
+}
+
+StorageDaemon::StorageDaemon(Database* monitored, Database* workload_db,
+                             DaemonConfig config, const Clock* clock)
+    : monitored_(monitored),
+      workload_db_(workload_db),
+      config_(config),
+      clock_(clock != nullptr ? clock : RealClock::Instance()) {}
+
+StorageDaemon::~StorageDaemon() { Stop(); }
+
+Status StorageDaemon::Initialize() {
+  IMON_RETURN_IF_ERROR(CreateWorkloadSchema(workload_db_));
+  poll_session_ = monitored_->CreateSession();
+  poll_session_->set_internal(true);
+  write_session_ = workload_db_->CreateSession();
+  write_session_->set_internal(true);
+  return Status::OK();
+}
+
+void StorageDaemon::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread(&StorageDaemon::ThreadMain, this);
+}
+
+void StorageDaemon::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void StorageDaemon::ThreadMain() {
+  while (running_.load()) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_cv_.wait_for(lock, config_.poll_interval,
+                        [&] { return !running_.load(); });
+    }
+    if (!running_.load()) break;
+    Status s = PollOnce();
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.poll_errors;
+    }
+  }
+  // Final flush so buffered data is not lost on shutdown.
+  FlushNow().ok();
+}
+
+Result<std::vector<Row>> StorageDaemon::ReadIma(const std::string& table,
+                                                int64_t* last_seq) {
+  std::string sql = "SELECT * FROM " + table;
+  if (last_seq != nullptr) {
+    sql += " WHERE seq > " + std::to_string(*last_seq);
+  }
+  IMON_ASSIGN_OR_RETURN(QueryResult r,
+                        monitored_->Execute(sql, poll_session_.get()));
+  if (last_seq != nullptr) {
+    for (const Row& row : r.rows) {
+      *last_seq = std::max(*last_seq, row[0].AsInt());
+    }
+  }
+  return std::move(r.rows);
+}
+
+Status StorageDaemon::PollOnce() {
+  // A fresh statistics sample accompanies every poll.
+  monitored_->SampleSystemStats();
+
+  int64_t now = clock_->NowMicros();
+  auto stamp = [&](std::vector<Row> rows, std::vector<Row>* buffer) {
+    for (Row& row : rows) {
+      Row stamped;
+      stamped.reserve(row.size() + 1);
+      stamped.push_back(Value::Int(now));
+      for (Value& v : row) stamped.push_back(std::move(v));
+      buffer->push_back(std::move(stamped));
+    }
+  };
+
+  bool flush_due;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mutex_);
+    IMON_ASSIGN_OR_RETURN(std::vector<Row> workload,
+                          ReadIma("imp_workload", &last_workload_seq_));
+    stamp(std::move(workload), &buf_workload_);
+    IMON_ASSIGN_OR_RETURN(std::vector<Row> references,
+                          ReadIma("imp_references", &last_references_seq_));
+    stamp(std::move(references), &buf_references_);
+    IMON_ASSIGN_OR_RETURN(std::vector<Row> statistics,
+                          ReadIma("imp_statistics", &last_statistics_seq_));
+    stamp(std::move(statistics), &buf_statistics_);
+
+    ++polls_since_flush_;
+    flush_due = polls_since_flush_ >= config_.polls_per_flush;
+    if (flush_due) {
+      // Snapshot the slowly-changing object tables once per flush window.
+      IMON_ASSIGN_OR_RETURN(std::vector<Row> statements,
+                            ReadIma("imp_statements", nullptr));
+      stamp(std::move(statements), &buf_statements_);
+      IMON_ASSIGN_OR_RETURN(std::vector<Row> tables,
+                            ReadIma("imp_tables", nullptr));
+      stamp(std::move(tables), &buf_tables_);
+      IMON_ASSIGN_OR_RETURN(std::vector<Row> attributes,
+                            ReadIma("imp_attributes", nullptr));
+      stamp(std::move(attributes), &buf_attributes_);
+      IMON_ASSIGN_OR_RETURN(std::vector<Row> indexes,
+                            ReadIma("imp_indexes", nullptr));
+      stamp(std::move(indexes), &buf_indexes_);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.polls;
+  }
+  if (flush_due) {
+    IMON_RETURN_IF_ERROR(FlushNow());
+  }
+  return Status::OK();
+}
+
+Status StorageDaemon::AppendRows(const std::string& wl_table,
+                                 const std::vector<std::string>& /*columns*/,
+                                 std::vector<Row>* rows) {
+  if (rows->empty()) return Status::OK();
+  constexpr size_t kBatch = 128;
+  int64_t bytes = 0;
+  for (size_t start = 0; start < rows->size(); start += kBatch) {
+    std::ostringstream sql;
+    sql << "INSERT INTO " << wl_table << " VALUES ";
+    size_t end = std::min(rows->size(), start + kBatch);
+    for (size_t i = start; i < end; ++i) {
+      if (i > start) sql << ", ";
+      sql << "(";
+      const Row& row = (*rows)[i];
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) sql << ", ";
+        sql << SqlLiteral(row[c]);
+      }
+      sql << ")";
+      std::string serialized;
+      SerializeRow(row, &serialized);
+      bytes += static_cast<int64_t>(serialized.size());
+    }
+    auto r = workload_db_->Execute(sql.str(), write_session_.get());
+    IMON_RETURN_IF_ERROR(r.status());
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.rows_written += static_cast<int64_t>(rows->size());
+    stats_.bytes_written_estimate += bytes;
+  }
+  rows->clear();
+  return Status::OK();
+}
+
+Status StorageDaemon::FlushNow() {
+  std::lock_guard<std::mutex> lock(buffer_mutex_);
+  IMON_RETURN_IF_ERROR(AppendRows("wl_statements", {}, &buf_statements_));
+  IMON_RETURN_IF_ERROR(AppendRows("wl_workload", {}, &buf_workload_));
+  IMON_RETURN_IF_ERROR(AppendRows("wl_references", {}, &buf_references_));
+  IMON_RETURN_IF_ERROR(AppendRows("wl_tables", {}, &buf_tables_));
+  IMON_RETURN_IF_ERROR(AppendRows("wl_attributes", {}, &buf_attributes_));
+  IMON_RETURN_IF_ERROR(AppendRows("wl_indexes", {}, &buf_indexes_));
+  IMON_RETURN_IF_ERROR(AppendRows("wl_statistics", {}, &buf_statistics_));
+  polls_since_flush_ = 0;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.flushes;
+  }
+  if (++flushes_since_purge_ >= config_.flushes_per_purge) {
+    flushes_since_purge_ = 0;
+    IMON_RETURN_IF_ERROR(PurgeExpired());
+  }
+  return Status::OK();
+}
+
+Status StorageDaemon::PurgeExpired() {
+  int64_t cutoff =
+      clock_->NowMicros() -
+      std::chrono::duration_cast<std::chrono::microseconds>(config_.retention)
+          .count();
+  int64_t purged = 0;
+  for (const WlTable& t : kWlTables) {
+    auto r = workload_db_->Execute(
+        "DELETE FROM " + std::string(t.name) + " WHERE captured_at < " +
+            std::to_string(cutoff),
+        write_session_.get());
+    IMON_RETURN_IF_ERROR(r.status());
+    purged += r->affected_rows;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.rows_purged += purged;
+  return Status::OK();
+}
+
+Status StorageDaemon::AddAlertRule(const std::string& name,
+                                   const std::string& wl_table,
+                                   const std::string& when_predicate,
+                                   const std::string& message) {
+  std::string escaped;
+  for (char c : message) {
+    escaped.push_back(c);
+    if (c == '\'') escaped.push_back('\'');
+  }
+  auto r = workload_db_->Execute("CREATE TRIGGER " + name + " AFTER INSERT ON " +
+                                     wl_table + " WHEN " + when_predicate +
+                                     " RAISE '" + escaped + "'",
+                                 write_session_.get());
+  return r.status();
+}
+
+void StorageDaemon::SetAlertHandler(engine::AlertHandler handler) {
+  workload_db_->SetAlertHandler(
+      [this, handler = std::move(handler)](const engine::AlertEvent& e) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.alerts_raised;
+        }
+        if (handler) handler(e);
+      });
+}
+
+DaemonStats StorageDaemon::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace imon::daemon

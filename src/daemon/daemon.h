@@ -1,0 +1,144 @@
+// The storage daemon (paper §IV-B).
+//
+// "Data storage is performed by a lightweight daemon running in the
+//  background. The tool periodically wakes up and queries the IMA
+//  database to get the newest data ... and then appends the collected
+//  data to the workload database [with] a timestamp to allow trend
+//  analysis ... disk accesses are performed only every few minutes ...
+//  all entries are kept for seven days by default."
+//
+// The daemon reads the monitored engine's IMA virtual tables over plain
+// SQL (internal session, so the polling itself is not recorded), buffers
+// the rows, and every `polls_per_flush` polls appends them — timestamped
+// — to the workload DB, an ordinary database instance with the wl_*
+// schema. Retention purging and trigger-based DBA alerting run on flush.
+
+#ifndef IMON_DAEMON_DAEMON_H_
+#define IMON_DAEMON_DAEMON_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace imon::daemon {
+
+struct DaemonConfig {
+  /// Wake-up period. Paper default: 30 s for up to 1000 statements.
+  std::chrono::milliseconds poll_interval{30000};
+  /// Disk is touched only every Nth poll ("every few minutes").
+  int polls_per_flush = 4;
+  /// Workload-DB retention. Paper default: seven days.
+  std::chrono::seconds retention{7 * 24 * 3600};
+  /// Purge expired rows every Nth flush.
+  int flushes_per_purge = 4;
+};
+
+struct DaemonStats {
+  int64_t polls = 0;
+  int64_t flushes = 0;
+  int64_t rows_written = 0;
+  int64_t bytes_written_estimate = 0;  ///< serialized row bytes appended
+  int64_t rows_purged = 0;
+  int64_t alerts_raised = 0;
+  int64_t poll_errors = 0;
+};
+
+/// Creates the wl_* schema (IMA schemas + captured_at timestamp column)
+/// in `workload_db`. Idempotent.
+Status CreateWorkloadSchema(engine::Database* workload_db);
+
+class StorageDaemon {
+ public:
+  StorageDaemon(engine::Database* monitored, engine::Database* workload_db,
+                DaemonConfig config, const Clock* clock = nullptr);
+  ~StorageDaemon();
+
+  /// Create the workload-DB schema and internal sessions.
+  Status Initialize();
+
+  /// Start the background thread. Stop() (or destruction) joins it.
+  void Start();
+  void Stop();
+  bool running() const { return running_.load(); }
+
+  /// One poll cycle: force a statistics sample, read new IMA rows into
+  /// the buffer; flush + purge when due. Called by the thread, and
+  /// directly by tests/benchmarks (with a SimulatedClock).
+  Status PollOnce();
+
+  /// Append all buffered rows to the workload DB now.
+  Status FlushNow();
+
+  /// Delete workload-DB rows older than the retention window.
+  Status PurgeExpired();
+
+  /// Install an alert: a trigger on a wl_* table raising `message` when
+  /// `when_predicate` (SQL boolean over that table's columns) holds for
+  /// a newly appended row. The DBA "can easily set up his own alerts by
+  /// creating more triggers".
+  Status AddAlertRule(const std::string& name, const std::string& wl_table,
+                      const std::string& when_predicate,
+                      const std::string& message);
+
+  /// Alert callback (fires on the daemon's flush path).
+  void SetAlertHandler(engine::AlertHandler handler);
+
+  DaemonStats stats() const;
+
+ private:
+  void ThreadMain();
+
+  /// SELECT rows of one IMA table with seq > last_seq (or all).
+  Result<std::vector<Row>> ReadIma(const std::string& table,
+                                   int64_t* last_seq);
+
+  /// Append buffered rows of one logical table to its wl_ twin.
+  Status AppendRows(const std::string& wl_table,
+                    const std::vector<std::string>& columns,
+                    std::vector<Row>* rows);
+
+  engine::Database* monitored_;
+  engine::Database* workload_db_;
+  DaemonConfig config_;
+  const Clock* clock_;
+
+  std::unique_ptr<engine::Session> poll_session_;
+  std::unique_ptr<engine::Session> write_session_;
+
+  // Buffered rows per IMA source awaiting the next flush.
+  std::mutex buffer_mutex_;
+  std::vector<Row> buf_statements_;
+  std::vector<Row> buf_workload_;
+  std::vector<Row> buf_references_;
+  std::vector<Row> buf_tables_;
+  std::vector<Row> buf_attributes_;
+  std::vector<Row> buf_indexes_;
+  std::vector<Row> buf_statistics_;
+
+  int64_t last_workload_seq_ = 0;
+  int64_t last_references_seq_ = 0;
+  int64_t last_statistics_seq_ = 0;
+  int polls_since_flush_ = 0;
+  int flushes_since_purge_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+
+  mutable std::mutex stats_mutex_;
+  DaemonStats stats_;
+};
+
+}  // namespace imon::daemon
+
+#endif  // IMON_DAEMON_DAEMON_H_

@@ -1,0 +1,1144 @@
+#include "engine/database.h"
+
+#include <algorithm>
+
+#include "catalog/histogram.h"
+#include "exec/expression_eval.h"
+
+namespace imon::engine {
+
+using catalog::IndexInfo;
+using catalog::ObjectId;
+using catalog::StorageStructure;
+using catalog::TableInfo;
+using exec::Locator;
+using optimizer::Binder;
+using optimizer::BoundSelect;
+using optimizer::BoundTable;
+using optimizer::OutputLayout;
+using optimizer::Planner;
+using optimizer::PlannerOptions;
+using optimizer::PlanNode;
+using optimizer::PlanSummary;
+
+namespace {
+
+/// Convert a ReferenceSet to the flat vectors the monitor stores.
+void FlattenRefs(const optimizer::ReferenceSet& refs,
+                 std::vector<monitor::ObjectId>* tables,
+                 std::vector<std::pair<monitor::ObjectId, int>>* attrs,
+                 std::vector<monitor::ObjectId>* indexes) {
+  tables->assign(refs.tables.begin(), refs.tables.end());
+  attrs->assign(refs.attributes.begin(), refs.attributes.end());
+  indexes->assign(refs.available_indexes.begin(),
+                  refs.available_indexes.end());
+}
+
+int64_t DiskIoTotal(const storage::DiskStats& s) {
+  return s.physical_reads + s.physical_writes;
+}
+
+}  // namespace
+
+Database::Database(DatabaseOptions options)
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : RealClock::Instance()),
+      disk_(std::make_unique<storage::DiskManager>(
+          options_.simulated_io_latency_nanos)),
+      pool_(std::make_unique<storage::BufferPool>(disk_.get(),
+                                                  options_.buffer_pool_pages)),
+      locks_(options_.lock_timeout),
+      storage_(std::make_unique<exec::StorageLayer>(disk_.get(), pool_.get())),
+      monitor_(std::make_unique<monitor::Monitor>(options_.monitor, clock_)) {
+  default_session_ = CreateSession();
+}
+
+Database::~Database() = default;
+
+std::unique_ptr<Session> Database::CreateSession() {
+  auto session = std::unique_ptr<Session>(new Session());
+  session->id_ = next_session_id_.fetch_add(1);
+  open_sessions_.fetch_add(1);
+  monitor_->NoteSessionCount(open_sessions_.load());
+  return session;
+}
+
+int64_t Database::active_sessions() const { return open_sessions_.load(); }
+
+Result<QueryResult> Database::Execute(const std::string& sql) {
+  std::lock_guard<std::mutex> lock(default_session_mutex_);
+  return Execute(sql, default_session_.get());
+}
+
+Result<QueryResult> Database::Execute(const std::string& sql,
+                                      Session* session) {
+  monitor::QueryTrace trace;
+  if (!session->internal()) monitor_->OnQueryStart(&trace);
+
+  // Plan-cache fast path: a previously bound + planned SELECT is reused
+  // verbatim while the catalog version is unchanged.
+  if (options_.plan_cache_capacity > 0) {
+    auto entry = LookupPlanCache(HashStatement(sql));
+    if (entry != nullptr) {
+      monitor_->OnParseComplete(&trace, sql);
+      {
+        std::vector<monitor::ObjectId> t, i;
+        std::vector<std::pair<monitor::ObjectId, int>> a;
+        FlattenRefs(entry->bound.references, &t, &a, &i);
+        monitor_->OnBindComplete(&trace, std::move(t), std::move(a),
+                                 std::move(i));
+      }
+      monitor_->OnOptimizeComplete(&trace, entry->summary.est_cost_cpu,
+                                   entry->summary.est_cost_io,
+                                   entry->summary.used_indexes, 0, 0);
+      auto result = RunPlannedSelect(entry->bound, *entry->plan,
+                                     entry->summary, session, &trace);
+      if (result.ok()) {
+        monitor_->Commit(&trace);
+        MaybeSampleStats();
+      }
+      return result;
+    }
+  }
+
+  auto parsed = sql::Parse(sql);
+  if (!parsed.ok()) return parsed.status();
+  monitor_->OnParseComplete(&trace, sql);
+
+  // Cache-filling SELECT path: bind + plan once, remember, execute.
+  if (options_.plan_cache_capacity > 0 &&
+      (*parsed)->kind() == sql::StatementKind::kSelect) {
+    auto entry = std::make_shared<CachedPlan>();
+    entry->catalog_version = catalog_.version();
+    entry->stmt = std::move(*parsed);
+    Binder binder(&catalog_);
+    IMON_ASSIGN_OR_RETURN(
+        entry->bound,
+        binder.BindSelect(static_cast<sql::SelectStmt*>(entry->stmt.get())));
+    {
+      std::vector<monitor::ObjectId> t, i;
+      std::vector<std::pair<monitor::ObjectId, int>> a;
+      FlattenRefs(entry->bound.references, &t, &a, &i);
+      monitor_->OnBindComplete(&trace, std::move(t), std::move(a),
+                               std::move(i));
+    }
+    int64_t opt_start = MonotonicNanos();
+    Planner planner(&catalog_, PlannerOptions{options_.cost_model, {}});
+    IMON_ASSIGN_OR_RETURN(entry->plan, planner.PlanJoinTree(entry->bound));
+    entry->summary = planner.Summarize(*entry->plan, entry->bound);
+    monitor_->OnOptimizeComplete(
+        &trace, entry->summary.est_cost_cpu, entry->summary.est_cost_io,
+        entry->summary.used_indexes, MonotonicNanos() - opt_start, 0);
+    std::shared_ptr<const CachedPlan> shared = entry;
+    StorePlanCache(HashStatement(sql), shared);
+    auto result = RunPlannedSelect(shared->bound, *shared->plan,
+                                   shared->summary, session, &trace);
+    if (result.ok()) {
+      monitor_->Commit(&trace);
+      MaybeSampleStats();
+    }
+    return result;
+  }
+
+  auto result = Dispatch(parsed->get(), session, &trace, sql);
+  if (result.ok()) {
+    monitor_->Commit(&trace);
+    MaybeSampleStats();
+  }
+  return result;
+}
+
+std::shared_ptr<const Database::CachedPlan> Database::LookupPlanCache(
+    uint64_t hash) {
+  std::lock_guard<std::mutex> lock(plan_cache_mutex_);
+  auto it = plan_cache_.find(hash);
+  if (it == plan_cache_.end()) {
+    ++plan_cache_misses_;
+    return nullptr;
+  }
+  if (it->second->catalog_version != catalog_.version()) {
+    plan_cache_.erase(it);
+    ++plan_cache_invalidations_;
+    ++plan_cache_misses_;
+    return nullptr;
+  }
+  ++plan_cache_hits_;
+  return it->second;
+}
+
+void Database::StorePlanCache(uint64_t hash,
+                              std::shared_ptr<const CachedPlan> entry) {
+  std::lock_guard<std::mutex> lock(plan_cache_mutex_);
+  while (plan_cache_.size() >= options_.plan_cache_capacity &&
+         !plan_cache_fifo_.empty()) {
+    plan_cache_.erase(plan_cache_fifo_.front());
+    plan_cache_fifo_.pop_front();
+  }
+  if (plan_cache_.emplace(hash, std::move(entry)).second) {
+    plan_cache_fifo_.push_back(hash);
+  }
+}
+
+PlanCacheStats Database::plan_cache_stats() const {
+  std::lock_guard<std::mutex> lock(plan_cache_mutex_);
+  PlanCacheStats out;
+  out.hits = plan_cache_hits_;
+  out.misses = plan_cache_misses_;
+  out.invalidations = plan_cache_invalidations_;
+  out.entries = static_cast<int64_t>(plan_cache_.size());
+  return out;
+}
+
+Result<QueryResult> Database::Dispatch(sql::Statement* stmt, Session* session,
+                                       monitor::QueryTrace* trace,
+                                       const std::string& sql) {
+  (void)sql;
+  switch (stmt->kind()) {
+    case sql::StatementKind::kSelect:
+      return ExecSelect(static_cast<sql::SelectStmt*>(stmt), session, trace);
+    case sql::StatementKind::kExplain:
+      return ExecExplain(static_cast<sql::ExplainStmt*>(stmt), session);
+    case sql::StatementKind::kInsert:
+      return ExecInsert(static_cast<sql::InsertStmt*>(stmt), session, trace);
+    case sql::StatementKind::kUpdate:
+      return ExecUpdate(static_cast<sql::UpdateStmt*>(stmt), session, trace);
+    case sql::StatementKind::kDelete:
+      return ExecDelete(static_cast<sql::DeleteStmt*>(stmt), session, trace);
+    case sql::StatementKind::kCreateTable:
+      return ExecCreateTable(static_cast<sql::CreateTableStmt*>(stmt));
+    case sql::StatementKind::kDropTable:
+      return ExecDropTable(static_cast<sql::DropTableStmt*>(stmt));
+    case sql::StatementKind::kCreateIndex:
+      return ExecCreateIndex(static_cast<sql::CreateIndexStmt*>(stmt),
+                             session);
+    case sql::StatementKind::kDropIndex:
+      return ExecDropIndex(static_cast<sql::DropIndexStmt*>(stmt));
+    case sql::StatementKind::kModify:
+      return ExecModify(static_cast<sql::ModifyStmt*>(stmt), session);
+    case sql::StatementKind::kAnalyze:
+      return ExecAnalyze(static_cast<sql::AnalyzeStmt*>(stmt), session);
+    case sql::StatementKind::kCreateTrigger:
+      return ExecCreateTrigger(static_cast<sql::CreateTriggerStmt*>(stmt));
+    case sql::StatementKind::kDropTrigger:
+      return ExecDropTrigger(static_cast<sql::DropTriggerStmt*>(stmt));
+    case sql::StatementKind::kBegin:
+      return ExecBegin(session);
+    case sql::StatementKind::kCommit:
+      return ExecCommit(session);
+    case sql::StatementKind::kRollback:
+      return ExecRollback(session);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+// ---------------------------------------------------------------------------
+// Transactions & locking
+// ---------------------------------------------------------------------------
+
+Status Database::LockTable(Session* session, ObjectId table_id,
+                           txn::LockMode mode) {
+  if (!session->txn_active_) {
+    session->txn_active_ = true;
+    session->txn_implicit_ = true;
+    session->txn_id_ = next_txn_id_.fetch_add(1);
+    session->undo_.clear();
+  }
+  Status s = locks_.Acquire(session->txn_id_, table_id, mode);
+  if (s.IsAborted()) {
+    // Deadlock victim: roll back and release.
+    AbortTransaction(session).ok();
+  }
+  return s;
+}
+
+void Database::EndStatement(Session* session, bool /*autocommit_started*/) {
+  if (session->txn_active_ && session->txn_implicit_) {
+    ReleaseTxn(session);
+  }
+}
+
+void Database::ReleaseTxn(Session* session) {
+  locks_.ReleaseAll(session->txn_id_);
+  session->txn_active_ = false;
+  session->txn_implicit_ = false;
+  session->undo_.clear();
+}
+
+Status Database::AbortTransaction(Session* session) {
+  Status undo_status = ApplyUndo(session);
+  ReleaseTxn(session);
+  return undo_status;
+}
+
+Status Database::ApplyUndo(Session* session) {
+  Status first_error = Status::OK();
+  for (auto it = session->undo_.rbegin(); it != session->undo_.rend(); ++it) {
+    auto table = catalog_.GetTableById(it->table_id);
+    if (!table.ok()) {
+      if (first_error.ok()) first_error = table.status();
+      continue;
+    }
+    std::vector<IndexInfo> indexes = TableIndexes(*table);
+    Status s;
+    switch (it->op) {
+      case Session::UndoEntry::Op::kInsert:
+        s = storage_->Delete(*table, indexes, it->locator, it->row);
+        if (s.ok()) BumpRowCount(it->table_id, -1).ok();
+        break;
+      case Session::UndoEntry::Op::kDelete: {
+        auto loc = storage_->Insert(*table, indexes, it->old_row);
+        s = loc.status();
+        if (s.ok()) BumpRowCount(it->table_id, 1).ok();
+        break;
+      }
+      case Session::UndoEntry::Op::kUpdate: {
+        auto loc =
+            storage_->Update(*table, indexes, it->locator, it->row,
+                             it->old_row);
+        s = loc.status();
+        break;
+      }
+    }
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  session->undo_.clear();
+  return first_error;
+}
+
+Result<QueryResult> Database::ExecBegin(Session* session) {
+  if (session->txn_active_ && !session->txn_implicit_) {
+    return Status::InvalidArgument("transaction already in progress");
+  }
+  session->txn_active_ = true;
+  session->txn_implicit_ = false;
+  session->txn_id_ = next_txn_id_.fetch_add(1);
+  session->undo_.clear();
+  QueryResult out;
+  out.message = "BEGIN";
+  return out;
+}
+
+Result<QueryResult> Database::ExecCommit(Session* session) {
+  if (!session->txn_active_) {
+    return Status::InvalidArgument("no transaction in progress");
+  }
+  ReleaseTxn(session);
+  QueryResult out;
+  out.message = "COMMIT";
+  return out;
+}
+
+Result<QueryResult> Database::ExecRollback(Session* session) {
+  if (!session->txn_active_) {
+    return Status::InvalidArgument("no transaction in progress");
+  }
+  IMON_RETURN_IF_ERROR(AbortTransaction(session));
+  QueryResult out;
+  out.message = "ROLLBACK";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SELECT / EXPLAIN / what-if
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> Database::ExecSelect(sql::SelectStmt* stmt,
+                                         Session* session,
+                                         monitor::QueryTrace* trace) {
+  Binder binder(&catalog_);
+  IMON_ASSIGN_OR_RETURN(BoundSelect bound, binder.BindSelect(stmt));
+  {
+    std::vector<monitor::ObjectId> t, i;
+    std::vector<std::pair<monitor::ObjectId, int>> a;
+    FlattenRefs(bound.references, &t, &a, &i);
+    monitor_->OnBindComplete(trace, std::move(t), std::move(a), std::move(i));
+  }
+
+  // Optimize (timed, I/O-accounted).
+  int64_t opt_start = MonotonicNanos();
+  int64_t opt_io_before = DiskIoTotal(disk_->stats());
+  Planner planner(&catalog_, PlannerOptions{options_.cost_model, {}});
+  IMON_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
+                        planner.PlanJoinTree(bound));
+  PlanSummary summary = planner.Summarize(*plan, bound);
+  int64_t opt_nanos = MonotonicNanos() - opt_start;
+  int64_t opt_io = DiskIoTotal(disk_->stats()) - opt_io_before;
+  monitor_->OnOptimizeComplete(trace, summary.est_cost_cpu,
+                               summary.est_cost_io, summary.used_indexes,
+                               opt_nanos, opt_io);
+
+  return RunPlannedSelect(bound, *plan, summary, session, trace);
+}
+
+Result<QueryResult> Database::RunPlannedSelect(
+    const BoundSelect& bound, const PlanNode& plan,
+    const PlanSummary& summary, Session* session,
+    monitor::QueryTrace* trace) {
+  // Lock referenced base tables (shared).
+  for (const BoundTable& bt : bound.tables) {
+    if (bt.is_virtual) continue;
+    IMON_RETURN_IF_ERROR(LockTable(session, bt.info.id, txn::LockMode::kShared));
+  }
+
+  int64_t exec_start = MonotonicNanos();
+  int64_t io_before = DiskIoTotal(disk_->stats());
+  exec::ExecContext ctx;
+  ctx.storage = storage_.get();
+  ctx.tables = &bound.tables;
+  auto rs = exec::ExecuteSelect(bound, plan, &ctx);
+  int64_t exec_nanos = MonotonicNanos() - exec_start;
+  int64_t exec_io = DiskIoTotal(disk_->stats()) - io_before;
+  EndStatement(session, true);
+  IMON_RETURN_IF_ERROR(rs.status());
+
+  double actual = ActualCost(exec_io, ctx.stats.rows_examined);
+  monitor_->OnExecuteComplete(trace, exec_nanos, exec_io, actual,
+                              ctx.stats.rows_examined, ctx.stats.rows_output);
+
+  QueryResult out;
+  out.columns = std::move(rs->columns);
+  out.rows = std::move(rs->rows);
+  out.stats.estimated_cpu = summary.est_cost_cpu;
+  out.stats.estimated_io = summary.est_cost_io;
+  out.stats.estimated_cost = summary.TotalCost();
+  out.stats.estimated_rows = summary.est_rows;
+  out.stats.actual_cost = actual;
+  out.stats.wallclock_nanos = exec_nanos;
+  out.stats.physical_reads = exec_io;
+  out.stats.rows_examined = ctx.stats.rows_examined;
+  out.stats.used_indexes = summary.used_indexes;
+  out.stats.plan_text = summary.plan_text;
+  return out;
+}
+
+Result<QueryResult> Database::ExecExplain(sql::ExplainStmt* stmt,
+                                          Session* /*session*/) {
+  auto* select = static_cast<sql::SelectStmt*>(stmt->inner.get());
+  Binder binder(&catalog_);
+  IMON_ASSIGN_OR_RETURN(BoundSelect bound, binder.BindSelect(select));
+  Planner planner(&catalog_, PlannerOptions{options_.cost_model, {}});
+  IMON_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
+                        planner.PlanJoinTree(bound));
+  PlanSummary summary = planner.Summarize(*plan, bound);
+  QueryResult out;
+  out.columns = {"plan"};
+  std::istringstream lines(summary.plan_text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    out.rows.push_back({Value::Text(line)});
+  }
+  out.stats.estimated_cost = summary.TotalCost();
+  out.stats.estimated_cpu = summary.est_cost_cpu;
+  out.stats.estimated_io = summary.est_cost_io;
+  out.stats.used_indexes = summary.used_indexes;
+  out.stats.plan_text = summary.plan_text;
+  return out;
+}
+
+Result<WhatIfResult> Database::WhatIfPlan(
+    const std::string& select_sql,
+    const std::vector<IndexInfo>& virtual_indexes) {
+  IMON_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::Parse(select_sql));
+  if (stmt->kind() != sql::StatementKind::kSelect) {
+    return Status::InvalidArgument("what-if planning requires a SELECT");
+  }
+  auto* select = static_cast<sql::SelectStmt*>(stmt.get());
+  Binder binder(&catalog_);
+  IMON_ASSIGN_OR_RETURN(BoundSelect bound, binder.BindSelect(select));
+  PlannerOptions options{options_.cost_model, virtual_indexes};
+  Planner planner(&catalog_, options);
+  IMON_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
+                        planner.PlanJoinTree(bound));
+  WhatIfResult out;
+  out.summary = planner.Summarize(*plan, bound);
+  for (ObjectId id : out.summary.used_indexes) {
+    for (const auto& vi : virtual_indexes) {
+      if (vi.id == id) out.virtual_indexes_used.push_back(id);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+Result<Row> Database::BuildInsertRow(const sql::InsertStmt& stmt,
+                                     const TableInfo& table,
+                                     const std::vector<sql::ExprPtr>& exprs) {
+  std::vector<int> target_ordinals;
+  if (stmt.columns.empty()) {
+    if (exprs.size() != table.columns.size()) {
+      return Status::InvalidArgument(
+          "INSERT value count does not match column count");
+    }
+    for (size_t i = 0; i < table.columns.size(); ++i) {
+      target_ordinals.push_back(static_cast<int>(i));
+    }
+  } else {
+    if (exprs.size() != stmt.columns.size()) {
+      return Status::InvalidArgument(
+          "INSERT value count does not match column list");
+    }
+    for (const std::string& name : stmt.columns) {
+      auto ord = table.FindColumn(name);
+      if (!ord.has_value()) {
+        return Status::NotFound("unknown column '" + name + "' in INSERT");
+      }
+      target_ordinals.push_back(*ord);
+    }
+  }
+
+  Row row(table.columns.size(), Value::Null());
+  OutputLayout empty;
+  Row empty_row;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    IMON_ASSIGN_OR_RETURN(Value v, exec::Eval(*exprs[i], empty, empty_row));
+    int ord = target_ordinals[i];
+    if (!v.is_null()) {
+      IMON_ASSIGN_OR_RETURN(v, v.CastTo(table.columns[ord].type));
+    }
+    row[ord] = std::move(v);
+  }
+  for (const auto& col : table.columns) {
+    if (!col.nullable && row[col.ordinal].is_null()) {
+      return Status::InvalidArgument("column '" + col.name +
+                                     "' may not be NULL");
+    }
+  }
+  return row;
+}
+
+std::vector<IndexInfo> Database::TableIndexes(const TableInfo& table) const {
+  return catalog_.IndexesOnTable(table.id);
+}
+
+Status Database::BumpRowCount(ObjectId table_id, int64_t delta) {
+  IMON_ASSIGN_OR_RETURN(TableInfo info, catalog_.GetTableById(table_id));
+  info.row_count = std::max<int64_t>(0, info.row_count + delta);
+  // Keep page counts fresh from the file size (O(1)); exact main/overflow
+  // accounting is recomputed by ANALYZE / MODIFY.
+  int64_t pages = disk_->NumPages(info.file_id);
+  if (info.structure == StorageStructure::kHeap) {
+    info.main_pages = std::min<int64_t>(pages, info.main_page_target);
+    info.overflow_pages = std::max<int64_t>(0, pages - info.main_page_target);
+  } else {
+    info.main_pages = pages;
+    info.overflow_pages = 0;
+  }
+  return catalog_.UpdateTableStats(info);
+}
+
+Status Database::FireTriggers(const TableInfo& table, const Row& row) {
+  std::vector<AlertEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(trigger_mutex_);
+    if (alert_handler_ == nullptr) return Status::OK();
+    OutputLayout layout = OutputLayout::ForTable(
+        0, 1, static_cast<int>(table.columns.size()));
+    for (const TriggerDef& trigger : triggers_) {
+      if (trigger.table_id != table.id) continue;
+      auto fired = exec::EvalPredicate(*trigger.when, layout, row);
+      if (!fired.ok()) continue;  // trigger errors never fail the insert
+      if (*fired) {
+        events.push_back(
+            AlertEvent{trigger.name, trigger.table_name, trigger.message,
+                       row});
+      }
+    }
+  }
+  for (const AlertEvent& e : events) alert_handler_(e);
+  return Status::OK();
+}
+
+Result<QueryResult> Database::ExecInsert(sql::InsertStmt* stmt,
+                                         Session* session,
+                                         monitor::QueryTrace* trace) {
+  IMON_ASSIGN_OR_RETURN(TableInfo table, catalog_.GetTable(stmt->table));
+  monitor_->OnBindComplete(trace, {table.id}, {}, {});
+
+  IMON_RETURN_IF_ERROR(
+      LockTable(session, table.id, txn::LockMode::kExclusive));
+
+  int64_t exec_start = MonotonicNanos();
+  int64_t io_before = DiskIoTotal(disk_->stats());
+  std::vector<IndexInfo> indexes = TableIndexes(table);
+  int64_t inserted = 0;
+  Status failure = Status::OK();
+  for (const auto& exprs : stmt->rows) {
+    auto row = BuildInsertRow(*stmt, table, exprs);
+    if (!row.ok()) {
+      failure = row.status();
+      break;
+    }
+    auto loc = storage_->Insert(table, indexes, *row);
+    if (!loc.ok()) {
+      failure = loc.status();
+      break;
+    }
+    Session::UndoEntry undo;
+    undo.op = Session::UndoEntry::Op::kInsert;
+    undo.table_id = table.id;
+    undo.locator = *loc;
+    undo.row = *row;
+    session->undo_.push_back(std::move(undo));
+    ++inserted;
+    FireTriggers(table, *row).ok();
+  }
+  BumpRowCount(table.id, inserted).ok();
+  if (!failure.ok()) {
+    if (session->txn_implicit_) {
+      AbortTransaction(session).ok();
+    }
+    return failure;
+  }
+  int64_t exec_nanos = MonotonicNanos() - exec_start;
+  int64_t exec_io = DiskIoTotal(disk_->stats()) - io_before;
+  EndStatement(session, true);
+  monitor_->OnExecuteComplete(trace, exec_nanos, exec_io,
+                              ActualCost(exec_io, inserted), inserted,
+                              inserted);
+
+  QueryResult out;
+  out.affected_rows = inserted;
+  out.message = "INSERT " + std::to_string(inserted);
+  out.stats.wallclock_nanos = exec_nanos;
+  out.stats.physical_reads = exec_io;
+  return out;
+}
+
+Result<std::vector<std::pair<Locator, Row>>> Database::CollectTargets(
+    const PlanNode& scan, const BoundTable& table) {
+  std::vector<std::pair<Locator, Row>> out;
+  OutputLayout layout = OutputLayout::ForTable(
+      0, 1, static_cast<int>(table.info.columns.size()));
+  Status inner = Status::OK();
+  auto consider = [&](const Locator& loc, const Row& row) -> bool {
+    for (const sql::Expr* f : scan.filters) {
+      auto ok = exec::EvalPredicate(*f, layout, row);
+      if (!ok.ok()) {
+        inner = ok.status();
+        return false;
+      }
+      if (!*ok) return true;
+    }
+    out.emplace_back(loc, row);
+    return true;
+  };
+
+  switch (scan.access.kind) {
+    case optimizer::AccessPathKind::kSeqScan:
+      IMON_RETURN_IF_ERROR(storage_->Scan(table.info, consider));
+      break;
+    case optimizer::AccessPathKind::kPrimaryBtree:
+      IMON_RETURN_IF_ERROR(storage_->ScanPrimaryRange(
+          table.info, scan.access.eq_values, scan.access.lower,
+          scan.access.upper, consider));
+      break;
+    case optimizer::AccessPathKind::kPrimaryHash:
+      IMON_RETURN_IF_ERROR(
+          storage_->HashLookup(table.info, scan.access.eq_values, consider));
+      break;
+    case optimizer::AccessPathKind::kPrimaryIsam:
+      IMON_RETURN_IF_ERROR(storage_->ScanIsamRange(
+          table.info, scan.access.eq_values, scan.access.lower,
+          scan.access.upper, consider));
+      break;
+    case optimizer::AccessPathKind::kSecondaryIndex: {
+      IMON_RETURN_IF_ERROR(storage_->IndexScan(
+          scan.access.index, table.info, scan.access.eq_values,
+          scan.access.lower, scan.access.upper, [&](const Locator& loc) {
+            auto row = storage_->Fetch(table.info, loc);
+            if (!row.ok()) {
+              inner = row.status();
+              return false;
+            }
+            return consider(loc, *row);
+          }));
+      break;
+    }
+  }
+  IMON_RETURN_IF_ERROR(inner);
+  return out;
+}
+
+Result<QueryResult> Database::ExecUpdate(sql::UpdateStmt* stmt,
+                                         Session* session,
+                                         monitor::QueryTrace* trace) {
+  Binder binder(&catalog_);
+  IMON_ASSIGN_OR_RETURN(optimizer::BoundModification bound,
+                        binder.BindUpdate(stmt));
+  {
+    std::vector<monitor::ObjectId> t, i;
+    std::vector<std::pair<monitor::ObjectId, int>> a;
+    FlattenRefs(bound.references, &t, &a, &i);
+    monitor_->OnBindComplete(trace, std::move(t), std::move(a), std::move(i));
+  }
+
+  int64_t opt_start = MonotonicNanos();
+  Planner planner(&catalog_, PlannerOptions{options_.cost_model, {}});
+  IMON_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> scan,
+                        planner.PlanSingleTable(bound.table, bound.conjuncts));
+  monitor_->OnOptimizeComplete(
+      trace, scan->est_cost_cpu, scan->est_cost_io, {},
+      MonotonicNanos() - opt_start, 0);
+
+  IMON_RETURN_IF_ERROR(
+      LockTable(session, bound.table.info.id, txn::LockMode::kExclusive));
+
+  int64_t exec_start = MonotonicNanos();
+  int64_t io_before = DiskIoTotal(disk_->stats());
+  auto targets = CollectTargets(*scan, bound.table);
+  if (!targets.ok()) {
+    EndStatement(session, true);
+    return targets.status();
+  }
+
+  const TableInfo& table = bound.table.info;
+  std::vector<IndexInfo> indexes = TableIndexes(table);
+  OutputLayout layout = OutputLayout::ForTable(
+      0, 1, static_cast<int>(table.columns.size()));
+  Status failure = Status::OK();
+  int64_t updated = 0;
+  for (auto& [loc, old_row] : *targets) {
+    Row new_row = old_row;
+    for (const auto& [col, expr] : stmt->assignments) {
+      int ord = *table.FindColumn(col);
+      auto v = exec::Eval(*expr, layout, old_row);
+      if (!v.ok()) {
+        failure = v.status();
+        break;
+      }
+      Value value = *v;
+      if (!value.is_null()) {
+        auto cast = value.CastTo(table.columns[ord].type);
+        if (!cast.ok()) {
+          failure = cast.status();
+          break;
+        }
+        value = *cast;
+      }
+      new_row[ord] = std::move(value);
+    }
+    if (!failure.ok()) break;
+    auto new_loc = storage_->Update(table, indexes, loc, old_row, new_row);
+    if (!new_loc.ok()) {
+      failure = new_loc.status();
+      break;
+    }
+    Session::UndoEntry undo;
+    undo.op = Session::UndoEntry::Op::kUpdate;
+    undo.table_id = table.id;
+    undo.locator = *new_loc;
+    undo.row = new_row;
+    undo.old_locator = loc;
+    undo.old_row = old_row;
+    session->undo_.push_back(std::move(undo));
+    ++updated;
+  }
+  if (!failure.ok()) {
+    if (session->txn_implicit_) AbortTransaction(session).ok();
+    return failure;
+  }
+  int64_t exec_nanos = MonotonicNanos() - exec_start;
+  int64_t exec_io = DiskIoTotal(disk_->stats()) - io_before;
+  EndStatement(session, true);
+  monitor_->OnExecuteComplete(
+      trace, exec_nanos, exec_io,
+      ActualCost(exec_io, static_cast<int64_t>(targets->size())),
+      static_cast<int64_t>(targets->size()), updated);
+
+  QueryResult out;
+  out.affected_rows = updated;
+  out.message = "UPDATE " + std::to_string(updated);
+  out.stats.wallclock_nanos = exec_nanos;
+  out.stats.physical_reads = exec_io;
+  return out;
+}
+
+Result<QueryResult> Database::ExecDelete(sql::DeleteStmt* stmt,
+                                         Session* session,
+                                         monitor::QueryTrace* trace) {
+  Binder binder(&catalog_);
+  IMON_ASSIGN_OR_RETURN(optimizer::BoundModification bound,
+                        binder.BindDelete(stmt));
+  {
+    std::vector<monitor::ObjectId> t, i;
+    std::vector<std::pair<monitor::ObjectId, int>> a;
+    FlattenRefs(bound.references, &t, &a, &i);
+    monitor_->OnBindComplete(trace, std::move(t), std::move(a), std::move(i));
+  }
+
+  int64_t opt_start = MonotonicNanos();
+  Planner planner(&catalog_, PlannerOptions{options_.cost_model, {}});
+  IMON_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> scan,
+                        planner.PlanSingleTable(bound.table, bound.conjuncts));
+  monitor_->OnOptimizeComplete(
+      trace, scan->est_cost_cpu, scan->est_cost_io, {},
+      MonotonicNanos() - opt_start, 0);
+
+  IMON_RETURN_IF_ERROR(
+      LockTable(session, bound.table.info.id, txn::LockMode::kExclusive));
+
+  int64_t exec_start = MonotonicNanos();
+  int64_t io_before = DiskIoTotal(disk_->stats());
+  auto targets = CollectTargets(*scan, bound.table);
+  if (!targets.ok()) {
+    EndStatement(session, true);
+    return targets.status();
+  }
+
+  const TableInfo& table = bound.table.info;
+  std::vector<IndexInfo> indexes = TableIndexes(table);
+  Status failure = Status::OK();
+  int64_t deleted = 0;
+  for (auto& [loc, row] : *targets) {
+    Status s = storage_->Delete(table, indexes, loc, row);
+    if (!s.ok()) {
+      failure = s;
+      break;
+    }
+    Session::UndoEntry undo;
+    undo.op = Session::UndoEntry::Op::kDelete;
+    undo.table_id = table.id;
+    undo.old_locator = loc;
+    undo.old_row = row;
+    session->undo_.push_back(std::move(undo));
+    ++deleted;
+  }
+  BumpRowCount(table.id, -deleted).ok();
+  if (!failure.ok()) {
+    if (session->txn_implicit_) AbortTransaction(session).ok();
+    return failure;
+  }
+  int64_t exec_nanos = MonotonicNanos() - exec_start;
+  int64_t exec_io = DiskIoTotal(disk_->stats()) - io_before;
+  EndStatement(session, true);
+  monitor_->OnExecuteComplete(
+      trace, exec_nanos, exec_io,
+      ActualCost(exec_io, static_cast<int64_t>(targets->size())),
+      static_cast<int64_t>(targets->size()), deleted);
+
+  QueryResult out;
+  out.affected_rows = deleted;
+  out.message = "DELETE " + std::to_string(deleted);
+  out.stats.wallclock_nanos = exec_nanos;
+  out.stats.physical_reads = exec_io;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> Database::ExecCreateTable(sql::CreateTableStmt* stmt) {
+  if (stmt->if_not_exists && catalog_.HasTable(stmt->table)) {
+    QueryResult out;
+    out.message = "CREATE TABLE (exists)";
+    return out;
+  }
+  TableInfo info;
+  info.name = stmt->table;
+  info.structure = StorageStructure::kHeap;  // Ingres default
+  info.main_page_target =
+      stmt->main_pages > 0 ? stmt->main_pages : options_.default_main_pages;
+  std::vector<std::string> pk_names = stmt->primary_key;
+  for (const auto& def : stmt->columns) {
+    catalog::ColumnInfo col;
+    col.name = def.name;
+    col.type = def.type;
+    col.nullable = !def.not_null;
+    info.columns.push_back(std::move(col));
+    if (def.primary_key) pk_names.push_back(def.name);
+  }
+  IMON_ASSIGN_OR_RETURN(ObjectId table_id, catalog_.CreateTable(info));
+  IMON_ASSIGN_OR_RETURN(info, catalog_.GetTableById(table_id));
+
+  for (const std::string& pk : pk_names) {
+    auto ord = info.FindColumn(pk);
+    if (!ord.has_value()) {
+      catalog_.DropTable(info.name).ok();
+      return Status::NotFound("primary key column '" + pk + "' not found");
+    }
+    info.primary_key.push_back(*ord);
+    info.columns[*ord].nullable = false;
+  }
+  IMON_RETURN_IF_ERROR(storage_->CreateTableStorage(&info));
+  IMON_RETURN_IF_ERROR(catalog_.UpdateTable(info));
+
+  // Primary-key constraint index (Ingres keeps the base table heap and
+  // enforces/serves the key through a unique secondary index).
+  if (!info.primary_key.empty()) {
+    IndexInfo pkey;
+    pkey.name = info.name + "_pkey";
+    pkey.table_id = info.id;
+    pkey.key_columns = info.primary_key;
+    pkey.unique = true;
+    IMON_ASSIGN_OR_RETURN(ObjectId idx_id, catalog_.CreateIndex(pkey));
+    IMON_ASSIGN_OR_RETURN(pkey, catalog_.GetIndexById(idx_id));
+    IMON_RETURN_IF_ERROR(storage_->CreateIndexStorage(&pkey, info));
+    IMON_RETURN_IF_ERROR(catalog_.UpdateIndex(pkey));
+  }
+
+  QueryResult out;
+  out.message = "CREATE TABLE " + info.name;
+  return out;
+}
+
+Result<QueryResult> Database::ExecDropTable(sql::DropTableStmt* stmt) {
+  auto table = catalog_.GetTable(stmt->table);
+  if (!table.ok()) {
+    if (stmt->if_exists && table.status().IsNotFound()) {
+      QueryResult out;
+      out.message = "DROP TABLE (absent)";
+      return out;
+    }
+    return table.status();
+  }
+  for (const IndexInfo& idx : TableIndexes(*table)) {
+    storage_->DropIndexStorage(idx).ok();
+  }
+  IMON_RETURN_IF_ERROR(storage_->DropTableStorage(*table));
+  IMON_RETURN_IF_ERROR(catalog_.DropTable(stmt->table));
+  {
+    std::lock_guard<std::mutex> lock(trigger_mutex_);
+    triggers_.erase(std::remove_if(triggers_.begin(), triggers_.end(),
+                                   [&](const TriggerDef& t) {
+                                     return t.table_id == table->id;
+                                   }),
+                    triggers_.end());
+  }
+  QueryResult out;
+  out.message = "DROP TABLE " + stmt->table;
+  return out;
+}
+
+Result<QueryResult> Database::ExecCreateIndex(sql::CreateIndexStmt* stmt,
+                                              Session* session) {
+  IMON_ASSIGN_OR_RETURN(TableInfo table, catalog_.GetTable(stmt->table));
+  IndexInfo info;
+  info.name = stmt->index;
+  info.table_id = table.id;
+  info.unique = stmt->unique;
+  for (const std::string& col : stmt->columns) {
+    auto ord = table.FindColumn(col);
+    if (!ord.has_value()) {
+      return Status::NotFound("unknown column '" + col + "' in CREATE INDEX");
+    }
+    info.key_columns.push_back(*ord);
+  }
+  IMON_RETURN_IF_ERROR(
+      LockTable(session, table.id, txn::LockMode::kExclusive));
+  IMON_ASSIGN_OR_RETURN(ObjectId idx_id, catalog_.CreateIndex(info));
+  IMON_ASSIGN_OR_RETURN(info, catalog_.GetIndexById(idx_id));
+  Status backfill = storage_->CreateIndexStorage(&info, table);
+  if (!backfill.ok()) {
+    catalog_.DropIndex(info.name).ok();
+    EndStatement(session, true);
+    return backfill;
+  }
+  IMON_RETURN_IF_ERROR(catalog_.UpdateIndex(info));
+  EndStatement(session, true);
+  QueryResult out;
+  out.message = "CREATE INDEX " + info.name;
+  return out;
+}
+
+Result<QueryResult> Database::ExecDropIndex(sql::DropIndexStmt* stmt) {
+  IMON_ASSIGN_OR_RETURN(IndexInfo info, catalog_.GetIndex(stmt->index));
+  IMON_RETURN_IF_ERROR(storage_->DropIndexStorage(info));
+  IMON_RETURN_IF_ERROR(catalog_.DropIndex(stmt->index));
+  QueryResult out;
+  out.message = "DROP INDEX " + stmt->index;
+  return out;
+}
+
+Result<QueryResult> Database::ExecModify(sql::ModifyStmt* stmt,
+                                         Session* session) {
+  IMON_ASSIGN_OR_RETURN(TableInfo table, catalog_.GetTable(stmt->table));
+  IMON_RETURN_IF_ERROR(
+      LockTable(session, table.id, txn::LockMode::kExclusive));
+  StorageStructure target = StorageStructure::kHeap;
+  switch (stmt->target) {
+    case sql::TargetStructure::kHeap:
+      target = StorageStructure::kHeap;
+      break;
+    case sql::TargetStructure::kBtree:
+      target = StorageStructure::kBtree;
+      break;
+    case sql::TargetStructure::kHash:
+      target = StorageStructure::kHash;
+      break;
+    case sql::TargetStructure::kIsam:
+      target = StorageStructure::kIsam;
+      break;
+  }
+  std::vector<IndexInfo> indexes = TableIndexes(table);
+  Status s = storage_->ModifyStructure(&table, &indexes, target);
+  if (!s.ok()) {
+    EndStatement(session, true);
+    return s;
+  }
+  IMON_RETURN_IF_ERROR(catalog_.UpdateTable(table));
+  for (const IndexInfo& idx : indexes) {
+    IMON_RETURN_IF_ERROR(catalog_.UpdateIndex(idx));
+  }
+  EndStatement(session, true);
+  QueryResult out;
+  out.message = std::string("MODIFY TO ") +
+                catalog::StorageStructureName(target);
+  return out;
+}
+
+Result<QueryResult> Database::ExecAnalyze(sql::AnalyzeStmt* stmt,
+                                          Session* session) {
+  IMON_ASSIGN_OR_RETURN(TableInfo table, catalog_.GetTable(stmt->table));
+  std::vector<int> ordinals;
+  if (stmt->columns.empty()) {
+    for (const auto& col : table.columns) ordinals.push_back(col.ordinal);
+  } else {
+    for (const std::string& name : stmt->columns) {
+      auto ord = table.FindColumn(name);
+      if (!ord.has_value()) {
+        return Status::NotFound("unknown column '" + name + "' in ANALYZE");
+      }
+      ordinals.push_back(*ord);
+    }
+  }
+  IMON_RETURN_IF_ERROR(LockTable(session, table.id, txn::LockMode::kShared));
+
+  std::vector<std::vector<Value>> samples(ordinals.size());
+  Status scan = storage_->Scan(table, [&](const Locator&, const Row& row) {
+    for (size_t i = 0; i < ordinals.size(); ++i) {
+      samples[i].push_back(row[ordinals[i]]);
+    }
+    return true;
+  });
+  if (!scan.ok()) {
+    EndStatement(session, true);
+    return scan;
+  }
+  int64_t now = clock_->NowMicros();
+  for (size_t i = 0; i < ordinals.size(); ++i) {
+    catalog::ColumnStats stats;
+    stats.has_histogram = true;
+    stats.histogram = catalog::Histogram::Build(std::move(samples[i]));
+    stats.built_at_micros = now;
+    IMON_RETURN_IF_ERROR(
+        catalog_.SetColumnStats(table.id, ordinals[i], std::move(stats)));
+  }
+  IMON_RETURN_IF_ERROR(storage_->RefreshTableStats(&table));
+  IMON_RETURN_IF_ERROR(catalog_.UpdateTable(table));
+  for (IndexInfo idx : TableIndexes(table)) {
+    auto pages = storage_->IndexPages(idx);
+    if (pages.ok()) {
+      idx.pages = *pages;
+      catalog_.UpdateIndex(idx).ok();
+    }
+  }
+  EndStatement(session, true);
+  QueryResult out;
+  out.message = "ANALYZE " + table.name + " (" +
+                std::to_string(ordinals.size()) + " columns)";
+  return out;
+}
+
+Result<QueryResult> Database::ExecCreateTrigger(sql::CreateTriggerStmt* stmt) {
+  IMON_ASSIGN_OR_RETURN(TableInfo table, catalog_.GetTable(stmt->table));
+  BoundTable bt;
+  bt.alias = table.name;
+  bt.info = table;
+  Binder binder(&catalog_);
+  IMON_RETURN_IF_ERROR(binder.BindScalar(stmt->when.get(), {bt}));
+  std::lock_guard<std::mutex> lock(trigger_mutex_);
+  for (const TriggerDef& t : triggers_) {
+    if (t.name == stmt->name) {
+      return Status::AlreadyExists("trigger '" + stmt->name +
+                                   "' already exists");
+    }
+  }
+  TriggerDef def;
+  def.name = stmt->name;
+  def.table_id = table.id;
+  def.table_name = table.name;
+  def.when = std::move(stmt->when);
+  def.message = stmt->message;
+  triggers_.push_back(std::move(def));
+  QueryResult out;
+  out.message = "CREATE TRIGGER " + stmt->name;
+  return out;
+}
+
+Result<QueryResult> Database::ExecDropTrigger(sql::DropTriggerStmt* stmt) {
+  std::lock_guard<std::mutex> lock(trigger_mutex_);
+  auto it = std::find_if(
+      triggers_.begin(), triggers_.end(),
+      [&](const TriggerDef& t) { return t.name == stmt->name; });
+  if (it == triggers_.end()) {
+    return Status::NotFound("trigger '" + stmt->name + "' does not exist");
+  }
+  triggers_.erase(it);
+  QueryResult out;
+  out.message = "DROP TRIGGER " + stmt->name;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Monitoring plumbing
+// ---------------------------------------------------------------------------
+
+Status Database::RegisterVirtualTable(
+    const std::string& name,
+    std::shared_ptr<catalog::VirtualTableProvider> provider) {
+  return catalog_.RegisterVirtualTable(name, std::move(provider));
+}
+
+void Database::SetAlertHandler(AlertHandler handler) {
+  std::lock_guard<std::mutex> lock(trigger_mutex_);
+  alert_handler_ = std::move(handler);
+}
+
+monitor::SystemSnapshot Database::GatherSystemSnapshot() const {
+  monitor::SystemSnapshot snap;
+  snap.current_sessions = open_sessions_.load();
+  txn::LockStats lock_stats = locks_.stats();
+  snap.locks_held = lock_stats.locks_held;
+  snap.lock_waits_total = lock_stats.total_waits;
+  snap.deadlocks_total = lock_stats.total_deadlocks;
+  storage::BufferPoolStats pool_stats = pool_->stats();
+  snap.cache_logical_reads = pool_stats.logical_reads;
+  snap.cache_physical_reads = pool_stats.physical_reads;
+  storage::DiskStats disk_stats = disk_->stats();
+  snap.disk_reads = disk_stats.physical_reads;
+  snap.disk_writes = disk_stats.physical_writes;
+  return snap;
+}
+
+void Database::SampleSystemStats() {
+  monitor_->RecordSystemStats(GatherSystemSnapshot());
+}
+
+void Database::MaybeSampleStats() {
+  if (monitor_->ShouldSampleStats()) SampleSystemStats();
+}
+
+int64_t Database::TotalDataPages() const {
+  std::vector<storage::FileId> files;
+  for (const TableInfo& t : catalog_.ListTables()) {
+    files.push_back(t.file_id);
+  }
+  for (const IndexInfo& i : catalog_.ListIndexes()) {
+    if (!i.is_virtual) files.push_back(i.file_id);
+  }
+  return disk_->TotalPagesIn(files);
+}
+
+double Database::ActualCost(int64_t physical_io,
+                            int64_t rows_examined) const {
+  return static_cast<double>(physical_io) * options_.cost_model.seq_page_cost +
+         static_cast<double>(rows_examined) *
+             options_.cost_model.cpu_tuple_cost;
+}
+
+}  // namespace imon::engine

@@ -1,0 +1,308 @@
+// Database engine facade: the full statement path
+//   Execute -> Parse -> Bind -> Optimize -> Execute -> Result
+// with the monitor's sensors wired at each stage (paper Fig. 2), DDL/DML
+// dispatch, sessions + transactions, triggers, virtual tables and the
+// what-if (virtual index) interface.
+
+#ifndef IMON_ENGINE_DATABASE_H_
+#define IMON_ENGINE_DATABASE_H_
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "exec/executor.h"
+#include "exec/storage_layer.h"
+#include "monitor/monitor.h"
+#include "optimizer/planner.h"
+#include "sql/parser.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "txn/lock_manager.h"
+
+namespace imon::engine {
+
+struct DatabaseOptions {
+  std::string name = "db";
+  monitor::MonitorConfig monitor;
+  size_t buffer_pool_pages = 8192;
+  /// Busy-wait per physical page access; models a spinning disk.
+  int64_t simulated_io_latency_nanos = 0;
+  const Clock* clock = nullptr;  // defaults to RealClock
+  optimizer::CostModel cost_model;
+  std::chrono::milliseconds lock_timeout = std::chrono::seconds(10);
+  /// Default heap main-page allocation for CREATE TABLE.
+  uint32_t default_main_pages = 8;
+  /// Statement/plan cache capacity (entries). 0 disables it — the
+  /// default, matching the paper's prototype; enabling it is the
+  /// "better caching strategy" extension the paper proposes for
+  /// high-throughput simple statements.
+  size_t plan_cache_capacity = 0;
+};
+
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t invalidations = 0;
+  int64_t entries = 0;
+};
+
+/// Per-statement numbers surfaced with every result (the same numbers the
+/// monitor records).
+struct ExecStats {
+  double estimated_cost = 0;
+  double estimated_cpu = 0;
+  double estimated_io = 0;
+  double estimated_rows = 0;
+  double actual_cost = 0;
+  int64_t wallclock_nanos = 0;
+  int64_t physical_reads = 0;
+  int64_t rows_examined = 0;
+  std::vector<catalog::ObjectId> used_indexes;
+  std::string plan_text;
+};
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  int64_t affected_rows = 0;
+  std::string message;  ///< DDL acknowledgements
+  ExecStats stats;
+};
+
+/// Raised by AFTER INSERT triggers (the daemon's DBA alerting mechanism).
+struct AlertEvent {
+  std::string trigger_name;
+  std::string table;
+  std::string message;
+  Row row;
+};
+using AlertHandler = std::function<void(const AlertEvent&)>;
+
+/// Result of a what-if planning call.
+struct WhatIfResult {
+  optimizer::PlanSummary summary;
+  /// Virtual indexes the optimizer chose to use.
+  std::vector<catalog::ObjectId> virtual_indexes_used;
+};
+
+class Database;
+
+/// One client connection. Statements run in autocommit unless BEGIN was
+/// issued; locks are held to transaction end; ROLLBACK undoes this
+/// transaction's row changes.
+class Session {
+ public:
+  int64_t id() const { return id_; }
+  bool in_transaction() const { return txn_active_; }
+  /// Internal sessions (the storage daemon's IMA polling) bypass the
+  /// monitor so self-observation does not flood the statement history.
+  void set_internal(bool on) { internal_ = on; }
+  bool internal() const { return internal_; }
+
+ private:
+  friend class Database;
+  struct UndoEntry {
+    enum class Op { kInsert, kDelete, kUpdate } op;
+    catalog::ObjectId table_id;
+    exec::Locator locator;      // resulting locator
+    Row row;                    // inserted/new row
+    exec::Locator old_locator;  // for update/delete
+    Row old_row;
+  };
+  int64_t id_ = 0;
+  int64_t txn_id_ = 0;
+  bool internal_ = false;
+  bool txn_active_ = false;
+  /// True when the transaction was started implicitly for one statement.
+  bool txn_implicit_ = false;
+  std::vector<UndoEntry> undo_;
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+  ~Database();
+
+  /// Execute one SQL statement on the shared default session.
+  Result<QueryResult> Execute(const std::string& sql);
+  Result<QueryResult> Execute(const std::string& sql, Session* session);
+
+  std::unique_ptr<Session> CreateSession();
+  /// Open session count (monitored statistic).
+  int64_t active_sessions() const;
+
+  /// Plan a SELECT with hypothetical indexes injected; never executes and
+  /// never pollutes the monitor's workload data.
+  Result<WhatIfResult> WhatIfPlan(
+      const std::string& select_sql,
+      const std::vector<catalog::IndexInfo>& virtual_indexes);
+
+  Status RegisterVirtualTable(
+      const std::string& name,
+      std::shared_ptr<catalog::VirtualTableProvider> provider);
+
+  void SetAlertHandler(AlertHandler handler);
+
+  /// Current system counters (sampled into the monitor's statistics
+  /// table by the engine and the daemon).
+  PlanCacheStats plan_cache_stats() const;
+
+  monitor::SystemSnapshot GatherSystemSnapshot() const;
+  /// Force one statistics sample now.
+  void SampleSystemStats();
+
+  /// Total pages across all table + index files (database size on disk).
+  int64_t TotalDataPages() const;
+  int64_t DataSizeBytes() const {
+    return TotalDataPages() * static_cast<int64_t>(storage::kPageSize);
+  }
+
+  catalog::Catalog* catalog() { return &catalog_; }
+  const catalog::Catalog* catalog() const { return &catalog_; }
+  monitor::Monitor* monitor() { return monitor_.get(); }
+  exec::StorageLayer* storage_layer() { return storage_.get(); }
+  txn::LockManager* lock_manager() { return &locks_; }
+  storage::BufferPool* buffer_pool() { return pool_.get(); }
+  storage::DiskManager* disk() { return disk_.get(); }
+  const Clock* clock() const { return clock_; }
+  const optimizer::CostModel& cost_model() const {
+    return options_.cost_model;
+  }
+
+ private:
+  /// A fully bound + planned SELECT, reusable while the catalog version
+  /// is unchanged. The parsed statement owns every expression the bound
+  /// structures point into.
+  struct CachedPlan {
+    int64_t catalog_version = 0;
+    sql::StatementPtr stmt;
+    optimizer::BoundSelect bound;
+    std::unique_ptr<optimizer::PlanNode> plan;
+    optimizer::PlanSummary summary;
+  };
+
+  std::shared_ptr<const CachedPlan> LookupPlanCache(uint64_t hash);
+  void StorePlanCache(uint64_t hash, std::shared_ptr<const CachedPlan> entry);
+
+  /// Lock, execute and monitor a bound+planned SELECT (shared by the
+  /// cached and uncached paths).
+  Result<QueryResult> RunPlannedSelect(const optimizer::BoundSelect& bound,
+                                       const optimizer::PlanNode& plan,
+                                       const optimizer::PlanSummary& summary,
+                                       Session* session,
+                                       monitor::QueryTrace* trace);
+
+  struct TriggerDef {
+    std::string name;
+    catalog::ObjectId table_id;
+    std::string table_name;
+    sql::ExprPtr when;  // bound against the table's row layout
+    std::string message;
+  };
+
+  // -- statement dispatch ---------------------------------------------------
+  Result<QueryResult> Dispatch(sql::Statement* stmt, Session* session,
+                               monitor::QueryTrace* trace,
+                               const std::string& sql);
+  Result<QueryResult> ExecSelect(sql::SelectStmt* stmt, Session* session,
+                                 monitor::QueryTrace* trace);
+  Result<QueryResult> ExecExplain(sql::ExplainStmt* stmt, Session* session);
+  Result<QueryResult> ExecInsert(sql::InsertStmt* stmt, Session* session,
+                                 monitor::QueryTrace* trace);
+  Result<QueryResult> ExecUpdate(sql::UpdateStmt* stmt, Session* session,
+                                 monitor::QueryTrace* trace);
+  Result<QueryResult> ExecDelete(sql::DeleteStmt* stmt, Session* session,
+                                 monitor::QueryTrace* trace);
+  Result<QueryResult> ExecCreateTable(sql::CreateTableStmt* stmt);
+  Result<QueryResult> ExecDropTable(sql::DropTableStmt* stmt);
+  Result<QueryResult> ExecCreateIndex(sql::CreateIndexStmt* stmt,
+                                      Session* session);
+  Result<QueryResult> ExecDropIndex(sql::DropIndexStmt* stmt);
+  Result<QueryResult> ExecModify(sql::ModifyStmt* stmt, Session* session);
+  Result<QueryResult> ExecAnalyze(sql::AnalyzeStmt* stmt, Session* session);
+  Result<QueryResult> ExecCreateTrigger(sql::CreateTriggerStmt* stmt);
+  Result<QueryResult> ExecDropTrigger(sql::DropTriggerStmt* stmt);
+  Result<QueryResult> ExecBegin(Session* session);
+  Result<QueryResult> ExecCommit(Session* session);
+  Result<QueryResult> ExecRollback(Session* session);
+
+  // -- helpers ---------------------------------------------------------------
+  /// Acquire a table lock for the session's transaction; starts an
+  /// implicit txn in autocommit mode.
+  Status LockTable(Session* session, catalog::ObjectId table_id,
+                   txn::LockMode mode);
+  /// End the statement: in autocommit, commit the implicit txn.
+  void EndStatement(Session* session, bool autocommit_started);
+  Status AbortTransaction(Session* session);
+  void ReleaseTxn(Session* session);
+
+  /// Apply the undo log in reverse (rollback / deadlock abort).
+  Status ApplyUndo(Session* session);
+
+  /// Matching (locator, row) pairs for a single-table plan (DML targets).
+  Result<std::vector<std::pair<exec::Locator, Row>>> CollectTargets(
+      const optimizer::PlanNode& scan, const optimizer::BoundTable& table);
+
+  /// Evaluate an INSERT literal row into table order, casting to column
+  /// types and checking NOT NULL.
+  Result<Row> BuildInsertRow(const sql::InsertStmt& stmt,
+                             const catalog::TableInfo& table,
+                             const std::vector<sql::ExprPtr>& exprs);
+
+  /// Fire AFTER INSERT triggers for a newly inserted row.
+  Status FireTriggers(const catalog::TableInfo& table, const Row& row);
+
+  /// Non-virtual indexes on a table.
+  std::vector<catalog::IndexInfo> TableIndexes(
+      const catalog::TableInfo& table) const;
+
+  /// Update catalog row-count bookkeeping after DML.
+  Status BumpRowCount(catalog::ObjectId table_id, int64_t delta);
+
+  /// Measured "actual cost" in optimizer cost units: physical page I/O +
+  /// tuples processed, weighted by the cost model.
+  double ActualCost(int64_t physical_io, int64_t rows_examined) const;
+
+  void MaybeSampleStats();
+
+  DatabaseOptions options_;
+  const Clock* clock_;
+  std::unique_ptr<storage::DiskManager> disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  catalog::Catalog catalog_;
+  txn::LockManager locks_;
+  std::unique_ptr<exec::StorageLayer> storage_;
+  std::unique_ptr<monitor::Monitor> monitor_;
+
+  std::mutex trigger_mutex_;
+  std::vector<TriggerDef> triggers_;
+  AlertHandler alert_handler_;
+
+  std::atomic<int64_t> next_session_id_{1};
+  std::atomic<int64_t> next_txn_id_{1};
+  std::atomic<int64_t> open_sessions_{0};
+
+  std::unique_ptr<Session> default_session_;
+  std::mutex default_session_mutex_;
+
+  mutable std::mutex plan_cache_mutex_;
+  std::unordered_map<uint64_t, std::shared_ptr<const CachedPlan>> plan_cache_;
+  std::deque<uint64_t> plan_cache_fifo_;
+  int64_t plan_cache_hits_ = 0;
+  int64_t plan_cache_misses_ = 0;
+  int64_t plan_cache_invalidations_ = 0;
+};
+
+}  // namespace imon::engine
+
+#endif  // IMON_ENGINE_DATABASE_H_

@@ -1,0 +1,510 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "exec/expression_eval.h"
+
+namespace imon::exec {
+
+using optimizer::AccessPathKind;
+using optimizer::BoundSelect;
+using optimizer::OutputLayout;
+using optimizer::PlanNode;
+using optimizer::PlanNodeKind;
+using sql::Expr;
+
+namespace {
+
+/// Apply all `filters` to `row` under `layout`; counts one examined row.
+Result<bool> PassesFilters(const std::vector<const Expr*>& filters,
+                           const OutputLayout& layout, const Row& row,
+                           ExecContext* ctx) {
+  ++ctx->stats.rows_examined;
+  for (const Expr* f : filters) {
+    IMON_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*f, layout, row));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<std::vector<Row>> ExecuteScan(const PlanNode& plan, ExecContext* ctx) {
+  const optimizer::BoundTable& bt = (*ctx->tables)[plan.table_idx];
+  std::vector<Row> out;
+  Status inner = Status::OK();
+
+  auto consider = [&](const Row& row) -> bool {
+    auto pass = PassesFilters(plan.filters, plan.layout, row, ctx);
+    if (!pass.ok()) {
+      inner = pass.status();
+      return false;
+    }
+    if (*pass) out.push_back(row);
+    return true;
+  };
+
+  if (bt.is_virtual) {
+    // Sequence pushdown: a conjunct of the form seq > <literal> on the
+    // provider's monotone sequence column lets the provider materialize
+    // only the new tail (the daemon's incremental poll path).
+    int seq_col = bt.provider->SeqColumn();
+    int64_t min_seq = -1;
+    if (seq_col >= 0) {
+      for (const Expr* f : plan.filters) {
+        if (f->kind != sql::ExprKind::kBinary) continue;
+        if (f->binary_op != sql::BinaryOp::kGt) continue;
+        const Expr* l = f->lhs.get();
+        const Expr* r = f->rhs.get();
+        if (l->kind == sql::ExprKind::kColumnRef &&
+            l->bound_table == plan.table_idx && l->bound_column == seq_col &&
+            r->kind == sql::ExprKind::kLiteral &&
+            r->literal.type() == TypeId::kInt && !r->literal.is_null()) {
+          min_seq = std::max(min_seq, r->literal.AsInt());
+        }
+      }
+    }
+    std::vector<Row> rows = min_seq >= 0 ? bt.provider->SnapshotSince(min_seq)
+                                         : bt.provider->Snapshot();
+    for (const Row& row : rows) {
+      if (!consider(row)) break;
+    }
+    IMON_RETURN_IF_ERROR(inner);
+    return out;
+  }
+
+  switch (plan.access.kind) {
+    case AccessPathKind::kSeqScan:
+      IMON_RETURN_IF_ERROR(ctx->storage->Scan(
+          bt.info, [&](const Locator&, const Row& row) {
+            return consider(row);
+          }));
+      break;
+    case AccessPathKind::kPrimaryBtree:
+      ++ctx->stats.index_probes;
+      IMON_RETURN_IF_ERROR(ctx->storage->ScanPrimaryRange(
+          bt.info, plan.access.eq_values, plan.access.lower,
+          plan.access.upper,
+          [&](const Locator&, const Row& row) { return consider(row); }));
+      break;
+    case AccessPathKind::kPrimaryHash:
+      ++ctx->stats.index_probes;
+      // Collisions share the bucket; the eq conjuncts in `filters`
+      // discard them inside consider().
+      IMON_RETURN_IF_ERROR(ctx->storage->HashLookup(
+          bt.info, plan.access.eq_values,
+          [&](const Locator&, const Row& row) { return consider(row); }));
+      break;
+    case AccessPathKind::kPrimaryIsam:
+      ++ctx->stats.index_probes;
+      // The directory only routes; out-of-range rows in the visited
+      // chains are discarded by the filters inside consider().
+      IMON_RETURN_IF_ERROR(ctx->storage->ScanIsamRange(
+          bt.info, plan.access.eq_values, plan.access.lower,
+          plan.access.upper,
+          [&](const Locator&, const Row& row) { return consider(row); }));
+      break;
+    case AccessPathKind::kSecondaryIndex: {
+      if (plan.access.index.is_virtual) {
+        return Status::Internal(
+            "attempted to execute a plan using virtual index '" +
+            plan.access.index.name + "'");
+      }
+      ++ctx->stats.index_probes;
+      IMON_RETURN_IF_ERROR(ctx->storage->IndexScan(
+          plan.access.index, bt.info, plan.access.eq_values,
+          plan.access.lower, plan.access.upper,
+          [&](const Locator& loc) {
+            auto row = ctx->storage->Fetch(bt.info, loc);
+            if (!row.ok()) {
+              inner = row.status();
+              return false;
+            }
+            return consider(*row);
+          }));
+      break;
+    }
+  }
+  IMON_RETURN_IF_ERROR(inner);
+  return out;
+}
+
+Row ConcatRows(const Row& left, const Row& right) {
+  Row out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+/// Evaluate residual + (for NL joins) equi conditions on a combined row.
+Result<bool> JoinConditionsHold(const PlanNode& plan, const Row& combined,
+                                bool check_equi, ExecContext* ctx) {
+  ++ctx->stats.rows_examined;
+  if (check_equi) {
+    for (const auto& [outer_e, inner_e] : plan.equi_keys) {
+      IMON_ASSIGN_OR_RETURN(Value l, Eval(*outer_e, plan.layout, combined));
+      IMON_ASSIGN_OR_RETURN(Value r, Eval(*inner_e, plan.layout, combined));
+      if (l.is_null() || r.is_null() || l.Compare(r) != 0) return false;
+    }
+  }
+  for (const Expr* c : plan.residual) {
+    IMON_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*c, plan.layout, combined));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<std::vector<Row>> ExecuteHashJoin(const PlanNode& plan,
+                                         ExecContext* ctx) {
+  IMON_ASSIGN_OR_RETURN(std::vector<Row> outer_rows,
+                        ExecuteTree(*plan.left, ctx));
+  IMON_ASSIGN_OR_RETURN(std::vector<Row> inner_rows,
+                        ExecuteTree(*plan.right, ctx));
+
+  // Build on inner side.
+  std::unordered_multimap<uint64_t, size_t> table;
+  table.reserve(inner_rows.size() * 2);
+  std::vector<Row> inner_keys(inner_rows.size());
+  for (size_t i = 0; i < inner_rows.size(); ++i) {
+    Row key;
+    bool null_key = false;
+    for (const auto& [outer_e, inner_e] : plan.equi_keys) {
+      IMON_ASSIGN_OR_RETURN(
+          Value v, Eval(*inner_e, plan.right->layout, inner_rows[i]));
+      if (v.is_null()) null_key = true;
+      key.push_back(std::move(v));
+    }
+    if (null_key) continue;  // NULL never joins
+    table.emplace(HashRow(key), i);
+    inner_keys[i] = std::move(key);
+  }
+
+  std::vector<Row> out;
+  for (const Row& outer : outer_rows) {
+    Row key;
+    bool null_key = false;
+    for (const auto& [outer_e, inner_e] : plan.equi_keys) {
+      IMON_ASSIGN_OR_RETURN(Value v, Eval(*outer_e, plan.left->layout, outer));
+      if (v.is_null()) null_key = true;
+      key.push_back(std::move(v));
+    }
+    ++ctx->stats.rows_examined;
+    if (null_key) continue;
+    auto [begin, end] = table.equal_range(HashRow(key));
+    for (auto it = begin; it != end; ++it) {
+      const Row& ikey = inner_keys[it->second];
+      bool match = true;
+      for (size_t k = 0; k < key.size(); ++k) {
+        if (key[k].Compare(ikey[k]) != 0) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      Row combined = ConcatRows(outer, inner_rows[it->second]);
+      IMON_ASSIGN_OR_RETURN(bool keep,
+                            JoinConditionsHold(plan, combined, false, ctx));
+      if (keep) out.push_back(std::move(combined));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Row>> ExecuteNLJoin(const PlanNode& plan,
+                                       ExecContext* ctx) {
+  IMON_ASSIGN_OR_RETURN(std::vector<Row> outer_rows,
+                        ExecuteTree(*plan.left, ctx));
+  IMON_ASSIGN_OR_RETURN(std::vector<Row> inner_rows,
+                        ExecuteTree(*plan.right, ctx));
+  std::vector<Row> out;
+  for (const Row& outer : outer_rows) {
+    for (const Row& inner : inner_rows) {
+      Row combined = ConcatRows(outer, inner);
+      IMON_ASSIGN_OR_RETURN(bool keep,
+                            JoinConditionsHold(plan, combined, true, ctx));
+      if (keep) out.push_back(std::move(combined));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Row>> ExecuteIndexNLJoin(const PlanNode& plan,
+                                            ExecContext* ctx) {
+  IMON_ASSIGN_OR_RETURN(std::vector<Row> outer_rows,
+                        ExecuteTree(*plan.left, ctx));
+  const PlanNode& inner_scan = *plan.right;
+  const optimizer::BoundTable& bt = (*ctx->tables)[inner_scan.table_idx];
+
+  std::vector<Row> out;
+  for (const Row& outer : outer_rows) {
+    // Probe key values from the outer row.
+    std::vector<Value> probe;
+    bool null_probe = false;
+    for (const Expr* e : plan.probe_exprs) {
+      IMON_ASSIGN_OR_RETURN(Value v, Eval(*e, plan.left->layout, outer));
+      if (v.is_null()) null_probe = true;
+      probe.push_back(std::move(v));
+    }
+    if (null_probe) continue;
+    ++ctx->stats.index_probes;
+
+    Status inner_status = Status::OK();
+    auto handle_inner = [&](const Row& inner_row) -> bool {
+      auto pass = PassesFilters(inner_scan.filters, inner_scan.layout,
+                                inner_row, ctx);
+      if (!pass.ok()) {
+        inner_status = pass.status();
+        return false;
+      }
+      if (!*pass) return true;
+      Row combined = ConcatRows(outer, inner_row);
+      auto keep = JoinConditionsHold(plan, combined, true, ctx);
+      if (!keep.ok()) {
+        inner_status = keep.status();
+        return false;
+      }
+      if (*keep) out.push_back(std::move(combined));
+      return true;
+    };
+
+    if (plan.inner_access.kind == AccessPathKind::kPrimaryBtree) {
+      IMON_RETURN_IF_ERROR(ctx->storage->ScanPrimaryRange(
+          bt.info, probe, std::nullopt, std::nullopt,
+          [&](const Locator&, const Row& row) { return handle_inner(row); }));
+    } else {
+      if (plan.inner_access.index.is_virtual) {
+        return Status::Internal(
+            "attempted to probe virtual index '" +
+            plan.inner_access.index.name + "'");
+      }
+      IMON_RETURN_IF_ERROR(ctx->storage->IndexScan(
+          plan.inner_access.index, bt.info, probe, std::nullopt,
+          std::nullopt, [&](const Locator& loc) {
+            auto row = ctx->storage->Fetch(bt.info, loc);
+            if (!row.ok()) {
+              inner_status = row.status();
+              return false;
+            }
+            return handle_inner(*row);
+          }));
+    }
+    IMON_RETURN_IF_ERROR(inner_status);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Row>> ExecuteTree(const PlanNode& plan, ExecContext* ctx) {
+  switch (plan.kind) {
+    case PlanNodeKind::kScan:
+      return ExecuteScan(plan, ctx);
+    case PlanNodeKind::kHashJoin:
+      return ExecuteHashJoin(plan, ctx);
+    case PlanNodeKind::kNestedLoopJoin:
+      return ExecuteNLJoin(plan, ctx);
+    case PlanNodeKind::kIndexNLJoin:
+      return ExecuteIndexNLJoin(plan, ctx);
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+namespace {
+
+/// Streaming aggregate state for one (func, arg) pair.
+struct AggState {
+  int64_t count = 0;
+  bool is_int = true;
+  int64_t sum_i = 0;
+  double sum_d = 0;
+  Value min;
+  Value max;
+  bool seen = false;
+
+  void Add(const Value& v) {
+    if (v.is_null()) return;
+    ++count;
+    if (v.type() == TypeId::kInt) {
+      sum_i += v.AsInt();
+      sum_d += static_cast<double>(v.AsInt());
+    } else if (v.type() == TypeId::kDouble) {
+      is_int = false;
+      sum_d += v.AsDouble();
+    }
+    if (!seen || v.Compare(min) < 0) min = v;
+    if (!seen || v.Compare(max) > 0) max = v;
+    seen = true;
+  }
+
+  Value Finish(const std::string& func) const {
+    if (func == "count") return Value::Int(count);
+    if (!seen) return Value::Null();
+    if (func == "sum") {
+      return is_int ? Value::Int(sum_i) : Value::Double(sum_d);
+    }
+    if (func == "avg") return Value::Double(sum_d / count);
+    if (func == "min") return min;
+    if (func == "max") return max;
+    return Value::Null();
+  }
+};
+
+struct Group {
+  Row representative;  ///< first input row of the group
+  std::vector<AggState> states;
+  std::vector<Value> keys;
+};
+
+}  // namespace
+
+Result<ResultSet> ExecuteSelect(const BoundSelect& bound,
+                                const PlanNode& plan, ExecContext* ctx) {
+  IMON_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecuteTree(plan, ctx));
+  const sql::SelectStmt& stmt = *bound.stmt;
+
+  ResultSet result;
+  for (const auto& item : bound.items) result.columns.push_back(item.alias);
+
+  // Each surviving "logical row" for the projection phase: a base row (or
+  // group representative) + optional aggregate values.
+  struct Logical {
+    const Row* row;
+    AggregateValues aggs;
+  };
+  std::vector<Logical> logical;
+  std::vector<Group> groups;  // storage for aggregate path
+
+  if (bound.has_aggregates) {
+    std::unordered_map<uint64_t, std::vector<size_t>> index;
+    for (const Row& row : rows) {
+      std::vector<Value> keys;
+      keys.reserve(stmt.group_by.size());
+      for (const auto& g : stmt.group_by) {
+        IMON_ASSIGN_OR_RETURN(Value v, Eval(*g, plan.layout, row));
+        keys.push_back(std::move(v));
+      }
+      uint64_t h = HashRow(keys);
+      Group* group = nullptr;
+      auto it = index.find(h);
+      if (it != index.end()) {
+        for (size_t gi : it->second) {
+          bool same = true;
+          for (size_t k = 0; k < keys.size(); ++k) {
+            if (keys[k].Compare(groups[gi].keys[k]) != 0) {
+              same = false;
+              break;
+            }
+          }
+          if (same) {
+            group = &groups[gi];
+            break;
+          }
+        }
+      }
+      if (group == nullptr) {
+        groups.emplace_back();
+        group = &groups.back();
+        group->representative = row;
+        group->keys = keys;
+        group->states.resize(bound.aggregates.size());
+        index[h].push_back(groups.size() - 1);
+      }
+      for (size_t a = 0; a < bound.aggregates.size(); ++a) {
+        const auto& agg = bound.aggregates[a];
+        if (agg.arg == nullptr) {
+          ++group->states[a].count;  // COUNT(*)
+          group->states[a].seen = true;
+        } else {
+          IMON_ASSIGN_OR_RETURN(Value v, Eval(*agg.arg, plan.layout, row));
+          group->states[a].Add(v);
+        }
+      }
+    }
+    // Global aggregate with no input and no GROUP BY: one empty group.
+    if (groups.empty() && stmt.group_by.empty()) {
+      groups.emplace_back();
+      groups.back().states.resize(bound.aggregates.size());
+      groups.back().representative.assign(plan.layout.width(), Value());
+    }
+    for (Group& g : groups) {
+      Logical l;
+      l.row = &g.representative;
+      for (size_t a = 0; a < bound.aggregates.size(); ++a) {
+        l.aggs[bound.aggregates[a].call] =
+            g.states[a].Finish(bound.aggregates[a].func);
+      }
+      logical.push_back(std::move(l));
+    }
+    // HAVING.
+    if (stmt.having) {
+      std::vector<Logical> kept;
+      for (Logical& l : logical) {
+        IMON_ASSIGN_OR_RETURN(
+            bool ok, EvalPredicate(*stmt.having, plan.layout, *l.row,
+                                   &l.aggs));
+        if (ok) kept.push_back(std::move(l));
+      }
+      logical = std::move(kept);
+    }
+  } else {
+    logical.reserve(rows.size());
+    for (const Row& row : rows) logical.push_back(Logical{&row, {}});
+  }
+
+  // ORDER BY over logical rows.
+  if (!stmt.order_by.empty()) {
+    // Precompute sort keys.
+    std::vector<std::pair<std::vector<Value>, size_t>> keyed(logical.size());
+    for (size_t i = 0; i < logical.size(); ++i) {
+      keyed[i].second = i;
+      for (const auto& o : stmt.order_by) {
+        IMON_ASSIGN_OR_RETURN(Value v, Eval(*o.expr, plan.layout,
+                                            *logical[i].row,
+                                            &logical[i].aggs));
+        keyed[i].first.push_back(std::move(v));
+      }
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [&](const auto& a, const auto& b) {
+                       for (size_t k = 0; k < a.first.size(); ++k) {
+                         int cmp = a.first[k].Compare(b.first[k]);
+                         if (cmp != 0) {
+                           return stmt.order_by[k].ascending ? cmp < 0
+                                                             : cmp > 0;
+                         }
+                       }
+                       return false;
+                     });
+    std::vector<Logical> sorted;
+    sorted.reserve(logical.size());
+    for (auto& [keys, idx] : keyed) sorted.push_back(std::move(logical[idx]));
+    logical = std::move(sorted);
+  }
+
+  // Projection (+ DISTINCT + LIMIT).
+  std::set<std::string> seen_distinct;
+  for (const Logical& l : logical) {
+    Row out_row;
+    out_row.reserve(bound.items.size());
+    for (const auto& item : bound.items) {
+      IMON_ASSIGN_OR_RETURN(Value v,
+                            Eval(*item.expr, plan.layout, *l.row, &l.aggs));
+      out_row.push_back(std::move(v));
+    }
+    if (stmt.distinct) {
+      std::string fingerprint;
+      SerializeRow(out_row, &fingerprint);
+      if (!seen_distinct.insert(std::move(fingerprint)).second) continue;
+    }
+    result.rows.push_back(std::move(out_row));
+    if (stmt.limit.has_value() &&
+        static_cast<int64_t>(result.rows.size()) >= *stmt.limit) {
+      break;
+    }
+  }
+  ctx->stats.rows_output += static_cast<int64_t>(result.rows.size());
+  return result;
+}
+
+}  // namespace imon::exec

@@ -1,0 +1,51 @@
+// Query execution over physical plans.
+//
+// The executor is block-oriented: each plan node materializes its output
+// rows (the engine is in-memory; intermediate results are bounded by the
+// workloads we run). Per-statement runtime counters feed the monitor's
+// "actual costs" sensor.
+
+#ifndef IMON_EXEC_EXECUTOR_H_
+#define IMON_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/storage_layer.h"
+#include "optimizer/binder.h"
+#include "optimizer/plan.h"
+
+namespace imon::exec {
+
+/// Per-statement execution counters.
+struct RuntimeStats {
+  int64_t rows_examined = 0;  ///< tuples pulled through operators
+  int64_t rows_output = 0;
+  int64_t index_probes = 0;
+};
+
+struct ExecContext {
+  StorageLayer* storage = nullptr;
+  const std::vector<optimizer::BoundTable>* tables = nullptr;
+  RuntimeStats stats;
+};
+
+/// Materialized query result.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+};
+
+/// Execute the scan/join tree; rows follow `plan.layout`.
+Result<std::vector<Row>> ExecuteTree(const optimizer::PlanNode& plan,
+                                     ExecContext* ctx);
+
+/// Execute a full bound SELECT: tree + aggregation + HAVING + ORDER BY +
+/// DISTINCT + LIMIT + projection.
+Result<ResultSet> ExecuteSelect(const optimizer::BoundSelect& bound,
+                                const optimizer::PlanNode& plan,
+                                ExecContext* ctx);
+
+}  // namespace imon::exec
+
+#endif  // IMON_EXEC_EXECUTOR_H_

@@ -1,0 +1,262 @@
+#include "exec/expression_eval.h"
+
+#include <cctype>
+#include <cmath>
+
+namespace imon::exec {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+
+namespace {
+
+Value BoolValue(bool b) { return Value::Int(b ? 1 : 0); }
+
+/// Three-valued comparison result: -2 = NULL.
+int CompareSql(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return -2;
+  return a.Compare(b);
+}
+
+Result<Value> Arithmetic(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (l.type() == TypeId::kText || r.type() == TypeId::kText) {
+    if (op == BinaryOp::kAdd && l.type() == TypeId::kText &&
+        r.type() == TypeId::kText) {
+      return Value::Text(l.AsText() + r.AsText());  // '+' concatenates text
+    }
+    return Status::InvalidArgument("arithmetic on text value");
+  }
+  const bool both_int =
+      l.type() == TypeId::kInt && r.type() == TypeId::kInt;
+  switch (op) {
+    case BinaryOp::kAdd:
+      return both_int ? Value::Int(l.AsInt() + r.AsInt())
+                      : Value::Double(l.AsDouble() + r.AsDouble());
+    case BinaryOp::kSub:
+      return both_int ? Value::Int(l.AsInt() - r.AsInt())
+                      : Value::Double(l.AsDouble() - r.AsDouble());
+    case BinaryOp::kMul:
+      return both_int ? Value::Int(l.AsInt() * r.AsInt())
+                      : Value::Double(l.AsDouble() * r.AsDouble());
+    case BinaryOp::kDiv: {
+      if (both_int) {
+        // SQL integer division truncates (PostgreSQL semantics).
+        if (r.AsInt() == 0) return Value::Null();
+        return Value::Int(l.AsInt() / r.AsInt());
+      }
+      double divisor = r.AsDouble();
+      if (divisor == 0.0) return Value::Null();  // SQL: division by zero
+      return Value::Double(l.AsDouble() / divisor);
+    }
+    case BinaryOp::kMod: {
+      if (!both_int)
+        return Status::InvalidArgument("'%' requires integer operands");
+      if (r.AsInt() == 0) return Value::Null();
+      return Value::Int(l.AsInt() % r.AsInt());
+    }
+    default:
+      return Status::Internal("not an arithmetic op");
+  }
+}
+
+}  // namespace
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative glob match with backtracking on '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<Value> Eval(const Expr& expr, const optimizer::OutputLayout& layout,
+                   const Row& row, const AggregateValues* aggs) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+
+    case ExprKind::kColumnRef: {
+      int pos = layout.PositionOf(expr.bound_table, expr.bound_column);
+      if (pos < 0 || pos >= static_cast<int>(row.size())) {
+        return Status::Internal("column " + expr.ToString() +
+                                " not present in row layout");
+      }
+      return row[pos];
+    }
+
+    case ExprKind::kBinary: {
+      switch (expr.binary_op) {
+        case BinaryOp::kAnd: {
+          // Kleene logic: false dominates NULL.
+          IMON_ASSIGN_OR_RETURN(Value l, Eval(*expr.lhs, layout, row, aggs));
+          if (!l.is_null() && l.AsDouble() == 0) return BoolValue(false);
+          IMON_ASSIGN_OR_RETURN(Value r, Eval(*expr.rhs, layout, row, aggs));
+          if (!r.is_null() && r.AsDouble() == 0) return BoolValue(false);
+          if (l.is_null() || r.is_null()) return Value::Null();
+          return BoolValue(true);
+        }
+        case BinaryOp::kOr: {
+          IMON_ASSIGN_OR_RETURN(Value l, Eval(*expr.lhs, layout, row, aggs));
+          if (!l.is_null() && l.AsDouble() != 0) return BoolValue(true);
+          IMON_ASSIGN_OR_RETURN(Value r, Eval(*expr.rhs, layout, row, aggs));
+          if (!r.is_null() && r.AsDouble() != 0) return BoolValue(true);
+          if (l.is_null() || r.is_null()) return Value::Null();
+          return BoolValue(false);
+        }
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe: {
+          IMON_ASSIGN_OR_RETURN(Value l, Eval(*expr.lhs, layout, row, aggs));
+          IMON_ASSIGN_OR_RETURN(Value r, Eval(*expr.rhs, layout, row, aggs));
+          int cmp = CompareSql(l, r);
+          if (cmp == -2) return Value::Null();
+          switch (expr.binary_op) {
+            case BinaryOp::kEq:
+              return BoolValue(cmp == 0);
+            case BinaryOp::kNe:
+              return BoolValue(cmp != 0);
+            case BinaryOp::kLt:
+              return BoolValue(cmp < 0);
+            case BinaryOp::kLe:
+              return BoolValue(cmp <= 0);
+            case BinaryOp::kGt:
+              return BoolValue(cmp > 0);
+            default:
+              return BoolValue(cmp >= 0);
+          }
+        }
+        default: {
+          IMON_ASSIGN_OR_RETURN(Value l, Eval(*expr.lhs, layout, row, aggs));
+          IMON_ASSIGN_OR_RETURN(Value r, Eval(*expr.rhs, layout, row, aggs));
+          return Arithmetic(expr.binary_op, l, r);
+        }
+      }
+    }
+
+    case ExprKind::kUnary: {
+      IMON_ASSIGN_OR_RETURN(Value v, Eval(*expr.lhs, layout, row, aggs));
+      if (expr.unary_op == sql::UnaryOp::kNot) {
+        if (v.is_null()) return Value::Null();
+        return BoolValue(v.AsDouble() == 0);
+      }
+      if (v.is_null()) return Value::Null();
+      if (v.type() == TypeId::kInt) return Value::Int(-v.AsInt());
+      if (v.type() == TypeId::kDouble) return Value::Double(-v.AsDouble());
+      return Status::InvalidArgument("negation of text value");
+    }
+
+    case ExprKind::kFuncCall: {
+      if (aggs != nullptr) {
+        auto it = aggs->find(&expr);
+        if (it != aggs->end()) return it->second;
+      }
+      if (expr.func_name == "abs") {
+        IMON_ASSIGN_OR_RETURN(Value v,
+                              Eval(*expr.args[0], layout, row, aggs));
+        if (v.is_null()) return Value::Null();
+        if (v.type() == TypeId::kInt) return Value::Int(std::abs(v.AsInt()));
+        if (v.type() == TypeId::kDouble)
+          return Value::Double(std::fabs(v.AsDouble()));
+        return Status::InvalidArgument("abs() of text value");
+      }
+      if (expr.func_name == "length") {
+        IMON_ASSIGN_OR_RETURN(Value v,
+                              Eval(*expr.args[0], layout, row, aggs));
+        if (v.is_null()) return Value::Null();
+        IMON_ASSIGN_OR_RETURN(Value text, v.CastTo(TypeId::kText));
+        return Value::Int(static_cast<int64_t>(text.AsText().size()));
+      }
+      if (expr.func_name == "lower" || expr.func_name == "upper") {
+        IMON_ASSIGN_OR_RETURN(Value v,
+                              Eval(*expr.args[0], layout, row, aggs));
+        if (v.is_null()) return Value::Null();
+        IMON_ASSIGN_OR_RETURN(Value text, v.CastTo(TypeId::kText));
+        std::string s = text.AsText();
+        for (char& c : s) {
+          c = expr.func_name == "lower"
+                  ? static_cast<char>(std::tolower(c))
+                  : static_cast<char>(std::toupper(c));
+        }
+        return Value::Text(std::move(s));
+      }
+      return Status::Internal("unevaluated aggregate/function '" +
+                              expr.func_name + "'");
+    }
+
+    case ExprKind::kBetween: {
+      IMON_ASSIGN_OR_RETURN(Value v, Eval(*expr.lhs, layout, row, aggs));
+      IMON_ASSIGN_OR_RETURN(Value lo, Eval(*expr.low, layout, row, aggs));
+      IMON_ASSIGN_OR_RETURN(Value hi, Eval(*expr.high, layout, row, aggs));
+      int cmp_lo = CompareSql(v, lo);
+      int cmp_hi = CompareSql(v, hi);
+      if (cmp_lo == -2 || cmp_hi == -2) return Value::Null();
+      bool in = cmp_lo >= 0 && cmp_hi <= 0;
+      return BoolValue(expr.negated ? !in : in);
+    }
+
+    case ExprKind::kInList: {
+      IMON_ASSIGN_OR_RETURN(Value v, Eval(*expr.lhs, layout, row, aggs));
+      if (v.is_null()) return Value::Null();
+      bool saw_null = false;
+      for (const auto& item : expr.in_list) {
+        IMON_ASSIGN_OR_RETURN(Value candidate,
+                              Eval(*item, layout, row, aggs));
+        int cmp = CompareSql(v, candidate);
+        if (cmp == -2) {
+          saw_null = true;
+        } else if (cmp == 0) {
+          return BoolValue(!expr.negated);
+        }
+      }
+      if (saw_null) return Value::Null();
+      return BoolValue(expr.negated);
+    }
+
+    case ExprKind::kIsNull: {
+      IMON_ASSIGN_OR_RETURN(Value v, Eval(*expr.lhs, layout, row, aggs));
+      bool is_null = v.is_null();
+      return BoolValue(expr.negated ? !is_null : is_null);
+    }
+
+    case ExprKind::kLike: {
+      IMON_ASSIGN_OR_RETURN(Value v, Eval(*expr.lhs, layout, row, aggs));
+      if (v.is_null()) return Value::Null();
+      IMON_ASSIGN_OR_RETURN(Value text, v.CastTo(TypeId::kText));
+      bool match = LikeMatch(text.AsText(), expr.like_pattern);
+      return BoolValue(expr.negated ? !match : match);
+    }
+
+    case ExprKind::kStar:
+      return Status::Internal("cannot evaluate '*'");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<bool> EvalPredicate(const Expr& expr,
+                           const optimizer::OutputLayout& layout,
+                           const Row& row, const AggregateValues* aggs) {
+  IMON_ASSIGN_OR_RETURN(Value v, Eval(expr, layout, row, aggs));
+  return !v.is_null() && v.AsDouble() != 0;
+}
+
+}  // namespace imon::exec

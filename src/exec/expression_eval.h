@@ -1,0 +1,35 @@
+// Bound-expression evaluation with SQL three-valued logic.
+
+#ifndef IMON_EXEC_EXPRESSION_EVAL_H_
+#define IMON_EXEC_EXPRESSION_EVAL_H_
+
+#include <map>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "optimizer/plan.h"
+#include "sql/ast.h"
+
+namespace imon::exec {
+
+/// Values of evaluated aggregate calls, keyed by their kFuncCall node.
+using AggregateValues = std::map<const sql::Expr*, Value>;
+
+/// Evaluate `expr` against one row laid out by `layout`. Aggregate calls
+/// are looked up in `aggs` (Internal error when absent there).
+Result<Value> Eval(const sql::Expr& expr,
+                   const optimizer::OutputLayout& layout, const Row& row,
+                   const AggregateValues* aggs = nullptr);
+
+/// Predicate evaluation: true iff Eval() yields non-NULL non-zero.
+Result<bool> EvalPredicate(const sql::Expr& expr,
+                           const optimizer::OutputLayout& layout,
+                           const Row& row,
+                           const AggregateValues* aggs = nullptr);
+
+/// SQL LIKE with % and _ wildcards.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace imon::exec
+
+#endif  // IMON_EXEC_EXPRESSION_EVAL_H_

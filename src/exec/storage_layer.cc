@@ -1,0 +1,621 @@
+#include "exec/storage_layer.h"
+
+#include <cstring>
+
+#include "storage/key_codec.h"
+
+namespace imon::exec {
+
+using catalog::IndexInfo;
+using catalog::StorageStructure;
+using catalog::TableInfo;
+using storage::BTree;
+using storage::HeapFile;
+using storage::Rid;
+
+namespace {
+
+Locator PackRid(Rid rid) {
+  int64_t packed = rid.Pack();
+  Locator out(8, '\0');
+  std::memcpy(out.data(), &packed, 8);
+  return out;
+}
+
+Rid UnpackRid(const Locator& loc) {
+  int64_t packed = 0;
+  std::memcpy(&packed, loc.data(), 8);
+  return Rid::Unpack(packed);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         std::memcmp(s.data(), prefix.data(), prefix.size()) == 0;
+}
+
+}  // namespace
+
+std::vector<int> StorageLayer::BtreeKeyColumns(const TableInfo& table) {
+  if (!table.primary_key.empty()) return table.primary_key;
+  std::vector<int> all;
+  for (const auto& c : table.columns) all.push_back(c.ordinal);
+  return all;
+}
+
+storage::IsamFile* StorageLayer::IsamFor(const TableInfo& table) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = isams_.find(table.file_id);
+  if (it == isams_.end()) {
+    it = isams_
+             .emplace(table.file_id, std::make_unique<storage::IsamFile>(
+                                         pool_, table.file_id))
+             .first;
+  }
+  return it->second.get();
+}
+
+storage::HashFile* StorageLayer::HashFor(const TableInfo& table) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = hashes_.find(table.file_id);
+  if (it == hashes_.end()) {
+    it = hashes_
+             .emplace(table.file_id,
+                      std::make_unique<storage::HashFile>(
+                          pool_, table.file_id, table.main_page_target))
+             .first;
+  }
+  return it->second.get();
+}
+
+HeapFile* StorageLayer::HeapFor(const TableInfo& table) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = heaps_.find(table.file_id);
+  if (it == heaps_.end()) {
+    it = heaps_
+             .emplace(table.file_id,
+                      std::make_unique<HeapFile>(pool_, table.file_id,
+                                                 table.main_page_target))
+             .first;
+  }
+  return it->second.get();
+}
+
+BTree* StorageLayer::BtreeFor(storage::FileId file) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = btrees_.find(file);
+  if (it == btrees_.end()) {
+    it = btrees_.emplace(file, std::make_unique<BTree>(pool_, file)).first;
+  }
+  return it->second.get();
+}
+
+Status StorageLayer::CreateTableStorage(TableInfo* info) {
+  info->file_id = disk_->CreateFile();
+  if (info->structure == StorageStructure::kHeap) {
+    IMON_RETURN_IF_ERROR(HeapFor(*info)->Initialize());
+    info->main_pages = 1;
+    info->overflow_pages = 0;
+  } else if (info->structure == StorageStructure::kHash) {
+    IMON_RETURN_IF_ERROR(HashFor(*info)->Initialize());
+    info->main_pages = info->main_page_target;
+    info->overflow_pages = 0;
+  } else if (info->structure == StorageStructure::kIsam) {
+    IMON_RETURN_IF_ERROR(IsamFor(*info)->Build({}));
+    info->main_pages = 2;  // directory + one (empty) main page
+    info->overflow_pages = 0;
+  } else {
+    IMON_RETURN_IF_ERROR(BtreeFor(info->file_id)->Create());
+    info->main_pages = 2;  // meta + root
+    info->overflow_pages = 0;
+  }
+  info->row_count = 0;
+  return Status::OK();
+}
+
+Result<std::string> StorageLayer::PrimaryKeyOf(const TableInfo& table,
+                                               const Row& row) const {
+  std::vector<int> key_cols = BtreeKeyColumns(table);
+  std::string out;
+  for (int ord : key_cols) {
+    IMON_ASSIGN_OR_RETURN(Value v,
+                          row[ord].CastTo(table.columns[ord].type));
+    storage::EncodeKeyValue(v, &out);
+  }
+  return out;
+}
+
+Result<std::string> StorageLayer::IndexKeyOf(const IndexInfo& idx,
+                                             const TableInfo& table,
+                                             const Row& row) const {
+  std::string out;
+  for (int ord : idx.key_columns) {
+    IMON_ASSIGN_OR_RETURN(Value v,
+                          row[ord].CastTo(table.columns[ord].type));
+    storage::EncodeKeyValue(v, &out);
+  }
+  return out;
+}
+
+Status StorageLayer::CreateIndexStorage(IndexInfo* idx,
+                                        const TableInfo& table) {
+  idx->file_id = disk_->CreateFile();
+  BTree* tree = BtreeFor(idx->file_id);
+  IMON_RETURN_IF_ERROR(tree->Create());
+  // Backfill from current rows.
+  Status inner = Status::OK();
+  IMON_RETURN_IF_ERROR(
+      Scan(table, [&](const Locator& loc, const Row& row) {
+        auto key = IndexKeyOf(*idx, table, row);
+        if (!key.ok()) {
+          inner = key.status();
+          return false;
+        }
+        if (idx->unique) {
+          auto cursor = tree->SeekLowerBound(*key);
+          if (!cursor.ok()) {
+            inner = cursor.status();
+            return false;
+          }
+          if (cursor->Valid() && cursor->user_key() == *key) {
+            inner = Status::AlreadyExists("unique index '" + idx->name +
+                                          "': duplicate key");
+            return false;
+          }
+        }
+        inner = tree->Insert(*key, loc);
+        return inner.ok();
+      }));
+  IMON_RETURN_IF_ERROR(inner);
+  idx->pages = disk_->NumPages(idx->file_id);
+  return Status::OK();
+}
+
+Status StorageLayer::DropTableStorage(const TableInfo& info) {
+  pool_->Purge(info.file_id);
+  disk_->DeleteFile(info.file_id);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  heaps_.erase(info.file_id);
+  hashes_.erase(info.file_id);
+  isams_.erase(info.file_id);
+  btrees_.erase(info.file_id);
+  return Status::OK();
+}
+
+Status StorageLayer::DropIndexStorage(const IndexInfo& idx) {
+  pool_->Purge(idx.file_id);
+  disk_->DeleteFile(idx.file_id);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  btrees_.erase(idx.file_id);
+  return Status::OK();
+}
+
+Result<Locator> StorageLayer::Insert(const TableInfo& table,
+                                     const std::vector<IndexInfo>& indexes,
+                                     const Row& row) {
+  if (row.size() != table.columns.size()) {
+    return Status::Internal("row width mismatch on insert");
+  }
+  // Validate every uniqueness constraint BEFORE mutating anything, so a
+  // violation leaves no orphan base row or index entry behind.
+  std::string primary_key;
+  if (table.structure == StorageStructure::kIsam &&
+      !table.primary_key.empty()) {
+    IMON_ASSIGN_OR_RETURN(std::string key, PrimaryKeyOf(table, row));
+    bool duplicate = false;
+    IMON_RETURN_IF_ERROR(
+        IsamFor(table)->ScanRange(key, key, [&](Rid, const Row& existing) {
+          auto existing_key = PrimaryKeyOf(table, existing);
+          if (existing_key.ok() && *existing_key == key) {
+            duplicate = true;
+            return false;
+          }
+          return true;
+        }));
+    if (duplicate) {
+      return Status::AlreadyExists("duplicate primary key in table '" +
+                                   table.name + "'");
+    }
+  }
+  if (table.structure == StorageStructure::kHash &&
+      !table.primary_key.empty()) {
+    IMON_ASSIGN_OR_RETURN(std::string key, PrimaryKeyOf(table, row));
+    bool duplicate = false;
+    IMON_RETURN_IF_ERROR(
+        HashFor(table)->LookupBucket(key, [&](Rid, const Row& existing) {
+          auto existing_key = PrimaryKeyOf(table, existing);
+          if (existing_key.ok() && *existing_key == key) {
+            duplicate = true;
+            return false;
+          }
+          return true;
+        }));
+    if (duplicate) {
+      return Status::AlreadyExists("duplicate primary key in table '" +
+                                   table.name + "'");
+    }
+  }
+  if (table.structure == StorageStructure::kBtree) {
+    IMON_ASSIGN_OR_RETURN(primary_key, PrimaryKeyOf(table, row));
+    if (!table.primary_key.empty()) {
+      BTree* tree = BtreeFor(table.file_id);
+      IMON_ASSIGN_OR_RETURN(BTree::Cursor cursor,
+                            tree->SeekLowerBound(primary_key));
+      if (cursor.Valid() && cursor.user_key() == primary_key) {
+        return Status::AlreadyExists("duplicate primary key in table '" +
+                                     table.name + "'");
+      }
+    }
+  }
+  std::vector<std::string> index_keys(indexes.size());
+  for (size_t i = 0; i < indexes.size(); ++i) {
+    const IndexInfo& idx = indexes[i];
+    if (idx.is_virtual) continue;
+    IMON_ASSIGN_OR_RETURN(index_keys[i], IndexKeyOf(idx, table, row));
+    if (idx.unique) {
+      BTree* tree = BtreeFor(idx.file_id);
+      IMON_ASSIGN_OR_RETURN(BTree::Cursor cursor,
+                            tree->SeekLowerBound(index_keys[i]));
+      if (cursor.Valid() && cursor.user_key() == index_keys[i]) {
+        return Status::AlreadyExists("unique index '" + idx.name +
+                                     "': duplicate key");
+      }
+    }
+  }
+
+  Locator loc;
+  if (table.structure == StorageStructure::kHeap) {
+    IMON_ASSIGN_OR_RETURN(Rid rid, HeapFor(table)->Insert(row));
+    loc = PackRid(rid);
+  } else if (table.structure == StorageStructure::kHash) {
+    IMON_ASSIGN_OR_RETURN(std::string key, PrimaryKeyOf(table, row));
+    IMON_ASSIGN_OR_RETURN(Rid rid, HashFor(table)->Insert(key, row));
+    loc = PackRid(rid);
+  } else if (table.structure == StorageStructure::kIsam) {
+    IMON_ASSIGN_OR_RETURN(std::string key, PrimaryKeyOf(table, row));
+    IMON_ASSIGN_OR_RETURN(Rid rid, IsamFor(table)->Insert(key, row));
+    loc = PackRid(rid);
+  } else {
+    std::string payload;
+    SerializeRow(row, &payload);
+    IMON_RETURN_IF_ERROR(BtreeFor(table.file_id)->Insert(primary_key, payload));
+    loc = primary_key;
+  }
+  for (size_t i = 0; i < indexes.size(); ++i) {
+    if (indexes[i].is_virtual) continue;
+    IMON_RETURN_IF_ERROR(BtreeFor(indexes[i].file_id)->Insert(index_keys[i],
+                                                              loc));
+  }
+  return loc;
+}
+
+Status StorageLayer::Delete(const TableInfo& table,
+                            const std::vector<IndexInfo>& indexes,
+                            const Locator& loc, const Row& old_row) {
+  if (table.structure == StorageStructure::kHeap) {
+    IMON_RETURN_IF_ERROR(HeapFor(table)->Delete(UnpackRid(loc)));
+  } else if (table.structure == StorageStructure::kHash) {
+    IMON_RETURN_IF_ERROR(HashFor(table)->Delete(UnpackRid(loc)));
+  } else if (table.structure == StorageStructure::kIsam) {
+    IMON_RETURN_IF_ERROR(IsamFor(table)->Delete(UnpackRid(loc)));
+  } else {
+    std::string payload;
+    SerializeRow(old_row, &payload);
+    IMON_RETURN_IF_ERROR(BtreeFor(table.file_id)->Delete(loc, payload));
+  }
+  for (const IndexInfo& idx : indexes) {
+    if (idx.is_virtual) continue;
+    IMON_ASSIGN_OR_RETURN(std::string key, IndexKeyOf(idx, table, old_row));
+    IMON_RETURN_IF_ERROR(BtreeFor(idx.file_id)->Delete(key, loc));
+  }
+  return Status::OK();
+}
+
+Result<Locator> StorageLayer::Update(const TableInfo& table,
+                                     const std::vector<IndexInfo>& indexes,
+                                     const Locator& loc, const Row& old_row,
+                                     const Row& new_row) {
+  // Implemented as delete + insert; simple and index-consistent.
+  IMON_RETURN_IF_ERROR(Delete(table, indexes, loc, old_row));
+  return Insert(table, indexes, new_row);
+}
+
+Result<Row> StorageLayer::Fetch(const TableInfo& table, const Locator& loc) {
+  if (table.structure == StorageStructure::kHeap) {
+    return HeapFor(table)->Get(UnpackRid(loc));
+  }
+  if (table.structure == StorageStructure::kHash) {
+    return HashFor(table)->Get(UnpackRid(loc));
+  }
+  if (table.structure == StorageStructure::kIsam) {
+    return IsamFor(table)->Get(UnpackRid(loc));
+  }
+  BTree* tree = BtreeFor(table.file_id);
+  IMON_ASSIGN_OR_RETURN(BTree::Cursor cursor, tree->SeekLowerBound(loc));
+  if (!cursor.Valid() || cursor.user_key() != loc) {
+    return Status::NotFound("no row at locator in table '" + table.name +
+                            "'");
+  }
+  return DeserializeRow(std::string(cursor.payload()));
+}
+
+Status StorageLayer::Scan(
+    const TableInfo& table,
+    const std::function<bool(const Locator&, const Row&)>& fn) {
+  if (table.structure == StorageStructure::kHeap) {
+    return HeapFor(table)->Scan([&](Rid rid, const Row& row) {
+      return fn(PackRid(rid), row);
+    });
+  }
+  if (table.structure == StorageStructure::kHash) {
+    return HashFor(table)->Scan([&](Rid rid, const Row& row) {
+      return fn(PackRid(rid), row);
+    });
+  }
+  if (table.structure == StorageStructure::kIsam) {
+    return IsamFor(table)->Scan([&](Rid rid, const Row& row) {
+      return fn(PackRid(rid), row);
+    });
+  }
+  BTree* tree = BtreeFor(table.file_id);
+  IMON_ASSIGN_OR_RETURN(BTree::Cursor cursor, tree->SeekToFirst());
+  while (cursor.Valid()) {
+    IMON_ASSIGN_OR_RETURN(Row row,
+                          DeserializeRow(std::string(cursor.payload())));
+    if (!fn(std::string(cursor.user_key()), row)) break;
+    IMON_RETURN_IF_ERROR(cursor.Next());
+  }
+  return Status::OK();
+}
+
+Result<StorageLayer::EncodedRange> StorageLayer::EncodeRange(
+    const std::vector<TypeId>& key_types, const std::vector<Value>& eq,
+    const std::optional<optimizer::KeyBound>& lower,
+    const std::optional<optimizer::KeyBound>& upper) {
+  EncodedRange out;
+  for (size_t i = 0; i < eq.size(); ++i) {
+    IMON_ASSIGN_OR_RETURN(Value v, eq[i].CastTo(key_types[i]));
+    storage::EncodeKeyValue(v, &out.eq_prefix);
+  }
+  out.lower = out.eq_prefix;
+  if (lower.has_value()) {
+    IMON_ASSIGN_OR_RETURN(Value v,
+                          lower->value.CastTo(key_types[eq.size()]));
+    std::string enc;
+    storage::EncodeKeyValue(v, &enc);
+    out.lower += enc;
+    if (!lower->inclusive) {
+      // Exclusive lower: skip entries whose next field equals v; encode
+      // by remembering the prefix to skip. Reuse upper mechanism: the
+      // caller-side loop skips StartsWith(lower) when flagged.
+      out.lower_exclusive_prefix = out.lower;
+    }
+  }
+  if (upper.has_value()) {
+    IMON_ASSIGN_OR_RETURN(Value v,
+                          upper->value.CastTo(key_types[eq.size()]));
+    out.upper_limit = out.eq_prefix;
+    storage::EncodeKeyValue(v, &out.upper_limit);
+    out.upper_open = !upper->inclusive;
+    out.has_upper = true;
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared range-iteration logic over a BTree given an EncodedRange.
+/// `fn(user_key, payload)` returns false to stop.
+Status IterateRange(
+    BTree* tree, const StorageLayer::EncodedRange& range,
+    const std::function<bool(std::string_view, std::string_view)>& fn) {
+  IMON_ASSIGN_OR_RETURN(BTree::Cursor cursor,
+                        tree->SeekLowerBound(range.lower));
+  while (cursor.Valid()) {
+    std::string_view key = cursor.user_key();
+    if (!StartsWith(key, range.eq_prefix)) break;
+    if (range.has_upper) {
+      int cmp = std::string_view(key).compare(range.upper_limit);
+      bool is_prefix = StartsWith(key, range.upper_limit);
+      if (range.upper_open) {
+        if (cmp >= 0) break;  // includes the exact/prefix case
+      } else {
+        if (cmp > 0 && !is_prefix) break;
+      }
+    }
+    if (!range.lower_exclusive_prefix.empty() &&
+        StartsWith(key, range.lower_exclusive_prefix)) {
+      IMON_RETURN_IF_ERROR(cursor.Next());
+      continue;
+    }
+    if (!fn(key, cursor.payload())) break;
+    IMON_RETURN_IF_ERROR(cursor.Next());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status StorageLayer::ScanIsamRange(
+    const TableInfo& table, const std::vector<Value>& eq_prefix,
+    const std::optional<optimizer::KeyBound>& lower,
+    const std::optional<optimizer::KeyBound>& upper,
+    const std::function<bool(const Locator&, const Row&)>& fn) {
+  if (table.structure != StorageStructure::kIsam) {
+    return Status::Internal("ISAM range scan on non-ISAM table");
+  }
+  std::vector<int> key_cols = BtreeKeyColumns(table);
+  std::string prefix;
+  for (size_t i = 0; i < eq_prefix.size() && i < key_cols.size(); ++i) {
+    IMON_ASSIGN_OR_RETURN(
+        Value v, eq_prefix[i].CastTo(table.columns[key_cols[i]].type));
+    storage::EncodeKeyValue(v, &prefix);
+  }
+  std::string low = prefix;
+  if (lower.has_value() && eq_prefix.size() < key_cols.size()) {
+    IMON_ASSIGN_OR_RETURN(
+        Value v,
+        lower->value.CastTo(table.columns[key_cols[eq_prefix.size()]].type));
+    storage::EncodeKeyValue(v, &low);
+  }
+  std::string high;
+  if (upper.has_value() && eq_prefix.size() < key_cols.size()) {
+    high = prefix;
+    IMON_ASSIGN_OR_RETURN(
+        Value v,
+        upper->value.CastTo(table.columns[key_cols[eq_prefix.size()]].type));
+    storage::EncodeKeyValue(v, &high);
+  } else if (!prefix.empty()) {
+    // Prefix-successor: everything sharing the prefix sorts below
+    // prefix + 0xFF... (field tags stay below 0xFF).
+    high = prefix + std::string(4, '\xff');
+  }
+  return IsamFor(table)->ScanRange(low, high,
+                                   [&](Rid rid, const Row& row) {
+                                     return fn(PackRid(rid), row);
+                                   });
+}
+
+Status StorageLayer::HashLookup(
+    const TableInfo& table, const std::vector<Value>& key_values,
+    const std::function<bool(const Locator&, const Row&)>& fn) {
+  if (table.structure != StorageStructure::kHash) {
+    return Status::Internal("hash lookup on non-HASH table");
+  }
+  std::vector<int> key_cols = BtreeKeyColumns(table);
+  if (key_values.size() != key_cols.size()) {
+    return Status::Internal("hash lookup requires the full key");
+  }
+  std::string key;
+  for (size_t i = 0; i < key_cols.size(); ++i) {
+    IMON_ASSIGN_OR_RETURN(Value v,
+                          key_values[i].CastTo(
+                              table.columns[key_cols[i]].type));
+    storage::EncodeKeyValue(v, &key);
+  }
+  return HashFor(table)->LookupBucket(key, [&](Rid rid, const Row& row) {
+    return fn(PackRid(rid), row);
+  });
+}
+
+Status StorageLayer::ScanPrimaryRange(
+    const TableInfo& table, const std::vector<Value>& eq_prefix,
+    const std::optional<optimizer::KeyBound>& lower,
+    const std::optional<optimizer::KeyBound>& upper,
+    const std::function<bool(const Locator&, const Row&)>& fn) {
+  if (table.structure != StorageStructure::kBtree) {
+    return Status::Internal("primary range scan on non-BTREE table");
+  }
+  std::vector<int> key_cols = BtreeKeyColumns(table);
+  std::vector<TypeId> types;
+  for (int ord : key_cols) types.push_back(table.columns[ord].type);
+  IMON_ASSIGN_OR_RETURN(EncodedRange range,
+                        EncodeRange(types, eq_prefix, lower, upper));
+  Status inner = Status::OK();
+  IMON_RETURN_IF_ERROR(IterateRange(
+      BtreeFor(table.file_id), range,
+      [&](std::string_view key, std::string_view payload) {
+        auto row = DeserializeRow(std::string(payload));
+        if (!row.ok()) {
+          inner = row.status();
+          return false;
+        }
+        return fn(std::string(key), *row);
+      }));
+  return inner;
+}
+
+Status StorageLayer::IndexScan(
+    const IndexInfo& idx, const TableInfo& table,
+    const std::vector<Value>& eq_prefix,
+    const std::optional<optimizer::KeyBound>& lower,
+    const std::optional<optimizer::KeyBound>& upper,
+    const std::function<bool(const Locator&)>& fn) {
+  std::vector<TypeId> types;
+  for (int ord : idx.key_columns) types.push_back(table.columns[ord].type);
+  IMON_ASSIGN_OR_RETURN(EncodedRange range,
+                        EncodeRange(types, eq_prefix, lower, upper));
+  return IterateRange(BtreeFor(idx.file_id), range,
+                      [&](std::string_view, std::string_view payload) {
+                        return fn(std::string(payload));
+                      });
+}
+
+Status StorageLayer::ModifyStructure(TableInfo* info,
+                                     std::vector<IndexInfo>* indexes,
+                                     StorageStructure target) {
+  // Materialize all rows.
+  std::vector<Row> rows;
+  IMON_RETURN_IF_ERROR(Scan(*info, [&](const Locator&, const Row& row) {
+    rows.push_back(row);
+    return true;
+  }));
+
+  // Tear down old storage (base + indexes).
+  IMON_RETURN_IF_ERROR(DropTableStorage(*info));
+  for (IndexInfo& idx : *indexes) {
+    if (!idx.is_virtual) IMON_RETURN_IF_ERROR(DropIndexStorage(idx));
+  }
+
+  info->structure = target;
+  if (target == StorageStructure::kIsam) {
+    // ISAM is built statically from the sorted rows (the whole point of
+    // the structure): sort on the key, lay out main pages, write the
+    // fence directory. Later inserts go to overflow chains.
+    info->file_id = disk_->CreateFile();
+    std::vector<std::pair<std::string, Row>> keyed;
+    keyed.reserve(rows.size());
+    for (const Row& row : rows) {
+      IMON_ASSIGN_OR_RETURN(std::string key, PrimaryKeyOf(*info, row));
+      keyed.emplace_back(std::move(key), row);
+    }
+    IMON_RETURN_IF_ERROR(IsamFor(*info)->Build(std::move(keyed)));
+    info->row_count = static_cast<int64_t>(rows.size());
+  } else {
+    IMON_RETURN_IF_ERROR(CreateTableStorage(info));
+    for (const Row& row : rows) {
+      IMON_ASSIGN_OR_RETURN(Locator loc, Insert(*info, {}, row));
+      (void)loc;
+    }
+  }
+  for (IndexInfo& idx : *indexes) {
+    if (idx.is_virtual) continue;
+    IMON_RETURN_IF_ERROR(CreateIndexStorage(&idx, *info));
+  }
+  IMON_RETURN_IF_ERROR(RefreshTableStats(info));
+  return Status::OK();
+}
+
+Status StorageLayer::RefreshTableStats(TableInfo* info) {
+  if (info->structure == StorageStructure::kHeap) {
+    IMON_ASSIGN_OR_RETURN(storage::HeapFileStats stats,
+                          HeapFor(*info)->ComputeStats());
+    info->main_pages = stats.main_pages;
+    info->overflow_pages = stats.overflow_pages;
+    info->row_count = stats.live_rows;
+  } else if (info->structure == StorageStructure::kHash) {
+    IMON_ASSIGN_OR_RETURN(storage::HeapFileStats stats,
+                          HashFor(*info)->ComputeStats());
+    info->main_pages = stats.main_pages;
+    info->overflow_pages = stats.overflow_pages;
+    info->row_count = stats.live_rows;
+  } else if (info->structure == StorageStructure::kIsam) {
+    IMON_ASSIGN_OR_RETURN(storage::HeapFileStats stats,
+                          IsamFor(*info)->ComputeStats());
+    info->main_pages = stats.main_pages;
+    info->overflow_pages = stats.overflow_pages;
+    info->row_count = stats.live_rows;
+  } else {
+    IMON_ASSIGN_OR_RETURN(storage::BTreeStats stats,
+                          BtreeFor(info->file_id)->ComputeStats());
+    info->main_pages = stats.num_pages;
+    info->overflow_pages = 0;
+    info->row_count = stats.entries;
+  }
+  return Status::OK();
+}
+
+Result<int64_t> StorageLayer::IndexPages(const IndexInfo& idx) const {
+  return static_cast<int64_t>(disk_->NumPages(idx.file_id));
+}
+
+}  // namespace imon::exec

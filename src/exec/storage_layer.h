@@ -1,0 +1,168 @@
+// Row-level storage operations across both Ingres storage structures,
+// with secondary-index maintenance and structure conversion (MODIFY).
+//
+// Locators abstract over structures: a packed RID string for heap tables,
+// the encoded primary key for BTREE tables. Secondary index payloads
+// store the locator — the analog of Ingres' tidp column.
+
+#ifndef IMON_EXEC_STORAGE_LAYER_H_
+#define IMON_EXEC_STORAGE_LAYER_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "optimizer/plan.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/hash_file.h"
+#include "storage/heap_file.h"
+#include "storage/isam_file.h"
+
+namespace imon::exec {
+
+/// Opaque row address; valid until the row is moved or the table is
+/// restructured.
+using Locator = std::string;
+
+class StorageLayer {
+ public:
+  StorageLayer(storage::DiskManager* disk, storage::BufferPool* pool)
+      : disk_(disk), pool_(pool) {}
+
+  // -- DDL ------------------------------------------------------------------
+  /// Allocate storage for a new table; sets info->file_id.
+  Status CreateTableStorage(catalog::TableInfo* info);
+
+  /// Allocate + backfill a secondary index from existing rows; sets
+  /// idx->file_id and idx->pages.
+  Status CreateIndexStorage(catalog::IndexInfo* idx,
+                            const catalog::TableInfo& table);
+
+  Status DropTableStorage(const catalog::TableInfo& info);
+  Status DropIndexStorage(const catalog::IndexInfo& idx);
+
+  /// Convert the table's storage structure, rebuilding rows and all
+  /// secondary indexes. Mutates *info (structure, file, page counts) and
+  /// the IndexInfos in *indexes (files, pages).
+  Status ModifyStructure(catalog::TableInfo* info,
+                         std::vector<catalog::IndexInfo>* indexes,
+                         catalog::StorageStructure target);
+
+  // -- DML ------------------------------------------------------------------
+  Result<Locator> Insert(const catalog::TableInfo& table,
+                         const std::vector<catalog::IndexInfo>& indexes,
+                         const Row& row);
+  Status Delete(const catalog::TableInfo& table,
+                const std::vector<catalog::IndexInfo>& indexes,
+                const Locator& loc, const Row& old_row);
+  Result<Locator> Update(const catalog::TableInfo& table,
+                         const std::vector<catalog::IndexInfo>& indexes,
+                         const Locator& loc, const Row& old_row,
+                         const Row& new_row);
+
+  // -- reads ------------------------------------------------------------------
+  Result<Row> Fetch(const catalog::TableInfo& table, const Locator& loc);
+
+  /// Full scan in storage order; callback returns false to stop.
+  Status Scan(const catalog::TableInfo& table,
+              const std::function<bool(const Locator&, const Row&)>& fn);
+
+  /// Range scan on an ISAM table's primary structure (routing only —
+  /// chains are unordered; callers re-apply their filters).
+  Status ScanIsamRange(const catalog::TableInfo& table,
+                       const std::vector<Value>& eq_prefix,
+                       const std::optional<optimizer::KeyBound>& lower,
+                       const std::optional<optimizer::KeyBound>& upper,
+                       const std::function<bool(const Locator&,
+                                                const Row&)>& fn);
+
+  /// Equality lookup on a HASH table's primary structure (full key).
+  /// Collisions are possible; callers re-apply the equality filters.
+  Status HashLookup(const catalog::TableInfo& table,
+                    const std::vector<Value>& key_values,
+                    const std::function<bool(const Locator&, const Row&)>& fn);
+
+  /// Range scan on a BTREE table's primary structure.
+  Status ScanPrimaryRange(const catalog::TableInfo& table,
+                          const std::vector<Value>& eq_prefix,
+                          const std::optional<optimizer::KeyBound>& lower,
+                          const std::optional<optimizer::KeyBound>& upper,
+                          const std::function<bool(const Locator&,
+                                                   const Row&)>& fn);
+
+  /// Range scan on a secondary index, yielding base-row locators.
+  Status IndexScan(const catalog::IndexInfo& idx,
+                   const catalog::TableInfo& table,
+                   const std::vector<Value>& eq_prefix,
+                   const std::optional<optimizer::KeyBound>& lower,
+                   const std::optional<optimizer::KeyBound>& upper,
+                   const std::function<bool(const Locator&)>& fn);
+
+  // -- statistics -------------------------------------------------------------
+  /// Recompute row/page counts into *info (and index pages into catalog
+  /// objects passed by the caller later).
+  Status RefreshTableStats(catalog::TableInfo* info);
+  Result<int64_t> IndexPages(const catalog::IndexInfo& idx) const;
+
+  /// Encoded primary key of `row` for `table` (cast to column types).
+  Result<std::string> PrimaryKeyOf(const catalog::TableInfo& table,
+                                   const Row& row) const;
+
+  /// Encoded bounds for an eq-prefix + range probe over a B-Tree.
+  struct EncodedRange {
+    std::string lower;        ///< seek target
+    std::string upper_limit;  ///< stop boundary (see upper_open)
+    bool upper_open = false;  ///< true: stop when key reaches upper_limit
+    bool has_upper = false;
+    std::string eq_prefix;    ///< every yielded key must keep this prefix
+    /// Non-empty for an exclusive lower bound: keys with this prefix are
+    /// skipped (they equal the bound value).
+    std::string lower_exclusive_prefix;
+  };
+
+  storage::BufferPool* pool() const { return pool_; }
+  storage::DiskManager* disk() const { return disk_; }
+
+ private:
+  /// Key-column ordinals used by the BTREE structure (PK, or all columns).
+  static std::vector<int> BtreeKeyColumns(const catalog::TableInfo& table);
+
+  /// Encoded index key of `row` under `idx`.
+  Result<std::string> IndexKeyOf(const catalog::IndexInfo& idx,
+                                 const catalog::TableInfo& table,
+                                 const Row& row) const;
+
+  static Result<EncodedRange> EncodeRange(
+      const std::vector<TypeId>& key_types, const std::vector<Value>& eq,
+      const std::optional<optimizer::KeyBound>& lower,
+      const std::optional<optimizer::KeyBound>& upper);
+
+  storage::HeapFile* HeapFor(const catalog::TableInfo& table);
+  storage::HashFile* HashFor(const catalog::TableInfo& table);
+  storage::IsamFile* IsamFor(const catalog::TableInfo& table);
+  storage::BTree* BtreeFor(storage::FileId file);
+
+  storage::DiskManager* disk_;
+  storage::BufferPool* pool_;
+
+  std::mutex cache_mutex_;
+  std::unordered_map<storage::FileId, std::unique_ptr<storage::HeapFile>>
+      heaps_;
+  std::unordered_map<storage::FileId, std::unique_ptr<storage::HashFile>>
+      hashes_;
+  std::unordered_map<storage::FileId, std::unique_ptr<storage::IsamFile>>
+      isams_;
+  std::unordered_map<storage::FileId, std::unique_ptr<storage::BTree>>
+      btrees_;
+};
+
+}  // namespace imon::exec
+
+#endif  // IMON_EXEC_STORAGE_LAYER_H_

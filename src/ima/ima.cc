@@ -1,0 +1,302 @@
+#include "ima/ima.h"
+
+namespace imon::ima {
+
+using catalog::ColumnInfo;
+using engine::Database;
+using monitor::Monitor;
+using monitor::RefType;
+
+namespace {
+
+ColumnInfo Col(const char* name, TypeId type) {
+  ColumnInfo c;
+  c.name = name;
+  c.type = type;
+  return c;
+}
+
+Value IntV(int64_t v) { return Value::Int(v); }
+Value HashV(uint64_t h) { return Value::Int(static_cast<int64_t>(h)); }
+
+class StatementsProvider : public catalog::VirtualTableProvider {
+ public:
+  explicit StatementsProvider(const Monitor* m) : monitor_(m) {}
+  std::vector<ColumnInfo> Schema() const override {
+    return {Col("hash", TypeId::kInt), Col("query_text", TypeId::kText),
+            Col("frequency", TypeId::kInt), Col("first_seen", TypeId::kInt),
+            Col("last_seen", TypeId::kInt)};
+  }
+  std::vector<Row> Snapshot() const override {
+    std::vector<Row> out;
+    for (const auto& s : monitor_->SnapshotStatements()) {
+      out.push_back({HashV(s.hash), Value::Text(s.text),
+                     IntV(s.frequency), IntV(s.first_seen_micros),
+                     IntV(s.last_seen_micros)});
+    }
+    return out;
+  }
+
+ private:
+  const Monitor* monitor_;
+};
+
+class WorkloadProvider : public catalog::VirtualTableProvider {
+ public:
+  explicit WorkloadProvider(const Monitor* m) : monitor_(m) {}
+  std::vector<ColumnInfo> Schema() const override {
+    return {Col("seq", TypeId::kInt),
+            Col("hash", TypeId::kInt),
+            Col("start_micros", TypeId::kInt),
+            Col("wallclock_nanos", TypeId::kInt),
+            Col("opt_cpu_nanos", TypeId::kInt),
+            Col("opt_disk_io", TypeId::kInt),
+            Col("exec_cpu_nanos", TypeId::kInt),
+            Col("exec_disk_io", TypeId::kInt),
+            Col("est_cpu", TypeId::kDouble),
+            Col("est_io", TypeId::kDouble),
+            Col("est_cost", TypeId::kDouble),
+            Col("actual_cost", TypeId::kDouble),
+            Col("rows_examined", TypeId::kInt),
+            Col("rows_output", TypeId::kInt),
+            Col("monitor_nanos", TypeId::kInt)};
+  }
+  std::vector<Row> Snapshot() const override {
+    std::vector<Row> out;
+    for (const auto& w : monitor_->SnapshotWorkload()) {
+      out.push_back({IntV(w.seq), HashV(w.hash), IntV(w.start_micros),
+                     IntV(w.wallclock_nanos), IntV(w.optimizer_cpu_nanos),
+                     IntV(w.optimizer_disk_io), IntV(w.execute_cpu_nanos),
+                     IntV(w.execute_disk_io), Value::Double(w.estimated_cpu),
+                     Value::Double(w.estimated_io),
+                     Value::Double(w.estimated_cpu + w.estimated_io),
+                     Value::Double(w.actual_cost), IntV(w.rows_examined),
+                     IntV(w.rows_output), IntV(w.monitor_nanos)});
+    }
+    return out;
+  }
+  int SeqColumn() const override { return 0; }
+  std::vector<Row> SnapshotSince(int64_t min_seq) const override {
+    std::vector<Row> out;
+    for (const auto& w : monitor_->SnapshotWorkloadSince(min_seq)) {
+      out.push_back({IntV(w.seq), HashV(w.hash), IntV(w.start_micros),
+                     IntV(w.wallclock_nanos), IntV(w.optimizer_cpu_nanos),
+                     IntV(w.optimizer_disk_io), IntV(w.execute_cpu_nanos),
+                     IntV(w.execute_disk_io), Value::Double(w.estimated_cpu),
+                     Value::Double(w.estimated_io),
+                     Value::Double(w.estimated_cpu + w.estimated_io),
+                     Value::Double(w.actual_cost), IntV(w.rows_examined),
+                     IntV(w.rows_output), IntV(w.monitor_nanos)});
+    }
+    return out;
+  }
+
+ private:
+  const Monitor* monitor_;
+};
+
+class ReferencesProvider : public catalog::VirtualTableProvider {
+ public:
+  explicit ReferencesProvider(const Monitor* m) : monitor_(m) {}
+  std::vector<ColumnInfo> Schema() const override {
+    return {Col("seq", TypeId::kInt),         Col("hash", TypeId::kInt),
+            Col("object_type", TypeId::kText), Col("object_id", TypeId::kInt),
+            Col("table_id", TypeId::kInt),    Col("ordinal", TypeId::kInt)};
+  }
+  std::vector<Row> Snapshot() const override {
+    return Materialize(monitor_->SnapshotReferences());
+  }
+  int SeqColumn() const override { return 0; }
+  std::vector<Row> SnapshotSince(int64_t min_seq) const override {
+    return Materialize(monitor_->SnapshotReferencesSince(min_seq));
+  }
+
+ private:
+  static std::vector<Row> Materialize(
+      const std::vector<monitor::ReferenceRecord>& records) {
+    std::vector<Row> out;
+    for (const auto& r : records) {
+      const char* type = "table";
+      switch (r.type) {
+        case RefType::kTable:
+          type = "table";
+          break;
+        case RefType::kAttribute:
+          type = "attribute";
+          break;
+        case RefType::kIndex:
+          type = "index";
+          break;
+        case RefType::kUsedIndex:
+          type = "used_index";
+          break;
+      }
+      out.push_back({IntV(r.seq), HashV(r.hash), Value::Text(type),
+                     IntV(r.object_id), IntV(r.table_id), IntV(r.ordinal)});
+    }
+    return out;
+  }
+
+  const Monitor* monitor_;
+};
+
+class TablesProvider : public catalog::VirtualTableProvider {
+ public:
+  TablesProvider(const Monitor* m, const catalog::Catalog* c)
+      : monitor_(m), catalog_(c) {}
+  std::vector<ColumnInfo> Schema() const override {
+    return {Col("table_id", TypeId::kInt),
+            Col("table_name", TypeId::kText),
+            Col("frequency", TypeId::kInt),
+            Col("storage", TypeId::kText),
+            Col("data_pages", TypeId::kInt),
+            Col("overflow_pages", TypeId::kInt),
+            Col("row_count", TypeId::kInt)};
+  }
+  std::vector<Row> Snapshot() const override {
+    auto freq = monitor_->TableFrequencies();
+    std::vector<Row> out;
+    for (const auto& t : catalog_->ListTables()) {
+      auto it = freq.find(t.id);
+      out.push_back({IntV(t.id), Value::Text(t.name),
+                     IntV(it == freq.end() ? 0 : it->second),
+                     Value::Text(catalog::StorageStructureName(t.structure)),
+                     IntV(t.main_pages), IntV(t.overflow_pages),
+                     IntV(t.row_count)});
+    }
+    return out;
+  }
+
+ private:
+  const Monitor* monitor_;
+  const catalog::Catalog* catalog_;
+};
+
+class AttributesProvider : public catalog::VirtualTableProvider {
+ public:
+  AttributesProvider(const Monitor* m, const catalog::Catalog* c)
+      : monitor_(m), catalog_(c) {}
+  std::vector<ColumnInfo> Schema() const override {
+    return {Col("table_id", TypeId::kInt), Col("ordinal", TypeId::kInt),
+            Col("attr_name", TypeId::kText), Col("frequency", TypeId::kInt),
+            Col("has_histogram", TypeId::kInt)};
+  }
+  std::vector<Row> Snapshot() const override {
+    auto freq = monitor_->AttributeFrequencies();
+    std::vector<Row> out;
+    for (const auto& t : catalog_->ListTables()) {
+      for (const auto& col : t.columns) {
+        auto it = freq.find({t.id, col.ordinal});
+        auto stats = catalog_->GetColumnStats(t.id, col.ordinal);
+        out.push_back({IntV(t.id), IntV(col.ordinal), Value::Text(col.name),
+                       IntV(it == freq.end() ? 0 : it->second),
+                       IntV(stats.has_histogram ? 1 : 0)});
+      }
+    }
+    return out;
+  }
+
+ private:
+  const Monitor* monitor_;
+  const catalog::Catalog* catalog_;
+};
+
+class IndexesProvider : public catalog::VirtualTableProvider {
+ public:
+  IndexesProvider(const Monitor* m, const catalog::Catalog* c)
+      : monitor_(m), catalog_(c) {}
+  std::vector<ColumnInfo> Schema() const override {
+    return {Col("index_id", TypeId::kInt), Col("index_name", TypeId::kText),
+            Col("table_id", TypeId::kInt), Col("frequency", TypeId::kInt),
+            Col("pages", TypeId::kInt),    Col("is_unique", TypeId::kInt)};
+  }
+  std::vector<Row> Snapshot() const override {
+    auto freq = monitor_->IndexFrequencies();
+    std::vector<Row> out;
+    for (const auto& idx : catalog_->ListIndexes()) {
+      if (idx.is_virtual) continue;
+      auto it = freq.find(idx.id);
+      out.push_back({IntV(idx.id), Value::Text(idx.name), IntV(idx.table_id),
+                     IntV(it == freq.end() ? 0 : it->second),
+                     IntV(idx.pages), IntV(idx.unique ? 1 : 0)});
+    }
+    return out;
+  }
+
+ private:
+  const Monitor* monitor_;
+  const catalog::Catalog* catalog_;
+};
+
+class StatisticsProvider : public catalog::VirtualTableProvider {
+ public:
+  explicit StatisticsProvider(const Monitor* m) : monitor_(m) {}
+  std::vector<ColumnInfo> Schema() const override {
+    return {Col("seq", TypeId::kInt),
+            Col("time_micros", TypeId::kInt),
+            Col("current_sessions", TypeId::kInt),
+            Col("max_sessions", TypeId::kInt),
+            Col("locks_held", TypeId::kInt),
+            Col("lock_waits", TypeId::kInt),
+            Col("deadlocks", TypeId::kInt),
+            Col("cache_logical", TypeId::kInt),
+            Col("cache_physical", TypeId::kInt),
+            Col("cache_hit_ratio", TypeId::kDouble),
+            Col("disk_reads", TypeId::kInt),
+            Col("disk_writes", TypeId::kInt),
+            Col("statements", TypeId::kInt)};
+  }
+  std::vector<Row> Snapshot() const override {
+    return Materialize(monitor_->SnapshotStatistics());
+  }
+  int SeqColumn() const override { return 0; }
+  std::vector<Row> SnapshotSince(int64_t min_seq) const override {
+    return Materialize(monitor_->SnapshotStatisticsSince(min_seq));
+  }
+
+ private:
+  static std::vector<Row> Materialize(
+      const std::vector<monitor::StatisticsRecord>& records) {
+    std::vector<Row> out;
+    for (const auto& s : records) {
+      out.push_back({IntV(s.seq), IntV(s.time_micros),
+                     IntV(s.current_sessions), IntV(s.max_sessions_seen),
+                     IntV(s.locks_held), IntV(s.lock_waits_total),
+                     IntV(s.deadlocks_total), IntV(s.cache_logical_reads),
+                     IntV(s.cache_physical_reads),
+                     Value::Double(s.cache_hit_ratio), IntV(s.disk_reads),
+                     IntV(s.disk_writes), IntV(s.statements_executed)});
+    }
+    return out;
+  }
+
+  const Monitor* monitor_;
+};
+
+}  // namespace
+
+const char* const kImaTableNames[7] = {
+    "imp_statements", "imp_workload",  "imp_references", "imp_tables",
+    "imp_attributes", "imp_indexes",   "imp_statistics"};
+
+Status RegisterImaTables(Database* db) {
+  const Monitor* m = db->monitor();
+  const catalog::Catalog* c = db->catalog();
+  IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
+      "imp_statements", std::make_shared<StatementsProvider>(m)));
+  IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
+      "imp_workload", std::make_shared<WorkloadProvider>(m)));
+  IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
+      "imp_references", std::make_shared<ReferencesProvider>(m)));
+  IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
+      "imp_tables", std::make_shared<TablesProvider>(m, c)));
+  IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
+      "imp_attributes", std::make_shared<AttributesProvider>(m, c)));
+  IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
+      "imp_indexes", std::make_shared<IndexesProvider>(m, c)));
+  IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
+      "imp_statistics", std::make_shared<StatisticsProvider>(m)));
+  return Status::OK();
+}
+
+}  // namespace imon::ima

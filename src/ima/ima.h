@@ -1,0 +1,48 @@
+// IMA — the management architecture layer (paper §IV-A).
+//
+// "The data that is collected in the DBMS core is stored in main memory
+//  and is made available over the Ingres Management Architecture (IMA)
+//  ... an extensible relational interface to read internal DBMS data
+//  over standard SQL ... Because IMA objects reside only in main memory,
+//  there is no disk access required to store or read the data."
+//
+// RegisterImaTables() registers these virtual tables on a Database:
+//
+//   imp_statements  (hash, query_text, frequency, first_seen, last_seen)
+//   imp_workload    (seq, hash, start_micros, wallclock_nanos,
+//                    opt_cpu_nanos, opt_disk_io, exec_cpu_nanos,
+//                    exec_disk_io, est_cpu, est_io, est_cost, actual_cost,
+//                    rows_examined, rows_output, monitor_nanos)
+//   imp_references  (seq, hash, object_type, object_id, table_id, ordinal)
+//   imp_tables      (table_id, table_name, frequency, storage,
+//                    data_pages, overflow_pages, row_count)
+//   imp_attributes  (table_id, ordinal, attr_name, frequency,
+//                    has_histogram)
+//   imp_indexes     (index_id, index_name, table_id, frequency, pages,
+//                    is_unique)
+//   imp_statistics  (seq, time_micros, current_sessions, max_sessions,
+//                    locks_held, lock_waits, deadlocks, cache_logical,
+//                    cache_physical, cache_hit_ratio, disk_reads,
+//                    disk_writes, statements)
+//
+// Scans materialize a snapshot from the monitor's in-memory state; no
+// buffer-pool or disk access is involved.
+
+#ifndef IMON_IMA_IMA_H_
+#define IMON_IMA_IMA_H_
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace imon::ima {
+
+/// Names of all IMA virtual tables, in registration order.
+extern const char* const kImaTableNames[7];
+
+/// Register every IMA virtual table on `db`. Idempotent per database
+/// (second call returns AlreadyExists).
+Status RegisterImaTables(engine::Database* db);
+
+}  // namespace imon::ima
+
+#endif  // IMON_IMA_IMA_H_

@@ -1,0 +1,241 @@
+#include "monitor/monitor.h"
+
+#include <algorithm>
+
+namespace imon::monitor {
+
+void Monitor::Commit(QueryTrace* trace) {
+  if (!config_.enabled || !trace->active) return;
+  int64_t begin = MonotonicNanos();
+  int64_t wallclock_nanos = begin - trace->mono_start_nanos;
+
+  WorkloadRecord record;
+  record.hash = trace->hash;
+  record.start_micros = trace->wall_start_micros;
+  record.wallclock_nanos = wallclock_nanos;
+  record.optimizer_cpu_nanos = trace->optimizer_cpu_nanos;
+  record.optimizer_disk_io = trace->optimizer_disk_io;
+  record.execute_cpu_nanos = trace->execute_cpu_nanos;
+  record.execute_disk_io = trace->execute_disk_io;
+  record.estimated_cpu = trace->estimated_cpu;
+  record.estimated_io = trace->estimated_io;
+  record.actual_cost = trace->actual_cost;
+  record.rows_examined = trace->rows_examined;
+  record.rows_output = trace->rows_output;
+  record.used_indexes = trace->used_indexes;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    record.seq = next_seq_++;
+
+    // Statement registry bounded by the configured moving window; the
+    // oldest statement is evicted when a new one arrives at capacity.
+    auto it = statements_.find(trace->hash);
+    if (it == statements_.end()) {
+      StatementRecord stmt;
+      stmt.hash = trace->hash;
+      stmt.text = trace->text;
+      stmt.frequency = 1;
+      stmt.first_seen_micros = trace->wall_start_micros;
+      stmt.last_seen_micros = trace->wall_start_micros;
+      while (statements_.size() >= config_.statement_window &&
+             !statement_arrivals_.empty()) {
+        uint64_t victim = statement_arrivals_.front();
+        statement_arrivals_.pop_front();
+        if (victim != trace->hash) statements_.erase(victim);
+      }
+      statement_arrivals_.push_back(trace->hash);
+      statements_.emplace(trace->hash, std::move(stmt));
+    } else {
+      it->second.frequency += 1;
+      it->second.last_seen_micros = trace->wall_start_micros;
+    }
+
+    // References: logged once per statement execution.
+    for (ObjectId t : trace->ref_tables) {
+      ReferenceRecord ref;
+      ref.seq = next_seq_++;
+      ref.hash = trace->hash;
+      ref.type = RefType::kTable;
+      ref.object_id = t;
+      ref.table_id = t;
+      references_.Push(ref);
+      ++table_freq_[t];
+    }
+    for (const auto& [table_id, ordinal] : trace->ref_attributes) {
+      ReferenceRecord ref;
+      ref.seq = next_seq_++;
+      ref.hash = trace->hash;
+      ref.type = RefType::kAttribute;
+      ref.object_id = table_id;  // attribute identified by (table, ordinal)
+      ref.table_id = table_id;
+      ref.ordinal = ordinal;
+      references_.Push(ref);
+      ++attr_freq_[(table_id << 16) | ordinal];
+    }
+    for (ObjectId idx : trace->ref_indexes) {
+      ReferenceRecord ref;
+      ref.seq = next_seq_++;
+      ref.hash = trace->hash;
+      ref.type = RefType::kIndex;
+      ref.object_id = idx;
+      references_.Push(ref);
+    }
+    for (ObjectId idx : trace->used_indexes) {
+      ReferenceRecord ref;
+      ref.seq = next_seq_++;
+      ref.hash = trace->hash;
+      ref.type = RefType::kUsedIndex;
+      ref.object_id = idx;
+      references_.Push(ref);
+      ++index_freq_[idx];
+    }
+
+    // Publish the workload record last so its monitor share covers the
+    // whole commit (the final Push itself is negligible).
+    trace->monitor_nanos += MonotonicNanos() - begin;
+    record.monitor_nanos = trace->monitor_nanos;
+    workload_.Push(std::move(record));
+  }
+
+  statements_executed_.fetch_add(1, std::memory_order_relaxed);
+  since_last_sample_.fetch_add(1, std::memory_order_relaxed);
+  total_monitor_nanos_.fetch_add(trace->monitor_nanos,
+                                 std::memory_order_relaxed);
+}
+
+bool Monitor::ShouldSampleStats() {
+  if (!config_.enabled || config_.stats_sample_every <= 0) return false;
+  if (since_last_sample_.load(std::memory_order_relaxed) <
+      config_.stats_sample_every) {
+    return false;
+  }
+  since_last_sample_.store(0, std::memory_order_relaxed);
+  return true;
+}
+
+void Monitor::RecordSystemStats(const SystemSnapshot& snapshot) {
+  if (!config_.enabled) return;
+  StatisticsRecord record;
+  record.time_micros = clock_->NowMicros();
+  record.current_sessions = snapshot.current_sessions;
+  record.max_sessions_seen = max_sessions_seen_.load(std::memory_order_relaxed);
+  record.locks_held = snapshot.locks_held;
+  record.lock_waits_total = snapshot.lock_waits_total;
+  record.deadlocks_total = snapshot.deadlocks_total;
+  record.cache_logical_reads = snapshot.cache_logical_reads;
+  record.cache_physical_reads = snapshot.cache_physical_reads;
+  record.cache_hit_ratio =
+      snapshot.cache_logical_reads > 0
+          ? 1.0 - static_cast<double>(snapshot.cache_physical_reads) /
+                      static_cast<double>(snapshot.cache_logical_reads)
+          : 1.0;
+  record.disk_reads = snapshot.disk_reads;
+  record.disk_writes = snapshot.disk_writes;
+  record.statements_executed =
+      statements_executed_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  record.seq = next_stats_seq_++;
+  statistics_.Push(std::move(record));
+}
+
+void Monitor::NoteSessionCount(int64_t sessions) {
+  int64_t seen = max_sessions_seen_.load(std::memory_order_relaxed);
+  while (sessions > seen &&
+         !max_sessions_seen_.compare_exchange_weak(
+             seen, sessions, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<StatementRecord> Monitor::SnapshotStatements() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<StatementRecord> out;
+  out.reserve(statements_.size());
+  for (const auto& [hash, record] : statements_) out.push_back(record);
+  std::sort(out.begin(), out.end(),
+            [](const StatementRecord& a, const StatementRecord& b) {
+              return a.first_seen_micros < b.first_seen_micros;
+            });
+  return out;
+}
+
+std::vector<WorkloadRecord> Monitor::SnapshotWorkload() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workload_.Snapshot();
+}
+
+std::vector<ReferenceRecord> Monitor::SnapshotReferences() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return references_.Snapshot();
+}
+
+std::vector<StatisticsRecord> Monitor::SnapshotStatistics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return statistics_.Snapshot();
+}
+
+std::vector<WorkloadRecord> Monitor::SnapshotWorkloadSince(
+    int64_t min_seq) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workload_.SnapshotTail(
+      [min_seq](const WorkloadRecord& r) { return r.seq > min_seq; });
+}
+
+std::vector<ReferenceRecord> Monitor::SnapshotReferencesSince(
+    int64_t min_seq) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return references_.SnapshotTail(
+      [min_seq](const ReferenceRecord& r) { return r.seq > min_seq; });
+}
+
+std::vector<StatisticsRecord> Monitor::SnapshotStatisticsSince(
+    int64_t min_seq) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return statistics_.SnapshotTail(
+      [min_seq](const StatisticsRecord& r) { return r.seq > min_seq; });
+}
+
+std::map<ObjectId, int64_t> Monitor::TableFrequencies() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::map<ObjectId, int64_t>(table_freq_.begin(), table_freq_.end());
+}
+
+std::map<std::pair<ObjectId, int>, int64_t> Monitor::AttributeFrequencies()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::pair<ObjectId, int>, int64_t> out;
+  for (const auto& [key, freq] : attr_freq_) {
+    out[{key >> 16, static_cast<int>(key & 0xFFFF)}] = freq;
+  }
+  return out;
+}
+
+std::map<ObjectId, int64_t> Monitor::IndexFrequencies() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::map<ObjectId, int64_t>(index_freq_.begin(), index_freq_.end());
+}
+
+MonitorCounters Monitor::counters() const {
+  MonitorCounters out;
+  out.statements_committed =
+      statements_executed_.load(std::memory_order_relaxed);
+  out.total_monitor_nanos =
+      total_monitor_nanos_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.statements_dropped = workload_.overwritten();
+  return out;
+}
+
+void Monitor::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  statements_.clear();
+  statement_arrivals_.clear();
+  workload_.Clear();
+  references_.Clear();
+  statistics_.Clear();
+  table_freq_.clear();
+  attr_freq_.clear();
+  index_freq_.clear();
+}
+
+}  // namespace imon::monitor

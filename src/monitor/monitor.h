@@ -1,0 +1,300 @@
+// The integrated monitoring component — the paper's core contribution.
+//
+// Sensors are plain inline function calls placed at the engine's own
+// call sites along the statement path (paper Fig. 2):
+//
+//   Query interface   -> OnQueryStart            (wallclock start)
+//   Parser            -> OnParseComplete         (query text + hash)
+//   Binder/catalog    -> OnBindComplete          (tables, attributes,
+//                                                 histograms, avail. indexes)
+//   Optimizer         -> OnOptimizeComplete      (estimated costs,
+//                                                 used indexes)
+//   Execution         -> OnExecuteComplete       (actual costs)
+//   Result interface  -> Commit                  (wallclock stop; publish)
+//
+// A disabled monitor reduces every sensor to one predictable branch.
+// Each sensor self-times; the per-statement and global monitoring-time
+// shares reproduce the paper's Fig. 5.
+//
+// Sensor calls mutate a caller-owned QueryTrace (no shared state, no
+// locks); only Commit takes the monitor mutex once per statement to
+// publish into the ring buffers, which IMA exposes as virtual tables.
+
+#ifndef IMON_MONITOR_MONITOR_H_
+#define IMON_MONITOR_MONITOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "monitor/ring_buffer.h"
+
+namespace imon::monitor {
+
+using ObjectId = int64_t;
+
+struct MonitorConfig {
+  bool enabled = true;
+  /// "By default, the monitoring can capture up to 1000 different
+  /// statements until the buffer wraps around."
+  size_t statement_window = 1000;
+  size_t workload_window = 4000;
+  size_t references_window = 16000;
+  size_t statistics_window = 4096;
+  /// Sample system statistics every N committed statements (0 = only on
+  /// explicit RecordSystemStats calls from the daemon).
+  int64_t stats_sample_every = 64;
+};
+
+// -- records mirroring the paper's Fig. 3 schema -----------------------------
+
+struct StatementRecord {
+  uint64_t hash = 0;
+  std::string text;
+  int64_t frequency = 0;
+  int64_t first_seen_micros = 0;
+  int64_t last_seen_micros = 0;
+};
+
+enum class RefType { kTable = 0, kAttribute = 1, kIndex = 2, kUsedIndex = 3 };
+
+struct ReferenceRecord {
+  int64_t seq = 0;
+  uint64_t hash = 0;  ///< statement hash
+  RefType type = RefType::kTable;
+  ObjectId object_id = -1;
+  ObjectId table_id = -1;
+  int ordinal = -1;  ///< attribute ordinal (kAttribute only)
+};
+
+struct WorkloadRecord {
+  int64_t seq = 0;
+  uint64_t hash = 0;
+  int64_t start_micros = 0;        ///< wallclock start
+  int64_t wallclock_nanos = 0;     ///< start to stop
+  int64_t optimizer_cpu_nanos = 0;
+  int64_t optimizer_disk_io = 0;
+  int64_t execute_cpu_nanos = 0;
+  int64_t execute_disk_io = 0;
+  double estimated_cpu = 0;        ///< optimizer cost units
+  double estimated_io = 0;
+  double actual_cost = 0;          ///< measured, same units as estimates
+  int64_t rows_examined = 0;
+  int64_t rows_output = 0;
+  int64_t monitor_nanos = 0;       ///< self-cost of the sensors (Fig. 5)
+  std::vector<ObjectId> used_indexes;
+};
+
+struct StatisticsRecord {
+  int64_t seq = 0;
+  int64_t time_micros = 0;
+  int64_t current_sessions = 0;
+  int64_t max_sessions_seen = 0;
+  int64_t locks_held = 0;
+  int64_t lock_waits_total = 0;
+  int64_t deadlocks_total = 0;
+  int64_t cache_logical_reads = 0;
+  int64_t cache_physical_reads = 0;
+  double cache_hit_ratio = 0;
+  int64_t disk_reads = 0;
+  int64_t disk_writes = 0;
+  int64_t statements_executed = 0;
+};
+
+/// Raw system numbers supplied by the engine when sampling.
+struct SystemSnapshot {
+  int64_t current_sessions = 0;
+  int64_t locks_held = 0;
+  int64_t lock_waits_total = 0;
+  int64_t deadlocks_total = 0;
+  int64_t cache_logical_reads = 0;
+  int64_t cache_physical_reads = 0;
+  int64_t disk_reads = 0;
+  int64_t disk_writes = 0;
+};
+
+/// Caller-owned per-statement trace filled by the sensors.
+struct QueryTrace {
+  bool active = false;
+  int64_t wall_start_micros = 0;
+  int64_t mono_start_nanos = 0;
+  uint64_t hash = 0;
+  std::string text;
+  int64_t monitor_nanos = 0;
+
+  std::vector<ObjectId> ref_tables;
+  std::vector<std::pair<ObjectId, int>> ref_attributes;
+  std::vector<ObjectId> ref_indexes;
+
+  double estimated_cpu = 0;
+  double estimated_io = 0;
+  std::vector<ObjectId> used_indexes;
+  int64_t optimizer_cpu_nanos = 0;
+  int64_t optimizer_disk_io = 0;
+
+  int64_t execute_cpu_nanos = 0;
+  int64_t execute_disk_io = 0;
+  double actual_cost = 0;
+  int64_t rows_examined = 0;
+  int64_t rows_output = 0;
+};
+
+/// Aggregate view for tests/IMA.
+struct MonitorCounters {
+  int64_t statements_committed = 0;
+  int64_t statements_dropped = 0;  ///< workload ring overwrites
+  int64_t total_monitor_nanos = 0;
+};
+
+class Monitor {
+ public:
+  explicit Monitor(MonitorConfig config, const Clock* clock)
+      : config_(config),
+        clock_(clock),
+        workload_(config.workload_window),
+        references_(config.references_window),
+        statistics_(config.statistics_window) {}
+
+  bool enabled() const { return config_.enabled; }
+  void set_enabled(bool on) { config_.enabled = on; }
+  const MonitorConfig& config() const { return config_; }
+
+  // -- sensors (hot path; inline enabled check) -----------------------------
+
+  void OnQueryStart(QueryTrace* trace) {
+    if (!config_.enabled) return;
+    int64_t begin = MonotonicNanos();
+    trace->active = true;
+    trace->wall_start_micros = clock_->NowMicros();
+    trace->mono_start_nanos = begin;
+    trace->monitor_nanos += MonotonicNanos() - begin;
+  }
+
+  void OnParseComplete(QueryTrace* trace, std::string_view text) {
+    if (!config_.enabled || !trace->active) return;
+    int64_t begin = MonotonicNanos();
+    trace->text.assign(text.data(), text.size());
+    trace->hash = HashStatement(text);
+    trace->monitor_nanos += MonotonicNanos() - begin;
+  }
+
+  /// Reference vectors are taken by value and moved: the binder already
+  /// materialized them, so the sensor only swaps pointers.
+  void OnBindComplete(QueryTrace* trace, std::vector<ObjectId> tables,
+                      std::vector<std::pair<ObjectId, int>> attributes,
+                      std::vector<ObjectId> indexes) {
+    if (!config_.enabled || !trace->active) return;
+    int64_t begin = MonotonicNanos();
+    trace->ref_tables = std::move(tables);
+    trace->ref_attributes = std::move(attributes);
+    trace->ref_indexes = std::move(indexes);
+    trace->monitor_nanos += MonotonicNanos() - begin;
+  }
+
+  void OnOptimizeComplete(QueryTrace* trace, double est_cpu, double est_io,
+                          const std::vector<ObjectId>& used_indexes,
+                          int64_t optimizer_nanos, int64_t optimizer_io) {
+    if (!config_.enabled || !trace->active) return;
+    int64_t begin = MonotonicNanos();
+    trace->estimated_cpu = est_cpu;
+    trace->estimated_io = est_io;
+    trace->used_indexes = used_indexes;
+    trace->optimizer_cpu_nanos = optimizer_nanos;
+    trace->optimizer_disk_io = optimizer_io;
+    trace->monitor_nanos += MonotonicNanos() - begin;
+  }
+
+  void OnExecuteComplete(QueryTrace* trace, int64_t execute_nanos,
+                         int64_t execute_io, double actual_cost,
+                         int64_t rows_examined, int64_t rows_output) {
+    if (!config_.enabled || !trace->active) return;
+    int64_t begin = MonotonicNanos();
+    trace->execute_cpu_nanos = execute_nanos;
+    trace->execute_disk_io = execute_io;
+    trace->actual_cost = actual_cost;
+    trace->rows_examined = rows_examined;
+    trace->rows_output = rows_output;
+    trace->monitor_nanos += MonotonicNanos() - begin;
+  }
+
+  /// Wallclock stop; publishes the trace into the ring buffers. The only
+  /// sensor that takes the monitor mutex.
+  void Commit(QueryTrace* trace);
+
+  // -- system statistics -----------------------------------------------------
+
+  /// Stamp + append a statistics sample (called by the engine's sampler
+  /// and by the daemon on every poll).
+  void RecordSystemStats(const SystemSnapshot& snapshot);
+
+  /// True when the per-N-statements sampler should fire (engine calls
+  /// this after Commit and, if true, gathers a SystemSnapshot).
+  bool ShouldSampleStats();
+
+  // -- snapshots for IMA / daemon / tests -------------------------------------
+
+  std::vector<StatementRecord> SnapshotStatements() const;
+  std::vector<WorkloadRecord> SnapshotWorkload() const;
+  std::vector<ReferenceRecord> SnapshotReferences() const;
+  std::vector<StatisticsRecord> SnapshotStatistics() const;
+
+  /// Incremental snapshots: records with seq > min_seq, copying only the
+  /// new tail of the ring (the daemon's poll path).
+  std::vector<WorkloadRecord> SnapshotWorkloadSince(int64_t min_seq) const;
+  std::vector<ReferenceRecord> SnapshotReferencesSince(int64_t min_seq) const;
+  std::vector<StatisticsRecord> SnapshotStatisticsSince(int64_t min_seq) const;
+
+  /// Access frequency counters (monitor-maintained, unbounded maps keyed
+  /// by object id; cleared with the rings).
+  std::map<ObjectId, int64_t> TableFrequencies() const;
+  std::map<std::pair<ObjectId, int>, int64_t> AttributeFrequencies() const;
+  std::map<ObjectId, int64_t> IndexFrequencies() const;
+
+  MonitorCounters counters() const;
+  int64_t statements_executed() const {
+    return statements_executed_.load(std::memory_order_relaxed);
+  }
+  int64_t max_sessions_seen() const {
+    return max_sessions_seen_.load(std::memory_order_relaxed);
+  }
+  void NoteSessionCount(int64_t sessions);
+
+  void Clear();
+
+ private:
+  MonitorConfig config_;
+  const Clock* clock_;
+
+  mutable std::mutex mutex_;
+  /// Statement registry, bounded to statement_window entries.
+  std::unordered_map<uint64_t, StatementRecord> statements_;
+  /// FIFO arrival order of registry hashes; drives O(1) amortized
+  /// eviction when the window is full (stale entries are skipped).
+  std::deque<uint64_t> statement_arrivals_;
+  RingBuffer<WorkloadRecord> workload_;
+  RingBuffer<ReferenceRecord> references_;
+  RingBuffer<StatisticsRecord> statistics_;
+
+  std::unordered_map<ObjectId, int64_t> table_freq_;
+  std::unordered_map<int64_t, int64_t> attr_freq_;  // (table<<16)|ordinal
+  std::unordered_map<ObjectId, int64_t> index_freq_;
+
+  int64_t next_seq_ = 1;
+  int64_t next_stats_seq_ = 1;
+  std::atomic<int64_t> statements_executed_{0};
+  std::atomic<int64_t> max_sessions_seen_{0};
+  std::atomic<int64_t> total_monitor_nanos_{0};
+  std::atomic<int64_t> since_last_sample_{0};
+};
+
+}  // namespace imon::monitor
+
+#endif  // IMON_MONITOR_MONITOR_H_

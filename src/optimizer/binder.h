@@ -1,0 +1,105 @@
+// Name resolution and semantic analysis for SELECT / DML statements.
+//
+// Binding is also the monitor's catalog-information sensor site: the
+// binder reports every table, attribute and available index a statement
+// touches ("logged right at its source ... no further access to the
+// catalogs is required", paper §IV-A).
+
+#ifndef IMON_OPTIMIZER_BINDER_H_
+#define IMON_OPTIMIZER_BINDER_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace imon::optimizer {
+
+/// One resolved FROM entry.
+struct BoundTable {
+  std::string alias;
+  catalog::TableInfo info;  // synthesized for virtual tables
+  bool is_virtual = false;
+  std::shared_ptr<catalog::VirtualTableProvider> provider;
+};
+
+/// Catalog objects a statement referenced — the monitor's `references`
+/// ring buffer is fed from this.
+struct ReferenceSet {
+  std::set<catalog::ObjectId> tables;
+  /// (table id, column ordinal)
+  std::set<std::pair<catalog::ObjectId, int>> attributes;
+  /// Indexes available on the referenced tables.
+  std::set<catalog::ObjectId> available_indexes;
+};
+
+/// Aggregate call discovered in the select list / HAVING.
+struct BoundAggregate {
+  std::string func;          // count/sum/avg/min/max
+  const sql::Expr* call;     // the kFuncCall node
+  const sql::Expr* arg;      // nullptr for COUNT(*)
+};
+
+struct BoundSelect {
+  const sql::SelectStmt* stmt = nullptr;
+  std::vector<BoundTable> tables;
+  /// WHERE split into conjuncts (pointers into stmt->where).
+  std::vector<const sql::Expr*> conjuncts;
+  /// Select items with stars expanded into column refs (owned here).
+  std::vector<sql::SelectItem> items;
+  std::vector<BoundAggregate> aggregates;
+  bool has_aggregates = false;
+  ReferenceSet references;
+};
+
+struct BoundModification {
+  const sql::Statement* stmt = nullptr;
+  BoundTable table;
+  std::vector<const sql::Expr*> conjuncts;  // WHERE conjuncts
+  ReferenceSet references;
+};
+
+class Binder {
+ public:
+  explicit Binder(const catalog::Catalog* cat) : catalog_(cat) {}
+
+  /// Bind a SELECT in place (annotates stmt's expressions).
+  Result<BoundSelect> BindSelect(sql::SelectStmt* stmt);
+
+  /// Bind UPDATE/DELETE (single table + WHERE).
+  Result<BoundModification> BindUpdate(sql::UpdateStmt* stmt);
+  Result<BoundModification> BindDelete(sql::DeleteStmt* stmt);
+
+  /// Bind a standalone scalar expression (no aggregates) against the
+  /// given tables — used for trigger WHEN predicates and alert rules.
+  Status BindScalar(sql::Expr* expr, const std::vector<BoundTable>& tables);
+
+  /// Resolve the static type of a bound expression.
+  static Result<TypeId> InferType(const sql::Expr& expr,
+                                  const std::vector<BoundTable>& tables);
+
+  /// Split an AND tree into conjunct pointers.
+  static void SplitConjuncts(const sql::Expr* expr,
+                             std::vector<const sql::Expr*>* out);
+
+  /// Bitmask of FROM tables referenced under `expr`.
+  static uint64_t TablesUsed(const sql::Expr& expr);
+
+ private:
+  Result<BoundTable> ResolveTable(const sql::TableRef& ref);
+  Status BindExpr(sql::Expr* expr, const std::vector<BoundTable>& tables,
+                  ReferenceSet* refs, bool allow_aggregates,
+                  std::vector<BoundAggregate>* aggs);
+  Status CollectIndexReferences(const std::vector<BoundTable>& tables,
+                                ReferenceSet* refs);
+
+  const catalog::Catalog* catalog_;
+};
+
+}  // namespace imon::optimizer
+
+#endif  // IMON_OPTIMIZER_BINDER_H_

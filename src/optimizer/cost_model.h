@@ -1,0 +1,37 @@
+// Cost model constants and formulas (requirement ii of the paper: all
+// cost-based decisions use the engine's own cost model, so analyzer
+// recommendations are exactly what the optimizer would pick).
+//
+// Units: one sequential page read = 1.0. CPU work is scaled so that
+// processing ~100 tuples costs about one page read, following the
+// classic System-R/PostgreSQL weighting.
+
+#ifndef IMON_OPTIMIZER_COST_MODEL_H_
+#define IMON_OPTIMIZER_COST_MODEL_H_
+
+namespace imon::optimizer {
+
+struct CostModel {
+  double seq_page_cost = 1.0;
+  /// Calibrated for the in-memory page store beneath the engine, where a
+  /// random page access costs barely more than a sequential one (the
+  /// PostgreSQL guidance for fully cached databases). Raise toward 4.0
+  /// when simulating spinning-disk latency via DiskManager.
+  double random_page_cost = 1.1;
+  double cpu_tuple_cost = 0.01;
+  double cpu_operator_cost = 0.0025;  ///< per predicate per tuple
+  double cpu_index_tuple_cost = 0.005;
+  /// Build-side per tuple: materialize + hash + insert. Calibrated
+  /// against the block executor, which copies whole rows into the build
+  /// table (several times a plain scan tuple).
+  double hash_entry_cost = 0.04;
+  /// Assumed B-Tree descent depth (meta + internals) in random pages.
+  double btree_descent_pages = 3.0;
+  /// Per-probe descent in an index nested-loop join, in sequential-page
+  /// units: repeated probes keep the upper levels resident.
+  double warm_descent_pages = 1.5;
+};
+
+}  // namespace imon::optimizer
+
+#endif  // IMON_OPTIMIZER_COST_MODEL_H_

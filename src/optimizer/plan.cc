@@ -1,0 +1,98 @@
+#include "optimizer/plan.h"
+
+#include <sstream>
+
+namespace imon::optimizer {
+
+OutputLayout OutputLayout::ForTable(int table_idx, int num_tables,
+                                    int num_columns) {
+  OutputLayout out;
+  out.pos_.resize(num_tables);
+  out.pos_[table_idx].resize(num_columns);
+  for (int c = 0; c < num_columns; ++c) out.pos_[table_idx][c] = c;
+  out.width_ = num_columns;
+  return out;
+}
+
+OutputLayout OutputLayout::Concat(const OutputLayout& left,
+                                  const OutputLayout& right) {
+  OutputLayout out;
+  size_t tables = std::max(left.pos_.size(), right.pos_.size());
+  out.pos_.resize(tables);
+  for (size_t t = 0; t < tables; ++t) {
+    size_t cols = 0;
+    if (t < left.pos_.size()) cols = std::max(cols, left.pos_[t].size());
+    if (t < right.pos_.size()) cols = std::max(cols, right.pos_[t].size());
+    out.pos_[t].assign(cols, -1);
+    for (size_t c = 0; c < cols; ++c) {
+      if (t < left.pos_.size() && c < left.pos_[t].size() &&
+          left.pos_[t][c] >= 0) {
+        out.pos_[t][c] = left.pos_[t][c];
+      } else if (t < right.pos_.size() && c < right.pos_[t].size() &&
+                 right.pos_[t][c] >= 0) {
+        out.pos_[t][c] = right.pos_[t][c] + left.width_;
+      }
+    }
+  }
+  out.width_ = left.width_ + right.width_;
+  return out;
+}
+
+namespace {
+const char* AccessName(AccessPathKind kind) {
+  switch (kind) {
+    case AccessPathKind::kSeqScan:
+      return "SeqScan";
+    case AccessPathKind::kPrimaryBtree:
+      return "BtreeScan";
+    case AccessPathKind::kPrimaryHash:
+      return "HashLookup";
+    case AccessPathKind::kPrimaryIsam:
+      return "IsamScan";
+    case AccessPathKind::kSecondaryIndex:
+      return "IndexScan";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string PlanNode::ToString(int indent) const {
+  std::ostringstream os;
+  std::string pad(indent * 2, ' ');
+  os << pad;
+  switch (kind) {
+    case PlanNodeKind::kScan:
+      os << AccessName(access.kind) << "(t" << table_idx;
+      if (access.kind == AccessPathKind::kSecondaryIndex) {
+        os << " via " << access.index.name
+           << (access.index.is_virtual ? " [virtual]" : "");
+      }
+      os << ") rows=" << static_cast<int64_t>(est_rows)
+         << " cost=" << est_cost_io + est_cost_cpu;
+      if (!filters.empty()) {
+        os << " filters=" << filters.size();
+      }
+      return os.str();
+    case PlanNodeKind::kNestedLoopJoin:
+      os << "NLJoin";
+      break;
+    case PlanNodeKind::kIndexNLJoin:
+      os << "IndexNLJoin(inner " << AccessName(inner_access.kind);
+      if (inner_access.kind == AccessPathKind::kSecondaryIndex) {
+        os << " via " << inner_access.index.name
+           << (inner_access.index.is_virtual ? " [virtual]" : "");
+      }
+      os << ")";
+      break;
+    case PlanNodeKind::kHashJoin:
+      os << "HashJoin(keys=" << equi_keys.size() << ")";
+      break;
+  }
+  os << " rows=" << static_cast<int64_t>(est_rows)
+     << " cost=" << est_cost_io + est_cost_cpu;
+  if (left) os << "\n" << left->ToString(indent + 1);
+  if (right) os << "\n" << right->ToString(indent + 1);
+  return os.str();
+}
+
+}  // namespace imon::optimizer

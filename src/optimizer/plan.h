@@ -1,0 +1,128 @@
+// Physical plan representation shared by the optimizer and executor.
+
+#ifndef IMON_OPTIMIZER_PLAN_H_
+#define IMON_OPTIMIZER_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "sql/ast.h"
+
+namespace imon::optimizer {
+
+/// Maps (FROM-list table index, column ordinal) to a position in a plan
+/// node's output row. Built bottom-up as joins concatenate child outputs.
+class OutputLayout {
+ public:
+  /// Output position of (table, ordinal); -1 when not present.
+  int PositionOf(int table_idx, int ordinal) const {
+    if (table_idx < 0 || table_idx >= static_cast<int>(pos_.size())) return -1;
+    const auto& cols = pos_[table_idx];
+    if (ordinal < 0 || ordinal >= static_cast<int>(cols.size())) return -1;
+    return cols[ordinal];
+  }
+
+  int width() const { return width_; }
+
+  /// Layout of a single table's full row.
+  static OutputLayout ForTable(int table_idx, int num_tables, int num_columns);
+
+  /// Concatenation: left's positions unchanged, right's shifted.
+  static OutputLayout Concat(const OutputLayout& left,
+                             const OutputLayout& right);
+
+ private:
+  std::vector<std::vector<int>> pos_;  // [table_idx][ordinal] -> position
+  int width_ = 0;
+};
+
+/// Inclusive/exclusive bound on an index key column.
+struct KeyBound {
+  Value value;
+  bool inclusive = true;
+};
+
+/// How one base/virtual table is read.
+enum class AccessPathKind {
+  kSeqScan,        ///< heap chain or full B-Tree sweep
+  kPrimaryBtree,   ///< range scan on a BTREE table's primary structure
+  kPrimaryHash,    ///< full-key equality probe on a HASH table's buckets
+  kPrimaryIsam,    ///< directory-routed range scan on an ISAM table
+  kSecondaryIndex, ///< index B-Tree probe + base-row fetch
+};
+
+struct AccessPath {
+  AccessPathKind kind = AccessPathKind::kSeqScan;
+  /// For kSecondaryIndex: the index used (may be virtual in what-if mode).
+  catalog::IndexInfo index;
+  /// Number of leading index/PK columns bound by equality.
+  int eq_prefix_len = 0;
+  /// Equality values for the prefix, in key order.
+  std::vector<Value> eq_values;
+  /// Optional range on the column after the equality prefix.
+  std::optional<KeyBound> lower;
+  std::optional<KeyBound> upper;
+};
+
+enum class PlanNodeKind {
+  kScan,
+  kNestedLoopJoin,
+  kIndexNLJoin,
+  kHashJoin,
+};
+
+/// Join/scan tree node. Aggregation/sort/projection are handled by the
+/// executor pipeline above this tree (see exec/executor.h).
+struct PlanNode {
+  PlanNodeKind kind = PlanNodeKind::kScan;
+
+  // kScan
+  int table_idx = -1;
+  AccessPath access;
+  /// All single-table conjuncts, re-applied after any index probe.
+  std::vector<const sql::Expr*> filters;
+
+  // joins
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+  /// Equi-join key pairs (left expr, right expr) for hash/index NL joins.
+  std::vector<std::pair<const sql::Expr*, const sql::Expr*>> equi_keys;
+  /// Residual join conjuncts evaluated on the combined row.
+  std::vector<const sql::Expr*> residual;
+  /// For kIndexNLJoin: access path template on the inner (right) table
+  /// whose eq_values are taken from the outer row at runtime.
+  AccessPath inner_access;
+  /// Outer-row expressions supplying the inner probe key values.
+  std::vector<const sql::Expr*> probe_exprs;
+
+  // estimates (all nodes)
+  double est_rows = 0;
+  double est_cost_io = 0;   ///< page reads (sequential-page units)
+  double est_cost_cpu = 0;  ///< cpu cost units
+
+  OutputLayout layout;
+
+  /// Tables covered by this subtree (bitmask over FROM indices).
+  uint64_t table_mask = 0;
+
+  std::string ToString(int indent = 0) const;
+};
+
+/// Planner verdict for one statement; feeds the monitor's "estimated
+/// costs + used indexes" sensor and the analyzer's what-if evaluation.
+struct PlanSummary {
+  double est_rows = 0;
+  double est_cost_io = 0;
+  double est_cost_cpu = 0;
+  double TotalCost() const { return est_cost_io + est_cost_cpu; }
+  /// Ids of secondary indexes the plan probes (virtual ids included).
+  std::vector<catalog::ObjectId> used_indexes;
+  std::string plan_text;
+};
+
+}  // namespace imon::optimizer
+
+#endif  // IMON_OPTIMIZER_PLAN_H_

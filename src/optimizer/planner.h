@@ -1,0 +1,87 @@
+// Cost-based planner: access-path selection + dynamic-programming join
+// ordering, with a what-if interface.
+//
+// Like Ingres, secondary indexes are just B-Tree relations mapping key ->
+// TID, and the planner treats them as additional access paths / joinable
+// inners. Hypothetical ("virtual") indexes — the AutoAdmin-style what-if
+// mechanism the paper's analyzer exploits — enter planning through
+// PlannerOptions::virtual_indexes and are indistinguishable from real
+// indexes during costing; the plan reports which ones it would use.
+
+#ifndef IMON_OPTIMIZER_PLANNER_H_
+#define IMON_OPTIMIZER_PLANNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/binder.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/plan.h"
+
+namespace imon::optimizer {
+
+struct PlannerOptions {
+  CostModel cost;
+  /// Hypothetical indexes injected for what-if planning. Their `id` must
+  /// be unique (the analyzer uses negative ids) and `is_virtual` true.
+  std::vector<catalog::IndexInfo> virtual_indexes;
+};
+
+class Planner {
+ public:
+  Planner(const catalog::Catalog* cat, PlannerOptions options = {})
+      : catalog_(cat), options_(std::move(options)) {}
+
+  /// Plan the scan/join tree of a bound SELECT.
+  Result<std::unique_ptr<PlanNode>> PlanJoinTree(const BoundSelect& bound);
+
+  /// Best single-table scan for UPDATE/DELETE target rows.
+  Result<std::unique_ptr<PlanNode>> PlanSingleTable(
+      const BoundTable& table, const std::vector<const sql::Expr*>& conjuncts);
+
+  /// Roll up tree estimates (plus aggregation/sort surcharges) and the
+  /// set of used indexes.
+  PlanSummary Summarize(const PlanNode& root, const BoundSelect& bound) const;
+
+  const CostModel& cost_model() const { return options_.cost; }
+
+ private:
+  /// Per-column constant constraints extracted from conjuncts.
+  struct ColumnConstraint {
+    std::optional<Value> eq;
+    std::optional<KeyBound> lower;
+    std::optional<KeyBound> upper;
+    /// Combined selectivity of the conjuncts that produced this.
+    double selectivity = 1.0;
+  };
+
+  /// Candidate indexes on a table: real ones from the catalog plus the
+  /// injected virtual ones.
+  std::vector<catalog::IndexInfo> CandidateIndexes(
+      const catalog::TableInfo& table) const;
+
+  /// Extract constant constraints per column ordinal for `table_idx`.
+  std::map<int, ColumnConstraint> ExtractConstraints(
+      int table_idx, const std::vector<BoundTable>& tables,
+      const std::vector<const sql::Expr*>& conjuncts,
+      const CardinalityEstimator& est) const;
+
+  /// Best access path for one table given its constraints; fills cost
+  /// and row estimates of the returned scan node.
+  std::unique_ptr<PlanNode> BestScan(
+      int table_idx, const std::vector<BoundTable>& tables,
+      const std::vector<const sql::Expr*>& conjuncts,
+      const CardinalityEstimator& est) const;
+
+  /// Pages of a table, estimating when stats are missing.
+  double TablePages(const BoundTable& table, double rows) const;
+
+  const catalog::Catalog* catalog_;
+  PlannerOptions options_;
+};
+
+}  // namespace imon::optimizer
+
+#endif  // IMON_OPTIMIZER_PLANNER_H_

@@ -1,0 +1,150 @@
+#include "sql/ast.h"
+
+#include <sstream>
+
+namespace imon::sql {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->qualifier = qualifier;
+  out->column = column;
+  out->binary_op = binary_op;
+  out->unary_op = unary_op;
+  if (lhs) out->lhs = lhs->Clone();
+  if (rhs) out->rhs = rhs->Clone();
+  out->func_name = func_name;
+  for (const ExprPtr& a : args) out->args.push_back(a->Clone());
+  if (low) out->low = low->Clone();
+  if (high) out->high = high->Clone();
+  for (const ExprPtr& e : in_list) out->in_list.push_back(e->Clone());
+  out->like_pattern = like_pattern;
+  out->negated = negated;
+  out->bound_table = bound_table;
+  out->bound_column = bound_column;
+  return out;
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kColumnRef:
+      if (!qualifier.empty()) os << qualifier << ".";
+      os << column;
+      return os.str();
+    case ExprKind::kBinary:
+      os << "(" << lhs->ToString() << " " << BinaryOpName(binary_op) << " "
+         << rhs->ToString() << ")";
+      return os.str();
+    case ExprKind::kUnary:
+      os << (unary_op == UnaryOp::kNot ? "NOT " : "-") << lhs->ToString();
+      return os.str();
+    case ExprKind::kFuncCall: {
+      os << func_name << "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << args[i]->ToString();
+      }
+      os << ")";
+      return os.str();
+    }
+    case ExprKind::kBetween:
+      os << lhs->ToString() << (negated ? " NOT" : "") << " BETWEEN "
+         << low->ToString() << " AND " << high->ToString();
+      return os.str();
+    case ExprKind::kInList: {
+      os << lhs->ToString() << (negated ? " NOT" : "") << " IN (";
+      for (size_t i = 0; i < in_list.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << in_list[i]->ToString();
+      }
+      os << ")";
+      return os.str();
+    }
+    case ExprKind::kIsNull:
+      os << lhs->ToString() << " IS" << (negated ? " NOT" : "") << " NULL";
+      return os.str();
+    case ExprKind::kLike:
+      os << lhs->ToString() << (negated ? " NOT" : "") << " LIKE '"
+         << like_pattern << "'";
+      return os.str();
+    case ExprKind::kStar:
+      return "*";
+  }
+  return "?";
+}
+
+ExprPtr Expr::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::MakeColumn(std::string qualifier, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->lhs = std::move(operand);
+  return e;
+}
+
+ExprPtr Expr::MakeStar() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+}  // namespace imon::sql

@@ -1,0 +1,286 @@
+// Abstract syntax tree for the SQL dialect.
+//
+// The dialect covers what the paper's system needs end to end: the NREF
+// workload queries (multi-join SELECTs with range predicates, aggregates,
+// ORDER BY), the daemon's workload-DB maintenance (INSERT / DELETE /
+// UPDATE), physical-design DDL (CREATE/DROP TABLE/INDEX, Ingres-style
+// MODIFY ... TO BTREE/HEAP, ANALYZE) and the alerting triggers.
+//
+// Expressions use a single tagged struct rather than a class hierarchy;
+// the evaluator and binder switch on ExprKind.
+
+#ifndef IMON_SQL_AST_H_
+#define IMON_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace imon::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kBinary,
+  kUnary,
+  kFuncCall,  // aggregates and scalar functions
+  kBetween,
+  kInList,
+  kIsNull,
+  kLike,
+  kStar,  // only inside COUNT(*) / SELECT *
+};
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+const char* BinaryOpName(BinaryOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef: optional "alias." qualifier + column name.
+  std::string qualifier;
+  std::string column;
+
+  // kBinary / kUnary
+  BinaryOp binary_op = BinaryOp::kEq;
+  UnaryOp unary_op = UnaryOp::kNot;
+  ExprPtr lhs;   // also: operand of unary / tested expr of between, in,
+                 // is-null, like
+  ExprPtr rhs;
+
+  // kFuncCall
+  std::string func_name;  // lower-cased
+  std::vector<ExprPtr> args;
+
+  // kBetween
+  ExprPtr low;
+  ExprPtr high;
+
+  // kInList
+  std::vector<ExprPtr> in_list;
+
+  // kLike
+  std::string like_pattern;
+
+  // kBetween / kInList / kIsNull / kLike
+  bool negated = false;
+
+  // -- binder annotations (filled by optimizer::Binder) --------------------
+  /// Resolved column: index of the table in the FROM list + column ordinal.
+  int bound_table = -1;
+  int bound_column = -1;
+
+  /// Deep copy (bound annotations included).
+  ExprPtr Clone() const;
+  /// Human-readable rendering for plan/diagnostic output.
+  std::string ToString() const;
+
+  static ExprPtr MakeLiteral(Value v);
+  static ExprPtr MakeColumn(std::string qualifier, std::string column);
+  static ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+  static ExprPtr MakeStar();
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StatementKind {
+  kSelect,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kCreateTable,
+  kDropTable,
+  kCreateIndex,
+  kDropIndex,
+  kModify,
+  kAnalyze,
+  kCreateTrigger,
+  kDropTrigger,
+  kExplain,
+  kBegin,
+  kCommit,
+  kRollback,
+};
+
+struct Statement {
+  virtual ~Statement() = default;
+  virtual StatementKind kind() const = 0;
+};
+using StatementPtr = std::unique_ptr<Statement>;
+
+/// One FROM entry: base/virtual table with optional alias.
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to table name
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+/// One SELECT output: expression + optional AS name; star selects all.
+struct SelectItem {
+  ExprPtr expr;  // null for star
+  std::string alias;
+  bool is_star = false;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kSelect; }
+
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  /// WHERE plus all JOIN ... ON conditions, conjunctively.
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+};
+
+struct InsertStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kInsert; }
+  std::string table;
+  std::vector<std::string> columns;  // empty = table order
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct UpdateStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kUpdate; }
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct DeleteStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kDelete; }
+  std::string table;
+  ExprPtr where;
+};
+
+struct ColumnDef {
+  std::string name;
+  TypeId type;
+  bool not_null = false;
+  bool primary_key = false;
+};
+
+struct CreateTableStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kCreateTable; }
+  std::string table;
+  std::vector<ColumnDef> columns;
+  std::vector<std::string> primary_key;  // table-level PRIMARY KEY (...)
+  /// WITH MAIN_PAGES = n (heap main allocation); 0 = default.
+  uint32_t main_pages = 0;
+  bool if_not_exists = false;
+};
+
+struct DropTableStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kDropTable; }
+  std::string table;
+  bool if_exists = false;
+};
+
+struct CreateIndexStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kCreateIndex; }
+  std::string index;
+  std::string table;
+  std::vector<std::string> columns;
+  bool unique = false;
+};
+
+struct DropIndexStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kDropIndex; }
+  std::string index;
+};
+
+/// Target of MODIFY <table> TO ... (Ingres storage-structure conversion).
+enum class TargetStructure { kHeap, kBtree, kHash, kIsam };
+
+struct ModifyStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kModify; }
+  std::string table;
+  TargetStructure target = TargetStructure::kHeap;
+};
+
+/// ANALYZE <table> [(col, ...)] — build column histograms (optimizedb).
+struct AnalyzeStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kAnalyze; }
+  std::string table;
+  std::vector<std::string> columns;  // empty = all columns
+};
+
+/// CREATE TRIGGER <name> AFTER INSERT ON <table> WHEN <expr> RAISE '<msg>'
+/// The paper's daemon sets up such triggers on the workload DB for DBA
+/// alerting (e.g. "maximum number of users reached").
+struct CreateTriggerStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kCreateTrigger; }
+  std::string name;
+  std::string table;
+  ExprPtr when;  // evaluated against the inserted row
+  std::string message;
+};
+
+struct DropTriggerStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kDropTrigger; }
+  std::string name;
+};
+
+struct ExplainStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kExplain; }
+  StatementPtr inner;  // must be a SelectStmt
+};
+
+struct BeginStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kBegin; }
+};
+
+struct CommitStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kCommit; }
+};
+
+struct RollbackStmt : Statement {
+  StatementKind kind() const override { return StatementKind::kRollback; }
+};
+
+}  // namespace imon::sql
+
+#endif  // IMON_SQL_AST_H_

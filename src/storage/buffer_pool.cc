@@ -1,0 +1,156 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace imon::storage {
+
+PageView PageGuard::Write() {
+  pool_->MarkDirty(frame_);
+  return PageView(data_);
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages) {
+  frames_.resize(capacity_);
+  for (Frame& f : frames_) f.data = std::make_unique<char[]>(kPageSize);
+}
+
+BufferPool::~BufferPool() { FlushAll().ok(); }
+
+Result<PageGuard> BufferPool::Fetch(PageId pid) {
+  logical_reads_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = table_.find(pid);
+  if (it != table_.end()) {
+    size_t idx = it->second;
+    Frame& f = frames_[idx];
+    if (f.pin_count == 0) {
+      auto pos = lru_pos_.find(idx);
+      if (pos != lru_pos_.end()) {
+        lru_.erase(pos->second);
+        lru_pos_.erase(pos);
+      }
+    }
+    ++f.pin_count;
+    return PageGuard(this, idx, f.data.get(), pid);
+  }
+  IMON_ASSIGN_OR_RETURN(size_t idx, AcquireFrame());
+  Frame& f = frames_[idx];
+  f.pid = pid;
+  f.dirty = false;
+  f.pin_count = 1;
+  f.used = true;
+  table_[pid] = idx;
+  // Read outside the pool lock would be nicer; the in-memory disk makes
+  // the hold time trivial, so keep it simple and race-free.
+  physical_reads_.fetch_add(1, std::memory_order_relaxed);
+  Status s = disk_->ReadPage(pid, f.data.get());
+  if (!s.ok()) {
+    table_.erase(pid);
+    f.pin_count = 0;
+    f.used = false;
+    return s;
+  }
+  return PageGuard(this, idx, f.data.get(), pid);
+}
+
+Result<PageGuard> BufferPool::New(FileId file) {
+  IMON_ASSIGN_OR_RETURN(uint32_t page_no, disk_->AllocatePage(file));
+  PageId pid{file, page_no};
+  logical_reads_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mutex_);
+  IMON_ASSIGN_OR_RETURN(size_t idx, AcquireFrame());
+  Frame& f = frames_[idx];
+  f.pid = pid;
+  f.dirty = true;  // fresh page must reach the disk image eventually
+  f.pin_count = 1;
+  f.used = true;
+  std::memset(f.data.get(), 0, kPageSize);
+  table_[pid] = idx;
+  return PageGuard(this, idx, f.data.get(), pid);
+}
+
+Status BufferPool::FlushAll() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (Frame& f : frames_) {
+    if (f.used && f.dirty) {
+      IMON_RETURN_IF_ERROR(disk_->WritePage(f.pid, f.data.get()));
+      dirty_writebacks_.fetch_add(1, std::memory_order_relaxed);
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::Purge(FileId file) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (size_t idx = 0; idx < frames_.size(); ++idx) {
+    Frame& f = frames_[idx];
+    if (f.used && f.pid.file_id == file && f.pin_count == 0) {
+      table_.erase(f.pid);
+      auto pos = lru_pos_.find(idx);
+      if (pos != lru_pos_.end()) {
+        lru_.erase(pos->second);
+        lru_pos_.erase(pos);
+      }
+      f.used = false;
+      f.dirty = false;
+    }
+  }
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats s;
+  s.logical_reads = logical_reads_.load(std::memory_order_relaxed);
+  s.physical_reads = physical_reads_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.dirty_writebacks = dirty_writebacks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Result<size_t> BufferPool::AcquireFrame() {
+  // Free frame first.
+  for (size_t idx = 0; idx < frames_.size(); ++idx) {
+    if (!frames_[idx].used) return idx;
+  }
+  // Evict least-recently-used unpinned frame.
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("buffer pool: all pages pinned");
+  }
+  size_t idx = lru_.back();
+  lru_.pop_back();
+  lru_pos_.erase(idx);
+  Frame& f = frames_[idx];
+  if (f.dirty) {
+    IMON_RETURN_IF_ERROR(disk_->WritePage(f.pid, f.data.get()));
+    dirty_writebacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  table_.erase(f.pid);
+  f.used = false;
+  f.dirty = false;
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+void BufferPool::Unpin(size_t frame_idx) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Frame& f = frames_[frame_idx];
+  if (--f.pin_count == 0) {
+    lru_.push_front(frame_idx);
+    lru_pos_[frame_idx] = lru_.begin();
+  }
+}
+
+void BufferPool::MarkDirty(size_t frame_idx) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  frames_[frame_idx].dirty = true;
+}
+
+}  // namespace imon::storage

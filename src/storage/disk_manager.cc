@@ -1,0 +1,91 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+#include "common/clock.h"
+
+namespace imon::storage {
+
+FileId DiskManager::CreateFile() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FileId id = next_file_id_++;
+  files_.emplace(id, std::vector<std::unique_ptr<char[]>>{});
+  return id;
+}
+
+void DiskManager::DeleteFile(FileId file) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_.erase(file);
+}
+
+Result<uint32_t> DiskManager::AllocatePage(FileId file) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(file);
+  if (it == files_.end())
+    return Status::NotFound("disk: unknown file " + std::to_string(file));
+  auto page = std::make_unique<char[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  it->second.push_back(std::move(page));
+  pages_allocated_.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<uint32_t>(it->second.size() - 1);
+}
+
+Status DiskManager::ReadPage(PageId pid, char* out) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = files_.find(pid.file_id);
+    if (it == files_.end() || pid.page_no >= it->second.size())
+      return Status::NotFound("disk: read of nonexistent page");
+    std::memcpy(out, it->second[pid.page_no].get(), kPageSize);
+  }
+  physical_reads_.fetch_add(1, std::memory_order_relaxed);
+  SimulateLatency();
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId pid, const char* data) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = files_.find(pid.file_id);
+    if (it == files_.end() || pid.page_no >= it->second.size())
+      return Status::NotFound("disk: write of nonexistent page");
+    std::memcpy(it->second[pid.page_no].get(), data, kPageSize);
+  }
+  physical_writes_.fetch_add(1, std::memory_order_relaxed);
+  SimulateLatency();
+  return Status::OK();
+}
+
+uint32_t DiskManager::NumPages(FileId file) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(file);
+  return it == files_.end() ? 0 : static_cast<uint32_t>(it->second.size());
+}
+
+int64_t DiskManager::TotalPages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (const auto& [id, pages] : files_) total += pages.size();
+  return total;
+}
+
+int64_t DiskManager::TotalPagesIn(const std::vector<FileId>& files) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (FileId f : files) {
+    auto it = files_.find(f);
+    if (it != files_.end()) total += it->second.size();
+  }
+  return total;
+}
+
+void DiskManager::SimulateLatency() const {
+  int64_t wait = latency_nanos_.load(std::memory_order_relaxed);
+  if (wait <= 0) return;
+  int64_t start = MonotonicNanos();
+  while (MonotonicNanos() - start < wait) {
+    // busy-wait: models synchronous I/O latency without yielding the CPU
+  }
+}
+
+}  // namespace imon::storage

@@ -1,0 +1,159 @@
+#include "storage/hash_file.h"
+
+#include "common/hash.h"
+
+namespace imon::storage {
+
+namespace {
+constexpr uint32_t kOverflowFlag = 1;
+}
+
+HashFile::HashFile(BufferPool* pool, FileId file, uint32_t buckets)
+    : pool_(pool), file_(file), buckets_(buckets == 0 ? 1 : buckets) {}
+
+Status HashFile::Initialize() {
+  for (uint32_t b = 0; b < buckets_; ++b) {
+    IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->New(file_));
+    if (guard.page_id().page_no != b) {
+      return Status::Internal("hash: bucket pages must be contiguous");
+    }
+    guard.Write().Init(PageType::kHeap);
+  }
+  return Status::OK();
+}
+
+uint32_t HashFile::BucketOf(const std::string& key) const {
+  return static_cast<uint32_t>(HashBytes(key.data(), key.size()) % buckets_);
+}
+
+Result<uint32_t> HashFile::PageForInsert(uint32_t bucket,
+                                         size_t record_size) {
+  uint32_t page_no = bucket;
+  while (true) {
+    IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(PageId{file_, page_no}));
+    PageView view = guard.Read();
+    if (view.Fits(record_size)) return page_no;
+    if (view.next_page() == kInvalidPageNo) break;
+    page_no = view.next_page();
+  }
+  // Chain is full: append an overflow page.
+  IMON_ASSIGN_OR_RETURN(PageGuard fresh, pool_->New(file_));
+  uint32_t fresh_no = fresh.page_id().page_no;
+  {
+    PageView view = fresh.Write();
+    view.Init(PageType::kHeap);
+    view.set_extra(kOverflowFlag);  // all grown pages are overflow
+  }
+  {
+    IMON_ASSIGN_OR_RETURN(PageGuard tail, pool_->Fetch(PageId{file_, page_no}));
+    tail.Write().set_next_page(fresh_no);
+  }
+  return fresh_no;
+}
+
+Result<Rid> HashFile::Insert(const std::string& key, const Row& row) {
+  std::string record;
+  SerializeRow(row, &record);
+  if (record.size() > kMaxRecordSize) {
+    return Status::InvalidArgument("row larger than one page");
+  }
+  uint32_t bucket = BucketOf(key);
+  IMON_ASSIGN_OR_RETURN(uint32_t page_no,
+                        PageForInsert(bucket, record.size()));
+  IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(PageId{file_, page_no}));
+  auto slot = guard.Write().Insert(record);
+  if (!slot.has_value()) {
+    return Status::Internal("hash: page chosen for insert rejected record");
+  }
+  return Rid{page_no, *slot};
+}
+
+Result<Row> HashFile::Get(Rid rid) const {
+  IMON_ASSIGN_OR_RETURN(PageGuard guard,
+                        pool_->Fetch(PageId{file_, rid.page_no}));
+  std::string_view record = guard.Read().Get(rid.slot);
+  if (record.empty()) return Status::NotFound("hash: no row at rid");
+  return DeserializeRow(std::string(record));
+}
+
+Status HashFile::Delete(Rid rid) {
+  IMON_ASSIGN_OR_RETURN(PageGuard guard,
+                        pool_->Fetch(PageId{file_, rid.page_no}));
+  if (guard.Read().Get(rid.slot).empty())
+    return Status::NotFound("hash: no row at rid");
+  guard.Write().Tombstone(rid.slot);
+  return Status::OK();
+}
+
+Result<Rid> HashFile::Update(Rid rid, const Row& row) {
+  std::string record;
+  SerializeRow(row, &record);
+  IMON_ASSIGN_OR_RETURN(PageGuard guard,
+                        pool_->Fetch(PageId{file_, rid.page_no}));
+  if (guard.Read().Get(rid.slot).empty())
+    return Status::NotFound("hash: no row at rid");
+  if (guard.Write().Update(rid.slot, record)) return rid;
+  return Status::ResourceExhausted(
+      "hash: row grew beyond its page; caller must delete + reinsert");
+}
+
+Status HashFile::ScanChain(
+    uint32_t first_page,
+    const std::function<bool(Rid, const Row&)>& fn) const {
+  uint32_t page_no = first_page;
+  while (page_no != kInvalidPageNo) {
+    IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(PageId{file_, page_no}));
+    PageView view = guard.Read();
+    for (uint16_t slot = 0; slot < view.slot_count(); ++slot) {
+      std::string_view record = view.Get(slot);
+      if (record.empty()) continue;
+      IMON_ASSIGN_OR_RETURN(Row row, DeserializeRow(std::string(record)));
+      if (!fn(Rid{page_no, slot}, row)) return Status::OK();
+    }
+    page_no = view.next_page();
+  }
+  return Status::OK();
+}
+
+Status HashFile::LookupBucket(
+    const std::string& key,
+    const std::function<bool(Rid, const Row&)>& fn) const {
+  return ScanChain(BucketOf(key), fn);
+}
+
+Status HashFile::Scan(
+    const std::function<bool(Rid, const Row&)>& fn) const {
+  bool stop = false;
+  for (uint32_t b = 0; b < buckets_ && !stop; ++b) {
+    IMON_RETURN_IF_ERROR(ScanChain(b, [&](Rid rid, const Row& row) {
+      if (!fn(rid, row)) {
+        stop = true;
+        return false;
+      }
+      return true;
+    }));
+  }
+  return Status::OK();
+}
+
+Result<HeapFileStats> HashFile::ComputeStats() const {
+  HeapFileStats stats;
+  for (uint32_t b = 0; b < buckets_; ++b) {
+    uint32_t page_no = b;
+    while (page_no != kInvalidPageNo) {
+      IMON_ASSIGN_OR_RETURN(PageGuard guard,
+                            pool_->Fetch(PageId{file_, page_no}));
+      PageView view = guard.Read();
+      if (view.extra() == kOverflowFlag) {
+        ++stats.overflow_pages;
+      } else {
+        ++stats.main_pages;
+      }
+      stats.live_rows += view.LiveCount();
+      page_no = view.next_page();
+    }
+  }
+  return stats;
+}
+
+}  // namespace imon::storage

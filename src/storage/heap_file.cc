@@ -1,0 +1,132 @@
+#include "storage/heap_file.h"
+
+namespace imon::storage {
+
+namespace {
+constexpr uint32_t kOverflowFlag = 1;
+}
+
+HeapFile::HeapFile(BufferPool* pool, FileId file, uint32_t main_page_target)
+    : pool_(pool), file_(file), main_page_target_(main_page_target) {
+  if (main_page_target_ == 0) main_page_target_ = 1;
+}
+
+Status HeapFile::Initialize() {
+  IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->New(file_));
+  guard.Write().Init(PageType::kHeap);
+  last_page_hint_ = guard.page_id().page_no;
+  return Status::OK();
+}
+
+Result<uint32_t> HeapFile::PageForInsert(size_t record_size) {
+  // Fast path: the chain tail usually has space.
+  uint32_t page_no = last_page_hint_;
+  {
+    IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(PageId{file_, page_no}));
+    PageView view = guard.Read();
+    // If the hint is stale (not the tail), chase the chain.
+    while (view.next_page() != kInvalidPageNo) {
+      page_no = view.next_page();
+      IMON_ASSIGN_OR_RETURN(guard, pool_->Fetch(PageId{file_, page_no}));
+      view = guard.Read();
+    }
+    last_page_hint_ = page_no;
+    if (view.Fits(record_size)) return page_no;
+  }
+  // Grow: new page chained to the tail. Pages past the main allocation
+  // are flagged as overflow.
+  IMON_ASSIGN_OR_RETURN(PageGuard fresh, pool_->New(file_));
+  uint32_t fresh_no = fresh.page_id().page_no;
+  {
+    PageView view = fresh.Write();
+    view.Init(PageType::kHeap);
+    if (fresh_no >= main_page_target_) view.set_extra(kOverflowFlag);
+  }
+  {
+    IMON_ASSIGN_OR_RETURN(PageGuard tail, pool_->Fetch(PageId{file_, page_no}));
+    tail.Write().set_next_page(fresh_no);
+  }
+  last_page_hint_ = fresh_no;
+  return fresh_no;
+}
+
+Result<Rid> HeapFile::Insert(const Row& row) {
+  std::string record;
+  SerializeRow(row, &record);
+  if (record.size() > kMaxRecordSize)
+    return Status::InvalidArgument("row larger than one page");
+  IMON_ASSIGN_OR_RETURN(uint32_t page_no, PageForInsert(record.size()));
+  IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(PageId{file_, page_no}));
+  auto slot = guard.Write().Insert(record);
+  if (!slot.has_value())
+    return Status::Internal("heap: page chosen for insert rejected record");
+  return Rid{page_no, *slot};
+}
+
+Result<Row> HeapFile::Get(Rid rid) const {
+  IMON_ASSIGN_OR_RETURN(PageGuard guard,
+                        pool_->Fetch(PageId{file_, rid.page_no}));
+  std::string_view record = guard.Read().Get(rid.slot);
+  if (record.empty()) return Status::NotFound("heap: no row at rid");
+  return DeserializeRow(std::string(record));
+}
+
+Status HeapFile::Delete(Rid rid) {
+  IMON_ASSIGN_OR_RETURN(PageGuard guard,
+                        pool_->Fetch(PageId{file_, rid.page_no}));
+  if (guard.Read().Get(rid.slot).empty())
+    return Status::NotFound("heap: no row at rid");
+  guard.Write().Tombstone(rid.slot);
+  return Status::OK();
+}
+
+Result<Rid> HeapFile::Update(Rid rid, const Row& row) {
+  std::string record;
+  SerializeRow(row, &record);
+  if (record.size() > kMaxRecordSize)
+    return Status::InvalidArgument("row larger than one page");
+  {
+    IMON_ASSIGN_OR_RETURN(PageGuard guard,
+                          pool_->Fetch(PageId{file_, rid.page_no}));
+    if (guard.Read().Get(rid.slot).empty())
+      return Status::NotFound("heap: no row at rid");
+    if (guard.Write().Update(rid.slot, record)) return rid;
+    guard.Write().Tombstone(rid.slot);
+  }
+  return Insert(row);
+}
+
+Status HeapFile::Scan(const std::function<bool(Rid, const Row&)>& fn) const {
+  uint32_t page_no = 0;
+  while (page_no != kInvalidPageNo) {
+    IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(PageId{file_, page_no}));
+    PageView view = guard.Read();
+    for (uint16_t slot = 0; slot < view.slot_count(); ++slot) {
+      std::string_view record = view.Get(slot);
+      if (record.empty()) continue;
+      IMON_ASSIGN_OR_RETURN(Row row, DeserializeRow(std::string(record)));
+      if (!fn(Rid{page_no, slot}, row)) return Status::OK();
+    }
+    page_no = view.next_page();
+  }
+  return Status::OK();
+}
+
+Result<HeapFileStats> HeapFile::ComputeStats() const {
+  HeapFileStats stats;
+  uint32_t page_no = 0;
+  while (page_no != kInvalidPageNo) {
+    IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(PageId{file_, page_no}));
+    PageView view = guard.Read();
+    if (view.extra() == kOverflowFlag) {
+      ++stats.overflow_pages;
+    } else {
+      ++stats.main_pages;
+    }
+    stats.live_rows += view.LiveCount();
+    page_no = view.next_page();
+  }
+  return stats;
+}
+
+}  // namespace imon::storage

@@ -1,0 +1,99 @@
+// Ingres-style HEAP storage structure.
+//
+// A heap table is created with a fixed number of *main* pages; rows append
+// into them, and once the main allocation is full the file grows by
+// chained *overflow* pages. The ratio overflow/main is catalog-visible and
+// drives the paper's analyzer rule "heap table with >10 % overflow pages
+// should be restructured to B-Tree".
+
+#ifndef IMON_STORAGE_HEAP_FILE_H_
+#define IMON_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/buffer_pool.h"
+
+namespace imon::storage {
+
+/// Physical row address: page number within the heap file + slot.
+struct Rid {
+  uint32_t page_no = kInvalidPageNo;
+  uint16_t slot = 0;
+
+  bool operator==(const Rid& o) const {
+    return page_no == o.page_no && slot == o.slot;
+  }
+  bool valid() const { return page_no != kInvalidPageNo; }
+
+  /// Pack into one INT value (for storing TIDs in secondary indexes,
+  /// mirroring Ingres' tidp column).
+  int64_t Pack() const {
+    return (static_cast<int64_t>(page_no) << 16) | slot;
+  }
+  static Rid Unpack(int64_t v) {
+    Rid r;
+    r.page_no = static_cast<uint32_t>(v >> 16);
+    r.slot = static_cast<uint16_t>(v & 0xFFFF);
+    return r;
+  }
+};
+
+struct HeapFileStats {
+  uint32_t main_pages = 0;
+  uint32_t overflow_pages = 0;
+  int64_t live_rows = 0;
+};
+
+/// Row file with main-page allocation + overflow chain.
+///
+/// Not internally synchronized: callers serialize through the engine's
+/// table locks.
+class HeapFile {
+ public:
+  /// Open over an existing (possibly empty) file. `main_page_target` is
+  /// the size of the main allocation; pages beyond it are overflow.
+  HeapFile(BufferPool* pool, FileId file, uint32_t main_page_target);
+
+  /// Create the first page eagerly so scans of empty tables are trivial.
+  Status Initialize();
+
+  /// Append a row; returns its RID.
+  Result<Rid> Insert(const Row& row);
+
+  /// Fetch the row at `rid`. NotFound for tombstoned/never-written slots.
+  Result<Row> Get(Rid rid) const;
+
+  /// Tombstone the row at `rid`.
+  Status Delete(Rid rid);
+
+  /// Replace the row at `rid` in place when it fits, otherwise reinsert;
+  /// returns the (possibly new) RID.
+  Result<Rid> Update(Rid rid, const Row& row);
+
+  /// Visit every live row in chain order. The callback returns false to
+  /// stop early.
+  Status Scan(const std::function<bool(Rid, const Row&)>& fn) const;
+
+  /// Main/overflow page accounting for the catalog.
+  Result<HeapFileStats> ComputeStats() const;
+
+  FileId file_id() const { return file_; }
+  uint32_t main_page_target() const { return main_page_target_; }
+
+ private:
+  /// Page (by number) currently receiving inserts; chases/extends the
+  /// chain as needed.
+  Result<uint32_t> PageForInsert(size_t record_size);
+
+  BufferPool* pool_;
+  FileId file_;
+  uint32_t main_page_target_;
+  uint32_t last_page_hint_ = 0;  // tail of the chain, maintained on insert
+};
+
+}  // namespace imon::storage
+
+#endif  // IMON_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,266 @@
+#include "storage/isam_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace imon::storage {
+
+namespace {
+
+constexpr uint32_t kOverflowFlag = 1;
+constexpr uint32_t kDirectoryPage = 0;
+
+std::string MakeDirectoryRecord(uint32_t page_no, const std::string& fence) {
+  std::string rec(4, '\0');
+  std::memcpy(rec.data(), &page_no, 4);
+  rec += fence;
+  return rec;
+}
+
+void ParseDirectoryRecord(std::string_view rec, uint32_t* page_no,
+                          std::string* fence) {
+  std::memcpy(page_no, rec.data(), 4);
+  fence->assign(rec.data() + 4, rec.size() - 4);
+}
+
+}  // namespace
+
+IsamFile::IsamFile(BufferPool* pool, FileId file)
+    : pool_(pool), file_(file) {}
+
+Status IsamFile::Build(std::vector<std::pair<std::string, Row>> keyed_rows,
+                       int fill_percent) {
+  std::sort(keyed_rows.begin(), keyed_rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Page 0: directory head.
+  IMON_ASSIGN_OR_RETURN(PageGuard dir_guard, pool_->New(file_));
+  if (dir_guard.page_id().page_no != kDirectoryPage) {
+    return Status::Internal("isam: directory must be page 0");
+  }
+  dir_guard.Write().Init(PageType::kHeap);
+
+  // Fill main pages to ~fill_percent, recording fences.
+  std::vector<DirectoryEntry> directory;
+  size_t fill_limit =
+      kPageSize * static_cast<size_t>(std::clamp(fill_percent, 20, 100)) /
+      100;
+  size_t i = 0;
+  // An empty table still gets one (empty-fence) main page.
+  do {
+    IMON_ASSIGN_OR_RETURN(PageGuard main, pool_->New(file_));
+    PageView view = main.Write();
+    view.Init(PageType::kHeap);
+    DirectoryEntry entry;
+    entry.page_no = main.page_id().page_no;
+    entry.fence = i < keyed_rows.size() ? keyed_rows[i].first
+                                        : std::string();
+    size_t used = 0;
+    while (i < keyed_rows.size()) {
+      std::string record;
+      SerializeRow(keyed_rows[i].second, &record);
+      if (record.size() > kMaxRecordSize) {
+        return Status::InvalidArgument("row larger than one page");
+      }
+      if (used + record.size() > fill_limit && used > 0) break;
+      if (!view.Insert(record).has_value()) break;
+      used += record.size() + 4;
+      ++i;
+    }
+    directory.push_back(std::move(entry));
+  } while (i < keyed_rows.size());
+
+  // Persist the directory (chaining continuation pages as needed).
+  uint32_t dir_page = kDirectoryPage;
+  for (const DirectoryEntry& entry : directory) {
+    std::string rec = MakeDirectoryRecord(entry.page_no, entry.fence);
+    while (true) {
+      IMON_ASSIGN_OR_RETURN(PageGuard guard,
+                            pool_->Fetch(PageId{file_, dir_page}));
+      if (guard.Write().Insert(rec).has_value()) break;
+      uint32_t next = guard.Read().next_page();
+      if (next == kInvalidPageNo) {
+        IMON_ASSIGN_OR_RETURN(PageGuard cont, pool_->New(file_));
+        cont.Write().Init(PageType::kHeap);
+        next = cont.page_id().page_no;
+        guard.Write().set_next_page(next);
+      }
+      dir_page = next;
+    }
+  }
+  directory_ = std::move(directory);
+  directory_loaded_ = true;
+  return Status::OK();
+}
+
+Status IsamFile::LoadDirectory() const {
+  if (directory_loaded_) return Status::OK();
+  directory_.clear();
+  uint32_t page_no = kDirectoryPage;
+  while (page_no != kInvalidPageNo) {
+    IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(PageId{file_, page_no}));
+    PageView view = guard.Read();
+    for (uint16_t slot = 0; slot < view.slot_count(); ++slot) {
+      std::string_view rec = view.Get(slot);
+      if (rec.size() < 4) continue;
+      DirectoryEntry entry;
+      ParseDirectoryRecord(rec, &entry.page_no, &entry.fence);
+      directory_.push_back(std::move(entry));
+    }
+    page_no = view.next_page();
+  }
+  if (directory_.empty()) {
+    return Status::Corruption("isam: empty directory");
+  }
+  directory_loaded_ = true;
+  return Status::OK();
+}
+
+size_t IsamFile::RouteTo(const std::string& key) const {
+  // Directory fences ascend; take the last fence <= key.
+  size_t lo = 0;
+  for (size_t i = 1; i < directory_.size(); ++i) {
+    if (directory_[i].fence <= key) {
+      lo = i;
+    } else {
+      break;
+    }
+  }
+  return lo;
+}
+
+Result<Rid> IsamFile::Insert(const std::string& key, const Row& row) {
+  IMON_RETURN_IF_ERROR(LoadDirectory());
+  std::string record;
+  SerializeRow(row, &record);
+  if (record.size() > kMaxRecordSize) {
+    return Status::InvalidArgument("row larger than one page");
+  }
+  uint32_t page_no = directory_[RouteTo(key)].page_no;
+  while (true) {
+    IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(PageId{file_, page_no}));
+    PageView view = guard.Read();
+    if (view.Fits(record.size())) {
+      auto slot = guard.Write().Insert(record);
+      if (!slot.has_value()) {
+        return Status::Internal("isam: page with space rejected record");
+      }
+      return Rid{page_no, *slot};
+    }
+    uint32_t next = view.next_page();
+    if (next == kInvalidPageNo) {
+      IMON_ASSIGN_OR_RETURN(PageGuard fresh, pool_->New(file_));
+      PageView fv = fresh.Write();
+      fv.Init(PageType::kHeap);
+      fv.set_extra(kOverflowFlag);
+      next = fresh.page_id().page_no;
+      guard.Write().set_next_page(next);
+    }
+    page_no = next;
+  }
+}
+
+Result<Row> IsamFile::Get(Rid rid) const {
+  IMON_ASSIGN_OR_RETURN(PageGuard guard,
+                        pool_->Fetch(PageId{file_, rid.page_no}));
+  std::string_view record = guard.Read().Get(rid.slot);
+  if (record.empty()) return Status::NotFound("isam: no row at rid");
+  return DeserializeRow(std::string(record));
+}
+
+Status IsamFile::Delete(Rid rid) {
+  IMON_ASSIGN_OR_RETURN(PageGuard guard,
+                        pool_->Fetch(PageId{file_, rid.page_no}));
+  if (guard.Read().Get(rid.slot).empty())
+    return Status::NotFound("isam: no row at rid");
+  guard.Write().Tombstone(rid.slot);
+  return Status::OK();
+}
+
+Result<Rid> IsamFile::Update(Rid rid, const Row& row) {
+  std::string record;
+  SerializeRow(row, &record);
+  IMON_ASSIGN_OR_RETURN(PageGuard guard,
+                        pool_->Fetch(PageId{file_, rid.page_no}));
+  if (guard.Read().Get(rid.slot).empty())
+    return Status::NotFound("isam: no row at rid");
+  if (guard.Write().Update(rid.slot, record)) return rid;
+  return Status::ResourceExhausted(
+      "isam: row grew beyond its page; caller must delete + reinsert");
+}
+
+Status IsamFile::ScanChain(
+    uint32_t first_page,
+    const std::function<bool(Rid, const Row&)>& fn) const {
+  uint32_t page_no = first_page;
+  while (page_no != kInvalidPageNo) {
+    IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(PageId{file_, page_no}));
+    PageView view = guard.Read();
+    for (uint16_t slot = 0; slot < view.slot_count(); ++slot) {
+      std::string_view record = view.Get(slot);
+      if (record.empty()) continue;
+      IMON_ASSIGN_OR_RETURN(Row row, DeserializeRow(std::string(record)));
+      if (!fn(Rid{page_no, slot}, row)) return Status::OK();
+    }
+    page_no = view.next_page();
+  }
+  return Status::OK();
+}
+
+Status IsamFile::ScanRange(
+    const std::string& lower, const std::string& upper,
+    const std::function<bool(Rid, const Row&)>& fn) const {
+  IMON_RETURN_IF_ERROR(LoadDirectory());
+  size_t start = lower.empty() ? 0 : RouteTo(lower);
+  bool stop = false;
+  for (size_t d = start; d < directory_.size() && !stop; ++d) {
+    // Main pages after the upper bound's routing page cannot hold keys
+    // in range: their fence (smallest build-time key) already exceeds it.
+    if (!upper.empty() && d > start && directory_[d].fence > upper) break;
+    IMON_RETURN_IF_ERROR(
+        ScanChain(directory_[d].page_no, [&](Rid rid, const Row& row) {
+          if (!fn(rid, row)) {
+            stop = true;
+            return false;
+          }
+          return true;
+        }));
+  }
+  return Status::OK();
+}
+
+Status IsamFile::Scan(
+    const std::function<bool(Rid, const Row&)>& fn) const {
+  return ScanRange(std::string(), std::string(), fn);
+}
+
+Result<HeapFileStats> IsamFile::ComputeStats() const {
+  IMON_RETURN_IF_ERROR(LoadDirectory());
+  HeapFileStats stats;
+  // Directory pages count as main pages.
+  uint32_t dir_page = kDirectoryPage;
+  while (dir_page != kInvalidPageNo) {
+    IMON_ASSIGN_OR_RETURN(PageGuard guard,
+                          pool_->Fetch(PageId{file_, dir_page}));
+    ++stats.main_pages;
+    dir_page = guard.Read().next_page();
+  }
+  for (const DirectoryEntry& entry : directory_) {
+    uint32_t page_no = entry.page_no;
+    while (page_no != kInvalidPageNo) {
+      IMON_ASSIGN_OR_RETURN(PageGuard guard,
+                            pool_->Fetch(PageId{file_, page_no}));
+      PageView view = guard.Read();
+      if (view.extra() == kOverflowFlag) {
+        ++stats.overflow_pages;
+      } else {
+        ++stats.main_pages;
+      }
+      stats.live_rows += view.LiveCount();
+      page_no = view.next_page();
+    }
+  }
+  return stats;
+}
+
+}  // namespace imon::storage

@@ -1,0 +1,85 @@
+// Ingres-style ISAM storage structure.
+//
+// ISAM is a *static* index: at MODIFY time the rows are sorted on the key
+// and laid out over a fixed set of main pages; a directory of fence keys
+// (the first key of each main page) routes lookups. The directory never
+// changes afterwards — rows inserted later go to overflow pages chained
+// off the main page their key routes to. This is the classic structure
+// behind the paper's analyzer rule R3: an ISAM (or heap) table "with a
+// fixed amount of main data pages" degrades measurably through its
+// overflow chains until the DBA restructures it.
+//
+// Layout: page 0 (+ chained continuations) holds the directory — one
+// record per main page: [u32 page_no][fence key bytes]. Main pages and
+// their overflow chains hold serialized rows.
+
+#ifndef IMON_STORAGE_ISAM_FILE_H_
+#define IMON_STORAGE_ISAM_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace imon::storage {
+
+class IsamFile {
+ public:
+  IsamFile(BufferPool* pool, FileId file);
+
+  /// Build the structure from rows sorted-by-key. `keyed_rows` holds
+  /// (encoded key, row) pairs; they are sorted internally. `fill_percent`
+  /// leaves slack in the main pages for future inserts.
+  Status Build(std::vector<std::pair<std::string, Row>> keyed_rows,
+               int fill_percent = 80);
+
+  /// Insert routes through the static directory to the proper chain.
+  Result<Rid> Insert(const std::string& key, const Row& row);
+
+  Result<Row> Get(Rid rid) const;
+  Status Delete(Rid rid);
+  Result<Rid> Update(Rid rid, const Row& row);
+
+  /// Visit rows whose keys may fall in [lower, upper] (encoded,
+  /// inclusive; empty string = unbounded). Rows outside the range can be
+  /// yielded (chains are unordered); callers re-apply their filters.
+  Status ScanRange(const std::string& lower, const std::string& upper,
+                   const std::function<bool(Rid, const Row&)>& fn) const;
+
+  /// Visit every live row.
+  Status Scan(const std::function<bool(Rid, const Row&)>& fn) const;
+
+  Result<HeapFileStats> ComputeStats() const;
+
+  FileId file_id() const { return file_; }
+
+ private:
+  struct DirectoryEntry {
+    uint32_t page_no;
+    std::string fence;  ///< smallest key routed to this page at build time
+  };
+
+  /// Load the (immutable) directory from the meta page chain.
+  Status LoadDirectory() const;
+
+  /// Index into the directory for `key` (last fence <= key; 0 if below
+  /// all fences).
+  size_t RouteTo(const std::string& key) const;
+
+  Status ScanChain(uint32_t first_page,
+                   const std::function<bool(Rid, const Row&)>& fn) const;
+
+  BufferPool* pool_;
+  FileId file_;
+  mutable std::vector<DirectoryEntry> directory_;  // lazily loaded cache
+  mutable bool directory_loaded_ = false;
+};
+
+}  // namespace imon::storage
+
+#endif  // IMON_STORAGE_ISAM_FILE_H_

@@ -1,0 +1,144 @@
+#include "storage/key_codec.h"
+
+#include <cstring>
+
+namespace imon::storage {
+
+namespace {
+
+constexpr char kTagNull = 0x00;
+constexpr char kTagInt = 0x01;
+constexpr char kTagDouble = 0x02;
+constexpr char kTagText = 0x03;
+
+void AppendBigEndian(uint64_t v, std::string* out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+uint64_t ReadBigEndian(const std::string& data, size_t off) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(data[off + i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+void EncodeKeyValue(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    out->push_back(kTagNull);
+    return;
+  }
+  switch (v.type()) {
+    case TypeId::kInt: {
+      out->push_back(kTagInt);
+      uint64_t bits = static_cast<uint64_t>(v.AsInt());
+      bits ^= 0x8000000000000000ULL;  // flip sign: negatives sort first
+      AppendBigEndian(bits, out);
+      break;
+    }
+    case TypeId::kDouble: {
+      out->push_back(kTagDouble);
+      double d = v.AsDouble() == 0.0 ? 0.0 : v.AsDouble();  // normalize -0.0
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      // IEEE total-order transform: positive -> set sign bit; negative ->
+      // invert all bits. Resulting unsigned order equals numeric order.
+      if (bits & 0x8000000000000000ULL) {
+        bits = ~bits;
+      } else {
+        bits |= 0x8000000000000000ULL;
+      }
+      AppendBigEndian(bits, out);
+      break;
+    }
+    case TypeId::kText: {
+      out->push_back(kTagText);
+      for (char c : v.AsText()) {
+        out->push_back(c);
+        if (c == '\0') out->push_back('\xFF');
+      }
+      out->push_back('\0');
+      out->push_back('\0');
+      break;
+    }
+  }
+}
+
+std::string EncodeKey(const Row& key) {
+  std::string out;
+  for (const Value& v : key) EncodeKeyValue(v, &out);
+  return out;
+}
+
+Result<Value> DecodeKeyValue(const std::string& data, size_t* offset) {
+  if (*offset >= data.size()) return Status::Corruption("key: truncated tag");
+  char tag = data[*offset];
+  *offset += 1;
+  switch (tag) {
+    case kTagNull:
+      return Value::Null();
+    case kTagInt: {
+      if (*offset + 8 > data.size())
+        return Status::Corruption("key: truncated int");
+      uint64_t bits = ReadBigEndian(data, *offset) ^ 0x8000000000000000ULL;
+      *offset += 8;
+      return Value::Int(static_cast<int64_t>(bits));
+    }
+    case kTagDouble: {
+      if (*offset + 8 > data.size())
+        return Status::Corruption("key: truncated double");
+      uint64_t bits = ReadBigEndian(data, *offset);
+      *offset += 8;
+      if (bits & 0x8000000000000000ULL) {
+        bits &= ~0x8000000000000000ULL;
+      } else {
+        bits = ~bits;
+      }
+      double d;
+      std::memcpy(&d, &bits, 8);
+      return Value::Double(d);
+    }
+    case kTagText: {
+      std::string s;
+      while (true) {
+        if (*offset >= data.size())
+          return Status::Corruption("key: unterminated text");
+        char c = data[*offset];
+        *offset += 1;
+        if (c == '\0') {
+          if (*offset >= data.size())
+            return Status::Corruption("key: truncated text escape");
+          char next = data[*offset];
+          *offset += 1;
+          if (next == '\0') break;        // terminator
+          if (next == '\xFF') {
+            s.push_back('\0');            // escaped NUL
+            continue;
+          }
+          return Status::Corruption("key: bad text escape");
+        }
+        s.push_back(c);
+      }
+      return Value::Text(std::move(s));
+    }
+    default:
+      return Status::Corruption("key: bad tag");
+  }
+}
+
+Result<Row> DecodeKey(const std::string& data, size_t num_fields) {
+  Row row;
+  row.reserve(num_fields);
+  size_t offset = 0;
+  for (size_t i = 0; i < num_fields; ++i) {
+    IMON_ASSIGN_OR_RETURN(Value v, DecodeKeyValue(data, &offset));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+}  // namespace imon::storage

@@ -1,0 +1,42 @@
+// Order-preserving key encoding.
+//
+// B-Tree nodes store keys as byte strings whose memcmp order equals the
+// Value::Compare order of the original rows. This keeps node search free of
+// per-comparison deserialization.
+//
+// Encoding per field:
+//   0x00                     NULL (sorts first)
+//   0x01 <8B big-endian>     INT with sign bit flipped
+//   0x02 <8B big-endian>     DOUBLE, IEEE total-order transformed
+//   0x03 <escaped bytes> 0x00 0x00
+//                            TEXT; inner 0x00 becomes 0x00 0xFF
+//
+// INT and DOUBLE use distinct tags, so a column's encodings only compare
+// against the same tag; the engine casts key values to the column type
+// before encoding (mixed numeric tags never occur inside one index).
+
+#ifndef IMON_STORAGE_KEY_CODEC_H_
+#define IMON_STORAGE_KEY_CODEC_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace imon::storage {
+
+/// Append the order-preserving encoding of `v` to *out.
+void EncodeKeyValue(const Value& v, std::string* out);
+
+/// Encode a composite key (all values, in order).
+std::string EncodeKey(const Row& key);
+
+/// Decode one field starting at data[*offset]; advances *offset.
+Result<Value> DecodeKeyValue(const std::string& data, size_t* offset);
+
+/// Decode `num_fields` fields.
+Result<Row> DecodeKey(const std::string& data, size_t num_fields);
+
+}  // namespace imon::storage
+
+#endif  // IMON_STORAGE_KEY_CODEC_H_

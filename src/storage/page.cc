@@ -1,0 +1,169 @@
+#include "storage/page.h"
+
+#include <cassert>
+#include <vector>
+
+namespace imon::storage {
+
+void PageView::Init(PageType type) {
+  std::memset(data_, 0, kPageSize);
+  set_type(type);
+  set_slot_count(0);
+  set_free_ptr(static_cast<uint16_t>(kPageSize));
+  set_next_page(kInvalidPageNo);
+  set_extra(0);
+}
+
+size_t PageView::FreeSpace() const {
+  size_t slots_end = kHeaderSize + slot_count() * kSlotSize;
+  size_t records_start = free_ptr();
+  // Holes from tombstones are not counted here; Insert() compacts when the
+  // contiguous region is too small but total live space would fit.
+  return records_start > slots_end ? records_start - slots_end : 0;
+}
+
+std::optional<uint16_t> PageView::Insert(std::string_view record) {
+  assert(record.size() <= kMaxRecordSize);
+  if (!Fits(record.size())) {
+    // Try compaction: total reusable space = page - header - live bytes -
+    // live slot array. Tombstoned slots are reused.
+    size_t needed = record.size();
+    size_t live = LiveBytes();
+    size_t total_free =
+        kPageSize - kHeaderSize - live - slot_count() * kSlotSize;
+    // A tombstoned slot can be reused without growing the slot array.
+    bool slot_reusable = LiveCount() < slot_count();
+    size_t slot_cost = slot_reusable ? 0 : kSlotSize;
+    if (total_free < needed + slot_cost) return std::nullopt;
+    Compact();
+    if (!Fits(record.size()) && !(slot_reusable && FreeSpace() >= needed)) {
+      return std::nullopt;
+    }
+  }
+  // Reuse a tombstoned slot if present.
+  uint16_t slot = slot_count();
+  for (uint16_t i = 0; i < slot_count(); ++i) {
+    if (SlotLength(i) == 0) {
+      slot = i;
+      break;
+    }
+  }
+  uint16_t new_off = static_cast<uint16_t>(free_ptr() - record.size());
+  std::memcpy(data_ + new_off, record.data(), record.size());
+  set_free_ptr(new_off);
+  if (slot == slot_count()) set_slot_count(slot_count() + 1);
+  SetSlot(slot, new_off, static_cast<uint16_t>(record.size()));
+  return slot;
+}
+
+bool PageView::InsertAt(uint16_t slot, std::string_view record) {
+  assert(slot <= slot_count());
+  assert(record.size() <= kMaxRecordSize);
+  if (!Fits(record.size())) {
+    size_t live = LiveBytes();
+    size_t total_free =
+        kPageSize - kHeaderSize - live - slot_count() * kSlotSize;
+    if (total_free < record.size() + kSlotSize) return false;
+    Compact();
+    if (!Fits(record.size())) return false;
+  }
+  uint16_t new_off = static_cast<uint16_t>(free_ptr() - record.size());
+  std::memcpy(data_ + new_off, record.data(), record.size());
+  set_free_ptr(new_off);
+  // Shift slot entries [slot, count) up by one.
+  uint16_t count = slot_count();
+  set_slot_count(count + 1);
+  for (uint16_t i = count; i > slot; --i) {
+    SetSlot(i, SlotOffset(i - 1), SlotLength(i - 1));
+  }
+  SetSlot(slot, new_off, static_cast<uint16_t>(record.size()));
+  return true;
+}
+
+std::string_view PageView::Get(uint16_t slot) const {
+  if (slot >= slot_count()) return {};
+  uint16_t len = SlotLength(slot);
+  if (len == 0) return {};
+  return std::string_view(data_ + SlotOffset(slot), len);
+}
+
+void PageView::Tombstone(uint16_t slot) {
+  if (slot >= slot_count()) return;
+  SetSlot(slot, 0, 0);
+}
+
+void PageView::Erase(uint16_t slot) {
+  if (slot >= slot_count()) return;
+  uint16_t count = slot_count();
+  for (uint16_t i = slot; i + 1 < count; ++i) {
+    SetSlot(i, SlotOffset(i + 1), SlotLength(i + 1));
+  }
+  set_slot_count(count - 1);
+}
+
+bool PageView::Update(uint16_t slot, std::string_view record) {
+  if (slot >= slot_count()) return false;
+  uint16_t old_len = SlotLength(slot);
+  if (record.size() <= old_len && old_len != 0) {
+    // In-place overwrite (shrink leaves a hole reclaimed on compaction).
+    uint16_t off = SlotOffset(slot);
+    std::memcpy(data_ + off, record.data(), record.size());
+    SetSlot(slot, off, static_cast<uint16_t>(record.size()));
+    return true;
+  }
+  // Append new copy; tombstone old bytes implicitly by repointing.
+  size_t needed = record.size();
+  if (FreeSpace() < needed) {
+    size_t live = LiveBytes() - old_len;
+    size_t total_free =
+        kPageSize - kHeaderSize - live - slot_count() * kSlotSize;
+    if (total_free < needed) return false;
+    // Temporarily tombstone so compaction drops the old bytes.
+    SetSlot(slot, 0, 0);
+    Compact();
+    if (FreeSpace() < needed) return false;
+  }
+  uint16_t new_off = static_cast<uint16_t>(free_ptr() - record.size());
+  std::memcpy(data_ + new_off, record.data(), record.size());
+  set_free_ptr(new_off);
+  SetSlot(slot, new_off, static_cast<uint16_t>(record.size()));
+  return true;
+}
+
+size_t PageView::LiveBytes() const {
+  size_t total = 0;
+  for (uint16_t i = 0; i < slot_count(); ++i) total += SlotLength(i);
+  return total;
+}
+
+uint16_t PageView::LiveCount() const {
+  uint16_t n = 0;
+  for (uint16_t i = 0; i < slot_count(); ++i) {
+    if (SlotLength(i) != 0) ++n;
+  }
+  return n;
+}
+
+void PageView::Compact() {
+  struct Live {
+    uint16_t slot;
+    uint16_t len;
+    std::string bytes;
+  };
+  std::vector<Live> records;
+  records.reserve(slot_count());
+  for (uint16_t i = 0; i < slot_count(); ++i) {
+    uint16_t len = SlotLength(i);
+    if (len == 0) continue;
+    records.push_back({i, len, std::string(data_ + SlotOffset(i), len)});
+  }
+  uint16_t ptr = static_cast<uint16_t>(kPageSize);
+  for (const Live& r : records) {
+    ptr = static_cast<uint16_t>(ptr - r.len);
+    std::memcpy(data_ + ptr, r.bytes.data(), r.len);
+    SetSlot(r.slot, ptr, r.len);
+  }
+  set_free_ptr(ptr);
+}
+
+}  // namespace imon::storage

@@ -1,0 +1,141 @@
+// Slotted-page layout shared by heap files and B-Tree nodes.
+//
+// Page layout (kPageSize bytes):
+//   [PageHeader][slot 0][slot 1]...            growing up
+//   ...free space...
+//   [record n]...[record 1][record 0]          growing down
+//
+// A slot is (offset, length); length 0 marks a tombstone. Records are
+// opaque byte strings; heap pages store serialized rows, B-Tree pages
+// store (key, payload) entries.
+
+#ifndef IMON_STORAGE_PAGE_H_
+#define IMON_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace imon::storage {
+
+inline constexpr size_t kPageSize = 8192;
+
+/// Role of a page inside its file.
+enum class PageType : uint32_t {
+  kFree = 0,
+  kHeap = 1,
+  kBTreeLeaf = 2,
+  kBTreeInternal = 3,
+  kBTreeMeta = 4,
+};
+
+inline constexpr uint32_t kInvalidPageNo = 0xFFFFFFFF;
+
+/// Typed view over one page's raw bytes. Does not own the bytes; the
+/// buffer pool does. All offsets are bounds-checked in debug builds.
+class PageView {
+ public:
+  explicit PageView(char* data) : data_(data) {}
+
+  // --- header fields -------------------------------------------------
+  PageType type() const { return static_cast<PageType>(ReadU32(kTypeOff)); }
+  void set_type(PageType t) { WriteU32(kTypeOff, static_cast<uint32_t>(t)); }
+
+  uint16_t slot_count() const { return ReadU16(kSlotCountOff); }
+
+  /// Next page in a chain: heap page chain / B-Tree leaf sibling.
+  uint32_t next_page() const { return ReadU32(kNextOff); }
+  void set_next_page(uint32_t p) { WriteU32(kNextOff, p); }
+
+  /// Structure-specific extra word: heap overflow flag; B-Tree node level
+  /// or leftmost child pointer.
+  uint32_t extra() const { return ReadU32(kExtraOff); }
+  void set_extra(uint32_t v) { WriteU32(kExtraOff, v); }
+
+  /// Reset to an empty page of the given type.
+  void Init(PageType type);
+
+  // --- record access ---------------------------------------------------
+  /// Bytes of free space available for one more record (slot included).
+  size_t FreeSpace() const;
+
+  /// True if a record of `len` bytes fits (including its slot).
+  bool Fits(size_t len) const { return FreeSpace() >= len + kSlotSize; }
+
+  /// Append a record; returns its slot index, or nullopt if it does not
+  /// fit even after compaction.
+  std::optional<uint16_t> Insert(std::string_view record);
+
+  /// Insert at a specific slot position, shifting later slots up (B-Tree
+  /// sorted-order insert). Returns false if it does not fit.
+  bool InsertAt(uint16_t slot, std::string_view record);
+
+  /// Record bytes at `slot`; empty view if tombstoned or out of range.
+  std::string_view Get(uint16_t slot) const;
+
+  /// Tombstone the record (heap delete). Space reclaimed on compaction.
+  void Tombstone(uint16_t slot);
+
+  /// Remove the slot entirely, shifting later slots down (B-Tree delete).
+  void Erase(uint16_t slot);
+
+  /// Replace the record at `slot`; returns false if the new record does
+  /// not fit.
+  bool Update(uint16_t slot, std::string_view record);
+
+  /// Sum of live record bytes.
+  size_t LiveBytes() const;
+
+  /// Number of non-tombstoned slots.
+  uint16_t LiveCount() const;
+
+ private:
+  static constexpr size_t kTypeOff = 0;
+  static constexpr size_t kSlotCountOff = 4;
+  static constexpr size_t kFreePtrOff = 6;   // u16: start of record area
+  static constexpr size_t kNextOff = 8;
+  static constexpr size_t kExtraOff = 12;
+  static constexpr size_t kHeaderSize = 16;
+  static constexpr size_t kSlotSize = 4;     // u16 offset + u16 length
+
+  uint16_t free_ptr() const { return ReadU16(kFreePtrOff); }
+  void set_free_ptr(uint16_t v) { WriteU16(kFreePtrOff, v); }
+  void set_slot_count(uint16_t v) { WriteU16(kSlotCountOff, v); }
+
+  size_t SlotOff(uint16_t slot) const { return kHeaderSize + slot * kSlotSize; }
+  uint16_t SlotOffset(uint16_t slot) const { return ReadU16(SlotOff(slot)); }
+  uint16_t SlotLength(uint16_t slot) const {
+    return ReadU16(SlotOff(slot) + 2);
+  }
+  void SetSlot(uint16_t slot, uint16_t offset, uint16_t length) {
+    WriteU16(SlotOff(slot), offset);
+    WriteU16(SlotOff(slot) + 2, length);
+  }
+
+  /// Move live records to the end of the page, squeezing out holes.
+  void Compact();
+
+  uint16_t ReadU16(size_t off) const {
+    uint16_t v;
+    std::memcpy(&v, data_ + off, 2);
+    return v;
+  }
+  void WriteU16(size_t off, uint16_t v) { std::memcpy(data_ + off, &v, 2); }
+  uint32_t ReadU32(size_t off) const {
+    uint32_t v;
+    std::memcpy(&v, data_ + off, 4);
+    return v;
+  }
+  void WriteU32(size_t off, uint32_t v) { std::memcpy(data_ + off, &v, 4); }
+
+  char* data_;
+};
+
+/// Largest record storable on one page (page minus header minus one slot).
+inline constexpr size_t kMaxRecordSize = kPageSize - 16 - 4;
+
+}  // namespace imon::storage
+
+#endif  // IMON_STORAGE_PAGE_H_

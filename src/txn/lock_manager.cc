@@ -1,0 +1,140 @@
+#include "txn/lock_manager.h"
+
+namespace imon::txn {
+
+bool LockManager::Conflicts(const ObjectLock& lock, TxnId txn,
+                            LockMode mode) const {
+  for (const auto& [holder, held_mode] : lock.holders) {
+    if (holder == txn) continue;
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LockManager::WouldDeadlock(TxnId waiter, LockObjectId object) const {
+  // Follow edges: waiter -> holders of `object` -> objects they wait on...
+  // A cycle back to `waiter` means granting the wait would deadlock.
+  std::set<TxnId> visited;
+  std::vector<TxnId> frontier;
+  auto push_holders = [&](LockObjectId obj) {
+    auto it = locks_.find(obj);
+    if (it == locks_.end()) return;
+    for (const auto& [holder, mode] : it->second.holders) {
+      if (holder == waiter) continue;
+      if (visited.insert(holder).second) frontier.push_back(holder);
+    }
+  };
+  push_holders(object);
+  while (!frontier.empty()) {
+    TxnId current = frontier.back();
+    frontier.pop_back();
+    auto wit = waiting_on_.find(current);
+    if (wit == waiting_on_.end()) continue;
+    LockObjectId waited = wit->second;
+    auto lit = locks_.find(waited);
+    if (lit == locks_.end()) continue;
+    for (const auto& [holder, mode] : lit->second.holders) {
+      if (holder == waiter) return true;  // cycle closes
+      if (visited.insert(holder).second) frontier.push_back(holder);
+    }
+  }
+  return false;
+}
+
+Status LockManager::Acquire(TxnId txn, LockObjectId object, LockMode mode) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ObjectLock& state = locks_[object];
+
+  // Re-entrant / upgrade handling.
+  auto self = state.holders.find(txn);
+  if (self != state.holders.end()) {
+    if (self->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      return Status::OK();  // already strong enough
+    }
+    // Upgrade request: allowed immediately when sole holder.
+    if (state.holders.size() == 1) {
+      self->second = LockMode::kExclusive;
+      ++total_acquired_;
+      return Status::OK();
+    }
+    // Upgrade with other shared holders: wait for them (deadlock-checked
+    // like a fresh request).
+  }
+
+  if (Conflicts(state, txn, mode)) {
+    if (WouldDeadlock(txn, object)) {
+      ++total_deadlocks_;
+      return Status::Aborted("deadlock detected; transaction " +
+                             std::to_string(txn) + " chosen as victim");
+    }
+    ++total_waits_;
+    waiting_on_[txn] = object;
+    auto deadline = std::chrono::steady_clock::now() + wait_timeout_;
+    bool granted = false;
+    while (true) {
+      if (!Conflicts(locks_[object], txn, mode)) {
+        granted = true;
+        break;
+      }
+      // Re-check for deadlocks formed while waiting (another txn may have
+      // started waiting on something we hold).
+      if (WouldDeadlock(txn, object)) {
+        waiting_on_.erase(txn);
+        ++total_deadlocks_;
+        return Status::Aborted("deadlock detected while waiting; transaction " +
+                               std::to_string(txn) + " chosen as victim");
+      }
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          Conflicts(locks_[object], txn, mode)) {
+        break;
+      }
+    }
+    waiting_on_.erase(txn);
+    if (!granted) {
+      return Status::Busy("lock wait timeout on object " +
+                          std::to_string(object));
+    }
+  }
+
+  ObjectLock& fresh = locks_[object];
+  auto holder = fresh.holders.find(txn);
+  if (holder != fresh.holders.end()) {
+    holder->second = LockMode::kExclusive;  // completed upgrade
+  } else {
+    fresh.holders[txn] = mode;
+  }
+  ++total_acquired_;
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  bool released = false;
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    if (it->second.holders.erase(txn) > 0) released = true;
+    if (it->second.holders.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  waiting_on_.erase(txn);
+  if (released) cv_.notify_all();
+}
+
+LockStats LockManager::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  LockStats s;
+  for (const auto& [obj, state] : locks_) {
+    s.locks_held += static_cast<int64_t>(state.holders.size());
+  }
+  s.waiting_requests = static_cast<int64_t>(waiting_on_.size());
+  s.total_acquired = total_acquired_;
+  s.total_waits = total_waits_;
+  s.total_deadlocks = total_deadlocks_;
+  return s;
+}
+
+}  // namespace imon::txn

@@ -1,0 +1,42 @@
+// Concurrent lock-contention workload: drives the lock manager through
+// waits and deadlocks so the monitor's statistics table captures the
+// series behind the paper's Fig. 8 locks diagram.
+
+#ifndef IMON_WORKLOAD_CONTENTION_H_
+#define IMON_WORKLOAD_CONTENTION_H_
+
+#include <cstdint>
+
+#include "engine/database.h"
+
+namespace imon::workload {
+
+struct ContentionConfig {
+  int threads = 4;
+  /// Transactions attempted per thread.
+  int transactions_per_thread = 50;
+  /// Tables touched (each transaction updates two, in thread-dependent
+  /// order, so lock waits and occasional deadlocks arise).
+  int tables = 3;
+  uint64_t seed = 7;
+};
+
+struct ContentionResult {
+  int64_t committed = 0;
+  int64_t deadlock_aborts = 0;
+  int64_t busy_aborts = 0;
+  int64_t other_errors = 0;
+};
+
+/// Create the hotspot tables ("hot_0" ... "hot_{tables-1}").
+Status SetupContentionTables(engine::Database* db,
+                             const ContentionConfig& config);
+
+/// Run the workload to completion (blocking); sessions sample system
+/// statistics as they go.
+Result<ContentionResult> RunContentionWorkload(
+    engine::Database* db, const ContentionConfig& config);
+
+}  // namespace imon::workload
+
+#endif  // IMON_WORKLOAD_CONTENTION_H_

@@ -1,0 +1,80 @@
+// NREF-like evaluation workload (paper §V).
+//
+// The paper evaluates against the Non-Redundant Reference Protein (NREF)
+// database [17]: six tables, 100 M rows of real protein data, plus the
+// NREF2J/NREF3J join query sets and a 33-index reference ("manual
+// optimization") set. We do not have the proprietary dump, so this module
+// generates a deterministic synthetic equivalent with the same *shape*:
+// six tables with 1:N fan-outs, skewed attribute distributions, indexable
+// join/range predicates, and a configurable scale factor (see DESIGN.md
+// §2). Sequences are truncated to a bounded sample; `seq_length` carries
+// the logical length the queries predicate on.
+//
+// Schema (all tables HEAP — "using only primary keys and no other
+// indexes", so the heaps accrue overflow pages exactly like the paper's
+// default-structure tables):
+//   protein   (nref_id PK, sequence, seq_length, mol_weight, taxonomy_id)
+//   organism  (nref_id, ordinal, organism_name, taxonomy_id)
+//   source    (nref_id, ordinal, source_db, accession)
+//   taxonomy  (taxonomy_id PK, lineage, rank_name)
+//   feature   (nref_id, feature_id, feature_type, start_pos, end_pos)
+//   cross_ref (nref_id, ref_db, ref_id)
+
+#ifndef IMON_WORKLOAD_NREF_H_
+#define IMON_WORKLOAD_NREF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace imon::workload {
+
+struct NrefConfig {
+  /// Scale knob: number of protein rows; child tables fan out from it
+  /// (total rows ~8x this number).
+  int64_t proteins = 20000;
+  uint64_t seed = 42;
+  /// Heap main-page allocation per table; small enough that loaded
+  /// tables accrue overflow pages (the paper's analyzer rule R3 signal).
+  uint32_t main_pages = 16;
+  /// Distinct taxonomy entries.
+  int64_t taxa = 400;
+};
+
+/// Create the six NREF tables (heap, primary keys only).
+Status CreateNrefSchema(engine::Database* db, const NrefConfig& config);
+
+/// Deterministically populate all tables. Loading runs on an internal
+/// session so it does not appear in the monitored workload.
+Status LoadNrefData(engine::Database* db, const NrefConfig& config);
+
+/// Convenience: schema + data.
+Status SetupNref(engine::Database* db, const NrefConfig& config);
+
+/// Total rows the generator produces for `config`.
+int64_t ExpectedTotalRows(const NrefConfig& config);
+
+/// The 50-statement NREF2J/NREF3J-style analytical query set: expensive
+/// 2- and 3-join queries with range predicates, aggregates and sorts.
+std::vector<std::string> ComplexQuerySet(const NrefConfig& config,
+                                         int count = 50);
+
+/// The "50k test": simple 2-table join template, one id per statement.
+std::string SimpleJoinQuery(int64_t nref_id);
+
+/// The "1m test": primary-key point select template.
+std::string PointQuery(int64_t nref_id);
+
+/// The 33-statement manual-optimization script from the paper's §V-B:
+/// the reference index set of [17] plus MODIFY ... TO BTREE and ANALYZE
+/// for every table.
+std::vector<std::string> ManualOptimizationScript();
+
+/// Just the 33 CREATE INDEX statements of the reference set.
+std::vector<std::string> ReferenceIndexSet();
+
+}  // namespace imon::workload
+
+#endif  // IMON_WORKLOAD_NREF_H_

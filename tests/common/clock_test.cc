@@ -1,0 +1,49 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace imon {
+namespace {
+
+TEST(ClockTest, RealClockAdvances) {
+  RealClock* clock = RealClock::Instance();
+  int64_t a = clock->NowMicros();
+  int64_t b = clock->NowMicros();
+  EXPECT_GE(b, a);
+  EXPECT_GT(a, 0);
+}
+
+TEST(ClockTest, SimulatedClockIsManual) {
+  SimulatedClock clock(1000);
+  EXPECT_EQ(clock.NowMicros(), 1000);
+  clock.AdvanceMicros(500);
+  EXPECT_EQ(clock.NowMicros(), 1500);
+  clock.AdvanceSeconds(2);
+  EXPECT_EQ(clock.NowMicros(), 1500 + 2000000);
+  clock.SetMicros(7);
+  EXPECT_EQ(clock.NowMicros(), 7);
+}
+
+TEST(ClockTest, MonotonicNanosIsMonotonic) {
+  int64_t a = MonotonicNanos();
+  int64_t b = MonotonicNanos();
+  EXPECT_GE(b, a);
+}
+
+TEST(ClockTest, ScopedTimerAccumulates) {
+  int64_t sink = 0;
+  {
+    ScopedTimerNs timer(&sink);
+    volatile int x = 0;
+    for (int i = 0; i < 1000; ++i) x = x + i;
+  }
+  EXPECT_GT(sink, 0);
+  int64_t first = sink;
+  {
+    ScopedTimerNs timer(&sink);
+  }
+  EXPECT_GE(sink, first);
+}
+
+}  // namespace
+}  // namespace imon

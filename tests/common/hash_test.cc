@@ -1,0 +1,38 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace imon {
+namespace {
+
+TEST(HashTest, Fnv1aKnownVectors) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(HashStatement(""), 14695981039346656037ULL);
+  EXPECT_EQ(HashStatement("a"), 12638187200555641996ULL);
+}
+
+TEST(HashTest, StatementHashIsStable) {
+  const std::string q = "select p.nref_id from protein p where p.nref_id = 1";
+  EXPECT_EQ(HashStatement(q), HashStatement(q));
+}
+
+TEST(HashTest, DistinctStatementsRarelyCollide) {
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 50000; ++i) {
+    hashes.insert(HashStatement("select x from t where id = " +
+                                std::to_string(i)));
+  }
+  EXPECT_EQ(hashes.size(), 50000u);
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  uint64_t a = HashStatement("a");
+  uint64_t b = HashStatement("b");
+  EXPECT_NE(HashCombine(a, b), HashCombine(b, a));
+}
+
+}  // namespace
+}  // namespace imon

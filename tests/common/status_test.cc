@@ -1,0 +1,94 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace imon {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table foo");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "table foo");
+  EXPECT_EQ(s.ToString(), "NotFound: table foo");
+}
+
+TEST(StatusTest, AllFactoryCodesDistinct) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Corruption("").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::NotSupported("").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::Aborted("").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::Busy("").code(), StatusCode::kBusy);
+  EXPECT_EQ(Status::ResourceExhausted("").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+Status FailsAt(int i, int fail_at) {
+  if (i == fail_at) return Status::Aborted("at " + std::to_string(i));
+  return Status::OK();
+}
+
+Status ChainThree(int fail_at) {
+  IMON_RETURN_IF_ERROR(FailsAt(0, fail_at));
+  IMON_RETURN_IF_ERROR(FailsAt(1, fail_at));
+  IMON_RETURN_IF_ERROR(FailsAt(2, fail_at));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagatesFirstFailure) {
+  EXPECT_TRUE(ChainThree(-1).ok());
+  EXPECT_EQ(ChainThree(1).message(), "at 1");
+  EXPECT_TRUE(ChainThree(2).IsAborted());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Busy("lock timeout");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsBusy());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = r.TakeValue();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> HalveEven(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> QuarterEven(int v) {
+  IMON_ASSIGN_OR_RETURN(int half, HalveEven(v));
+  IMON_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  Result<int> ok = QuarterEven(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  EXPECT_TRUE(QuarterEven(6).status().IsInvalidArgument());  // 3 is odd
+  EXPECT_TRUE(QuarterEven(5).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace imon

@@ -1,0 +1,204 @@
+#include "daemon/daemon.h"
+
+#include <gtest/gtest.h>
+
+#include "ima/ima.h"
+
+namespace imon::daemon {
+namespace {
+
+using engine::Database;
+using engine::DatabaseOptions;
+using engine::QueryResult;
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  DaemonTest()
+      : clock_(1000000000),
+        monitored_(MonitoredOptions()),
+        workload_db_(WorkloadOptions()) {
+    EXPECT_TRUE(ima::RegisterImaTables(&monitored_).ok());
+  }
+
+  DatabaseOptions MonitoredOptions() {
+    DatabaseOptions o;
+    o.name = "monitored";
+    o.clock = &clock_;
+    return o;
+  }
+  DatabaseOptions WorkloadOptions() {
+    DatabaseOptions o;
+    o.name = "workload";
+    o.monitor.enabled = false;  // the workload DB itself is not monitored
+    o.clock = &clock_;
+    return o;
+  }
+
+  DaemonConfig FastConfig() {
+    DaemonConfig c;
+    c.poll_interval = std::chrono::milliseconds(5);
+    c.polls_per_flush = 2;
+    c.retention = std::chrono::seconds(3600);
+    c.flushes_per_purge = 1;
+    return c;
+  }
+
+  QueryResult MustExec(Database* db, const std::string& sql) {
+    auto r = db->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+    return r.ok() ? r.TakeValue() : QueryResult{};
+  }
+
+  int64_t CountRows(const std::string& table) {
+    QueryResult r = MustExec(&workload_db_, "SELECT count(*) FROM " + table);
+    return r.rows[0][0].AsInt();
+  }
+
+  SimulatedClock clock_;
+  Database monitored_;
+  Database workload_db_;
+};
+
+TEST_F(DaemonTest, SchemaCreationIsIdempotent) {
+  ASSERT_TRUE(CreateWorkloadSchema(&workload_db_).ok());
+  ASSERT_TRUE(CreateWorkloadSchema(&workload_db_).ok());
+  EXPECT_TRUE(workload_db_.catalog()->HasTable("wl_workload"));
+  EXPECT_TRUE(workload_db_.catalog()->HasTable("wl_statistics"));
+}
+
+TEST_F(DaemonTest, PollAndFlushPersistWorkload) {
+  StorageDaemon daemon(&monitored_, &workload_db_, FastConfig(), &clock_);
+  ASSERT_TRUE(daemon.Initialize().ok());
+
+  MustExec(&monitored_, "CREATE TABLE t (v INT)");
+  MustExec(&monitored_, "INSERT INTO t VALUES (1)");
+  MustExec(&monitored_, "SELECT v FROM t WHERE v = 1");
+
+  ASSERT_TRUE(daemon.PollOnce().ok());  // buffers, no flush yet
+  EXPECT_EQ(CountRows("wl_workload"), 0);
+  ASSERT_TRUE(daemon.PollOnce().ok());  // second poll triggers flush
+  EXPECT_GE(CountRows("wl_workload"), 3);
+  EXPECT_GE(CountRows("wl_statements"), 3);
+  EXPECT_GE(CountRows("wl_statistics"), 2);  // one sample per poll
+  EXPECT_GE(CountRows("wl_tables"), 1);
+
+  auto stats = daemon.stats();
+  EXPECT_EQ(stats.polls, 2);
+  EXPECT_EQ(stats.flushes, 1);
+  EXPECT_GT(stats.rows_written, 0);
+  EXPECT_GT(stats.bytes_written_estimate, 0);
+}
+
+TEST_F(DaemonTest, IncrementalReadsDoNotDuplicate) {
+  StorageDaemon daemon(&monitored_, &workload_db_, FastConfig(), &clock_);
+  ASSERT_TRUE(daemon.Initialize().ok());
+
+  MustExec(&monitored_, "CREATE TABLE t (v INT)");
+  MustExec(&monitored_, "SELECT v FROM t");
+  ASSERT_TRUE(daemon.PollOnce().ok());
+  ASSERT_TRUE(daemon.PollOnce().ok());
+  int64_t after_first = CountRows("wl_workload");
+
+  // No new statements: two more polls add no workload rows.
+  ASSERT_TRUE(daemon.PollOnce().ok());
+  ASSERT_TRUE(daemon.PollOnce().ok());
+  EXPECT_EQ(CountRows("wl_workload"), after_first);
+
+  MustExec(&monitored_, "SELECT v FROM t WHERE v = 9");
+  ASSERT_TRUE(daemon.PollOnce().ok());
+  ASSERT_TRUE(daemon.PollOnce().ok());
+  EXPECT_EQ(CountRows("wl_workload"), after_first + 1);
+}
+
+TEST_F(DaemonTest, DaemonPollingIsNotSelfObserved) {
+  StorageDaemon daemon(&monitored_, &workload_db_, FastConfig(), &clock_);
+  ASSERT_TRUE(daemon.Initialize().ok());
+  MustExec(&monitored_, "CREATE TABLE t (v INT)");
+  MustExec(&monitored_, "SELECT v FROM t");
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(daemon.PollOnce().ok());
+  // The daemon's own IMA SELECTs must not appear in the statement history.
+  for (const auto& s : monitored_.monitor()->SnapshotStatements()) {
+    EXPECT_EQ(s.text.find("imp_"), std::string::npos) << s.text;
+  }
+}
+
+TEST_F(DaemonTest, RetentionPurgesOldRows) {
+  DaemonConfig config = FastConfig();
+  config.retention = std::chrono::seconds(100);
+  StorageDaemon daemon(&monitored_, &workload_db_, config, &clock_);
+  ASSERT_TRUE(daemon.Initialize().ok());
+
+  MustExec(&monitored_, "CREATE TABLE t (v INT)");
+  MustExec(&monitored_, "SELECT v FROM t");
+  ASSERT_TRUE(daemon.PollOnce().ok());
+  ASSERT_TRUE(daemon.PollOnce().ok());
+  int64_t persisted = CountRows("wl_workload");
+  ASSERT_GE(persisted, 1);
+
+  // Advance past retention; next flush purges everything old.
+  clock_.AdvanceSeconds(200);
+  ASSERT_TRUE(daemon.PurgeExpired().ok());
+  EXPECT_EQ(CountRows("wl_workload"), 0);
+  EXPECT_EQ(CountRows("wl_statistics"), 0);
+  EXPECT_GT(daemon.stats().rows_purged, 0);
+}
+
+TEST_F(DaemonTest, AlertRulesFireOnThreshold) {
+  StorageDaemon daemon(&monitored_, &workload_db_, FastConfig(), &clock_);
+  ASSERT_TRUE(daemon.Initialize().ok());
+  ASSERT_TRUE(daemon
+                  .AddAlertRule("deadlock_alert", "wl_statistics",
+                                "deadlocks >= 1",
+                                "deadlocks observed on the system")
+                  .ok());
+  std::vector<engine::AlertEvent> alerts;
+  daemon.SetAlertHandler(
+      [&](const engine::AlertEvent& e) { alerts.push_back(e); });
+
+  // Produce a deadlock on the monitored engine.
+  MustExec(&monitored_, "CREATE TABLE x (v INT)");
+  MustExec(&monitored_, "CREATE TABLE y (v INT)");
+  MustExec(&monitored_, "INSERT INTO x VALUES (1)");
+  MustExec(&monitored_, "INSERT INTO y VALUES (1)");
+  auto s1 = monitored_.CreateSession();
+  auto s2 = monitored_.CreateSession();
+  ASSERT_TRUE(monitored_.Execute("BEGIN", s1.get()).ok());
+  ASSERT_TRUE(monitored_.Execute("BEGIN", s2.get()).ok());
+  ASSERT_TRUE(monitored_.Execute("UPDATE x SET v = 2", s1.get()).ok());
+  ASSERT_TRUE(monitored_.Execute("UPDATE y SET v = 2", s2.get()).ok());
+  std::thread t([&] {
+    monitored_.Execute("UPDATE y SET v = 3", s1.get()).ok();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  monitored_.Execute("UPDATE x SET v = 3", s2.get()).ok();
+  t.join();
+  monitored_.Execute("COMMIT", s1.get()).ok();
+  monitored_.Execute("COMMIT", s2.get()).ok();
+
+  ASSERT_TRUE(daemon.PollOnce().ok());
+  ASSERT_TRUE(daemon.PollOnce().ok());
+  ASSERT_GE(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].trigger_name, "deadlock_alert");
+  EXPECT_GE(daemon.stats().alerts_raised, 1);
+}
+
+TEST_F(DaemonTest, BackgroundThreadPollsAndStops) {
+  // The background thread uses real waiting; keep the interval tiny.
+  StorageDaemon daemon(&monitored_, &workload_db_, FastConfig(), &clock_);
+  ASSERT_TRUE(daemon.Initialize().ok());
+  MustExec(&monitored_, "CREATE TABLE t (v INT)");
+  MustExec(&monitored_, "SELECT v FROM t");
+  daemon.Start();
+  EXPECT_TRUE(daemon.running());
+  // Wait for at least one flush.
+  for (int i = 0; i < 200 && daemon.stats().flushes == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  daemon.Stop();
+  EXPECT_FALSE(daemon.running());
+  EXPECT_GE(daemon.stats().polls, 1);
+  EXPECT_GE(CountRows("wl_workload"), 1);
+}
+
+}  // namespace
+}  // namespace imon::daemon

@@ -1,0 +1,252 @@
+#include "monitor/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace imon::monitor {
+namespace {
+
+MonitorConfig SmallConfig() {
+  MonitorConfig c;
+  c.statement_window = 4;
+  c.workload_window = 8;
+  c.references_window = 16;
+  c.statistics_window = 8;
+  c.stats_sample_every = 0;
+  return c;
+}
+
+QueryTrace RunStatement(Monitor* m, const std::string& text,
+                        double est = 1.0, double actual = 2.0) {
+  QueryTrace trace;
+  m->OnQueryStart(&trace);
+  m->OnParseComplete(&trace, text);
+  m->OnBindComplete(&trace, {1}, {{1, 0}}, {7});
+  m->OnOptimizeComplete(&trace, est, est, {7}, 100, 0);
+  m->OnExecuteComplete(&trace, 1000, 2, actual, 10, 3);
+  m->Commit(&trace);
+  return trace;
+}
+
+TEST(MonitorTest, DisabledSensorsLeaveNoTrace) {
+  MonitorConfig config = SmallConfig();
+  config.enabled = false;
+  Monitor m(config, RealClock::Instance());
+  QueryTrace trace = RunStatement(&m, "SELECT 1");
+  EXPECT_FALSE(trace.active);
+  EXPECT_EQ(trace.monitor_nanos, 0);
+  EXPECT_TRUE(m.SnapshotStatements().empty());
+  EXPECT_TRUE(m.SnapshotWorkload().empty());
+  EXPECT_EQ(m.statements_executed(), 0);
+}
+
+TEST(MonitorTest, StatementFrequencyAccumulates) {
+  Monitor m(SmallConfig(), RealClock::Instance());
+  RunStatement(&m, "SELECT a");
+  RunStatement(&m, "SELECT a");
+  RunStatement(&m, "SELECT b");
+  auto statements = m.SnapshotStatements();
+  ASSERT_EQ(statements.size(), 2u);
+  int64_t freq_a = 0;
+  for (const auto& s : statements) {
+    if (s.text == "SELECT a") freq_a = s.frequency;
+  }
+  EXPECT_EQ(freq_a, 2);
+  EXPECT_EQ(m.statements_executed(), 3);
+}
+
+TEST(MonitorTest, StatementWindowEvictsOldest) {
+  Monitor m(SmallConfig(), RealClock::Instance());  // window = 4
+  for (int i = 0; i < 6; ++i) {
+    RunStatement(&m, "stmt " + std::to_string(i));
+  }
+  auto statements = m.SnapshotStatements();
+  ASSERT_EQ(statements.size(), 4u);
+  // Oldest two evicted.
+  for (const auto& s : statements) {
+    EXPECT_NE(s.text, "stmt 0");
+    EXPECT_NE(s.text, "stmt 1");
+  }
+}
+
+TEST(MonitorTest, WorkloadRecordCarriesCosts) {
+  Monitor m(SmallConfig(), RealClock::Instance());
+  RunStatement(&m, "SELECT x", /*est=*/5.0, /*actual=*/9.0);
+  auto workload = m.SnapshotWorkload();
+  ASSERT_EQ(workload.size(), 1u);
+  const WorkloadRecord& r = workload[0];
+  EXPECT_EQ(r.hash, HashStatement("SELECT x"));
+  EXPECT_DOUBLE_EQ(r.estimated_cpu + r.estimated_io, 10.0);
+  EXPECT_DOUBLE_EQ(r.actual_cost, 9.0);
+  EXPECT_EQ(r.rows_examined, 10);
+  EXPECT_EQ(r.rows_output, 3);
+  EXPECT_EQ(r.execute_disk_io, 2);
+  EXPECT_GT(r.wallclock_nanos, 0);
+  EXPECT_GT(r.monitor_nanos, 0);
+  EXPECT_EQ(r.used_indexes, std::vector<ObjectId>{7});
+}
+
+TEST(MonitorTest, WorkloadRingWrapsAndCountsDrops) {
+  Monitor m(SmallConfig(), RealClock::Instance());  // workload window 8
+  for (int i = 0; i < 12; ++i) {
+    RunStatement(&m, "q" + std::to_string(i));
+  }
+  auto workload = m.SnapshotWorkload();
+  EXPECT_EQ(workload.size(), 8u);
+  EXPECT_EQ(m.counters().statements_dropped, 4);
+  // Records are in arrival order with ascending seq.
+  for (size_t i = 1; i < workload.size(); ++i) {
+    EXPECT_GT(workload[i].seq, workload[i - 1].seq);
+  }
+}
+
+TEST(MonitorTest, ReferencesRecorded) {
+  Monitor m(SmallConfig(), RealClock::Instance());
+  RunStatement(&m, "SELECT a");
+  auto refs = m.SnapshotReferences();
+  // 1 table + 1 attribute + 1 available index + 1 used index.
+  ASSERT_EQ(refs.size(), 4u);
+  EXPECT_EQ(refs[0].type, RefType::kTable);
+  EXPECT_EQ(refs[1].type, RefType::kAttribute);
+  EXPECT_EQ(refs[1].ordinal, 0);
+  EXPECT_EQ(refs[2].type, RefType::kIndex);
+  EXPECT_EQ(refs[3].type, RefType::kUsedIndex);
+  EXPECT_EQ(m.TableFrequencies()[1], 1);
+  EXPECT_EQ((m.AttributeFrequencies()[{1, 0}]), 1);
+  EXPECT_EQ(m.IndexFrequencies()[7], 1);
+}
+
+TEST(MonitorTest, IncrementalSnapshotsReturnOnlyNewTail) {
+  Monitor m(SmallConfig(), RealClock::Instance());
+  RunStatement(&m, "q1");
+  RunStatement(&m, "q2");
+  int64_t last_seq = m.SnapshotWorkload().back().seq;
+  EXPECT_TRUE(m.SnapshotWorkloadSince(last_seq).empty());
+  RunStatement(&m, "q3");
+  auto fresh = m.SnapshotWorkloadSince(last_seq);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].hash, HashStatement("q3"));
+  // Agreement with the full snapshot.
+  auto full = m.SnapshotWorkload();
+  EXPECT_EQ(full.back().seq, fresh[0].seq);
+}
+
+TEST(MonitorTest, SystemStatsSampling) {
+  Monitor m(SmallConfig(), RealClock::Instance());
+  SystemSnapshot snapshot;
+  snapshot.current_sessions = 3;
+  snapshot.cache_logical_reads = 100;
+  snapshot.cache_physical_reads = 25;
+  m.RecordSystemStats(snapshot);
+  auto stats = m.SnapshotStatistics();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].current_sessions, 3);
+  EXPECT_DOUBLE_EQ(stats[0].cache_hit_ratio, 0.75);
+}
+
+TEST(MonitorTest, ShouldSampleStatsEveryN) {
+  MonitorConfig config = SmallConfig();
+  config.stats_sample_every = 3;
+  Monitor m(config, RealClock::Instance());
+  int samples = 0;
+  for (int i = 0; i < 9; ++i) {
+    RunStatement(&m, "q" + std::to_string(i % 2));
+    if (m.ShouldSampleStats()) ++samples;
+  }
+  EXPECT_EQ(samples, 3);
+}
+
+TEST(MonitorTest, SelfTimeAccounted) {
+  Monitor m(SmallConfig(), RealClock::Instance());
+  QueryTrace trace = RunStatement(&m, "SELECT 1");
+  EXPECT_GT(trace.monitor_nanos, 0);
+  EXPECT_EQ(m.counters().total_monitor_nanos > 0, true);
+  auto workload = m.SnapshotWorkload();
+  EXPECT_EQ(workload[0].monitor_nanos, trace.monitor_nanos);
+}
+
+TEST(MonitorTest, MaxSessionsTracksHighWater) {
+  Monitor m(SmallConfig(), RealClock::Instance());
+  m.NoteSessionCount(2);
+  m.NoteSessionCount(7);
+  m.NoteSessionCount(4);
+  EXPECT_EQ(m.max_sessions_seen(), 7);
+}
+
+TEST(MonitorTest, ClearResetsEverything) {
+  Monitor m(SmallConfig(), RealClock::Instance());
+  RunStatement(&m, "q");
+  m.RecordSystemStats(SystemSnapshot{});
+  m.Clear();
+  EXPECT_TRUE(m.SnapshotStatements().empty());
+  EXPECT_TRUE(m.SnapshotWorkload().empty());
+  EXPECT_TRUE(m.SnapshotReferences().empty());
+  EXPECT_TRUE(m.SnapshotStatistics().empty());
+  EXPECT_TRUE(m.TableFrequencies().empty());
+}
+
+TEST(MonitorTest, ConcurrentCommitsAreSafe) {
+  MonitorConfig config;
+  config.stats_sample_every = 0;
+  Monitor m(config, RealClock::Instance());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        RunStatement(&m, "thread " + std::to_string(t) + " stmt " +
+                             std::to_string(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(m.statements_executed(), kThreads * kPerThread);
+  auto statements = m.SnapshotStatements();
+  EXPECT_EQ(statements.size(), config.statement_window);
+}
+
+TEST(RingBufferTest, BasicPushAndWrap) {
+  RingBuffer<int> ring(3);
+  EXPECT_EQ(ring.capacity(), 3u);
+  ring.Push(1);
+  ring.Push(2);
+  EXPECT_FALSE(ring.full());
+  ring.Push(3);
+  EXPECT_TRUE(ring.full());
+  EXPECT_EQ(ring.Snapshot(), (std::vector<int>{1, 2, 3}));
+  ring.Push(4);
+  EXPECT_EQ(ring.Snapshot(), (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(ring.overwritten(), 1);
+}
+
+TEST(RingBufferTest, ZeroCapacityClampsToOne) {
+  RingBuffer<int> ring(0);
+  ring.Push(1);
+  ring.Push(2);
+  EXPECT_EQ(ring.Snapshot(), std::vector<int>{2});
+}
+
+TEST(RingBufferTest, SnapshotTailStopsAtFirstOldEntry) {
+  RingBuffer<int> ring(5);
+  for (int i = 1; i <= 7; ++i) ring.Push(i);  // holds 3..7
+  auto tail = ring.SnapshotTail([](int v) { return v > 5; });
+  EXPECT_EQ(tail, (std::vector<int>{6, 7}));
+  auto all = ring.SnapshotTail([](int) { return true; });
+  EXPECT_EQ(all, (std::vector<int>{3, 4, 5, 6, 7}));
+  auto none = ring.SnapshotTail([](int) { return false; });
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(RingBufferTest, ClearEmptiesBuffer) {
+  RingBuffer<int> ring(2);
+  ring.Push(1);
+  ring.Clear();
+  EXPECT_EQ(ring.size(), 0u);
+  ring.Push(9);
+  EXPECT_EQ(ring.Snapshot(), std::vector<int>{9});
+}
+
+}  // namespace
+}  // namespace imon::monitor

@@ -1,0 +1,218 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace imon::sql {
+namespace {
+
+StatementPtr MustParse(const std::string& sql) {
+  auto r = Parse(sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+  return r.ok() ? r.TakeValue() : nullptr;
+}
+
+template <typename T>
+T* As(const StatementPtr& stmt) {
+  return static_cast<T*>(stmt.get());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = MustParse("SELECT a, b FROM t WHERE a = 1");
+  ASSERT_EQ(stmt->kind(), StatementKind::kSelect);
+  auto* select = As<SelectStmt>(stmt);
+  EXPECT_EQ(select->items.size(), 2u);
+  ASSERT_EQ(select->from.size(), 1u);
+  EXPECT_EQ(select->from[0].table, "t");
+  ASSERT_NE(select->where, nullptr);
+  EXPECT_EQ(select->where->ToString(), "(a = 1)");
+}
+
+TEST(ParserTest, SelectStarDistinctLimit) {
+  auto stmt = MustParse("SELECT DISTINCT * FROM t LIMIT 10");
+  auto* select = As<SelectStmt>(stmt);
+  EXPECT_TRUE(select->distinct);
+  EXPECT_TRUE(select->items[0].is_star);
+  EXPECT_EQ(select->limit, 10);
+}
+
+TEST(ParserTest, JoinOnFoldsIntoWhere) {
+  auto stmt = MustParse(
+      "SELECT p.a FROM p JOIN o ON p.id = o.id JOIN q ON o.id = q.id "
+      "WHERE p.a > 5");
+  auto* select = As<SelectStmt>(stmt);
+  ASSERT_EQ(select->from.size(), 3u);
+  // WHERE holds the two ON conditions AND the explicit predicate.
+  std::string where = select->where->ToString();
+  EXPECT_NE(where.find("p.id = o.id"), std::string::npos);
+  EXPECT_NE(where.find("o.id = q.id"), std::string::npos);
+  EXPECT_NE(where.find("p.a > 5"), std::string::npos);
+}
+
+TEST(ParserTest, CommaJoinAndAliases) {
+  auto stmt = MustParse("SELECT x.a FROM t1 AS x, t2 y WHERE x.a = y.b");
+  auto* select = As<SelectStmt>(stmt);
+  ASSERT_EQ(select->from.size(), 2u);
+  EXPECT_EQ(select->from[0].EffectiveName(), "x");
+  EXPECT_EQ(select->from[1].EffectiveName(), "y");
+}
+
+TEST(ParserTest, GroupByHavingOrderBy) {
+  auto stmt = MustParse(
+      "SELECT k, count(*) AS n FROM t GROUP BY k HAVING count(*) > 2 "
+      "ORDER BY n DESC, k ASC LIMIT 5");
+  auto* select = As<SelectStmt>(stmt);
+  EXPECT_EQ(select->group_by.size(), 1u);
+  ASSERT_NE(select->having, nullptr);
+  ASSERT_EQ(select->order_by.size(), 2u);
+  EXPECT_FALSE(select->order_by[0].ascending);
+  EXPECT_TRUE(select->order_by[1].ascending);
+  EXPECT_EQ(select->items[1].alias, "n");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = MustParse("SELECT a FROM t WHERE a + 2 * 3 = 7 AND b = 1 OR "
+                        "c = 2");
+  auto* select = As<SelectStmt>(stmt);
+  // OR binds loosest; * binds tighter than +.
+  EXPECT_EQ(select->where->ToString(),
+            "((((a + (2 * 3)) = 7) AND (b = 1)) OR (c = 2))");
+}
+
+TEST(ParserTest, BetweenInLikeIsNull) {
+  auto stmt = MustParse(
+      "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2, 3) AND "
+      "c LIKE 'ab%' AND d IS NOT NULL AND e NOT BETWEEN 0 AND 1");
+  auto* select = As<SelectStmt>(stmt);
+  std::string where = select->where->ToString();
+  EXPECT_NE(where.find("a BETWEEN 1 AND 5"), std::string::npos);
+  EXPECT_NE(where.find("b IN (1, 2, 3)"), std::string::npos);
+  EXPECT_NE(where.find("c LIKE 'ab%'"), std::string::npos);
+  EXPECT_NE(where.find("d IS NOT NULL"), std::string::npos);
+  EXPECT_NE(where.find("e NOT BETWEEN 0 AND 1"), std::string::npos);
+}
+
+TEST(ParserTest, NegativeNumbersFoldIntoLiterals) {
+  auto stmt = MustParse("SELECT a FROM t WHERE a > -5 AND b = -2.5");
+  auto* select = As<SelectStmt>(stmt);
+  EXPECT_EQ(select->where->ToString(), "((a > -5) AND (b = -2.5))");
+}
+
+TEST(ParserTest, InsertMultiRow) {
+  auto stmt = MustParse(
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y''z'), (3, NULL)");
+  auto* insert = As<InsertStmt>(stmt);
+  EXPECT_EQ(insert->table, "t");
+  EXPECT_EQ(insert->columns, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(insert->rows.size(), 3u);
+  EXPECT_EQ(insert->rows[1][1]->literal.AsText(), "y'z");
+  EXPECT_TRUE(insert->rows[2][1]->literal.is_null());
+}
+
+TEST(ParserTest, UpdateAndDelete) {
+  auto stmt = MustParse("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3");
+  auto* update = As<UpdateStmt>(stmt);
+  EXPECT_EQ(update->assignments.size(), 2u);
+  EXPECT_EQ(update->assignments[0].first, "a");
+
+  stmt = MustParse("DELETE FROM t WHERE id < 10");
+  auto* del = As<DeleteStmt>(stmt);
+  EXPECT_EQ(del->table, "t");
+  ASSERT_NE(del->where, nullptr);
+}
+
+TEST(ParserTest, CreateTableWithConstraints) {
+  auto stmt = MustParse(
+      "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(50) NOT NULL, "
+      "score DOUBLE, PRIMARY KEY (id)) WITH MAIN_PAGES = 32");
+  auto* create = As<CreateTableStmt>(stmt);
+  ASSERT_EQ(create->columns.size(), 3u);
+  EXPECT_TRUE(create->columns[0].primary_key);
+  EXPECT_TRUE(create->columns[1].not_null);
+  EXPECT_EQ(create->columns[1].type, TypeId::kText);
+  EXPECT_EQ(create->primary_key, std::vector<std::string>{"id"});
+  EXPECT_EQ(create->main_pages, 32u);
+}
+
+TEST(ParserTest, CreateTableIfNotExists) {
+  auto stmt = MustParse("CREATE TABLE IF NOT EXISTS t (a INT)");
+  EXPECT_TRUE(As<CreateTableStmt>(stmt)->if_not_exists);
+}
+
+TEST(ParserTest, IndexStatements) {
+  auto stmt = MustParse("CREATE UNIQUE INDEX i ON t (a, b)");
+  auto* create = As<CreateIndexStmt>(stmt);
+  EXPECT_TRUE(create->unique);
+  EXPECT_EQ(create->columns, (std::vector<std::string>{"a", "b"}));
+  stmt = MustParse("DROP INDEX i");
+  EXPECT_EQ(As<DropIndexStmt>(stmt)->index, "i");
+}
+
+TEST(ParserTest, ModifyAndAnalyze) {
+  auto stmt = MustParse("MODIFY t TO BTREE");
+  EXPECT_EQ(As<ModifyStmt>(stmt)->target, TargetStructure::kBtree);
+  stmt = MustParse("MODIFY t TO HEAP");
+  EXPECT_EQ(As<ModifyStmt>(stmt)->target, TargetStructure::kHeap);
+  stmt = MustParse("MODIFY t TO HASH");
+  EXPECT_EQ(As<ModifyStmt>(stmt)->target, TargetStructure::kHash);
+  stmt = MustParse("ANALYZE t (a, b)");
+  auto* analyze = As<AnalyzeStmt>(stmt);
+  EXPECT_EQ(analyze->columns, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParserTest, TriggerStatements) {
+  auto stmt = MustParse(
+      "CREATE TRIGGER watch AFTER INSERT ON stats WHEN sessions > 100 "
+      "RAISE 'too many sessions'");
+  auto* trigger = As<CreateTriggerStmt>(stmt);
+  EXPECT_EQ(trigger->name, "watch");
+  EXPECT_EQ(trigger->table, "stats");
+  EXPECT_EQ(trigger->message, "too many sessions");
+  stmt = MustParse("DROP TRIGGER watch");
+  EXPECT_EQ(As<DropTriggerStmt>(stmt)->name, "watch");
+}
+
+TEST(ParserTest, TransactionStatements) {
+  EXPECT_EQ(MustParse("BEGIN")->kind(), StatementKind::kBegin);
+  EXPECT_EQ(MustParse("COMMIT")->kind(), StatementKind::kCommit);
+  EXPECT_EQ(MustParse("ROLLBACK")->kind(), StatementKind::kRollback);
+}
+
+TEST(ParserTest, ExplainWrapsSelect) {
+  auto stmt = MustParse("EXPLAIN SELECT a FROM t");
+  auto* explain = As<ExplainStmt>(stmt);
+  EXPECT_EQ(explain->inner->kind(), StatementKind::kSelect);
+}
+
+TEST(ParserTest, TrailingSemicolonAllowed) {
+  EXPECT_NE(MustParse("SELECT a FROM t;"), nullptr);
+}
+
+class ParserErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserErrorTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Parse(GetParam()).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, ParserErrorTest,
+    ::testing::Values("", "SELECT", "SELECT FROM t", "SELECT a FROM",
+                      "SELECT a FROM t WHERE", "SELECT a t",
+                      "INSERT t VALUES (1)", "INSERT INTO t VALUES 1",
+                      "UPDATE t a = 1", "DELETE t", "CREATE TABLE t",
+                      "CREATE TABLE t (a)", "CREATE INDEX ON t (a)",
+                      "MODIFY t TO CRACKED", "SELECT a FROM t LIMIT x",
+                      "SELECT a FROM t GROUP k",
+                      "SELECT a FROM t 123",
+                      "SELECT a FROM t WHERE a IN ()",
+                      "SELECT a FROM t WHERE a LIKE 5"));
+
+TEST(ParseExpressionTest, StandaloneExpressions) {
+  auto e = ParseExpression("sessions >= 100 AND deadlocks > 0");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, ExprKind::kBinary);
+  EXPECT_FALSE(ParseExpression("sessions >=").ok());
+  EXPECT_FALSE(ParseExpression("1 2").ok());
+}
+
+}  // namespace
+}  // namespace imon::sql

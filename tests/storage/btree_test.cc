@@ -1,0 +1,224 @@
+#include "storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "storage/key_codec.h"
+
+namespace imon::storage {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest() : disk_(), pool_(&disk_, 256) {
+    file_ = disk_.CreateFile();
+    tree_ = std::make_unique<BTree>(&pool_, file_);
+    EXPECT_TRUE(tree_->Create().ok());
+  }
+
+  static std::string IntKey(int64_t v) { return EncodeKey({Value::Int(v)}); }
+
+  std::vector<std::pair<int64_t, std::string>> CollectAll() {
+    std::vector<std::pair<int64_t, std::string>> out;
+    auto cursor = tree_->SeekToFirst();
+    EXPECT_TRUE(cursor.ok());
+    while (cursor->Valid()) {
+      auto key = DecodeKey(std::string(cursor->user_key()), 1);
+      EXPECT_TRUE(key.ok());
+      out.emplace_back((*key)[0].AsInt(), std::string(cursor->payload()));
+      EXPECT_TRUE(cursor->Next().ok());
+    }
+    return out;
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  FileId file_;
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_F(BTreeTest, EmptyTreeHasNoEntries) {
+  auto cursor = tree_->SeekToFirst();
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_FALSE(cursor->Valid());
+  auto stats = tree_->ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->entries, 0);
+  EXPECT_EQ(stats->height, 1u);
+}
+
+TEST_F(BTreeTest, InsertAndScanInOrder) {
+  for (int64_t v : {5, 1, 9, 3, 7}) {
+    ASSERT_TRUE(tree_->Insert(IntKey(v), "p" + std::to_string(v)).ok());
+  }
+  auto all = CollectAll();
+  ASSERT_EQ(all.size(), 5u);
+  std::vector<int64_t> keys;
+  for (auto& [k, p] : all) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<int64_t>{1, 3, 5, 7, 9}));
+  EXPECT_EQ(all[0].second, "p1");
+}
+
+TEST_F(BTreeTest, DuplicateKeysAllKept) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(tree_->Insert(IntKey(42), "dup" + std::to_string(i)).ok());
+  }
+  auto all = CollectAll();
+  EXPECT_EQ(all.size(), 10u);
+  for (auto& [k, p] : all) EXPECT_EQ(k, 42);
+}
+
+TEST_F(BTreeTest, SeekLowerBound) {
+  for (int64_t v = 0; v < 100; v += 10) {
+    ASSERT_TRUE(tree_->Insert(IntKey(v), "x").ok());
+  }
+  auto cursor = tree_->SeekLowerBound(IntKey(35));
+  ASSERT_TRUE(cursor.ok());
+  ASSERT_TRUE(cursor->Valid());
+  auto key = DecodeKey(std::string(cursor->user_key()), 1);
+  EXPECT_EQ((*key)[0].AsInt(), 40);
+  // Exact hit.
+  cursor = tree_->SeekLowerBound(IntKey(50));
+  ASSERT_TRUE(cursor->Valid());
+  key = DecodeKey(std::string(cursor->user_key()), 1);
+  EXPECT_EQ((*key)[0].AsInt(), 50);
+  // Past the end.
+  cursor = tree_->SeekLowerBound(IntKey(1000));
+  EXPECT_FALSE(cursor->Valid());
+}
+
+TEST_F(BTreeTest, DeleteSpecificPayload) {
+  ASSERT_TRUE(tree_->Insert(IntKey(1), "a").ok());
+  ASSERT_TRUE(tree_->Insert(IntKey(1), "b").ok());
+  ASSERT_TRUE(tree_->Insert(IntKey(1), "c").ok());
+  ASSERT_TRUE(tree_->Delete(IntKey(1), "b").ok());
+  auto all = CollectAll();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].second, "a");
+  EXPECT_EQ(all[1].second, "c");
+  EXPECT_TRUE(tree_->Delete(IntKey(1), "zz").IsNotFound());
+  EXPECT_TRUE(tree_->Delete(IntKey(5), "a").IsNotFound());
+}
+
+TEST_F(BTreeTest, ManyInsertsForceMultiLevelTree) {
+  constexpr int kCount = 20000;
+  std::vector<int64_t> order(kCount);
+  for (int i = 0; i < kCount; ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), std::mt19937(3));
+  for (int64_t v : order) {
+    ASSERT_TRUE(tree_->Insert(IntKey(v), std::to_string(v)).ok());
+  }
+  auto stats = tree_->ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->entries, kCount);
+  EXPECT_GE(stats->height, 2u);
+
+  auto all = CollectAll();
+  ASSERT_EQ(all.size(), static_cast<size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_EQ(all[i].first, i);
+    ASSERT_EQ(all[i].second, std::to_string(i));
+  }
+}
+
+TEST_F(BTreeTest, SequentialAndReverseInsertsStaySorted) {
+  for (int64_t v = 0; v < 3000; ++v)
+    ASSERT_TRUE(tree_->Insert(IntKey(v), "s").ok());
+  for (int64_t v = 6000; v > 3000; --v)
+    ASSERT_TRUE(tree_->Insert(IntKey(v), "r").ok());
+  auto all = CollectAll();
+  ASSERT_EQ(all.size(), 6000u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    ASSERT_LE(all[i - 1].first, all[i].first);
+  }
+}
+
+TEST_F(BTreeTest, TextKeysWithVariableLength) {
+  std::mt19937 rng(11);
+  std::vector<std::string> words;
+  for (int i = 0; i < 5000; ++i) {
+    std::string w(1 + rng() % 40, ' ');
+    for (char& c : w) c = static_cast<char>('a' + rng() % 26);
+    words.push_back(w);
+    ASSERT_TRUE(tree_->Insert(EncodeKey({Value::Text(w)}), "x").ok());
+  }
+  std::sort(words.begin(), words.end());
+  auto cursor = tree_->SeekToFirst();
+  ASSERT_TRUE(cursor.ok());
+  size_t i = 0;
+  while (cursor->Valid()) {
+    auto key = DecodeKey(std::string(cursor->user_key()), 1);
+    ASSERT_TRUE(key.ok());
+    ASSERT_EQ((*key)[0].AsText(), words[i]) << i;
+    ++i;
+    ASSERT_TRUE(cursor->Next().ok());
+  }
+  EXPECT_EQ(i, words.size());
+}
+
+TEST_F(BTreeTest, CompositeKeyRangeScan) {
+  // (table_id, page) composite keys: scan all entries of table 2.
+  for (int64_t t = 1; t <= 3; ++t) {
+    for (int64_t p = 0; p < 50; ++p) {
+      ASSERT_TRUE(
+          tree_->Insert(EncodeKey({Value::Int(t), Value::Int(p)}), "e").ok());
+    }
+  }
+  std::string lower = EncodeKey({Value::Int(2)});
+  auto cursor = tree_->SeekLowerBound(lower);
+  ASSERT_TRUE(cursor.ok());
+  int count = 0;
+  while (cursor->Valid()) {
+    auto key = DecodeKey(std::string(cursor->user_key()), 2);
+    ASSERT_TRUE(key.ok());
+    if ((*key)[0].AsInt() != 2) break;
+    ++count;
+    ASSERT_TRUE(cursor->Next().ok());
+  }
+  EXPECT_EQ(count, 50);
+}
+
+TEST_F(BTreeTest, RandomizedMirrorsMultimap) {
+  std::mt19937 rng(123);
+  std::multimap<int64_t, std::string> model;
+  for (int step = 0; step < 8000; ++step) {
+    int64_t key = rng() % 500;
+    if (model.empty() || rng() % 4 != 0) {
+      std::string payload = "v" + std::to_string(step);
+      ASSERT_TRUE(tree_->Insert(IntKey(key), payload).ok());
+      model.emplace(key, payload);
+    } else {
+      auto it = model.find(key);
+      if (it != model.end()) {
+        ASSERT_TRUE(tree_->Delete(IntKey(key), it->second).ok());
+        model.erase(it);
+      } else {
+        ASSERT_TRUE(tree_->Delete(IntKey(key), "absent").IsNotFound());
+      }
+    }
+  }
+  auto all = CollectAll();
+  ASSERT_EQ(all.size(), model.size());
+  // Same multiset of (key, payload).
+  std::multiset<std::pair<int64_t, std::string>> expect(model.begin(),
+                                                        model.end());
+  std::multiset<std::pair<int64_t, std::string>> got(all.begin(), all.end());
+  EXPECT_EQ(expect, got);
+  auto stats = tree_->ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->entries, static_cast<int64_t>(model.size()));
+}
+
+TEST_F(BTreeTest, LargePayloadsRejectedBeyondHalfPage) {
+  std::string huge(kPageSize, 'h');
+  EXPECT_FALSE(tree_->Insert(IntKey(1), huge).ok());
+  std::string fits(1000, 'f');
+  EXPECT_TRUE(tree_->Insert(IntKey(1), fits).ok());
+}
+
+}  // namespace
+}  // namespace imon::storage

@@ -1,0 +1,189 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/clock.h"
+
+namespace imon::storage {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() : disk_(), pool_(&disk_, 4) { file_ = disk_.CreateFile(); }
+  DiskManager disk_;
+  BufferPool pool_;
+  FileId file_;
+};
+
+TEST_F(BufferPoolTest, NewPageIsZeroedAndPinned) {
+  auto guard = pool_.New(file_);
+  ASSERT_TRUE(guard.ok());
+  PageView view = guard->Read();
+  EXPECT_EQ(view.type(), PageType::kFree);
+  EXPECT_EQ(disk_.NumPages(file_), 1u);
+}
+
+TEST_F(BufferPoolTest, WriteSurvivesEviction) {
+  PageId pid;
+  {
+    auto guard = pool_.New(file_);
+    ASSERT_TRUE(guard.ok());
+    pid = guard->page_id();
+    PageView view = guard->Write();
+    view.Init(PageType::kHeap);
+    view.Insert("persistent");
+  }
+  // Evict by filling the pool with other pages.
+  for (int i = 0; i < 8; ++i) {
+    auto g = pool_.New(file_);
+    ASSERT_TRUE(g.ok());
+  }
+  auto back = pool_.Fetch(pid);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Read().Get(0), "persistent");
+}
+
+TEST_F(BufferPoolTest, FetchMissesThenHits) {
+  PageId pid;
+  {
+    auto g = pool_.New(file_);
+    pid = g->page_id();
+  }
+  auto before = pool_.stats();
+  {
+    auto g = pool_.Fetch(pid);  // hit: still resident
+    ASSERT_TRUE(g.ok());
+  }
+  auto after = pool_.stats();
+  EXPECT_EQ(after.logical_reads, before.logical_reads + 1);
+  EXPECT_EQ(after.physical_reads, before.physical_reads);
+}
+
+TEST_F(BufferPoolTest, AllPinnedIsResourceExhausted) {
+  std::vector<PageGuard> guards;
+  for (size_t i = 0; i < pool_.capacity(); ++i) {
+    auto g = pool_.New(file_);
+    ASSERT_TRUE(g.ok());
+    guards.push_back(std::move(g.TakeValue()));
+  }
+  auto overflow = pool_.New(file_);
+  EXPECT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  guards.clear();
+  EXPECT_TRUE(pool_.New(file_).ok());
+}
+
+TEST_F(BufferPoolTest, LruEvictsColdestPage) {
+  std::vector<PageId> pids;
+  for (int i = 0; i < 4; ++i) {
+    auto g = pool_.New(file_);
+    pids.push_back(g->page_id());
+  }
+  // Touch pages 1..3 so page 0 is coldest.
+  for (int i = 1; i < 4; ++i) {
+    auto g = pool_.Fetch(pids[i]);
+    ASSERT_TRUE(g.ok());
+  }
+  auto before = pool_.stats();
+  {
+    auto g = pool_.New(file_);  // forces one eviction
+    ASSERT_TRUE(g.ok());
+  }
+  auto mid = pool_.stats();
+  EXPECT_EQ(mid.evictions, before.evictions + 1);
+  // Page 0 must now be a physical read again; page 3 still resident.
+  {
+    auto g = pool_.Fetch(pids[3]);
+    ASSERT_TRUE(g.ok());
+  }
+  EXPECT_EQ(pool_.stats().physical_reads, mid.physical_reads);
+  {
+    auto g = pool_.Fetch(pids[0]);
+    ASSERT_TRUE(g.ok());
+  }
+  EXPECT_EQ(pool_.stats().physical_reads, mid.physical_reads + 1);
+}
+
+TEST_F(BufferPoolTest, FetchUnknownPageFails) {
+  EXPECT_FALSE(pool_.Fetch(PageId{file_, 42}).ok());
+  EXPECT_FALSE(pool_.Fetch(PageId{9999, 0}).ok());
+}
+
+TEST_F(BufferPoolTest, FlushAllWritesDirtyPages) {
+  PageId pid;
+  {
+    auto g = pool_.New(file_);
+    pid = g->page_id();
+    g->Write().Init(PageType::kHeap);
+  }
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  char raw[kPageSize];
+  ASSERT_TRUE(disk_.ReadPage(pid, raw).ok());
+  EXPECT_EQ(PageView(raw).type(), PageType::kHeap);
+}
+
+TEST_F(BufferPoolTest, PurgeDropsCachedPagesOfFile) {
+  auto g = pool_.New(file_);
+  PageId pid = g->page_id();
+  g->Release();
+  pool_.Purge(file_);
+  auto before = pool_.stats();
+  auto again = pool_.Fetch(pid);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(pool_.stats().physical_reads, before.physical_reads + 1);
+}
+
+TEST(DiskManagerTest, CountsPhysicalIo) {
+  DiskManager disk;
+  FileId f = disk.CreateFile();
+  auto page_no = disk.AllocatePage(f);
+  ASSERT_TRUE(page_no.ok());
+  char buf[kPageSize];
+  std::memset(buf, 0xAB, kPageSize);
+  ASSERT_TRUE(disk.WritePage(PageId{f, *page_no}, buf).ok());
+  char out[kPageSize];
+  ASSERT_TRUE(disk.ReadPage(PageId{f, *page_no}, out).ok());
+  EXPECT_EQ(std::memcmp(buf, out, kPageSize), 0);
+  auto stats = disk.stats();
+  EXPECT_EQ(stats.physical_reads, 1);
+  EXPECT_EQ(stats.physical_writes, 1);
+  EXPECT_EQ(stats.pages_allocated, 1);
+}
+
+TEST(DiskManagerTest, DeleteFileInvalidatesPages) {
+  DiskManager disk;
+  FileId f = disk.CreateFile();
+  auto p = disk.AllocatePage(f);
+  ASSERT_TRUE(p.ok());
+  disk.DeleteFile(f);
+  char buf[kPageSize];
+  EXPECT_FALSE(disk.ReadPage(PageId{f, *p}, buf).ok());
+  EXPECT_EQ(disk.NumPages(f), 0u);
+}
+
+TEST(DiskManagerTest, TotalPagesAcrossFiles) {
+  DiskManager disk;
+  FileId a = disk.CreateFile();
+  FileId b = disk.CreateFile();
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(disk.AllocatePage(a).ok());
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(disk.AllocatePage(b).ok());
+  EXPECT_EQ(disk.TotalPages(), 5);
+  EXPECT_EQ(disk.TotalPagesIn({a}), 3);
+  EXPECT_EQ(disk.TotalPagesIn({a, b}), 5);
+}
+
+TEST(DiskManagerTest, SimulatedLatencySlowsIo) {
+  DiskManager disk(200000);  // 200us per access
+  FileId f = disk.CreateFile();
+  auto p = disk.AllocatePage(f);
+  char buf[kPageSize];
+  int64_t start = MonotonicNanos();
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(disk.ReadPage(PageId{f, *p}, buf).ok());
+  int64_t elapsed = MonotonicNanos() - start;
+  EXPECT_GE(elapsed, 5 * 200000);
+}
+
+}  // namespace
+}  // namespace imon::storage

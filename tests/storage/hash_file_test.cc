@@ -1,0 +1,142 @@
+#include "storage/hash_file.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "storage/key_codec.h"
+
+namespace imon::storage {
+namespace {
+
+std::string Key(int64_t id) { return EncodeKey({Value::Int(id)}); }
+Row MakeRow(int64_t id, const std::string& text) {
+  return {Value::Int(id), Value::Text(text)};
+}
+
+class HashFileTest : public ::testing::Test {
+ protected:
+  HashFileTest() : disk_(), pool_(&disk_, 128) {
+    file_ = disk_.CreateFile();
+    hash_ = std::make_unique<HashFile>(&pool_, file_, /*buckets=*/8);
+    EXPECT_TRUE(hash_->Initialize().ok());
+  }
+  DiskManager disk_;
+  BufferPool pool_;
+  FileId file_;
+  std::unique_ptr<HashFile> hash_;
+};
+
+TEST_F(HashFileTest, InitializeAllocatesBucketPages) {
+  EXPECT_EQ(disk_.NumPages(file_), 8u);
+  auto stats = hash_->ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->main_pages, 8u);
+  EXPECT_EQ(stats->overflow_pages, 0u);
+}
+
+TEST_F(HashFileTest, InsertGetRoundTrip) {
+  auto rid = hash_->Insert(Key(7), MakeRow(7, "seven"));
+  ASSERT_TRUE(rid.ok());
+  auto row = hash_->Get(*rid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsText(), "seven");
+}
+
+TEST_F(HashFileTest, LookupBucketFindsKey) {
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(hash_->Insert(Key(i), MakeRow(i, "r")).ok());
+  }
+  // The bucket holds the key (plus possible collisions).
+  bool found = false;
+  int64_t visited = 0;
+  ASSERT_TRUE(hash_
+                  ->LookupBucket(Key(42),
+                                 [&](Rid, const Row& row) {
+                                   ++visited;
+                                   if (row[0].AsInt() == 42) found = true;
+                                   return true;
+                                 })
+                  .ok());
+  EXPECT_TRUE(found);
+  // A bucket lookup visits only ~1/8 of the rows.
+  EXPECT_LT(visited, 40);
+}
+
+TEST_F(HashFileTest, OverflowPagesGrowBeyondBuckets) {
+  for (int64_t i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(hash_->Insert(Key(i), MakeRow(i, std::string(60, 'x'))).ok());
+  }
+  auto stats = hash_->ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->main_pages, 8u);
+  EXPECT_GT(stats->overflow_pages, 8u);
+  EXPECT_EQ(stats->live_rows, 3000);
+}
+
+TEST_F(HashFileTest, ScanVisitsEverything) {
+  std::map<int64_t, std::string> expected;
+  for (int64_t i = 0; i < 300; ++i) {
+    std::string text = "v" + std::to_string(i);
+    ASSERT_TRUE(hash_->Insert(Key(i), MakeRow(i, text)).ok());
+    expected[i] = text;
+  }
+  std::map<int64_t, std::string> seen;
+  ASSERT_TRUE(hash_
+                  ->Scan([&](Rid, const Row& row) {
+                    seen[row[0].AsInt()] = row[1].AsText();
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(seen, expected);
+}
+
+TEST_F(HashFileTest, DeleteAndUpdate) {
+  auto rid = hash_->Insert(Key(1), MakeRow(1, "before"));
+  ASSERT_TRUE(rid.ok());
+  auto updated = hash_->Update(*rid, MakeRow(1, "afters"));
+  ASSERT_TRUE(updated.ok());
+  auto row = hash_->Get(*updated);
+  EXPECT_EQ((*row)[1].AsText(), "afters");
+  ASSERT_TRUE(hash_->Delete(*updated).ok());
+  EXPECT_TRUE(hash_->Get(*updated).status().IsNotFound());
+  EXPECT_TRUE(hash_->Delete(*updated).IsNotFound());
+}
+
+TEST_F(HashFileTest, RandomizedMirrorsStdMap) {
+  std::mt19937 rng(31);
+  std::map<int64_t, std::pair<Rid, std::string>> live;
+  int64_t next_id = 0;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng() % 3 != 0) {
+      int64_t id = next_id++;
+      std::string text(1 + rng() % 100, static_cast<char>('a' + rng() % 26));
+      auto rid = hash_->Insert(Key(id), MakeRow(id, text));
+      ASSERT_TRUE(rid.ok());
+      live[id] = {*rid, text};
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng() % live.size());
+      ASSERT_TRUE(hash_->Delete(it->second.first).ok());
+      live.erase(it);
+    }
+  }
+  int64_t seen = 0;
+  ASSERT_TRUE(hash_
+                  ->Scan([&](Rid rid, const Row& row) {
+                    auto it = live.find(row[0].AsInt());
+                    EXPECT_NE(it, live.end());
+                    if (it != live.end()) {
+                      EXPECT_EQ(it->second.first, rid);
+                      EXPECT_EQ(it->second.second, row[1].AsText());
+                    }
+                    ++seen;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(seen, static_cast<int64_t>(live.size()));
+}
+
+}  // namespace
+}  // namespace imon::storage

@@ -1,0 +1,174 @@
+#include "storage/heap_file.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+namespace imon::storage {
+namespace {
+
+Row MakeRow(int64_t id, const std::string& text) {
+  return {Value::Int(id), Value::Text(text)};
+}
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  HeapFileTest() : disk_(), pool_(&disk_, 64) {
+    file_ = disk_.CreateFile();
+    heap_ = std::make_unique<HeapFile>(&pool_, file_, /*main_page_target=*/4);
+    EXPECT_TRUE(heap_->Initialize().ok());
+  }
+  DiskManager disk_;
+  BufferPool pool_;
+  FileId file_;
+  std::unique_ptr<HeapFile> heap_;
+};
+
+TEST_F(HeapFileTest, InsertGetRoundTrip) {
+  auto rid = heap_->Insert(MakeRow(1, "one"));
+  ASSERT_TRUE(rid.ok());
+  auto row = heap_->Get(*rid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0].AsInt(), 1);
+  EXPECT_EQ((*row)[1].AsText(), "one");
+}
+
+TEST_F(HeapFileTest, GetMissingRowIsNotFound) {
+  EXPECT_TRUE(heap_->Get(Rid{0, 5}).status().IsNotFound());
+}
+
+TEST_F(HeapFileTest, DeleteRemovesRow) {
+  auto rid = heap_->Insert(MakeRow(1, "x"));
+  ASSERT_TRUE(heap_->Delete(*rid).ok());
+  EXPECT_TRUE(heap_->Get(*rid).status().IsNotFound());
+  EXPECT_TRUE(heap_->Delete(*rid).IsNotFound());
+}
+
+TEST_F(HeapFileTest, UpdateInPlace) {
+  auto rid = heap_->Insert(MakeRow(1, "before"));
+  auto new_rid = heap_->Update(*rid, MakeRow(1, "aft"));
+  ASSERT_TRUE(new_rid.ok());
+  EXPECT_EQ(new_rid->page_no, rid->page_no);
+  auto row = heap_->Get(*new_rid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsText(), "aft");
+}
+
+TEST_F(HeapFileTest, UpdateRelocatesWhenGrown) {
+  // Fill the first page so a grown row cannot stay in place.
+  std::vector<Rid> rids;
+  for (int i = 0; i < 500; ++i) {
+    auto rid = heap_->Insert(MakeRow(i, std::string(100, 'a')));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  auto moved = heap_->Update(rids[0], MakeRow(0, std::string(5000, 'z')));
+  ASSERT_TRUE(moved.ok());
+  auto row = heap_->Get(*moved);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsText().size(), 5000u);
+}
+
+TEST_F(HeapFileTest, ScanVisitsAllLiveRows) {
+  std::map<int64_t, std::string> expected;
+  for (int i = 0; i < 200; ++i) {
+    std::string text = "row" + std::to_string(i);
+    ASSERT_TRUE(heap_->Insert(MakeRow(i, text)).ok());
+    expected[i] = text;
+  }
+  std::map<int64_t, std::string> seen;
+  ASSERT_TRUE(heap_
+                  ->Scan([&](Rid, const Row& row) {
+                    seen[row[0].AsInt()] = row[1].AsText();
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(seen, expected);
+}
+
+TEST_F(HeapFileTest, ScanEarlyStop) {
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(heap_->Insert(MakeRow(i, "r")).ok());
+  int count = 0;
+  ASSERT_TRUE(heap_
+                  ->Scan([&](Rid, const Row&) {
+                    ++count;
+                    return count < 3;
+                  })
+                  .ok());
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(HeapFileTest, OverflowPagesAppearBeyondMainAllocation) {
+  // main_page_target = 4; each ~100B row consumes ~112B: ~72 rows/page.
+  // Insert enough for ~10 pages.
+  for (int i = 0; i < 700; ++i) {
+    ASSERT_TRUE(heap_->Insert(MakeRow(i, std::string(90, 'p'))).ok());
+  }
+  auto stats = heap_->ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->main_pages, 4u);
+  EXPECT_GT(stats->overflow_pages, 3u);
+  EXPECT_EQ(stats->live_rows, 700);
+}
+
+TEST_F(HeapFileTest, NoOverflowWhileWithinMainPages) {
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(heap_->Insert(MakeRow(i, "small")).ok());
+  }
+  auto stats = heap_->ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->overflow_pages, 0u);
+  EXPECT_EQ(stats->live_rows, 50);
+}
+
+TEST_F(HeapFileTest, RidPackUnpackRoundTrip) {
+  Rid rid{123456, 789};
+  Rid back = Rid::Unpack(rid.Pack());
+  EXPECT_EQ(back, rid);
+}
+
+TEST_F(HeapFileTest, RandomizedMirrorsStdMap) {
+  std::mt19937 rng(99);
+  std::map<int64_t, std::pair<Rid, std::string>> live;
+  int64_t next_id = 0;
+  for (int step = 0; step < 4000; ++step) {
+    int action = rng() % 10;
+    if (live.empty() || action < 6) {
+      int64_t id = next_id++;
+      std::string text(1 + rng() % 200, static_cast<char>('a' + rng() % 26));
+      auto rid = heap_->Insert(MakeRow(id, text));
+      ASSERT_TRUE(rid.ok());
+      live[id] = {*rid, text};
+    } else if (action < 8) {
+      auto it = live.begin();
+      std::advance(it, rng() % live.size());
+      ASSERT_TRUE(heap_->Delete(it->second.first).ok());
+      live.erase(it);
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng() % live.size());
+      std::string text(1 + rng() % 300, 'u');
+      auto rid = heap_->Update(it->second.first, MakeRow(it->first, text));
+      ASSERT_TRUE(rid.ok());
+      it->second = {*rid, text};
+    }
+  }
+  size_t seen = 0;
+  ASSERT_TRUE(heap_
+                  ->Scan([&](Rid rid, const Row& row) {
+                    auto it = live.find(row[0].AsInt());
+                    EXPECT_NE(it, live.end());
+                    if (it != live.end()) {
+                      EXPECT_EQ(it->second.first, rid);
+                      EXPECT_EQ(it->second.second, row[1].AsText());
+                    }
+                    ++seen;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(seen, live.size());
+}
+
+}  // namespace
+}  // namespace imon::storage

@@ -1,0 +1,156 @@
+#include "storage/isam_file.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "storage/key_codec.h"
+
+namespace imon::storage {
+namespace {
+
+std::string Key(int64_t id) { return EncodeKey({Value::Int(id)}); }
+Row MakeRow(int64_t id, const std::string& text) {
+  return {Value::Int(id), Value::Text(text)};
+}
+
+std::vector<std::pair<std::string, Row>> KeyedRows(int64_t n,
+                                                   int pad = 40) {
+  std::vector<std::pair<std::string, Row>> out;
+  for (int64_t i = 0; i < n; ++i) {
+    out.emplace_back(Key(i), MakeRow(i, std::string(pad, 'r')));
+  }
+  // Shuffle: Build() must sort internally.
+  std::shuffle(out.begin(), out.end(), std::mt19937(5));
+  return out;
+}
+
+class IsamFileTest : public ::testing::Test {
+ protected:
+  IsamFileTest() : disk_(), pool_(&disk_, 256) {
+    file_ = disk_.CreateFile();
+    isam_ = std::make_unique<IsamFile>(&pool_, file_);
+  }
+  DiskManager disk_;
+  BufferPool pool_;
+  FileId file_;
+  std::unique_ptr<IsamFile> isam_;
+};
+
+TEST_F(IsamFileTest, EmptyBuildScansNothing) {
+  ASSERT_TRUE(isam_->Build({}).ok());
+  int64_t n = 0;
+  ASSERT_TRUE(isam_
+                  ->Scan([&](Rid, const Row&) {
+                    ++n;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(n, 0);
+  auto stats = isam_->ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->overflow_pages, 0u);
+}
+
+TEST_F(IsamFileTest, BuildLaysOutAllRowsWithoutOverflow) {
+  ASSERT_TRUE(isam_->Build(KeyedRows(2000)).ok());
+  auto stats = isam_->ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->live_rows, 2000);
+  EXPECT_EQ(stats->overflow_pages, 0u);  // fresh build: main pages only
+  EXPECT_GT(stats->main_pages, 10u);
+}
+
+TEST_F(IsamFileTest, RangeScanRoutesThroughDirectory) {
+  ASSERT_TRUE(isam_->Build(KeyedRows(5000)).ok());
+  // Count rows in [1000, 1099]: the scan may visit extra chain rows,
+  // which the caller-level filter (here: explicit check) removes.
+  int64_t in_range = 0;
+  int64_t visited = 0;
+  ASSERT_TRUE(isam_
+                  ->ScanRange(Key(1000), Key(1099),
+                              [&](Rid, const Row& row) {
+                                ++visited;
+                                int64_t id = row[0].AsInt();
+                                if (id >= 1000 && id <= 1099) ++in_range;
+                                return true;
+                              })
+                  .ok());
+  EXPECT_EQ(in_range, 100);
+  // Routing is effective: far fewer rows visited than a full scan.
+  EXPECT_LT(visited, 1500);
+}
+
+TEST_F(IsamFileTest, PostBuildInsertsBecomeOverflow) {
+  ASSERT_TRUE(isam_->Build(KeyedRows(1500)).ok());
+  // Skewed inserts: everything routes to the same region.
+  for (int64_t i = 0; i < 800; ++i) {
+    ASSERT_TRUE(
+        isam_->Insert(Key(700), MakeRow(700000 + i, std::string(50, 'o')))
+            .ok());
+  }
+  auto stats = isam_->ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->overflow_pages, 3u);
+  EXPECT_EQ(stats->live_rows, 2300);
+  // The hot region's chain now holds the extra rows; range scans there
+  // still find the originals.
+  int64_t found = 0;
+  ASSERT_TRUE(isam_
+                  ->ScanRange(Key(700), Key(700),
+                              [&](Rid, const Row& row) {
+                                if (row[0].AsInt() == 700) ++found;
+                                return true;
+                              })
+                  .ok());
+  EXPECT_EQ(found, 1);
+}
+
+TEST_F(IsamFileTest, GetDeleteUpdate) {
+  ASSERT_TRUE(isam_->Build(KeyedRows(100)).ok());
+  auto rid = isam_->Insert(Key(200), MakeRow(200, "fresh1"));
+  ASSERT_TRUE(rid.ok());
+  auto row = isam_->Get(*rid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsText(), "fresh1");
+  ASSERT_TRUE(isam_->Update(*rid, MakeRow(200, "fresh2")).ok());
+  row = isam_->Get(*rid);
+  EXPECT_EQ((*row)[1].AsText(), "fresh2");
+  ASSERT_TRUE(isam_->Delete(*rid).ok());
+  EXPECT_TRUE(isam_->Get(*rid).status().IsNotFound());
+}
+
+TEST_F(IsamFileTest, DirectorySurvivesCacheEviction) {
+  ASSERT_TRUE(isam_->Build(KeyedRows(3000)).ok());
+  // A second IsamFile instance over the same file must reload the
+  // directory from disk and agree.
+  IsamFile reopened(&pool_, file_);
+  int64_t n = 0;
+  ASSERT_TRUE(reopened
+                  .Scan([&](Rid, const Row&) {
+                    ++n;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(n, 3000);
+}
+
+TEST_F(IsamFileTest, UnboundedScansSeeEverything) {
+  ASSERT_TRUE(isam_->Build(KeyedRows(777)).ok());
+  for (int64_t i = 0; i < 23; ++i) {
+    ASSERT_TRUE(isam_->Insert(Key(10000 + i), MakeRow(10000 + i, "x")).ok());
+  }
+  std::map<int64_t, int> seen;
+  ASSERT_TRUE(isam_
+                  ->Scan([&](Rid, const Row& row) {
+                    ++seen[row[0].AsInt()];
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(seen.size(), 800u);
+  for (const auto& [id, count] : seen) EXPECT_EQ(count, 1) << id;
+}
+
+}  // namespace
+}  // namespace imon::storage

@@ -1,0 +1,142 @@
+#include "storage/key_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace imon::storage {
+namespace {
+
+std::string Enc(const Value& v) {
+  std::string out;
+  EncodeKeyValue(v, &out);
+  return out;
+}
+
+TEST(KeyCodecTest, IntOrderPreserved) {
+  std::vector<int64_t> ints = {INT64_MIN, -100, -1, 0, 1, 42, INT64_MAX};
+  for (size_t i = 0; i + 1 < ints.size(); ++i) {
+    EXPECT_LT(Enc(Value::Int(ints[i])), Enc(Value::Int(ints[i + 1])))
+        << ints[i] << " vs " << ints[i + 1];
+  }
+}
+
+TEST(KeyCodecTest, DoubleOrderPreserved) {
+  std::vector<double> ds = {-1e308, -2.5, -1e-9, 0.0, 1e-9, 1.0, 3.14, 1e308};
+  for (size_t i = 0; i + 1 < ds.size(); ++i) {
+    EXPECT_LT(Enc(Value::Double(ds[i])), Enc(Value::Double(ds[i + 1])));
+  }
+}
+
+TEST(KeyCodecTest, NegativeZeroEqualsPositiveZero) {
+  EXPECT_EQ(Enc(Value::Double(-0.0)), Enc(Value::Double(0.0)));
+}
+
+TEST(KeyCodecTest, TextOrderPreservedIncludingNulBytes) {
+  std::vector<std::string> ss = {"", std::string("\0", 1), "a",
+                                 std::string("a\0b", 3), "ab", "b"};
+  for (size_t i = 0; i + 1 < ss.size(); ++i) {
+    EXPECT_LT(Enc(Value::Text(ss[i])), Enc(Value::Text(ss[i + 1])))
+        << i;
+  }
+}
+
+TEST(KeyCodecTest, NullSortsBeforeEverything) {
+  EXPECT_LT(Enc(Value::Null()), Enc(Value::Int(INT64_MIN)));
+  EXPECT_LT(Enc(Value::Null()), Enc(Value::Text("")));
+  EXPECT_LT(Enc(Value::Null()), Enc(Value::Double(-1e308)));
+}
+
+TEST(KeyCodecTest, PrefixFreeAcrossDistinctValues) {
+  // No encoding is a strict prefix of a different value's encoding —
+  // required by the B-Tree's range upper-bound test.
+  std::vector<Value> vals = {Value::Null(),      Value::Int(1),
+                             Value::Int(256),    Value::Double(1.5),
+                             Value::Text(""),    Value::Text("a"),
+                             Value::Text("ab"),  Value::Text("abc")};
+  for (const auto& a : vals) {
+    for (const auto& b : vals) {
+      if (a.Compare(b) == 0) continue;
+      std::string ea = Enc(a), eb = Enc(b);
+      EXPECT_FALSE(ea.size() < eb.size() && eb.substr(0, ea.size()) == ea)
+          << a.ToString() << " prefixes " << b.ToString();
+    }
+  }
+}
+
+TEST(KeyCodecTest, CompositeKeyOrder) {
+  Row a = {Value::Int(1), Value::Text("b")};
+  Row b = {Value::Int(1), Value::Text("c")};
+  Row c = {Value::Int(2), Value::Text("a")};
+  EXPECT_LT(EncodeKey(a), EncodeKey(b));
+  EXPECT_LT(EncodeKey(b), EncodeKey(c));
+}
+
+class KeyCodecRoundTrip : public ::testing::TestWithParam<Value> {};
+
+TEST_P(KeyCodecRoundTrip, DecodesBack) {
+  const Value& v = GetParam();
+  std::string enc = Enc(v);
+  size_t offset = 0;
+  auto r = DecodeKeyValue(enc, &offset);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(offset, enc.size());
+  if (v.is_null()) {
+    EXPECT_TRUE(r->is_null());
+  } else {
+    EXPECT_EQ(r->Compare(v), 0);
+    EXPECT_EQ(r->type(), v.type());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, KeyCodecRoundTrip,
+    ::testing::Values(Value::Null(), Value::Int(0), Value::Int(-42),
+                      Value::Int(INT64_MIN), Value::Int(INT64_MAX),
+                      Value::Double(0.0), Value::Double(-2.25),
+                      Value::Double(6.02e23), Value::Text(""),
+                      Value::Text("nref"),
+                      Value::Text(std::string("a\0b\0\0c", 6))));
+
+// Keys inside one index column have a single type (the engine casts before
+// encoding), so sort agreement is checked per type.
+TEST(KeyCodecTest, RandomizedSortAgreementPerType) {
+  std::mt19937_64 rng(42);
+  std::vector<std::vector<Value>> pools(3);
+  for (int i = 0; i < 2000; ++i) {
+    pools[0].push_back(Value::Int(static_cast<int64_t>(rng()) % 10000));
+    pools[1].push_back(
+        Value::Double((static_cast<double>(rng() % 20000) - 10000) / 7));
+    std::string s;
+    size_t len = rng() % 12;
+    for (size_t j = 0; j < len; ++j)
+      s.push_back(static_cast<char>('a' + rng() % 26));
+    pools[2].push_back(Value::Text(s));
+  }
+  for (auto& vals : pools) {
+    std::vector<Value> by_value = vals;
+    std::sort(by_value.begin(), by_value.end());
+    std::vector<Value> by_encoding = vals;
+    std::sort(by_encoding.begin(), by_encoding.end(),
+              [](const Value& a, const Value& b) { return Enc(a) < Enc(b); });
+    for (size_t i = 0; i < vals.size(); ++i) {
+      ASSERT_EQ(by_value[i].Compare(by_encoding[i]), 0) << "at " << i;
+    }
+  }
+}
+
+TEST(KeyCodecTest, DecodeRejectsCorruption) {
+  size_t offset = 0;
+  EXPECT_FALSE(DecodeKeyValue("", &offset).ok());
+  offset = 0;
+  EXPECT_FALSE(DecodeKeyValue("\x01\x00\x00", &offset).ok());  // short int
+  offset = 0;
+  EXPECT_FALSE(DecodeKeyValue("\x03unterminated", &offset).ok());
+  offset = 0;
+  EXPECT_FALSE(DecodeKeyValue("\x7F", &offset).ok());  // bad tag
+}
+
+}  // namespace
+}  // namespace imon::storage

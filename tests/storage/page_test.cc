@@ -1,0 +1,163 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace imon::storage {
+namespace {
+
+class PageTest : public ::testing::Test {
+ protected:
+  PageTest() : view_(bytes_) { view_.Init(PageType::kHeap); }
+  char bytes_[kPageSize] = {};
+  PageView view_;
+};
+
+TEST_F(PageTest, InitResetsHeader) {
+  EXPECT_EQ(view_.type(), PageType::kHeap);
+  EXPECT_EQ(view_.slot_count(), 0);
+  EXPECT_EQ(view_.next_page(), kInvalidPageNo);
+  EXPECT_EQ(view_.LiveCount(), 0);
+}
+
+TEST_F(PageTest, InsertAndGet) {
+  auto slot = view_.Insert("hello");
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(view_.Get(*slot), "hello");
+  EXPECT_EQ(view_.LiveCount(), 1);
+}
+
+TEST_F(PageTest, GetOutOfRangeIsEmpty) {
+  EXPECT_TRUE(view_.Get(0).empty());
+  EXPECT_TRUE(view_.Get(99).empty());
+}
+
+TEST_F(PageTest, TombstoneHidesRecord) {
+  auto slot = view_.Insert("doomed");
+  ASSERT_TRUE(slot.has_value());
+  view_.Tombstone(*slot);
+  EXPECT_TRUE(view_.Get(*slot).empty());
+  EXPECT_EQ(view_.LiveCount(), 0);
+  EXPECT_EQ(view_.slot_count(), 1);  // slot array keeps the entry
+}
+
+TEST_F(PageTest, TombstonedSlotIsReused) {
+  auto a = view_.Insert("first");
+  view_.Tombstone(*a);
+  auto b = view_.Insert("second");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, *a);
+  EXPECT_EQ(view_.Get(*b), "second");
+}
+
+TEST_F(PageTest, FillsUntilFullThenRejects) {
+  std::string record(100, 'r');
+  int inserted = 0;
+  while (view_.Insert(record).has_value()) ++inserted;
+  // 100B + 4B slot each, ~8176 usable: expect close to 78 records.
+  EXPECT_GT(inserted, 70);
+  EXPECT_LT(inserted, 82);
+  EXPECT_FALSE(view_.Insert(record).has_value());
+  // A smaller record may still fit.
+  EXPECT_TRUE(view_.Insert("x").has_value());
+}
+
+TEST_F(PageTest, CompactionReclaimsTombstonedSpace) {
+  std::string record(1000, 'a');
+  std::vector<uint16_t> slots;
+  while (true) {
+    auto s = view_.Insert(record);
+    if (!s.has_value()) break;
+    slots.push_back(*s);
+  }
+  ASSERT_GE(slots.size(), 4u);
+  view_.Tombstone(slots[0]);
+  view_.Tombstone(slots[2]);
+  // Two records' worth of space is free again (via compaction on demand).
+  EXPECT_TRUE(view_.Insert(record).has_value());
+  EXPECT_TRUE(view_.Insert(record).has_value());
+  EXPECT_FALSE(view_.Insert(record).has_value());
+  // Survivors are intact after compactions.
+  EXPECT_EQ(view_.Get(slots[1]), record);
+}
+
+TEST_F(PageTest, InsertAtKeepsOrder) {
+  ASSERT_TRUE(view_.InsertAt(0, "b"));
+  ASSERT_TRUE(view_.InsertAt(0, "a"));
+  ASSERT_TRUE(view_.InsertAt(2, "d"));
+  ASSERT_TRUE(view_.InsertAt(2, "c"));
+  ASSERT_EQ(view_.slot_count(), 4);
+  EXPECT_EQ(view_.Get(0), "a");
+  EXPECT_EQ(view_.Get(1), "b");
+  EXPECT_EQ(view_.Get(2), "c");
+  EXPECT_EQ(view_.Get(3), "d");
+}
+
+TEST_F(PageTest, EraseShiftsSlots) {
+  view_.InsertAt(0, "a");
+  view_.InsertAt(1, "b");
+  view_.InsertAt(2, "c");
+  view_.Erase(1);
+  ASSERT_EQ(view_.slot_count(), 2);
+  EXPECT_EQ(view_.Get(0), "a");
+  EXPECT_EQ(view_.Get(1), "c");
+}
+
+TEST_F(PageTest, UpdateInPlaceAndGrow) {
+  auto slot = view_.Insert(std::string(50, 'o'));
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_TRUE(view_.Update(*slot, "short"));
+  EXPECT_EQ(view_.Get(*slot), "short");
+  std::string big(200, 'B');
+  EXPECT_TRUE(view_.Update(*slot, big));
+  EXPECT_EQ(view_.Get(*slot), big);
+}
+
+TEST_F(PageTest, UpdateFailsWhenNoRoom) {
+  std::string record(2500, 'x');
+  auto a = view_.Insert(record);
+  view_.Insert(record);
+  view_.Insert(record);
+  ASSERT_TRUE(a.has_value());
+  // Growing one record to 4000 bytes exceeds the remaining space.
+  EXPECT_FALSE(view_.Update(*a, std::string(4000, 'y')));
+  EXPECT_EQ(view_.Get(*a), record);  // unchanged on failure
+}
+
+TEST_F(PageTest, ChainPointerRoundTrip) {
+  view_.set_next_page(12345);
+  EXPECT_EQ(view_.next_page(), 12345u);
+  view_.set_extra(1);
+  EXPECT_EQ(view_.extra(), 1u);
+}
+
+TEST(PageRandomized, InsertDeleteMirrorsStdMap) {
+  char bytes[kPageSize];
+  PageView view(bytes);
+  view.Init(PageType::kHeap);
+  std::mt19937 rng(7);
+  std::vector<std::pair<uint16_t, std::string>> live;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng() % 3 != 0) {
+      std::string rec(1 + rng() % 120, static_cast<char>('a' + rng() % 26));
+      auto slot = view.Insert(rec);
+      if (slot.has_value()) live.emplace_back(*slot, rec);
+    } else {
+      size_t pick = rng() % live.size();
+      view.Tombstone(live[pick].first);
+      live.erase(live.begin() + pick);
+    }
+    if (step % 500 == 0) {
+      for (const auto& [slot, rec] : live) {
+        ASSERT_EQ(view.Get(slot), rec) << "step " << step;
+      }
+      ASSERT_EQ(view.LiveCount(), live.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace imon::storage

@@ -1,0 +1,144 @@
+#include "txn/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace imon::txn {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(3, 100, LockMode::kShared).ok());
+  EXPECT_EQ(lm.stats().locks_held, 3);
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+  lm.ReleaseAll(3);
+  EXPECT_EQ(lm.stats().locks_held, 0);
+}
+
+TEST(LockManagerTest, ExclusiveBlocksOthers) {
+  LockManager lm(milliseconds(50));
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).ok());
+  // Second requester times out.
+  Status s = lm.Acquire(2, 100, LockMode::kShared);
+  EXPECT_TRUE(s.IsBusy());
+  EXPECT_GE(lm.stats().total_waits, 1);
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.Acquire(2, 100, LockMode::kShared).ok());
+}
+
+TEST(LockManagerTest, ReentrantAcquire) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).ok());  // upgrade
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kShared).ok());  // already X
+  EXPECT_EQ(lm.stats().locks_held, 1);
+}
+
+TEST(LockManagerTest, DifferentObjectsIndependent) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, 200, LockMode::kExclusive).ok());
+  EXPECT_EQ(lm.stats().locks_held, 2);
+}
+
+TEST(LockManagerTest, WaiterWakesOnRelease) {
+  LockManager lm(milliseconds(5000));
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).ok());
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    Status s = lm.Acquire(2, 100, LockMode::kExclusive);
+    granted = s.ok();
+  });
+  std::this_thread::sleep_for(milliseconds(50));
+  EXPECT_FALSE(granted.load());
+  EXPECT_EQ(lm.stats().waiting_requests, 1);
+  lm.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+  lm.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, DeadlockDetectedAndVictimAborted) {
+  LockManager lm(milliseconds(5000));
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(2, 200, LockMode::kExclusive).ok());
+
+  std::atomic<bool> t1_aborted{false};
+  std::atomic<bool> t1_done{false};
+  std::thread t1([&] {
+    Status s = lm.Acquire(1, 200, LockMode::kExclusive);  // waits on txn 2
+    t1_aborted = s.IsAborted();
+    t1_done = true;
+    if (s.ok()) lm.ReleaseAll(1);
+  });
+  std::this_thread::sleep_for(milliseconds(100));
+  // txn 2 now requests txn 1's object: cycle.
+  Status s2 = lm.Acquire(2, 100, LockMode::kExclusive);
+  bool t2_aborted = s2.IsAborted();
+  if (t2_aborted) {
+    lm.ReleaseAll(2);  // victim releases; t1 proceeds
+  }
+  t1.join();
+  EXPECT_TRUE(t1_aborted.load() || t2_aborted);
+  EXPECT_GE(lm.stats().total_deadlocks, 1);
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, UpgradeWaitsForOtherSharers) {
+  LockManager lm(milliseconds(100));
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Acquire(2, 100, LockMode::kShared).ok());
+  // txn 1 cannot upgrade while txn 2 shares; times out.
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).IsBusy());
+  lm.ReleaseAll(2);
+  EXPECT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, StressManyThreadsNoLostGrants) {
+  LockManager lm(milliseconds(5000));
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<int64_t> protected_counter{0};
+  int64_t unprotected = 0;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        TxnId txn = t * 10000 + i + 1;
+        Status s = lm.Acquire(txn, 42, LockMode::kExclusive);
+        if (s.ok()) {
+          ++unprotected;  // data race unless the lock is truly exclusive
+          protected_counter.fetch_add(1);
+          lm.ReleaseAll(txn);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(unprotected, protected_counter.load());
+  EXPECT_EQ(protected_counter.load(), kThreads * kIters);
+  EXPECT_EQ(lm.stats().locks_held, 0);
+}
+
+TEST(LockManagerTest, StatsAreCumulative) {
+  LockManager lm(milliseconds(20));
+  ASSERT_TRUE(lm.Acquire(1, 1, LockMode::kExclusive).ok());
+  lm.Acquire(2, 1, LockMode::kExclusive).ok();  // timeout -> one wait
+  auto stats = lm.stats();
+  EXPECT_GE(stats.total_acquired, 1);
+  EXPECT_GE(stats.total_waits, 1);
+  EXPECT_EQ(stats.waiting_requests, 0);
+}
+
+}  // namespace
+}  // namespace imon::txn

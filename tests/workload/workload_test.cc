@@ -1,0 +1,156 @@
+#include "workload/contention.h"
+#include "workload/nref.h"
+
+#include <gtest/gtest.h>
+
+namespace imon::workload {
+namespace {
+
+using engine::Database;
+using engine::DatabaseOptions;
+
+NrefConfig TinyConfig() {
+  NrefConfig c;
+  c.proteins = 500;
+  c.taxa = 40;
+  c.main_pages = 4;
+  return c;
+}
+
+TEST(NrefTest, SchemaCreatesSixTables) {
+  Database db{DatabaseOptions{}};
+  ASSERT_TRUE(CreateNrefSchema(&db, TinyConfig()).ok());
+  for (const char* t : {"protein", "organism", "source", "taxonomy",
+                        "feature", "cross_ref"}) {
+    EXPECT_TRUE(db.catalog()->HasTable(t)) << t;
+  }
+  // Only primary keys: exactly 2 indexes (protein_pkey, taxonomy_pkey).
+  EXPECT_EQ(db.catalog()->ListIndexes().size(), 2u);
+}
+
+TEST(NrefTest, LoadIsDeterministicAndComplete) {
+  NrefConfig config = TinyConfig();
+  Database a{DatabaseOptions{}};
+  Database b{DatabaseOptions{}};
+  ASSERT_TRUE(SetupNref(&a, config).ok());
+  ASSERT_TRUE(SetupNref(&b, config).ok());
+  // Bulk loading runs on an internal session: DDL is monitored (normal
+  // statements), but none of the INSERT traffic may appear.
+  for (const auto& s : a.monitor()->SnapshotStatements()) {
+    EXPECT_EQ(s.text.find("INSERT"), std::string::npos) << s.text;
+  }
+
+  auto count = [](Database* db, const std::string& table) {
+    auto r = db->Execute("SELECT count(*) FROM " + table);
+    EXPECT_TRUE(r.ok());
+    return r->rows[0][0].AsInt();
+  };
+  EXPECT_EQ(count(&a, "protein"), config.proteins);
+  EXPECT_EQ(count(&a, "taxonomy"), config.taxa);
+  EXPECT_EQ(count(&a, "feature"), config.proteins * 3);
+  EXPECT_EQ(count(&a, "source"), config.proteins * 2);
+  EXPECT_GE(count(&a, "organism"), config.proteins);
+  EXPECT_GE(count(&a, "cross_ref"), config.proteins);
+  // Determinism across databases.
+  for (const char* t : {"protein", "organism", "source", "taxonomy",
+                        "feature", "cross_ref"}) {
+    EXPECT_EQ(count(&a, t), count(&b, t)) << t;
+  }
+}
+
+TEST(NrefTest, LoadedHeapsAccrueOverflowPages) {
+  Database db{DatabaseOptions{}};
+  ASSERT_TRUE(SetupNref(&db, TinyConfig()).ok());
+  auto protein = db.catalog()->GetTable("protein");
+  ASSERT_TRUE(protein.ok());
+  EXPECT_EQ(protein->structure, catalog::StorageStructure::kHeap);
+  EXPECT_GT(protein->overflow_pages, 0);
+}
+
+TEST(NrefTest, ComplexQuerySetRunsGreen) {
+  NrefConfig config = TinyConfig();
+  Database db{DatabaseOptions{}};
+  ASSERT_TRUE(SetupNref(&db, config).ok());
+  auto queries = ComplexQuerySet(config, 50);
+  ASSERT_EQ(queries.size(), 50u);
+  // Deterministic generation.
+  EXPECT_EQ(queries, ComplexQuerySet(config, 50));
+  int nonempty = 0;
+  for (const std::string& q : queries) {
+    auto r = db.Execute(q);
+    ASSERT_TRUE(r.ok()) << q << " -> " << r.status();
+    if (!r->rows.empty()) ++nonempty;
+  }
+  // The workload is not vacuous: most queries return data.
+  EXPECT_GT(nonempty, 25);
+}
+
+TEST(NrefTest, SimpleAndPointQueriesWork) {
+  NrefConfig config = TinyConfig();
+  Database db{DatabaseOptions{}};
+  ASSERT_TRUE(SetupNref(&db, config).ok());
+  auto join = db.Execute(SimpleJoinQuery(42));
+  ASSERT_TRUE(join.ok());
+  EXPECT_GE(join->rows.size(), 1u);
+  auto point = db.Execute(PointQuery(42));
+  ASSERT_TRUE(point.ok());
+  ASSERT_EQ(point->rows.size(), 1u);
+  EXPECT_EQ(point->rows[0][0].AsInt(), 42);
+}
+
+TEST(NrefTest, PointQueryUsesPrimaryKeyIndex) {
+  NrefConfig config = TinyConfig();
+  config.proteins = 3000;
+  Database db{DatabaseOptions{}};
+  ASSERT_TRUE(SetupNref(&db, config).ok());
+  auto r = db.Execute("EXPLAIN " + PointQuery(7));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->stats.plan_text.find("protein_pkey"), std::string::npos)
+      << r->stats.plan_text;
+}
+
+TEST(NrefTest, ManualOptimizationScriptApplies) {
+  NrefConfig config = TinyConfig();
+  Database db{DatabaseOptions{}};
+  ASSERT_TRUE(SetupNref(&db, config).ok());
+  EXPECT_EQ(ReferenceIndexSet().size(), 33u);
+  for (const std::string& sql : ManualOptimizationScript()) {
+    auto r = db.Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status();
+  }
+  // 33 reference + 2 pkey indexes; all tables now BTREE.
+  EXPECT_EQ(db.catalog()->ListIndexes().size(), 35u);
+  for (const char* t : {"protein", "organism", "source", "taxonomy",
+                        "feature", "cross_ref"}) {
+    auto info = db.catalog()->GetTable(t);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info->structure, catalog::StorageStructure::kBtree) << t;
+  }
+  // Queries still return the same data afterwards.
+  auto point = db.Execute(PointQuery(5));
+  ASSERT_TRUE(point.ok());
+  EXPECT_EQ(point->rows.size(), 1u);
+}
+
+TEST(ContentionTest, ProducesWaitsAndDeadlocks) {
+  Database db{DatabaseOptions{}};
+  ContentionConfig config;
+  config.threads = 4;
+  config.transactions_per_thread = 40;
+  config.tables = 2;  // two tables + opposite orders = frequent conflicts
+  ASSERT_TRUE(SetupContentionTables(&db, config).ok());
+  auto result = RunContentionWorkload(&db, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->committed, 0);
+  auto stats = db.lock_manager()->stats();
+  EXPECT_GT(stats.total_waits, 0);
+  // Sum of outcomes matches attempts.
+  EXPECT_EQ(result->committed + result->deadlock_aborts +
+                result->busy_aborts + result->other_errors,
+            4 * 40);
+  // Statistics samples were taken during the run.
+  EXPECT_GE(db.monitor()->SnapshotStatistics().size(), 10u);
+}
+
+}  // namespace
+}  // namespace imon::workload
