@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_plan_cache.dir/bench/ablation_plan_cache.cc.o"
+  "CMakeFiles/ablation_plan_cache.dir/bench/ablation_plan_cache.cc.o.d"
+  "bench/ablation_plan_cache"
+  "bench/ablation_plan_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_plan_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

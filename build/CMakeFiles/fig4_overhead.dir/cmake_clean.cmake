@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_overhead.dir/bench/fig4_overhead.cc.o"
+  "CMakeFiles/fig4_overhead.dir/bench/fig4_overhead.cc.o.d"
+  "bench/fig4_overhead"
+  "bench/fig4_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_share.dir/bench/fig5_share.cc.o"
+  "CMakeFiles/fig5_share.dir/bench/fig5_share.cc.o.d"
+  "bench/fig5_share"
+  "bench/fig5_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

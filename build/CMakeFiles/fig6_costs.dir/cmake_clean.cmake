@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_costs.dir/bench/fig6_costs.cc.o"
+  "CMakeFiles/fig6_costs.dir/bench/fig6_costs.cc.o.d"
+  "bench/fig6_costs"
+  "bench/fig6_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

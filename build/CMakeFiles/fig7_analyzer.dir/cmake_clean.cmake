@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_analyzer.dir/bench/fig7_analyzer.cc.o"
+  "CMakeFiles/fig7_analyzer.dir/bench/fig7_analyzer.cc.o.d"
+  "bench/fig7_analyzer"
+  "bench/fig7_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

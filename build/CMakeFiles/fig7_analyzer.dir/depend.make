@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_analyzer.
+# This may be replaced when dependencies are built.

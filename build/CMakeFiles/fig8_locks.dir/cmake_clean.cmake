@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_locks.dir/bench/fig8_locks.cc.o"
+  "CMakeFiles/fig8_locks.dir/bench/fig8_locks.cc.o.d"
+  "bench/fig8_locks"
+  "bench/fig8_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_daemon.dir/bench/micro_daemon.cc.o"
+  "CMakeFiles/micro_daemon.dir/bench/micro_daemon.cc.o.d"
+  "bench/micro_daemon"
+  "bench/micro_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_engine.dir/bench/micro_engine.cc.o"
+  "CMakeFiles/micro_engine.dir/bench/micro_engine.cc.o.d"
+  "bench/micro_engine"
+  "bench/micro_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alerting_daemon.dir/alerting_daemon.cpp.o"
+  "CMakeFiles/alerting_daemon.dir/alerting_daemon.cpp.o.d"
+  "alerting_daemon"
+  "alerting_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alerting_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

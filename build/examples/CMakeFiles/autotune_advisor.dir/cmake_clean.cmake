@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_advisor.dir/autotune_advisor.cpp.o"
+  "CMakeFiles/autotune_advisor.dir/autotune_advisor.cpp.o.d"
+  "autotune_advisor"
+  "autotune_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imon_shell.dir/imon_shell.cpp.o"
+  "CMakeFiles/imon_shell.dir/imon_shell.cpp.o.d"
+  "imon_shell"
+  "imon_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imon_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_trends.dir/workload_trends.cpp.o"
+  "CMakeFiles/workload_trends.dir/workload_trends.cpp.o.d"
+  "workload_trends"
+  "workload_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

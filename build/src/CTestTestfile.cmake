@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("catalog")
+subdirs("sql")
+subdirs("txn")
+subdirs("optimizer")
+subdirs("exec")
+subdirs("monitor")
+subdirs("engine")
+subdirs("ima")
+subdirs("daemon")
+subdirs("analyzer")
+subdirs("workload")

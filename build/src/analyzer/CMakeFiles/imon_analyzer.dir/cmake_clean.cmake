@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imon_analyzer.dir/analyzer.cc.o"
+  "CMakeFiles/imon_analyzer.dir/analyzer.cc.o.d"
+  "libimon_analyzer.a"
+  "libimon_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imon_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imon_catalog.dir/catalog.cc.o"
+  "CMakeFiles/imon_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/imon_catalog.dir/histogram.cc.o"
+  "CMakeFiles/imon_catalog.dir/histogram.cc.o.d"
+  "libimon_catalog.a"
+  "libimon_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imon_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imon_common.dir/clock.cc.o"
+  "CMakeFiles/imon_common.dir/clock.cc.o.d"
+  "CMakeFiles/imon_common.dir/logging.cc.o"
+  "CMakeFiles/imon_common.dir/logging.cc.o.d"
+  "CMakeFiles/imon_common.dir/status.cc.o"
+  "CMakeFiles/imon_common.dir/status.cc.o.d"
+  "CMakeFiles/imon_common.dir/value.cc.o"
+  "CMakeFiles/imon_common.dir/value.cc.o.d"
+  "libimon_common.a"
+  "libimon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

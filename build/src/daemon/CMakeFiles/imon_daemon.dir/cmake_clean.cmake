@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imon_daemon.dir/daemon.cc.o"
+  "CMakeFiles/imon_daemon.dir/daemon.cc.o.d"
+  "libimon_daemon.a"
+  "libimon_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imon_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imon_engine.dir/database.cc.o"
+  "CMakeFiles/imon_engine.dir/database.cc.o.d"
+  "libimon_engine.a"
+  "libimon_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imon_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/imon_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/imon_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/expression_eval.cc" "src/exec/CMakeFiles/imon_exec.dir/expression_eval.cc.o" "gcc" "src/exec/CMakeFiles/imon_exec.dir/expression_eval.cc.o.d"
+  "/root/repo/src/exec/storage_layer.cc" "src/exec/CMakeFiles/imon_exec.dir/storage_layer.cc.o" "gcc" "src/exec/CMakeFiles/imon_exec.dir/storage_layer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/imon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/imon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/imon_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/imon_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/imon_optimizer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imon_exec.dir/executor.cc.o"
+  "CMakeFiles/imon_exec.dir/executor.cc.o.d"
+  "CMakeFiles/imon_exec.dir/expression_eval.cc.o"
+  "CMakeFiles/imon_exec.dir/expression_eval.cc.o.d"
+  "CMakeFiles/imon_exec.dir/storage_layer.cc.o"
+  "CMakeFiles/imon_exec.dir/storage_layer.cc.o.d"
+  "libimon_exec.a"
+  "libimon_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imon_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imon_ima.dir/ima.cc.o"
+  "CMakeFiles/imon_ima.dir/ima.cc.o.d"
+  "libimon_ima.a"
+  "libimon_ima.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imon_ima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

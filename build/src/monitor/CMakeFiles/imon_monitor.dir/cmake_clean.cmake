@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imon_monitor.dir/monitor.cc.o"
+  "CMakeFiles/imon_monitor.dir/monitor.cc.o.d"
+  "libimon_monitor.a"
+  "libimon_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imon_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

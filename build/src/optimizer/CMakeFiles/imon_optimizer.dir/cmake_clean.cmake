@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imon_optimizer.dir/binder.cc.o"
+  "CMakeFiles/imon_optimizer.dir/binder.cc.o.d"
+  "CMakeFiles/imon_optimizer.dir/cardinality.cc.o"
+  "CMakeFiles/imon_optimizer.dir/cardinality.cc.o.d"
+  "CMakeFiles/imon_optimizer.dir/plan.cc.o"
+  "CMakeFiles/imon_optimizer.dir/plan.cc.o.d"
+  "CMakeFiles/imon_optimizer.dir/planner.cc.o"
+  "CMakeFiles/imon_optimizer.dir/planner.cc.o.d"
+  "libimon_optimizer.a"
+  "libimon_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imon_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imon_sql.dir/ast.cc.o"
+  "CMakeFiles/imon_sql.dir/ast.cc.o.d"
+  "CMakeFiles/imon_sql.dir/lexer.cc.o"
+  "CMakeFiles/imon_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/imon_sql.dir/parser.cc.o"
+  "CMakeFiles/imon_sql.dir/parser.cc.o.d"
+  "libimon_sql.a"
+  "libimon_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imon_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imon_storage.dir/btree.cc.o"
+  "CMakeFiles/imon_storage.dir/btree.cc.o.d"
+  "CMakeFiles/imon_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/imon_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/imon_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/imon_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/imon_storage.dir/hash_file.cc.o"
+  "CMakeFiles/imon_storage.dir/hash_file.cc.o.d"
+  "CMakeFiles/imon_storage.dir/heap_file.cc.o"
+  "CMakeFiles/imon_storage.dir/heap_file.cc.o.d"
+  "CMakeFiles/imon_storage.dir/isam_file.cc.o"
+  "CMakeFiles/imon_storage.dir/isam_file.cc.o.d"
+  "CMakeFiles/imon_storage.dir/key_codec.cc.o"
+  "CMakeFiles/imon_storage.dir/key_codec.cc.o.d"
+  "CMakeFiles/imon_storage.dir/page.cc.o"
+  "CMakeFiles/imon_storage.dir/page.cc.o.d"
+  "libimon_storage.a"
+  "libimon_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imon_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imon_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/imon_txn.dir/lock_manager.cc.o.d"
+  "libimon_txn.a"
+  "libimon_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imon_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

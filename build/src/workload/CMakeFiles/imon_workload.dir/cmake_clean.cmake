@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imon_workload.dir/contention.cc.o"
+  "CMakeFiles/imon_workload.dir/contention.cc.o.d"
+  "CMakeFiles/imon_workload.dir/nref.cc.o"
+  "CMakeFiles/imon_workload.dir/nref.cc.o.d"
+  "libimon_workload.a"
+  "libimon_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imon_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ima_test.dir/ima/ima_test.cc.o"
+  "CMakeFiles/ima_test.dir/ima/ima_test.cc.o.d"
+  "ima_test"
+  "ima_test.pdb"
+  "ima_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ima_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

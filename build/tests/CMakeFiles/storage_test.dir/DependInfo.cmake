@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/btree_test.cc" "tests/CMakeFiles/storage_test.dir/storage/btree_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/btree_test.cc.o.d"
+  "/root/repo/tests/storage/buffer_pool_test.cc" "tests/CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/storage/hash_file_test.cc" "tests/CMakeFiles/storage_test.dir/storage/hash_file_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/hash_file_test.cc.o.d"
+  "/root/repo/tests/storage/heap_file_test.cc" "tests/CMakeFiles/storage_test.dir/storage/heap_file_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/heap_file_test.cc.o.d"
+  "/root/repo/tests/storage/isam_file_test.cc" "tests/CMakeFiles/storage_test.dir/storage/isam_file_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/isam_file_test.cc.o.d"
+  "/root/repo/tests/storage/key_codec_test.cc" "tests/CMakeFiles/storage_test.dir/storage/key_codec_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/key_codec_test.cc.o.d"
+  "/root/repo/tests/storage/page_test.cc" "tests/CMakeFiles/storage_test.dir/storage/page_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/page_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/imon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/imon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
