@@ -57,6 +57,68 @@ inline void PrintHeader(const char* figure, const char* caption) {
   std::printf("================================================================\n");
 }
 
+/// Collects named metrics and writes them as `BENCH_<bench>.json` in the
+/// working directory, so successive runs leave a machine-readable
+/// trajectory next to the console output.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Metric(const std::string& name, double value,
+              const std::string& unit = "") {
+    metrics_.push_back({name, unit, value});
+  }
+
+  /// Write BENCH_<bench>.json; returns false (with a stderr note) on I/O
+  /// failure so benches can keep printing their console tables regardless.
+  bool Write() const {
+    std::string path = "BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": %.4f,\n",
+                 Escaped(bench_name_).c_str(), BenchScale());
+    std::fprintf(f, "  \"metrics\": [\n");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      const Entry& m = metrics_[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"unit\": \"%s\", "
+                   "\"value\": %.6f}%s\n",
+                   Escaped(m.name).c_str(), Escaped(m.unit).c_str(), m.value,
+                   i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu metrics)\n", path.c_str(), metrics_.size());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string unit;
+    double value;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::vector<Entry> metrics_;
+};
+
 }  // namespace imon::bench
 
 #endif  // IMON_BENCH_BENCH_UTIL_H_

@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "engine/database.h"
 #include "ima/ima.h"
 #include "monitor/monitor.h"
@@ -151,7 +152,32 @@ void BM_PointQueryMonitored(benchmark::State& state) {
 }
 BENCHMARK(BM_PointQueryMonitored);
 
+/// Console output as usual, plus every per-benchmark real time captured
+/// into the BENCH_micro_monitor.json trajectory.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(bench::JsonWriter* out) : out_(out) {}
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      out_->Metric(run.benchmark_name(), run.GetAdjustedRealTime(), "ns");
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::JsonWriter* out_;
+};
+
 }  // namespace
 }  // namespace imon
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  imon::bench::JsonWriter json("micro_monitor");
+  imon::CaptureReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  json.Write();
+  return 0;
+}

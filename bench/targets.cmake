@@ -23,3 +23,4 @@ target_link_libraries(micro_monitor PRIVATE benchmark::benchmark)
 imon_add_bench(micro_engine bench/micro_engine.cc)
 target_link_libraries(micro_engine PRIVATE benchmark::benchmark)
 imon_add_bench(ablation_plan_cache bench/ablation_plan_cache.cc)
+imon_add_bench(micro_concurrent bench/micro_concurrent.cc)

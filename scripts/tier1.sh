@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build + full test suite, then the concurrency-heavy
+# suites again under ThreadSanitizer (-DIMON_SANITIZE=thread).
+#
+# Usage: scripts/tier1.sh [--no-tsan]
+#
+# The TSan pass rebuilds into build-tsan/ so the instrumented objects
+# never mix with the regular tree. It runs only the monitor + engine +
+# daemon suites (the ones that exercise cross-thread paths); the plain
+# pass already covers everything else.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tsan=1
+if [[ "${1:-}" == "--no-tsan" ]]; then
+  run_tsan=0
+fi
+
+echo "== tier-1: regular build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+
+echo "== tier-1: full test suite =="
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== tier-1: ThreadSanitizer build =="
+  cmake -B build-tsan -S . -DIMON_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j"$(nproc)" --target \
+    monitor_test monitor_concurrency_test engine_test daemon_test
+
+  echo "== tier-1: concurrency suites under TSan =="
+  (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
+    -R 'Monitor|MonitorConcurrency|Database|Differential|Daemon')
+fi
+
+echo "== tier-1: OK =="

@@ -81,14 +81,29 @@ Analyzer::Analyzer(engine::Database* monitored, engine::Database* workload_db,
                    AnalyzerConfig config)
     : monitored_(monitored), workload_db_(workload_db), config_(config) {}
 
+engine::Session* Analyzer::MonitoredSession() {
+  if (monitored_session_ == nullptr) {
+    monitored_session_ = monitored_->CreateSession();
+  }
+  return monitored_session_.get();
+}
+
+engine::Session* Analyzer::WorkloadSession() {
+  if (workload_session_ == nullptr) {
+    workload_session_ = workload_db_->CreateSession();
+  }
+  return workload_session_.get();
+}
+
 Result<std::pair<std::vector<Row>, std::map<std::string, int>>>
 Analyzer::Fetch(const std::string& logical_name) {
-  engine::Database* source = workload_db_ != nullptr ? workload_db_
-                                                     : monitored_;
-  std::string table = (workload_db_ != nullptr ? "wl_" : "imp_") +
-                      logical_name;
+  bool from_workload = workload_db_ != nullptr;
+  engine::Database* source = from_workload ? workload_db_ : monitored_;
+  engine::Session* session =
+      from_workload ? WorkloadSession() : MonitoredSession();
+  std::string table = (from_workload ? "wl_" : "imp_") + logical_name;
   IMON_ASSIGN_OR_RETURN(QueryResult r,
-                        source->Execute("SELECT * FROM " + table));
+                        source->Execute("SELECT * FROM " + table, session));
   std::map<std::string, int> cols;
   for (size_t i = 0; i < r.columns.size(); ++i) {
     cols[r.columns[i]] = static_cast<int>(i);
@@ -624,7 +639,7 @@ Result<AnalysisReport> Analyzer::Analyze() {
   // the same runstats-first discipline as the DB2 design advisor.
   for (const Recommendation& rec : report.recommendations) {
     if (rec.kind == RecommendationKind::kCollectStatistics) {
-      monitored_->Execute(rec.sql).ok();
+      monitored_->Execute(rec.sql, MonitoredSession()).ok();
     }
   }
   IMON_RETURN_IF_ERROR(RuleIndexSelection(statements, &report));
@@ -659,7 +674,7 @@ Result<int64_t> Analyzer::Apply(
                      return rank(*a) < rank(*b);
                    });
   for (const Recommendation* rec : ordered) {
-    auto r = monitored_->Execute(rec->sql);
+    auto r = monitored_->Execute(rec->sql, MonitoredSession());
     if (r.ok()) ++applied;
   }
   return applied;

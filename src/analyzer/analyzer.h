@@ -25,6 +25,7 @@
 #define IMON_ANALYZER_ANALYZER_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -173,9 +174,18 @@ class Analyzer {
   Result<std::vector<catalog::IndexInfo>> GenerateCandidates(
       const std::vector<StatementInfo>& statements);
 
+  /// Dedicated analyzer sessions (lazily created) so analyzer reads and
+  /// applied DDL never share a connection with application threads. Not
+  /// internal sessions: analyzer activity is monitored like any other
+  /// client's, as in the paper.
+  engine::Session* MonitoredSession();
+  engine::Session* WorkloadSession();
+
   engine::Database* monitored_;
   engine::Database* workload_db_;  // may be null
   AnalyzerConfig config_;
+  std::unique_ptr<engine::Session> monitored_session_;
+  std::unique_ptr<engine::Session> workload_session_;
 };
 
 }  // namespace imon::analyzer

@@ -158,8 +158,31 @@ Result<std::vector<Row>> StorageDaemon::ReadIma(const std::string& table,
 }
 
 Status StorageDaemon::PollOnce() {
+  // Whole cycles are serialized: the seq cursors and the shared internal
+  // poll session admit one poller at a time. The row buffers are NOT
+  // locked while the polling SQL runs against the monitored engine.
+  std::lock_guard<std::mutex> poll_lock(poll_mutex_);
+
   // A fresh statistics sample accompanies every poll.
   monitored_->SampleSystemStats();
+
+  IMON_ASSIGN_OR_RETURN(std::vector<Row> workload,
+                        ReadIma("imp_workload", &last_workload_seq_));
+  IMON_ASSIGN_OR_RETURN(std::vector<Row> references,
+                        ReadIma("imp_references", &last_references_seq_));
+  IMON_ASSIGN_OR_RETURN(std::vector<Row> statistics,
+                        ReadIma("imp_statistics", &last_statistics_seq_));
+
+  ++polls_since_flush_;
+  bool flush_due = polls_since_flush_ >= config_.polls_per_flush;
+  std::vector<Row> statements, tables, attributes, indexes;
+  if (flush_due) {
+    // Snapshot the slowly-changing object tables once per flush window.
+    IMON_ASSIGN_OR_RETURN(statements, ReadIma("imp_statements", nullptr));
+    IMON_ASSIGN_OR_RETURN(tables, ReadIma("imp_tables", nullptr));
+    IMON_ASSIGN_OR_RETURN(attributes, ReadIma("imp_attributes", nullptr));
+    IMON_ASSIGN_OR_RETURN(indexes, ReadIma("imp_indexes", nullptr));
+  }
 
   int64_t now = clock_->NowMicros();
   auto stamp = [&](std::vector<Row> rows, std::vector<Row>* buffer) {
@@ -171,35 +194,15 @@ Status StorageDaemon::PollOnce() {
       buffer->push_back(std::move(stamped));
     }
   };
-
-  bool flush_due;
   {
     std::lock_guard<std::mutex> lock(buffer_mutex_);
-    IMON_ASSIGN_OR_RETURN(std::vector<Row> workload,
-                          ReadIma("imp_workload", &last_workload_seq_));
     stamp(std::move(workload), &buf_workload_);
-    IMON_ASSIGN_OR_RETURN(std::vector<Row> references,
-                          ReadIma("imp_references", &last_references_seq_));
     stamp(std::move(references), &buf_references_);
-    IMON_ASSIGN_OR_RETURN(std::vector<Row> statistics,
-                          ReadIma("imp_statistics", &last_statistics_seq_));
     stamp(std::move(statistics), &buf_statistics_);
-
-    ++polls_since_flush_;
-    flush_due = polls_since_flush_ >= config_.polls_per_flush;
     if (flush_due) {
-      // Snapshot the slowly-changing object tables once per flush window.
-      IMON_ASSIGN_OR_RETURN(std::vector<Row> statements,
-                            ReadIma("imp_statements", nullptr));
       stamp(std::move(statements), &buf_statements_);
-      IMON_ASSIGN_OR_RETURN(std::vector<Row> tables,
-                            ReadIma("imp_tables", nullptr));
       stamp(std::move(tables), &buf_tables_);
-      IMON_ASSIGN_OR_RETURN(std::vector<Row> attributes,
-                            ReadIma("imp_attributes", nullptr));
       stamp(std::move(attributes), &buf_attributes_);
-      IMON_ASSIGN_OR_RETURN(std::vector<Row> indexes,
-                            ReadIma("imp_indexes", nullptr));
       stamp(std::move(indexes), &buf_indexes_);
     }
   }
@@ -208,6 +211,7 @@ Status StorageDaemon::PollOnce() {
     ++stats_.polls;
   }
   if (flush_due) {
+    polls_since_flush_ = 0;
     IMON_RETURN_IF_ERROR(FlushNow());
   }
   return Status::OK();
@@ -257,7 +261,6 @@ Status StorageDaemon::FlushNow() {
   IMON_RETURN_IF_ERROR(AppendRows("wl_attributes", {}, &buf_attributes_));
   IMON_RETURN_IF_ERROR(AppendRows("wl_indexes", {}, &buf_indexes_));
   IMON_RETURN_IF_ERROR(AppendRows("wl_statistics", {}, &buf_statistics_));
-  polls_since_flush_ = 0;
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.flushes;

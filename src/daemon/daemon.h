@@ -114,6 +114,12 @@ class StorageDaemon {
   std::unique_ptr<engine::Session> poll_session_;
   std::unique_ptr<engine::Session> write_session_;
 
+  /// Serializes whole poll cycles (the seq cursors and the shared
+  /// internal poll session). IMA reads run under this mutex only;
+  /// `buffer_mutex_` is taken just to stamp + append the rows read, so
+  /// a concurrent FlushNow() never blocks behind the polling SQL.
+  std::mutex poll_mutex_;
+
   // Buffered rows per IMA source awaiting the next flush.
   std::mutex buffer_mutex_;
   std::vector<Row> buf_statements_;
@@ -124,10 +130,12 @@ class StorageDaemon {
   std::vector<Row> buf_indexes_;
   std::vector<Row> buf_statistics_;
 
+  // Poll-cycle state, guarded by poll_mutex_.
   int64_t last_workload_seq_ = 0;
   int64_t last_references_seq_ = 0;
   int64_t last_statistics_seq_ = 0;
   int polls_since_flush_ = 0;
+  // Guarded by buffer_mutex_ (flushes may come from polls or FlushNow).
   int flushes_since_purge_ = 0;
 
   std::atomic<bool> running_{false};

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "catalog/histogram.h"
+#include "engine/statement_pipeline.h"
 #include "exec/expression_eval.h"
 
 namespace imon::engine {
@@ -50,9 +51,7 @@ Database::Database(DatabaseOptions options)
                                                   options_.buffer_pool_pages)),
       locks_(options_.lock_timeout),
       storage_(std::make_unique<exec::StorageLayer>(disk_.get(), pool_.get())),
-      monitor_(std::make_unique<monitor::Monitor>(options_.monitor, clock_)) {
-  default_session_ = CreateSession();
-}
+      monitor_(std::make_unique<monitor::Monitor>(options_.monitor, clock_)) {}
 
 Database::~Database() = default;
 
@@ -66,127 +65,68 @@ std::unique_ptr<Session> Database::CreateSession() {
 
 int64_t Database::active_sessions() const { return open_sessions_.load(); }
 
+Session* Database::BorrowThreadSession() {
+  std::lock_guard<std::mutex> lock(session_pool_mutex_);
+  auto& slot = thread_sessions_[std::this_thread::get_id()];
+  if (slot == nullptr) slot = CreateSession();
+  return slot.get();
+}
+
 Result<QueryResult> Database::Execute(const std::string& sql) {
-  std::lock_guard<std::mutex> lock(default_session_mutex_);
-  return Execute(sql, default_session_.get());
+  return Execute(sql, BorrowThreadSession());
 }
 
 Result<QueryResult> Database::Execute(const std::string& sql,
                                       Session* session) {
-  monitor::QueryTrace trace;
-  if (!session->internal()) monitor_->OnQueryStart(&trace);
-
-  // Plan-cache fast path: a previously bound + planned SELECT is reused
-  // verbatim while the catalog version is unchanged.
-  if (options_.plan_cache_capacity > 0) {
-    auto entry = LookupPlanCache(HashStatement(sql));
-    if (entry != nullptr) {
-      monitor_->OnParseComplete(&trace, sql);
-      {
-        std::vector<monitor::ObjectId> t, i;
-        std::vector<std::pair<monitor::ObjectId, int>> a;
-        FlattenRefs(entry->bound.references, &t, &a, &i);
-        monitor_->OnBindComplete(&trace, std::move(t), std::move(a),
-                                 std::move(i));
-      }
-      monitor_->OnOptimizeComplete(&trace, entry->summary.est_cost_cpu,
-                                   entry->summary.est_cost_io,
-                                   entry->summary.used_indexes, 0, 0);
-      auto result = RunPlannedSelect(entry->bound, *entry->plan,
-                                     entry->summary, session, &trace);
-      if (result.ok()) {
-        monitor_->Commit(&trace);
-        MaybeSampleStats();
-      }
-      return result;
-    }
-  }
-
-  auto parsed = sql::Parse(sql);
-  if (!parsed.ok()) return parsed.status();
-  monitor_->OnParseComplete(&trace, sql);
-
-  // Cache-filling SELECT path: bind + plan once, remember, execute.
-  if (options_.plan_cache_capacity > 0 &&
-      (*parsed)->kind() == sql::StatementKind::kSelect) {
-    auto entry = std::make_shared<CachedPlan>();
-    entry->catalog_version = catalog_.version();
-    entry->stmt = std::move(*parsed);
-    Binder binder(&catalog_);
-    IMON_ASSIGN_OR_RETURN(
-        entry->bound,
-        binder.BindSelect(static_cast<sql::SelectStmt*>(entry->stmt.get())));
-    {
-      std::vector<monitor::ObjectId> t, i;
-      std::vector<std::pair<monitor::ObjectId, int>> a;
-      FlattenRefs(entry->bound.references, &t, &a, &i);
-      monitor_->OnBindComplete(&trace, std::move(t), std::move(a),
-                               std::move(i));
-    }
-    int64_t opt_start = MonotonicNanos();
-    Planner planner(&catalog_, PlannerOptions{options_.cost_model, {}});
-    IMON_ASSIGN_OR_RETURN(entry->plan, planner.PlanJoinTree(entry->bound));
-    entry->summary = planner.Summarize(*entry->plan, entry->bound);
-    monitor_->OnOptimizeComplete(
-        &trace, entry->summary.est_cost_cpu, entry->summary.est_cost_io,
-        entry->summary.used_indexes, MonotonicNanos() - opt_start, 0);
-    std::shared_ptr<const CachedPlan> shared = entry;
-    StorePlanCache(HashStatement(sql), shared);
-    auto result = RunPlannedSelect(shared->bound, *shared->plan,
-                                   shared->summary, session, &trace);
-    if (result.ok()) {
-      monitor_->Commit(&trace);
-      MaybeSampleStats();
-    }
-    return result;
-  }
-
-  auto result = Dispatch(parsed->get(), session, &trace, sql);
-  if (result.ok()) {
-    monitor_->Commit(&trace);
-    MaybeSampleStats();
-  }
-  return result;
+  StatementPipeline pipeline(this, session);
+  return pipeline.Run(sql);
 }
 
 std::shared_ptr<const Database::CachedPlan> Database::LookupPlanCache(
     uint64_t hash) {
-  std::lock_guard<std::mutex> lock(plan_cache_mutex_);
-  auto it = plan_cache_.find(hash);
-  if (it == plan_cache_.end()) {
-    ++plan_cache_misses_;
+  PlanCacheStripe& stripe = StripeFor(hash);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.entries.find(hash);
+  if (it == stripe.entries.end()) {
+    ++stripe.misses;
     return nullptr;
   }
   if (it->second->catalog_version != catalog_.version()) {
-    plan_cache_.erase(it);
-    ++plan_cache_invalidations_;
-    ++plan_cache_misses_;
+    stripe.entries.erase(it);
+    ++stripe.invalidations;
+    ++stripe.misses;
     return nullptr;
   }
-  ++plan_cache_hits_;
+  ++stripe.hits;
   return it->second;
 }
 
 void Database::StorePlanCache(uint64_t hash,
                               std::shared_ptr<const CachedPlan> entry) {
-  std::lock_guard<std::mutex> lock(plan_cache_mutex_);
-  while (plan_cache_.size() >= options_.plan_cache_capacity &&
-         !plan_cache_fifo_.empty()) {
-    plan_cache_.erase(plan_cache_fifo_.front());
-    plan_cache_fifo_.pop_front();
+  size_t per_stripe =
+      (options_.plan_cache_capacity + kPlanCacheStripes - 1) /
+      kPlanCacheStripes;
+  if (per_stripe == 0) per_stripe = 1;
+  PlanCacheStripe& stripe = StripeFor(hash);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  while (stripe.entries.size() >= per_stripe && !stripe.fifo.empty()) {
+    stripe.entries.erase(stripe.fifo.front());
+    stripe.fifo.pop_front();
   }
-  if (plan_cache_.emplace(hash, std::move(entry)).second) {
-    plan_cache_fifo_.push_back(hash);
+  if (stripe.entries.emplace(hash, std::move(entry)).second) {
+    stripe.fifo.push_back(hash);
   }
 }
 
 PlanCacheStats Database::plan_cache_stats() const {
-  std::lock_guard<std::mutex> lock(plan_cache_mutex_);
   PlanCacheStats out;
-  out.hits = plan_cache_hits_;
-  out.misses = plan_cache_misses_;
-  out.invalidations = plan_cache_invalidations_;
-  out.entries = static_cast<int64_t>(plan_cache_.size());
+  for (const PlanCacheStripe& stripe : plan_cache_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    out.hits += stripe.hits;
+    out.misses += stripe.misses;
+    out.invalidations += stripe.invalidations;
+    out.entries += static_cast<int64_t>(stripe.entries.size());
+  }
   return out;
 }
 

@@ -7,6 +7,7 @@
 #ifndef IMON_ENGINE_DATABASE_H_
 #define IMON_ENGINE_DATABASE_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <deque>
@@ -15,6 +16,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -96,6 +98,7 @@ struct WhatIfResult {
 };
 
 class Database;
+class StatementPipeline;
 
 /// One client connection. Statements run in autocommit unless BEGIN was
 /// issued; locks are held to transaction end; ROLLBACK undoes this
@@ -133,7 +136,9 @@ class Database {
   explicit Database(DatabaseOptions options = {});
   ~Database();
 
-  /// Execute one SQL statement on the shared default session.
+  /// Execute one SQL statement on this thread's implicit session. Each
+  /// calling thread is lazily assigned its own session, so concurrent
+  /// Execute(sql) callers never serialize on a shared connection.
   Result<QueryResult> Execute(const std::string& sql);
   Result<QueryResult> Execute(const std::string& sql, Session* session);
 
@@ -180,6 +185,8 @@ class Database {
   }
 
  private:
+  friend class StatementPipeline;
+
   /// A fully bound + planned SELECT, reusable while the catalog version
   /// is unchanged. The parsed statement owns every expression the bound
   /// structures point into.
@@ -193,6 +200,11 @@ class Database {
 
   std::shared_ptr<const CachedPlan> LookupPlanCache(uint64_t hash);
   void StorePlanCache(uint64_t hash, std::shared_ptr<const CachedPlan> entry);
+
+  /// The session implicitly bound to the calling thread (created on
+  /// first use; stable for the thread's lifetime so BEGIN/COMMIT state
+  /// stays with the thread that opened it).
+  Session* BorrowThreadSession();
 
   /// Lock, execute and monitor a bound+planned SELECT (shared by the
   /// cached and uncached paths).
@@ -292,15 +304,30 @@ class Database {
   std::atomic<int64_t> next_txn_id_{1};
   std::atomic<int64_t> open_sessions_{0};
 
-  std::unique_ptr<Session> default_session_;
-  std::mutex default_session_mutex_;
+  /// Implicit per-thread sessions for the Execute(sql) convenience
+  /// overload. Keyed by thread id so a thread always reuses the same
+  /// session (transaction affinity); the pool mutex guards only the map,
+  /// not statement execution.
+  std::mutex session_pool_mutex_;
+  std::unordered_map<std::thread::id, std::unique_ptr<Session>>
+      thread_sessions_;
 
-  mutable std::mutex plan_cache_mutex_;
-  std::unordered_map<uint64_t, std::shared_ptr<const CachedPlan>> plan_cache_;
-  std::deque<uint64_t> plan_cache_fifo_;
-  int64_t plan_cache_hits_ = 0;
-  int64_t plan_cache_misses_ = 0;
-  int64_t plan_cache_invalidations_ = 0;
+  /// Plan cache, striped by statement hash so concurrent sessions with
+  /// disjoint working sets do not contend on one mutex. Capacity is
+  /// split evenly across stripes (rounded up); FIFO eviction per stripe.
+  static constexpr size_t kPlanCacheStripes = 8;
+  struct PlanCacheStripe {
+    mutable std::mutex mutex;
+    std::unordered_map<uint64_t, std::shared_ptr<const CachedPlan>> entries;
+    std::deque<uint64_t> fifo;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t invalidations = 0;
+  };
+  PlanCacheStripe& StripeFor(uint64_t hash) {
+    return plan_cache_stripes_[hash % kPlanCacheStripes];
+  }
+  std::array<PlanCacheStripe, kPlanCacheStripes> plan_cache_stripes_;
 };
 
 }  // namespace imon::engine

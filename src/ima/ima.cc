@@ -273,11 +273,32 @@ class StatisticsProvider : public catalog::VirtualTableProvider {
   const Monitor* monitor_;
 };
 
+class MonitorProvider : public catalog::VirtualTableProvider {
+ public:
+  explicit MonitorProvider(const Monitor* m) : monitor_(m) {}
+  std::vector<ColumnInfo> Schema() const override {
+    return {Col("shards", TypeId::kInt),
+            Col("statements", TypeId::kInt),
+            Col("dropped", TypeId::kInt),
+            Col("monitor_nanos", TypeId::kInt),
+            Col("max_sessions", TypeId::kInt)};
+  }
+  std::vector<Row> Snapshot() const override {
+    monitor::MonitorCounters c = monitor_->counters();
+    return {{IntV(static_cast<int64_t>(monitor_->shard_count())),
+             IntV(c.statements_committed), IntV(c.statements_dropped),
+             IntV(c.total_monitor_nanos), IntV(monitor_->max_sessions_seen())}};
+  }
+
+ private:
+  const Monitor* monitor_;
+};
+
 }  // namespace
 
-const char* const kImaTableNames[7] = {
+const char* const kImaTableNames[8] = {
     "imp_statements", "imp_workload",  "imp_references", "imp_tables",
-    "imp_attributes", "imp_indexes",   "imp_statistics"};
+    "imp_attributes", "imp_indexes",   "imp_statistics", "imp_monitor"};
 
 Status RegisterImaTables(Database* db) {
   const Monitor* m = db->monitor();
@@ -296,6 +317,8 @@ Status RegisterImaTables(Database* db) {
       "imp_indexes", std::make_shared<IndexesProvider>(m, c)));
   IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
       "imp_statistics", std::make_shared<StatisticsProvider>(m)));
+  IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
+      "imp_monitor", std::make_shared<MonitorProvider>(m)));
   return Status::OK();
 }
 

@@ -24,6 +24,8 @@
 //                    locks_held, lock_waits, deadlocks, cache_logical,
 //                    cache_physical, cache_hit_ratio, disk_reads,
 //                    disk_writes, statements)
+//   imp_monitor     (shards, statements, dropped, monitor_nanos,
+//                    max_sessions) — the monitor observing itself
 //
 // Scans materialize a snapshot from the monitor's in-memory state; no
 // buffer-pool or disk access is involved.
@@ -37,7 +39,7 @@
 namespace imon::ima {
 
 /// Names of all IMA virtual tables, in registration order.
-extern const char* const kImaTableNames[7];
+extern const char* const kImaTableNames[8];
 
 /// Register every IMA virtual table on `db`. Idempotent per database
 /// (second call returns AlreadyExists).

@@ -1,8 +1,73 @@
 #include "monitor/monitor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace imon::monitor {
+
+namespace {
+
+constexpr size_t kMaxShards = 64;
+
+size_t ResolveShardCount(size_t requested) {
+  size_t n = requested;
+  if (n == 0) {
+    unsigned hc = std::thread::hardware_concurrency();
+    n = hc == 0 ? 1 : hc;
+  }
+  n = std::min(n, kMaxShards);
+  size_t pow2 = 1;
+  while (pow2 < n) pow2 <<= 1;
+  return pow2;
+}
+
+/// K-way merge of per-shard runs, each already ascending by seq (records
+/// are pushed under the shard lock in allocation order).
+template <typename Rec>
+std::vector<Rec> MergeBySeq(std::vector<std::vector<Rec>> parts) {
+  if (parts.size() == 1) return std::move(parts[0]);
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<Rec> out;
+  out.reserve(total);
+  std::vector<size_t> pos(parts.size(), 0);
+  while (out.size() < total) {
+    size_t best = parts.size();
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (pos[i] >= parts[i].size()) continue;
+      if (best == parts.size() ||
+          parts[i][pos[i]].seq < parts[best][pos[best]].seq) {
+        best = i;
+      }
+    }
+    out.push_back(std::move(parts[best][pos[best]]));
+    ++pos[best];
+  }
+  return out;
+}
+
+}  // namespace
+
+Monitor::Monitor(MonitorConfig config, const Clock* clock)
+    : config_(config),
+      clock_(clock),
+      statistics_(config.statistics_window) {
+  size_t shards = ResolveShardCount(config_.shards);
+  config_.shards = shards;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_.workload_window,
+                                              config_.references_window));
+  }
+}
+
+std::vector<std::unique_lock<std::mutex>> Monitor::LockAllShards() const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+  return locks;
+}
 
 void Monitor::Commit(QueryTrace* trace) {
   if (!config_.enabled || !trace->active) return;
@@ -24,28 +89,37 @@ void Monitor::Commit(QueryTrace* trace) {
   record.rows_output = trace->rows_output;
   record.used_indexes = trace->used_indexes;
 
+  Shard& shard = ShardFor(trace->session_id);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    record.seq = next_seq_++;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // One fetch_add claims the statement's whole seq block (workload
+    // record first, then one seq per reference) so the global order is
+    // identical to the pre-sharding single-counter order.
+    int64_t refs = static_cast<int64_t>(
+        trace->ref_tables.size() + trace->ref_attributes.size() +
+        trace->ref_indexes.size() + trace->used_indexes.size());
+    int64_t seq =
+        next_seq_.fetch_add(1 + refs, std::memory_order_relaxed);
+    record.seq = seq++;
 
     // Statement registry bounded by the configured moving window; the
     // oldest statement is evicted when a new one arrives at capacity.
-    auto it = statements_.find(trace->hash);
-    if (it == statements_.end()) {
+    auto it = shard.statements.find(trace->hash);
+    if (it == shard.statements.end()) {
       StatementRecord stmt;
       stmt.hash = trace->hash;
       stmt.text = trace->text;
       stmt.frequency = 1;
       stmt.first_seen_micros = trace->wall_start_micros;
       stmt.last_seen_micros = trace->wall_start_micros;
-      while (statements_.size() >= config_.statement_window &&
-             !statement_arrivals_.empty()) {
-        uint64_t victim = statement_arrivals_.front();
-        statement_arrivals_.pop_front();
-        if (victim != trace->hash) statements_.erase(victim);
+      while (shard.statements.size() >= config_.statement_window &&
+             !shard.statement_arrivals.empty()) {
+        uint64_t victim = shard.statement_arrivals.front();
+        shard.statement_arrivals.pop_front();
+        if (victim != trace->hash) shard.statements.erase(victim);
       }
-      statement_arrivals_.push_back(trace->hash);
-      statements_.emplace(trace->hash, std::move(stmt));
+      shard.statement_arrivals.push_back(trace->hash);
+      shard.statements.emplace(trace->hash, std::move(stmt));
     } else {
       it->second.frequency += 1;
       it->second.last_seen_micros = trace->wall_start_micros;
@@ -54,48 +128,53 @@ void Monitor::Commit(QueryTrace* trace) {
     // References: logged once per statement execution.
     for (ObjectId t : trace->ref_tables) {
       ReferenceRecord ref;
-      ref.seq = next_seq_++;
+      ref.seq = seq++;
       ref.hash = trace->hash;
       ref.type = RefType::kTable;
       ref.object_id = t;
       ref.table_id = t;
-      references_.Push(ref);
-      ++table_freq_[t];
+      shard.references.Push(ref);
+      ++shard.table_freq[t];
     }
     for (const auto& [table_id, ordinal] : trace->ref_attributes) {
       ReferenceRecord ref;
-      ref.seq = next_seq_++;
+      ref.seq = seq++;
       ref.hash = trace->hash;
       ref.type = RefType::kAttribute;
       ref.object_id = table_id;  // attribute identified by (table, ordinal)
       ref.table_id = table_id;
       ref.ordinal = ordinal;
-      references_.Push(ref);
-      ++attr_freq_[(table_id << 16) | ordinal];
+      shard.references.Push(ref);
+      ++shard.attr_freq[AttrKey{table_id, ordinal}];
     }
     for (ObjectId idx : trace->ref_indexes) {
       ReferenceRecord ref;
-      ref.seq = next_seq_++;
+      ref.seq = seq++;
       ref.hash = trace->hash;
       ref.type = RefType::kIndex;
       ref.object_id = idx;
-      references_.Push(ref);
+      shard.references.Push(ref);
     }
     for (ObjectId idx : trace->used_indexes) {
       ReferenceRecord ref;
-      ref.seq = next_seq_++;
+      ref.seq = seq++;
       ref.hash = trace->hash;
       ref.type = RefType::kUsedIndex;
       ref.object_id = idx;
-      references_.Push(ref);
-      ++index_freq_[idx];
+      shard.references.Push(ref);
+      ++shard.index_freq[idx];
+    }
+
+    if (config_.commit_stall_nanos > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(config_.commit_stall_nanos));
     }
 
     // Publish the workload record last so its monitor share covers the
     // whole commit (the final Push itself is negligible).
     trace->monitor_nanos += MonotonicNanos() - begin;
     record.monitor_nanos = trace->monitor_nanos;
-    workload_.Push(std::move(record));
+    shard.workload.Push(std::move(record));
   }
 
   statements_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -134,7 +213,7 @@ void Monitor::RecordSystemStats(const SystemSnapshot& snapshot) {
   record.disk_writes = snapshot.disk_writes;
   record.statements_executed =
       statements_executed_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   record.seq = next_stats_seq_++;
   statistics_.Push(std::move(record));
 }
@@ -148,10 +227,28 @@ void Monitor::NoteSessionCount(int64_t sessions) {
 }
 
 std::vector<StatementRecord> Monitor::SnapshotStatements() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Merge the per-shard registries by hash: a statement issued from
+  // sessions on different shards appears once, with summed frequency and
+  // the widest first/last-seen span.
+  std::unordered_map<uint64_t, StatementRecord> merged;
+  {
+    auto locks = LockAllShards();
+    for (const auto& shard : shards_) {
+      for (const auto& [hash, record] : shard->statements) {
+        auto [it, inserted] = merged.emplace(hash, record);
+        if (!inserted) {
+          it->second.frequency += record.frequency;
+          it->second.first_seen_micros = std::min(it->second.first_seen_micros,
+                                                  record.first_seen_micros);
+          it->second.last_seen_micros = std::max(it->second.last_seen_micros,
+                                                 record.last_seen_micros);
+        }
+      }
+    }
+  }
   std::vector<StatementRecord> out;
-  out.reserve(statements_.size());
-  for (const auto& [hash, record] : statements_) out.push_back(record);
+  out.reserve(merged.size());
+  for (auto& [hash, record] : merged) out.push_back(std::move(record));
   std::sort(out.begin(), out.end(),
             [](const StatementRecord& a, const StatementRecord& b) {
               return a.first_seen_micros < b.first_seen_micros;
@@ -160,59 +257,95 @@ std::vector<StatementRecord> Monitor::SnapshotStatements() const {
 }
 
 std::vector<WorkloadRecord> Monitor::SnapshotWorkload() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return workload_.Snapshot();
+  std::vector<std::vector<WorkloadRecord>> parts;
+  parts.reserve(shards_.size());
+  {
+    auto locks = LockAllShards();
+    for (const auto& shard : shards_) parts.push_back(shard->workload.Snapshot());
+  }
+  return MergeBySeq(std::move(parts));
 }
 
 std::vector<ReferenceRecord> Monitor::SnapshotReferences() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return references_.Snapshot();
+  std::vector<std::vector<ReferenceRecord>> parts;
+  parts.reserve(shards_.size());
+  {
+    auto locks = LockAllShards();
+    for (const auto& shard : shards_) {
+      parts.push_back(shard->references.Snapshot());
+    }
+  }
+  return MergeBySeq(std::move(parts));
 }
 
 std::vector<StatisticsRecord> Monitor::SnapshotStatistics() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   return statistics_.Snapshot();
 }
 
 std::vector<WorkloadRecord> Monitor::SnapshotWorkloadSince(
     int64_t min_seq) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return workload_.SnapshotTail(
-      [min_seq](const WorkloadRecord& r) { return r.seq > min_seq; });
+  std::vector<std::vector<WorkloadRecord>> parts;
+  parts.reserve(shards_.size());
+  {
+    auto locks = LockAllShards();
+    for (const auto& shard : shards_) {
+      parts.push_back(shard->workload.SnapshotTail(
+          [min_seq](const WorkloadRecord& r) { return r.seq > min_seq; }));
+    }
+  }
+  return MergeBySeq(std::move(parts));
 }
 
 std::vector<ReferenceRecord> Monitor::SnapshotReferencesSince(
     int64_t min_seq) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return references_.SnapshotTail(
-      [min_seq](const ReferenceRecord& r) { return r.seq > min_seq; });
+  std::vector<std::vector<ReferenceRecord>> parts;
+  parts.reserve(shards_.size());
+  {
+    auto locks = LockAllShards();
+    for (const auto& shard : shards_) {
+      parts.push_back(shard->references.SnapshotTail(
+          [min_seq](const ReferenceRecord& r) { return r.seq > min_seq; }));
+    }
+  }
+  return MergeBySeq(std::move(parts));
 }
 
 std::vector<StatisticsRecord> Monitor::SnapshotStatisticsSince(
     int64_t min_seq) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   return statistics_.SnapshotTail(
       [min_seq](const StatisticsRecord& r) { return r.seq > min_seq; });
 }
 
 std::map<ObjectId, int64_t> Monitor::TableFrequencies() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return std::map<ObjectId, int64_t>(table_freq_.begin(), table_freq_.end());
+  std::map<ObjectId, int64_t> out;
+  auto locks = LockAllShards();
+  for (const auto& shard : shards_) {
+    for (const auto& [id, freq] : shard->table_freq) out[id] += freq;
+  }
+  return out;
 }
 
 std::map<std::pair<ObjectId, int>, int64_t> Monitor::AttributeFrequencies()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::map<std::pair<ObjectId, int>, int64_t> out;
-  for (const auto& [key, freq] : attr_freq_) {
-    out[{key >> 16, static_cast<int>(key & 0xFFFF)}] = freq;
+  auto locks = LockAllShards();
+  for (const auto& shard : shards_) {
+    for (const auto& [key, freq] : shard->attr_freq) {
+      out[{key.table_id, key.ordinal}] += freq;
+    }
   }
   return out;
 }
 
 std::map<ObjectId, int64_t> Monitor::IndexFrequencies() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return std::map<ObjectId, int64_t>(index_freq_.begin(), index_freq_.end());
+  std::map<ObjectId, int64_t> out;
+  auto locks = LockAllShards();
+  for (const auto& shard : shards_) {
+    for (const auto& [id, freq] : shard->index_freq) out[id] += freq;
+  }
+  return out;
 }
 
 MonitorCounters Monitor::counters() const {
@@ -221,21 +354,28 @@ MonitorCounters Monitor::counters() const {
       statements_executed_.load(std::memory_order_relaxed);
   out.total_monitor_nanos =
       total_monitor_nanos_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
-  out.statements_dropped = workload_.overwritten();
+  auto locks = LockAllShards();
+  for (const auto& shard : shards_) {
+    out.statements_dropped += shard->workload.overwritten();
+  }
   return out;
 }
 
 void Monitor::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  statements_.clear();
-  statement_arrivals_.clear();
-  workload_.Clear();
-  references_.Clear();
+  {
+    auto locks = LockAllShards();
+    for (const auto& shard : shards_) {
+      shard->statements.clear();
+      shard->statement_arrivals.clear();
+      shard->workload.Clear();
+      shard->references.Clear();
+      shard->table_freq.clear();
+      shard->attr_freq.clear();
+      shard->index_freq.clear();
+    }
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   statistics_.Clear();
-  table_freq_.clear();
-  attr_freq_.clear();
-  index_freq_.clear();
 }
 
 }  // namespace imon::monitor

@@ -17,8 +17,20 @@
 // shares reproduce the paper's Fig. 5.
 //
 // Sensor calls mutate a caller-owned QueryTrace (no shared state, no
-// locks); only Commit takes the monitor mutex once per statement to
-// publish into the ring buffers, which IMA exposes as virtual tables.
+// locks); only Commit takes a lock once per statement to publish into
+// the ring buffers, which IMA exposes as virtual tables.
+//
+// Concurrency (DESIGN.md "Concurrency model"): the publish side is
+// SHARDED. The monitor owns N shards (power of two; default: hardware
+// concurrency), each with its own mutex, workload/references rings,
+// statement registry and frequency maps. Commit hashes the committing
+// session id to a shard and takes only that shard's lock, so concurrent
+// sessions publish in parallel. A single global atomic `next_seq_`
+// allocates sequence numbers, preserving the total order that the
+// daemon's incremental `Snapshot*Since(seq)` polling relies on; the
+// snapshot API performs a k-way merge by seq across shards while
+// holding every shard lock, which linearizes the merged view (no seq
+// below the observed maximum can appear later).
 
 #ifndef IMON_MONITOR_MONITOR_H_
 #define IMON_MONITOR_MONITOR_H_
@@ -27,6 +39,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -52,6 +65,18 @@ struct MonitorConfig {
   /// Sample system statistics every N committed statements (0 = only on
   /// explicit RecordSystemStats calls from the daemon).
   int64_t stats_sample_every = 64;
+  /// Commit shards. 0 = auto (hardware concurrency); any other value is
+  /// rounded up to a power of two and capped at 64. Each shard owns its
+  /// own windows, so the bound on retained records is per shard — a
+  /// single session (the common and test configuration) always lands on
+  /// one shard and sees exactly the configured windows.
+  size_t shards = 0;
+  /// Testing/bench only: sleep this long inside the shard-lock critical
+  /// section of every Commit, modelling a commit path that blocks
+  /// (allocator stall, page fault, disk-backed windows). Lets
+  /// bench/micro_concurrent demonstrate shard-lock serialization even on
+  /// a single-core host. 0 = off (production).
+  int64_t commit_stall_nanos = 0;
 };
 
 // -- records mirroring the paper's Fig. 3 schema -----------------------------
@@ -124,6 +149,7 @@ struct SystemSnapshot {
 /// Caller-owned per-statement trace filled by the sensors.
 struct QueryTrace {
   bool active = false;
+  int64_t session_id = 0;  ///< selects the commit shard
   int64_t wall_start_micros = 0;
   int64_t mono_start_nanos = 0;
   uint64_t hash = 0;
@@ -154,25 +180,38 @@ struct MonitorCounters {
   int64_t total_monitor_nanos = 0;
 };
 
+/// Attribute identity (table, ordinal). A dedicated struct key — not a
+/// packed `(table<<16)|ordinal` integer — so negative table ids and
+/// ordinals >= 65536 cannot silently collide.
+struct AttrKey {
+  ObjectId table_id = -1;
+  int ordinal = -1;
+  bool operator==(const AttrKey&) const = default;
+};
+
+struct AttrKeyHash {
+  size_t operator()(const AttrKey& k) const {
+    return static_cast<size_t>(HashCombine(static_cast<uint64_t>(k.table_id),
+                                           static_cast<uint64_t>(k.ordinal)));
+  }
+};
+
 class Monitor {
  public:
-  explicit Monitor(MonitorConfig config, const Clock* clock)
-      : config_(config),
-        clock_(clock),
-        workload_(config.workload_window),
-        references_(config.references_window),
-        statistics_(config.statistics_window) {}
+  explicit Monitor(MonitorConfig config, const Clock* clock);
 
   bool enabled() const { return config_.enabled; }
   void set_enabled(bool on) { config_.enabled = on; }
   const MonitorConfig& config() const { return config_; }
+  size_t shard_count() const { return shards_.size(); }
 
   // -- sensors (hot path; inline enabled check) -----------------------------
 
-  void OnQueryStart(QueryTrace* trace) {
+  void OnQueryStart(QueryTrace* trace, int64_t session_id = 0) {
     if (!config_.enabled) return;
     int64_t begin = MonotonicNanos();
     trace->active = true;
+    trace->session_id = session_id;
     trace->wall_start_micros = clock_->NowMicros();
     trace->mono_start_nanos = begin;
     trace->monitor_nanos += MonotonicNanos() - begin;
@@ -226,13 +265,16 @@ class Monitor {
   }
 
   /// Wallclock stop; publishes the trace into the ring buffers. The only
-  /// sensor that takes the monitor mutex.
+  /// sensor that takes a lock — and only the lock of the shard the
+  /// trace's session hashes to.
   void Commit(QueryTrace* trace);
 
   // -- system statistics -----------------------------------------------------
 
   /// Stamp + append a statistics sample (called by the engine's sampler
-  /// and by the daemon on every poll).
+  /// and by the daemon on every poll). Statistics are daemon-paced, not
+  /// per-commit, so they live in one dedicated ring with its own lock
+  /// rather than in the commit shards.
   void RecordSystemStats(const SystemSnapshot& snapshot);
 
   /// True when the per-N-statements sampler should fire (engine calls
@@ -247,13 +289,15 @@ class Monitor {
   std::vector<StatisticsRecord> SnapshotStatistics() const;
 
   /// Incremental snapshots: records with seq > min_seq, copying only the
-  /// new tail of the ring (the daemon's poll path).
+  /// new tail of each shard's ring (the daemon's poll path). All shard
+  /// locks are held across the collection, so the merged view never
+  /// retroactively grows below its maximum returned seq.
   std::vector<WorkloadRecord> SnapshotWorkloadSince(int64_t min_seq) const;
   std::vector<ReferenceRecord> SnapshotReferencesSince(int64_t min_seq) const;
   std::vector<StatisticsRecord> SnapshotStatisticsSince(int64_t min_seq) const;
 
-  /// Access frequency counters (monitor-maintained, unbounded maps keyed
-  /// by object id; cleared with the rings).
+  /// Access frequency counters (monitor-maintained, unbounded per-shard
+  /// maps keyed by object id, merged on read; cleared with the rings).
   std::map<ObjectId, int64_t> TableFrequencies() const;
   std::map<std::pair<ObjectId, int>, int64_t> AttributeFrequencies() const;
   std::map<ObjectId, int64_t> IndexFrequencies() const;
@@ -270,25 +314,46 @@ class Monitor {
   void Clear();
 
  private:
+  /// Everything one commit touches, behind one mutex.
+  struct Shard {
+    Shard(size_t workload_window, size_t references_window)
+        : workload(workload_window), references(references_window) {}
+
+    mutable std::mutex mutex;
+    /// Statement registry, bounded to statement_window entries.
+    std::unordered_map<uint64_t, StatementRecord> statements;
+    /// FIFO arrival order of registry hashes; drives O(1) amortized
+    /// eviction when the window is full (stale entries are skipped).
+    std::deque<uint64_t> statement_arrivals;
+    RingBuffer<WorkloadRecord> workload;
+    RingBuffer<ReferenceRecord> references;
+
+    std::unordered_map<ObjectId, int64_t> table_freq;
+    std::unordered_map<AttrKey, int64_t, AttrKeyHash> attr_freq;
+    std::unordered_map<ObjectId, int64_t> index_freq;
+  };
+
+  Shard& ShardFor(int64_t session_id) const {
+    uint64_t mixed = HashCombine(0, static_cast<uint64_t>(session_id));
+    return *shards_[mixed & (shards_.size() - 1)];
+  }
+
+  /// Acquire every shard lock, in index order (commits take exactly one
+  /// shard lock, so the fixed order cannot deadlock). Holding all locks
+  /// makes a multi-shard snapshot a linearization point for Commit.
+  std::vector<std::unique_lock<std::mutex>> LockAllShards() const;
+
   MonitorConfig config_;
   const Clock* clock_;
 
-  mutable std::mutex mutex_;
-  /// Statement registry, bounded to statement_window entries.
-  std::unordered_map<uint64_t, StatementRecord> statements_;
-  /// FIFO arrival order of registry hashes; drives O(1) amortized
-  /// eviction when the window is full (stale entries are skipped).
-  std::deque<uint64_t> statement_arrivals_;
-  RingBuffer<WorkloadRecord> workload_;
-  RingBuffer<ReferenceRecord> references_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Global sequence allocator: total order across shards.
+  std::atomic<int64_t> next_seq_{1};
+
+  mutable std::mutex stats_mutex_;
   RingBuffer<StatisticsRecord> statistics_;
-
-  std::unordered_map<ObjectId, int64_t> table_freq_;
-  std::unordered_map<int64_t, int64_t> attr_freq_;  // (table<<16)|ordinal
-  std::unordered_map<ObjectId, int64_t> index_freq_;
-
-  int64_t next_seq_ = 1;
   int64_t next_stats_seq_ = 1;
+
   std::atomic<int64_t> statements_executed_{0};
   std::atomic<int64_t> max_sessions_seen_{0};
   std::atomic<int64_t> total_monitor_nanos_{0};
