@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Long-running differential fuzz entry point.
+#
+# Usage: scripts/fuzz.sh [--seed=N] [--iters=K] [--faults]
+#
+#   --seed=N    base seed for the sweep (default: 1)
+#   --iters=K   number of seeded workloads to replay across the full
+#               physical-design grid (default: 200)
+#   --faults    also run the fault-injection suite with the same seed
+#
+# Each iteration generates one workload from seed+i and replays it
+# against every design point (storage structures x indexes x statistics
+# x plan cache), comparing result fingerprints against the baseline.
+# On divergence the binary prints the seed and a greedily shrunken
+# statement list; rerun with that seed to reproduce:
+#
+#   scripts/fuzz.sh --seed=<reported seed> --iters=1
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seed=1
+iters=200
+faults=0
+for arg in "$@"; do
+  case "$arg" in
+    --seed=*) seed="${arg#--seed=}" ;;
+    --iters=*) iters="${arg#--iters=}" ;;
+    --faults) faults=1 ;;
+    *) echo "unknown arg: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)" --target fuzz_test fault_test
+
+echo "== fuzz: seed=$seed iters=$iters =="
+(cd build && ./tests/fuzz_test --seed="$seed" --iters="$iters")
+
+if [[ "$faults" == 1 ]]; then
+  echo "== fault injection: seed=$seed =="
+  (cd build && ./tests/fault_test --seed="$seed")
+fi
+
+echo "== fuzz: OK (BENCH_fuzz.json in build/) =="

@@ -24,15 +24,24 @@ cmake --build build -j"$(nproc)"
 echo "== tier-1: full test suite =="
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
+echo "== tier-1: differential fuzz sweep (25 seeded workloads) =="
+(cd build && ./tests/fuzz_test --iters=25)   # leaves BENCH_fuzz.json behind
+
+echo "== tier-1: fault injection suite =="
+(cd build && ./tests/fault_test)
+
 if [[ "$run_tsan" == 1 ]]; then
   echo "== tier-1: ThreadSanitizer build =="
   cmake -B build-tsan -S . -DIMON_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$(nproc)" --target \
-    monitor_test monitor_concurrency_test engine_test daemon_test
+    monitor_test monitor_concurrency_test engine_test daemon_test fault_test
 
   echo "== tier-1: concurrency suites under TSan =="
   (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-    -R 'Monitor|MonitorConcurrency|Database|Differential|Daemon')
+    -R 'Monitor|MonitorConcurrency|Database|Differential|Daemon|Fault')
+
+  echo "== tier-1: fault injection under TSan =="
+  (cd build-tsan && ./tests/fault_test)
 fi
 
 echo "== tier-1: OK =="

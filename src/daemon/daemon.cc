@@ -131,11 +131,9 @@ void StorageDaemon::ThreadMain() {
                         [&] { return !running_.load(); });
     }
     if (!running_.load()) break;
-    Status s = PollOnce();
-    if (!s.ok()) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.poll_errors;
-    }
+    // PollOnce accounts its own failures (poll_errors); an errored cycle
+    // must not stop the loop — the daemon recovers on the next wake-up.
+    PollOnce().ok();
   }
   // Final flush so buffered data is not lost on shutdown.
   FlushNow().ok();
@@ -157,11 +155,28 @@ Result<std::vector<Row>> StorageDaemon::ReadIma(const std::string& table,
   return std::move(r.rows);
 }
 
+void StorageDaemon::set_poll_fault_hook(std::function<Status()> hook) {
+  std::lock_guard<std::mutex> poll_lock(poll_mutex_);
+  poll_fault_hook_ = std::move(hook);
+}
+
 Status StorageDaemon::PollOnce() {
   // Whole cycles are serialized: the seq cursors and the shared internal
   // poll session admit one poller at a time. The row buffers are NOT
   // locked while the polling SQL runs against the monitored engine.
   std::lock_guard<std::mutex> poll_lock(poll_mutex_);
+  Status s = PollCycle();
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.poll_errors;
+  }
+  return s;
+}
+
+Status StorageDaemon::PollCycle() {
+  if (poll_fault_hook_) {
+    IMON_RETURN_IF_ERROR(poll_fault_hook_());
+  }
 
   // A fresh statistics sample accompanies every poll.
   monitored_->SampleSystemStats();

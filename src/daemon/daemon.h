@@ -19,6 +19,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -72,8 +73,18 @@ class StorageDaemon {
 
   /// One poll cycle: force a statistics sample, read new IMA rows into
   /// the buffer; flush + purge when due. Called by the thread, and
-  /// directly by tests/benchmarks (with a SimulatedClock).
+  /// directly by tests/benchmarks (with a SimulatedClock). Any failure —
+  /// injected, IMA read, or workload-DB append — counts into
+  /// `stats().poll_errors`; the next cycle starts from clean state, so
+  /// one bad poll never wedges the daemon.
   Status PollOnce();
+
+  /// Test-only fault hook, consulted at the top of every poll cycle
+  /// (before any IMA read or buffering). A non-OK return aborts the
+  /// cycle — counted in `poll_errors` — without touching the buffers or
+  /// the workload DB. The fault-injection harness installs
+  /// FaultInjector::BeforePoll here.
+  void set_poll_fault_hook(std::function<Status()> hook);
 
   /// Append all buffered rows to the workload DB now.
   Status FlushNow();
@@ -97,6 +108,10 @@ class StorageDaemon {
  private:
   void ThreadMain();
 
+  /// The body of one poll cycle; caller holds poll_mutex_ and accounts
+  /// the returned status into poll_errors.
+  Status PollCycle();
+
   /// SELECT rows of one IMA table with seq > last_seq (or all).
   Result<std::vector<Row>> ReadIma(const std::string& table,
                                    int64_t* last_seq);
@@ -113,6 +128,9 @@ class StorageDaemon {
 
   std::unique_ptr<engine::Session> poll_session_;
   std::unique_ptr<engine::Session> write_session_;
+
+  /// Guarded by poll_mutex_ (checked only inside a poll cycle).
+  std::function<Status()> poll_fault_hook_;
 
   /// Serializes whole poll cycles (the seq cursors and the shared
   /// internal poll session). IMA reads run under this mutex only;

@@ -31,6 +31,9 @@ Result<uint32_t> DiskManager::AllocatePage(FileId file) {
 }
 
 Status DiskManager::ReadPage(PageId pid, char* out) {
+  if (DiskFaultHook* hook = fault_hook()) {
+    IMON_RETURN_IF_ERROR(hook->BeforeRead(pid));
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = files_.find(pid.file_id);
@@ -44,6 +47,9 @@ Status DiskManager::ReadPage(PageId pid, char* out) {
 }
 
 Status DiskManager::WritePage(PageId pid, const char* data) {
+  if (DiskFaultHook* hook = fault_hook()) {
+    IMON_RETURN_IF_ERROR(hook->BeforeWrite(pid));
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = files_.find(pid.file_id);

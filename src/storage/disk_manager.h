@@ -39,8 +39,31 @@ struct PageId {
 
 struct PageIdHash {
   size_t operator()(const PageId& p) const {
-    return (static_cast<size_t>(p.file_id) << 32) ^ p.page_no;
+    // Pack into 64 bits first, then finalize (splitmix64). A plain
+    // `size_t(file_id) << 32 ^ page_no` is UB on 32-bit size_t (shift >=
+    // width) and typically degenerates to `file_id ^ page_no`, colliding
+    // every (a, b) with (b, a); the mixer keeps even the truncated low 32
+    // bits well distributed on every target.
+    uint64_t v = (static_cast<uint64_t>(p.file_id) << 32) | p.page_no;
+    v += 0x9e3779b97f4a7c15ULL;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(v ^ (v >> 31));
   }
+};
+
+/// Test-only interception point for physical I/O: consulted before every
+/// ReadPage/WritePage. Returning a non-OK Status makes the access fail
+/// without touching the page image (the I/O is not counted either), which
+/// is how the fault-injection harness (src/testing/fault_injector.h)
+/// simulates media errors. Implementations must be thread-safe; the hook
+/// may be invoked while buffer-pool internal locks are held, so it must
+/// not call back into the storage stack.
+class DiskFaultHook {
+ public:
+  virtual ~DiskFaultHook() = default;
+  virtual Status BeforeRead(const PageId& pid) = 0;
+  virtual Status BeforeWrite(const PageId& pid) = 0;
 };
 
 /// Cumulative physical I/O counters (never reset; sample and diff).
@@ -94,8 +117,19 @@ class DiskManager {
 
   void set_simulated_latency_nanos(int64_t n) { latency_nanos_ = n; }
 
+  /// Install (or clear, with nullptr) the fault hook. The hook must
+  /// outlive every in-flight I/O; tests install it before the workload
+  /// and clear it after quiescing.
+  void set_fault_hook(DiskFaultHook* hook) {
+    fault_hook_.store(hook, std::memory_order_release);
+  }
+
  private:
   void SimulateLatency() const;
+
+  DiskFaultHook* fault_hook() const {
+    return fault_hook_.load(std::memory_order_acquire);
+  }
 
   mutable std::mutex mutex_;
   FileId next_file_id_ = 1;
@@ -105,6 +139,7 @@ class DiskManager {
   std::atomic<int64_t> physical_writes_{0};
   std::atomic<int64_t> pages_allocated_{0};
   std::atomic<int64_t> latency_nanos_;
+  std::atomic<DiskFaultHook*> fault_hook_{nullptr};
 };
 
 }  // namespace imon::storage

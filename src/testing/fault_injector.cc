@@ -1,0 +1,92 @@
+#include "testing/fault_injector.h"
+
+#include <string>
+
+#include "common/clock.h"
+
+namespace imon::testing {
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(config), rng_(config.seed) {}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rng_.seed(config_.seed);
+  counters_ = Counters{};
+}
+
+bool FaultInjector::Decide(double prob, int64_t scheduled_at, int64_t seen,
+                           int64_t* faults) {
+  bool fail = (scheduled_at > 0 && seen == scheduled_at);
+  // Draw the coin even when the schedule already decided, so the RNG
+  // stream (and thus every later decision) does not depend on whether a
+  // one-shot fault was configured.
+  bool coin = NextUnit() < prob;
+  fail = fail || coin;
+  if (fail) ++*faults;
+  return fail;
+}
+
+Status FaultInjector::BeforeRead(const storage::PageId& pid) {
+  if (!armed()) return Status::OK();
+  bool fail;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.reads_seen;
+    fail = Decide(config_.read_fault_prob, config_.fail_read_at,
+                  counters_.reads_seen, &counters_.read_faults);
+  }
+  if (fail) {
+    return Status::Corruption(
+        "injected read fault (file " + std::to_string(pid.file_id) +
+        ", page " + std::to_string(pid.page_no) + ")");
+  }
+  if (config_.extra_latency_nanos > 0) {
+    int64_t start = MonotonicNanos();
+    while (MonotonicNanos() - start < config_.extra_latency_nanos) {
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::BeforeWrite(const storage::PageId& pid) {
+  if (!armed()) return Status::OK();
+  bool fail;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.writes_seen;
+    fail = Decide(config_.write_fault_prob, config_.fail_write_at,
+                  counters_.writes_seen, &counters_.write_faults);
+  }
+  if (fail) {
+    return Status::Corruption(
+        "injected write fault (file " + std::to_string(pid.file_id) +
+        ", page " + std::to_string(pid.page_no) + ")");
+  }
+  if (config_.extra_latency_nanos > 0) {
+    int64_t start = MonotonicNanos();
+    while (MonotonicNanos() - start < config_.extra_latency_nanos) {
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::BeforePoll() {
+  if (!armed()) return Status::OK();
+  bool fail;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.polls_seen;
+    fail = Decide(config_.poll_fault_prob, config_.fail_poll_at,
+                  counters_.polls_seen, &counters_.poll_faults);
+  }
+  if (fail) return Status::Internal("injected poll fault");
+  return Status::OK();
+}
+
+FaultInjector::Counters FaultInjector::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace imon::testing

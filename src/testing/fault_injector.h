@@ -1,0 +1,102 @@
+// Deterministic fault injection for the storage and daemon layers.
+//
+// The paper's monitor/daemon/analyzer loop is only useful if it keeps
+// working while the system degrades underneath it: I/O errors must
+// surface as Status (never crashes), the daemon must count a failed poll
+// and recover on the next cycle, and the monitor's seq order must hold
+// regardless. FaultInjector makes that testable: it implements the
+// DiskManager's DiskFaultHook (probabilistic and scheduled read/write
+// failures, optional extra latency) and exposes BeforePoll() for the
+// StorageDaemon's poll fault hook — all driven by one std::mt19937_64
+// seed, so every observed failure reproduces from its seed.
+
+#ifndef IMON_TESTING_FAULT_INJECTOR_H_
+#define IMON_TESTING_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <random>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+
+namespace imon::testing {
+
+struct FaultConfig {
+  uint64_t seed = 42;
+
+  /// Probability in [0, 1] that an armed read / write / poll fails.
+  double read_fault_prob = 0;
+  double write_fault_prob = 0;
+  double poll_fault_prob = 0;
+
+  /// Scheduled one-shot faults: fail exactly the Nth armed read / write /
+  /// poll (1-based; 0 disables). Fires once, then only the probabilistic
+  /// faults remain — so a test can kill one precise operation and then
+  /// watch the system recover deterministically.
+  int64_t fail_read_at = 0;
+  int64_t fail_write_at = 0;
+  int64_t fail_poll_at = 0;
+
+  /// Busy-wait added to every armed, non-faulted read/write, for tests
+  /// that widen race windows rather than kill I/O. 0 = off.
+  int64_t extra_latency_nanos = 0;
+};
+
+class FaultInjector : public storage::DiskFaultHook {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  /// Faults fire only while armed; an unarmed injector is a no-op hook
+  /// (operations are not even counted), so a test can install it up
+  /// front and toggle adversity around the region under test.
+  void Arm() { armed_.store(true, std::memory_order_release); }
+  void Disarm() { armed_.store(false, std::memory_order_release); }
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  /// Restore the exact post-construction state (RNG, counters, one-shot
+  /// schedule) — same seed, same decision sequence.
+  void Reset();
+
+  // storage::DiskFaultHook
+  Status BeforeRead(const storage::PageId& pid) override;
+  Status BeforeWrite(const storage::PageId& pid) override;
+
+  /// Daemon poll hook: install as
+  ///   daemon.set_poll_fault_hook([&] { return injector.BeforePoll(); });
+  Status BeforePoll();
+
+  struct Counters {
+    int64_t reads_seen = 0;    ///< armed reads that consulted the injector
+    int64_t writes_seen = 0;
+    int64_t polls_seen = 0;
+    int64_t read_faults = 0;   ///< of those, how many were failed
+    int64_t write_faults = 0;
+    int64_t poll_faults = 0;
+  };
+  Counters counters() const;
+
+ private:
+  /// One decision: bump *seen, fail when the one-shot schedule hits or
+  /// the coin lands under `prob`. Caller holds mutex_.
+  bool Decide(double prob, int64_t scheduled_at, int64_t seen,
+              int64_t* faults);
+
+  /// Uniform [0, 1) from the 64-bit engine, bit-exact on every platform
+  /// (std::uniform_real_distribution is implementation-defined).
+  double NextUnit() {
+    return static_cast<double>(rng_() >> 11) * 0x1.0p-53;
+  }
+
+  const FaultConfig config_;
+  std::atomic<bool> armed_{false};
+
+  mutable std::mutex mutex_;
+  std::mt19937_64 rng_;
+  Counters counters_;
+};
+
+}  // namespace imon::testing
+
+#endif  // IMON_TESTING_FAULT_INJECTOR_H_

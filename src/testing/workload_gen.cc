@@ -1,0 +1,425 @@
+#include "testing/workload_gen.h"
+
+#include <algorithm>
+#include <random>
+
+#include "common/value.h"
+
+namespace imon::testing {
+namespace {
+
+/// Column metadata the grammar needs to build type-correct statements.
+struct ColumnSpec {
+  std::string name;
+  TypeId type = TypeId::kInt;
+  int domain = 10;      ///< INT: values in [0, domain); TEXT: tag pool size
+  int null_pct = 0;     ///< percent of inserted values that are NULL
+};
+
+struct TableSpec {
+  std::string name;
+  std::vector<ColumnSpec> cols;  ///< excludes the leading `id` PK
+  bool has_fk = false;           ///< first col after id is `fk` into parent
+  int64_t next_id = 0;
+};
+
+class Generator {
+ public:
+  explicit Generator(const GenConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  Workload Run();
+
+ private:
+  uint64_t Rand(uint64_t n) { return rng_() % n; }
+  bool Chance(int pct) { return static_cast<int>(Rand(100)) < pct; }
+
+  /// Exact quarter-multiple double literal, e.g. "12.75".
+  std::string QuarterLiteral() {
+    static const char* kFrac[] = {"0", "25", "5", "75"};
+    uint64_t q = Rand(2000);
+    return std::to_string(q / 4) + "." + kFrac[q % 4];
+  }
+
+  std::string TextLiteral(const ColumnSpec& col) {
+    return "'tag" + std::to_string(Rand(col.domain)) + "'";
+  }
+
+  std::string LiteralFor(const ColumnSpec& col) {
+    if (col.null_pct > 0 && Chance(col.null_pct)) return "NULL";
+    switch (col.type) {
+      case TypeId::kInt:
+        return std::to_string(Rand(col.domain));
+      case TypeId::kDouble:
+        return QuarterLiteral();
+      case TypeId::kText:
+        return TextLiteral(col);
+    }
+    return "NULL";
+  }
+
+  /// Comparison literal matching the column's domain (never NULL).
+  std::string ProbeFor(const ColumnSpec& col) {
+    switch (col.type) {
+      case TypeId::kInt:
+        return std::to_string(Rand(col.domain + 2));
+      case TypeId::kDouble:
+        return QuarterLiteral();
+      case TypeId::kText:
+        return TextLiteral(col);
+    }
+    return "0";
+  }
+
+  TableSpec MakeParent();
+  TableSpec MakeChild(const TableSpec& parent);
+  std::string CreateTableSql(const TableSpec& t) const;
+  std::string InsertSql(TableSpec* t, int64_t parent_rows);
+  std::string MutationSql(TableSpec* t, int64_t parent_rows);
+  std::string IndexSql(const TableSpec& t, int ordinal);
+
+  /// One atomic predicate over `alias`.`col`.
+  std::string Atom(const std::string& alias, const ColumnSpec& col);
+  /// Random predicate: 1-3 atoms joined with AND/OR, optional NOT.
+  std::string Predicate(const std::string& alias, const TableSpec& t);
+
+  std::string AggExpr(const std::string& alias, const TableSpec& t);
+  std::string QuerySql(const TableSpec& parent, const TableSpec& child);
+
+  const ColumnSpec* PickColumn(const TableSpec& t, TypeId type) {
+    std::vector<const ColumnSpec*> match;
+    for (const ColumnSpec& c : t.cols) {
+      if (c.type == type) match.push_back(&c);
+    }
+    if (match.empty()) return nullptr;
+    return match[Rand(match.size())];
+  }
+  const ColumnSpec& AnyColumn(const TableSpec& t) {
+    return t.cols[Rand(t.cols.size())];
+  }
+
+  const GenConfig config_;
+  std::mt19937_64 rng_;
+};
+
+TableSpec Generator::MakeParent() {
+  TableSpec t;
+  t.name = "p" + std::to_string(Rand(90));
+  // A low-cardinality group column is always present (GROUP BY fodder).
+  t.cols.push_back({"g", TypeId::kInt, 3 + static_cast<int>(Rand(10)), 0});
+  int extras = 2 + static_cast<int>(Rand(3));
+  for (int i = 0; i < extras; ++i) {
+    ColumnSpec c;
+    c.name = "c" + std::to_string(i);
+    switch (Rand(3)) {
+      case 0:
+        c.type = TypeId::kInt;
+        c.domain = 5 + static_cast<int>(Rand(200));
+        c.null_pct = Chance(40) ? 10 : 0;
+        break;
+      case 1:
+        c.type = TypeId::kDouble;
+        c.null_pct = Chance(30) ? 10 : 0;
+        break;
+      default:
+        c.type = TypeId::kText;
+        c.domain = 4 + static_cast<int>(Rand(12));
+        c.null_pct = Chance(50) ? 15 : 0;
+        break;
+    }
+    t.cols.push_back(std::move(c));
+  }
+  return t;
+}
+
+TableSpec Generator::MakeChild(const TableSpec& parent) {
+  TableSpec t;
+  t.name = "q" + std::to_string(Rand(90));
+  if (t.name == parent.name) t.name += "x";
+  t.has_fk = true;
+  int extras = 1 + static_cast<int>(Rand(3));
+  for (int i = 0; i < extras; ++i) {
+    ColumnSpec c;
+    c.name = "d" + std::to_string(i);
+    switch (Rand(3)) {
+      case 0:
+        c.type = TypeId::kInt;
+        c.domain = 2 + static_cast<int>(Rand(30));
+        break;
+      case 1:
+        c.type = TypeId::kDouble;
+        break;
+      default:
+        c.type = TypeId::kText;
+        c.domain = 3 + static_cast<int>(Rand(8));
+        c.null_pct = 10;
+        break;
+    }
+    t.cols.push_back(std::move(c));
+  }
+  return t;
+}
+
+std::string Generator::CreateTableSql(const TableSpec& t) const {
+  std::string sql = "CREATE TABLE " + t.name + " (id INT PRIMARY KEY";
+  if (t.has_fk) sql += ", fk INT";
+  for (const ColumnSpec& c : t.cols) {
+    sql += ", " + c.name + " ";
+    switch (c.type) {
+      case TypeId::kInt:
+        sql += "INT";
+        break;
+      case TypeId::kDouble:
+        sql += "DOUBLE";
+        break;
+      case TypeId::kText:
+        sql += "TEXT";
+        break;
+    }
+  }
+  return sql + ")";
+}
+
+std::string Generator::InsertSql(TableSpec* t, int64_t parent_rows) {
+  std::string sql =
+      "INSERT INTO " + t->name + " VALUES (" + std::to_string(t->next_id++);
+  if (t->has_fk) {
+    // ~1/16 dangling references, ~1/20 NULL fk; the rest join.
+    std::string fk;
+    if (Chance(5)) {
+      fk = "NULL";
+    } else {
+      fk = std::to_string(Rand(parent_rows + parent_rows / 16 + 1));
+    }
+    sql += ", " + fk;
+  }
+  for (const ColumnSpec& c : t->cols) sql += ", " + LiteralFor(c);
+  return sql + ")";
+}
+
+std::string Generator::Atom(const std::string& alias, const ColumnSpec& col) {
+  std::string ref = alias.empty() ? col.name : alias + "." + col.name;
+  switch (col.type) {
+    case TypeId::kText:
+      switch (Rand(4)) {
+        case 0:
+          return ref + " IS NULL";
+        case 1:
+          return ref + " IS NOT NULL";
+        case 2:
+          return ref + " LIKE 'tag" + std::to_string(Rand(2)) + "%'";
+        default:
+          return ref + " = " + TextLiteral(col);
+      }
+    case TypeId::kDouble: {
+      static const char* kOps[] = {"<", "<=", ">", ">="};
+      return ref + " " + kOps[Rand(4)] + " " + QuarterLiteral();
+    }
+    case TypeId::kInt:
+      switch (Rand(5)) {
+        case 0: {
+          uint64_t lo = Rand(col.domain + 1);
+          return ref + " BETWEEN " + std::to_string(lo) + " AND " +
+                 std::to_string(lo + Rand(col.domain + 1));
+        }
+        case 1: {
+          std::string list = std::to_string(Rand(col.domain + 2));
+          int n = 1 + static_cast<int>(Rand(4));
+          for (int i = 0; i < n; ++i) {
+            list += ", " + std::to_string(Rand(col.domain + 2));
+          }
+          return ref + " IN (" + list + ")";
+        }
+        default: {
+          static const char* kOps[] = {"=", "<>", "<", "<=", ">", ">="};
+          return ref + " " + kOps[Rand(6)] + " " + ProbeFor(col);
+        }
+      }
+  }
+  return ref + " = 0";
+}
+
+std::string Generator::Predicate(const std::string& alias,
+                                 const TableSpec& t) {
+  int atoms = 1 + static_cast<int>(Rand(3));
+  std::string out;
+  for (int i = 0; i < atoms; ++i) {
+    std::string atom = Atom(alias, AnyColumn(t));
+    if (Chance(10)) atom = "NOT (" + atom + ")";
+    if (i == 0) {
+      out = atom;
+    } else {
+      out = "(" + out + (Chance(50) ? " AND " : " OR ") + atom + ")";
+    }
+  }
+  return out;
+}
+
+std::string Generator::MutationSql(TableSpec* t, int64_t parent_rows) {
+  switch (Rand(4)) {
+    case 0:  // late insert (fresh PK, exercises post-DDL maintenance)
+      return InsertSql(t, parent_rows);
+    case 1: {  // selective delete
+      return "DELETE FROM " + t->name + " WHERE " + Predicate("", *t);
+    }
+    default: {  // update of one non-PK column
+      const ColumnSpec& c = t->cols[Rand(t->cols.size())];
+      std::string value;
+      if (c.type == TypeId::kInt && Chance(50)) {
+        value = c.name + " + " + std::to_string(1 + Rand(3));
+      } else {
+        value = LiteralFor(c);
+        if (value == "NULL" && Chance(50)) value = ProbeFor(c);
+      }
+      return "UPDATE " + t->name + " SET " + c.name + " = " + value +
+             " WHERE " + Predicate("", *t);
+    }
+  }
+}
+
+std::string Generator::IndexSql(const TableSpec& t, int ordinal) {
+  std::string cols = AnyColumn(t).name;
+  if (Chance(35)) {
+    const ColumnSpec& second = AnyColumn(t);
+    if (second.name != cols) cols += ", " + second.name;
+  }
+  if (t.has_fk && Chance(40)) cols = "fk";
+  return "CREATE INDEX ix_" + t.name + "_" + std::to_string(ordinal) +
+         " ON " + t.name + " (" + cols + ")";
+}
+
+std::string Generator::AggExpr(const std::string& alias, const TableSpec& t) {
+  const ColumnSpec& c = AnyColumn(t);
+  std::string ref = alias.empty() ? c.name : alias + "." + c.name;
+  switch (c.type) {
+    case TypeId::kText:
+      return Chance(50) ? "min(" + ref + ")" : "max(" + ref + ")";
+    case TypeId::kDouble: {
+      static const char* kFns[] = {"sum", "min", "max", "avg"};
+      return std::string(kFns[Rand(4)]) + "(" + ref + ")";
+    }
+    case TypeId::kInt: {
+      static const char* kFns[] = {"sum", "min", "max"};
+      return std::string(kFns[Rand(3)]) + "(" + ref + ")";
+    }
+  }
+  return "count(*)";
+}
+
+std::string Generator::QuerySql(const TableSpec& parent,
+                                const TableSpec& child) {
+  switch (Rand(9)) {
+    case 0: {  // counting filter scan
+      const TableSpec& t = Chance(50) ? parent : child;
+      return "SELECT count(*) FROM " + t.name + " WHERE " + Predicate("", t);
+    }
+    case 1: {  // point lookup on the PK
+      const TableSpec& t = Chance(50) ? parent : child;
+      return "SELECT id, " + AnyColumn(t).name + " FROM " + t.name +
+             " WHERE id = " + std::to_string(Rand(t.next_id + 2));
+    }
+    case 2: {  // PK range scan
+      const TableSpec& t = Chance(50) ? parent : child;
+      uint64_t lo = Rand(t.next_id + 1);
+      return "SELECT id, " + AnyColumn(t).name + " FROM " + t.name +
+             " WHERE id BETWEEN " + std::to_string(lo) + " AND " +
+             std::to_string(lo + 1 + Rand(t.next_id + 1));
+    }
+    case 3: {  // grouped aggregation over the parent
+      std::string agg = AggExpr("", parent);
+      std::string sql = "SELECT g, count(*), " + agg + " FROM " + parent.name;
+      if (Chance(60)) sql += " WHERE " + Predicate("", parent);
+      sql += " GROUP BY g";
+      if (Chance(30)) sql += " ORDER BY g";
+      return sql;
+    }
+    case 4: {  // join + grouped aggregation, optional HAVING
+      std::string agg = "sum(b.fk)";
+      if (const ColumnSpec* ic = PickColumn(child, TypeId::kInt)) {
+        agg = "sum(b." + ic->name + ")";
+      }
+      std::string sql = "SELECT a.g, " + agg + " FROM " + parent.name +
+                        " a JOIN " + child.name + " b ON a.id = b.fk";
+      if (Chance(50)) sql += " WHERE " + Predicate("a", parent);
+      sql += " GROUP BY a.g";
+      if (Chance(40)) sql += " HAVING " + agg + " > " + std::to_string(Rand(40));
+      return sql;
+    }
+    case 5: {  // plain join with predicates on both sides
+      std::string sql = "SELECT a.id, b." + AnyColumn(child).name + " FROM " +
+                        parent.name + " a JOIN " + child.name +
+                        " b ON a.id = b.fk WHERE " + Predicate("a", parent);
+      if (Chance(60)) sql += " AND " + Predicate("b", child);
+      return sql;
+    }
+    case 6: {  // DISTINCT projection
+      const TableSpec& t = Chance(50) ? parent : child;
+      const ColumnSpec& c = AnyColumn(t);
+      std::string sql = "SELECT DISTINCT " + c.name + " FROM " + t.name;
+      if (Chance(50)) sql += " WHERE " + Predicate("", t);
+      if (Chance(50)) sql += " ORDER BY " + c.name;
+      return sql;
+    }
+    case 7: {  // ORDER BY unique key + LIMIT (deterministic prefix)
+      const TableSpec& t = Chance(50) ? parent : child;
+      std::string sql = "SELECT id FROM " + t.name;
+      if (Chance(60)) sql += " WHERE " + Predicate("", t);
+      sql += " ORDER BY id";
+      if (Chance(50)) sql += " DESC";
+      sql += " LIMIT " + std::to_string(1 + Rand(30));
+      return sql;
+    }
+    default: {  // ungrouped aggregate battery
+      const TableSpec& t = Chance(50) ? parent : child;
+      std::string sql = "SELECT count(*), " + AggExpr("", t) + " FROM " +
+                        t.name;
+      if (Chance(70)) sql += " WHERE " + Predicate("", t);
+      return sql;
+    }
+  }
+}
+
+Workload Generator::Run() {
+  Workload w;
+  w.seed = config_.seed;
+
+  TableSpec parent = MakeParent();
+  TableSpec child = MakeChild(parent);
+  w.tables = {parent.name, child.name};
+  w.schema = {CreateTableSql(parent), CreateTableSql(child)};
+
+  int64_t parent_rows =
+      config_.parent_rows > 0 ? config_.parent_rows : 30 + Rand(61);
+  int64_t child_rows =
+      config_.child_rows > 0 ? config_.child_rows
+                             : parent_rows * 2 + Rand(parent_rows + 1);
+  for (int64_t i = 0; i < parent_rows; ++i) {
+    w.data.push_back(InsertSql(&parent, parent_rows));
+  }
+  for (int64_t i = 0; i < child_rows; ++i) {
+    w.data.push_back(InsertSql(&child, parent_rows));
+  }
+  for (int i = 0; i < config_.mutations; ++i) {
+    TableSpec* t = Chance(50) ? &parent : &child;
+    w.data.push_back(MutationSql(t, parent_rows));
+  }
+
+  int indexes = 1 + static_cast<int>(Rand(std::max(1, config_.max_indexes)));
+  for (int i = 0; i < indexes; ++i) {
+    TableSpec& t = Chance(50) ? parent : child;
+    w.index_ddl.push_back(IndexSql(t, i));
+  }
+
+  for (int i = 0; i < config_.queries; ++i) {
+    w.queries.push_back(QuerySql(parent, child));
+  }
+  return w;
+}
+
+}  // namespace
+
+Workload GenerateWorkload(const GenConfig& config) {
+  return Generator(config).Run();
+}
+
+}  // namespace imon::testing

@@ -1,0 +1,62 @@
+// Seeded, grammar-driven workload generator for the differential oracle.
+//
+// From one std::mt19937_64 seed it derives a complete workload: a
+// two-table schema (parent/child with a join key and a randomized set of
+// INT / DOUBLE / TEXT columns), a data load with skew and NULLs, a tail
+// of mutations (UPDATE / DELETE / late INSERTs), secondary-index DDL for
+// the oracle's index axis, and a batch of SELECTs drawn from a query
+// grammar (point/range filters, compound predicates, IN/LIKE/BETWEEN,
+// IS NULL, joins, GROUP BY + aggregates, HAVING, DISTINCT, ORDER BY +
+// LIMIT over a unique key).
+//
+// Everything is a plain SQL string, so a failing case replays anywhere —
+// the oracle's divergence reports print the seed plus the (shrunken)
+// statement list verbatim.
+//
+// Determinism rules baked into the grammar:
+//  * DOUBLE values are quarter-multiples (k * 0.25) with bounded
+//    magnitude, so aggregate sums are exact in binary floating point and
+//    independent of the plan's accumulation order.
+//  * LIMIT appears only under ORDER BY on a unique key (the primary
+//    key), so every plan must return the same prefix.
+//  * Division never appears in generated expressions.
+//  * Primary keys are allocated sequentially and never updated, so no
+//    generated statement can fail on a duplicate key.
+
+#ifndef IMON_TESTING_WORKLOAD_GEN_H_
+#define IMON_TESTING_WORKLOAD_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imon::testing {
+
+struct GenConfig {
+  uint64_t seed = 1;
+  /// Base-table row count; 0 = derive from the seed (30..90 parent rows,
+  /// 2-3x that for the child table).
+  int parent_rows = 0;
+  int child_rows = 0;
+  /// UPDATE/DELETE/late-INSERT statements appended after the load.
+  int mutations = 24;
+  int queries = 12;
+  /// Secondary indexes generated for the oracle's index axis (>= 1).
+  int max_indexes = 3;
+};
+
+/// One generated workload: replayable SQL, grouped by role.
+struct Workload {
+  uint64_t seed = 0;
+  std::vector<std::string> tables;     ///< table names (parent first)
+  std::vector<std::string> schema;     ///< CREATE TABLE ...
+  std::vector<std::string> data;       ///< INSERT / UPDATE / DELETE
+  std::vector<std::string> index_ddl;  ///< CREATE INDEX ... (index axis)
+  std::vector<std::string> queries;    ///< SELECTs to fingerprint
+};
+
+Workload GenerateWorkload(const GenConfig& config);
+
+}  // namespace imon::testing
+
+#endif  // IMON_TESTING_WORKLOAD_GEN_H_

@@ -1,66 +1,32 @@
 // Differential correctness: the same logical database must return the
 // same answers regardless of physical design — storage structure (HEAP /
-// BTREE / HASH), secondary indexes present or not, statistics present or
-// not, plan cache on or off. This is the invariant the paper's whole
-// premise rests on: physical tuning may change *cost*, never *results*.
+// BTREE / HASH / ISAM), secondary indexes present or not, statistics
+// present or not, plan cache on or off. This is the invariant the
+// paper's whole premise rests on: physical tuning may change *cost*,
+// never *results*.
+//
+// The replay/compare machinery lives in src/testing (DifferentialOracle);
+// these tests drive it with the classic hand-authored dataset plus a
+// fixed query list, and separately prove the oracle itself catches a
+// deliberately broken design axis.
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <random>
+#include <string>
+#include <vector>
 
 #include "engine/database.h"
+#include "testing/oracle.h"
+#include "testing/workload_gen.h"
+#include "tests/testing_util.h"
 
 namespace imon::engine {
 namespace {
 
-/// Canonical, order-insensitive fingerprint of a result set.
-std::string Fingerprint(const QueryResult& result) {
-  std::vector<std::string> rows;
-  for (const Row& row : result.rows) {
-    std::string s;
-    for (const Value& v : row) {
-      s += v.ToString();
-      s += '|';
-    }
-    rows.push_back(std::move(s));
-  }
-  std::sort(rows.begin(), rows.end());
-  std::string out;
-  for (auto& r : rows) {
-    out += r;
-    out += '\n';
-  }
-  return out;
-}
-
-/// A deterministic small database: two joinable tables with skew, nulls
-/// and text columns.
-void Populate(Database* db, uint64_t seed) {
-  ASSERT_TRUE(db->Execute("CREATE TABLE item (id INT PRIMARY KEY, "
-                          "grp INT, price DOUBLE, tag TEXT)")
-                  .ok());
-  ASSERT_TRUE(
-      db->Execute("CREATE TABLE sale (item_id INT, qty INT, day INT)").ok());
-  std::mt19937_64 rng(seed);
-  for (int i = 0; i < 400; ++i) {
-    std::string tag = rng() % 7 == 0
-                          ? "NULL"
-                          : "'tag" + std::to_string(rng() % 10) + "'";
-    ASSERT_TRUE(db->Execute("INSERT INTO item VALUES (" + std::to_string(i) +
-                            ", " + std::to_string(rng() % 12) + ", " +
-                            std::to_string((rng() % 10000)) + ".25, " + tag +
-                            ")")
-                    .ok());
-  }
-  for (int i = 0; i < 900; ++i) {
-    ASSERT_TRUE(db->Execute("INSERT INTO sale VALUES (" +
-                            std::to_string(rng() % 400) + ", " +
-                            std::to_string(1 + rng() % 5) + ", " +
-                            std::to_string(rng() % 30) + ")")
-                    .ok());
-  }
-}
+using imon::testing::DifferentialOracle;
+using imon::testing::Fingerprint;
+using imon::testing::PhysicalDesign;
+using imon::testing::Populate;
 
 const char* const kQueries[] = {
     "SELECT count(*) FROM item",
@@ -176,6 +142,47 @@ TEST_F(DifferentialTest, FullTuningPipelinePreservesResults) {
     ASSERT_TRUE(a.ok() && b.ok()) << q;
     EXPECT_EQ(Fingerprint(*a), Fingerprint(*b)) << q;
   }
+}
+
+// ---- Oracle-driven differential tests -----------------------------------
+
+TEST_F(DifferentialTest, OracleFindsNoDivergenceOnGeneratedWorkload) {
+  imon::testing::GenConfig config;
+  config.seed = 99;
+  auto workload = imon::testing::GenerateWorkload(config);
+  DifferentialOracle oracle;
+  auto report = oracle.Run(workload);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GE(report->designs_run, 8);
+  EXPECT_GT(report->queries_compared, 0);
+  for (const auto& d : report->divergences) ADD_FAILURE() << d.Repro();
+}
+
+TEST_F(DifferentialTest, OracleCatchesSabotagedAxisAndShrinks) {
+  imon::testing::GenConfig config;
+  config.seed = 7;
+  config.queries = 4;
+  auto workload = imon::testing::GenerateWorkload(config);
+
+  DifferentialOracle::Options options;
+  options.sabotage_index_axis = true;  // deliberately broken axis
+  options.max_shrink_replays = 200;
+  DifferentialOracle oracle(options);
+  auto report = oracle.Run(workload);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_FALSE(report->divergences.empty())
+      << "sabotaged index axis must diverge";
+  const auto& d = report->divergences.front();
+  EXPECT_EQ(d.seed, workload.seed);
+  EXPECT_NE(d.design.find("indexes"), std::string::npos) << d.design;
+  EXPECT_NE(d.expected_fingerprint, d.actual_fingerprint);
+  // Shrinking must have removed statements while keeping the repro.
+  EXPECT_LT(d.shrunken_data.size(), workload.data.size());
+  // The report is replayable: seed + design + statements + fingerprints.
+  std::string repro = d.Repro();
+  EXPECT_NE(repro.find("seed:   " + std::to_string(workload.seed)),
+            std::string::npos);
+  EXPECT_NE(repro.find(d.query), std::string::npos);
 }
 
 }  // namespace

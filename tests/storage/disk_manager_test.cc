@@ -1,0 +1,92 @@
+#include "storage/disk_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace imon::storage {
+namespace {
+
+// Regression for the PageIdHash packing bug: the old hash shifted a
+// size_t by 32, which is undefined (and in practice a no-op) when size_t
+// is 32 bits wide, degenerating to file_id ^ page_no — every (a, b)
+// collided with (b, a). The fixed hash mixes the packed 64-bit value, so
+// even its truncated low 32 bits must keep swapped pairs apart.
+TEST(PageIdHashTest, SwappedPairsDoNotCollideInLow32Bits) {
+  PageIdHash hash;
+  int collisions = 0;
+  for (uint32_t a = 1; a <= 64; ++a) {
+    for (uint32_t b = 1; b <= 64; ++b) {
+      if (a == b) continue;
+      uint32_t h1 = static_cast<uint32_t>(hash(PageId{a, b}));
+      uint32_t h2 = static_cast<uint32_t>(hash(PageId{b, a}));
+      if (h1 == h2) ++collisions;
+    }
+  }
+  EXPECT_EQ(collisions, 0)
+      << "hash ignores which half is file_id (the pre-fix behavior)";
+}
+
+TEST(PageIdHashTest, Low32BitsAreWellDistributedOverAGrid) {
+  // 64x64 grid of (file_id, page_no): 4096 ids. A sound 32-bit
+  // truncation yields essentially no collisions (birthday bound ~2 for
+  // 4096 draws from 2^32); the broken hash collapsed the grid onto the
+  // 127 distinct xor values.
+  PageIdHash hash;
+  std::unordered_set<uint32_t> low32;
+  for (uint32_t f = 0; f < 64; ++f) {
+    for (uint32_t p = 0; p < 64; ++p) {
+      low32.insert(static_cast<uint32_t>(hash(PageId{f, p})));
+    }
+  }
+  EXPECT_GE(low32.size(), 4090u);
+}
+
+TEST(PageIdHashTest, FullWidthIsCollisionFreeOnTheGrid) {
+  PageIdHash hash;
+  std::set<size_t> seen;
+  for (uint32_t f = 0; f < 64; ++f) {
+    for (uint32_t p = 0; p < 64; ++p) {
+      seen.insert(hash(PageId{f, p}));
+    }
+  }
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(DiskManagerFaultHookTest, HookInterceptsAndClears) {
+  class FailEverything : public DiskFaultHook {
+   public:
+    Status BeforeRead(const PageId&) override {
+      return Status::Corruption("read blocked");
+    }
+    Status BeforeWrite(const PageId&) override {
+      return Status::Corruption("write blocked");
+    }
+  };
+
+  DiskManager disk;
+  FileId file = disk.CreateFile();
+  auto page = disk.AllocatePage(file);
+  ASSERT_TRUE(page.ok());
+  PageId pid{file, *page};
+  char buf[kPageSize] = {};
+
+  ASSERT_TRUE(disk.WritePage(pid, buf).ok());
+  auto before = disk.stats();
+
+  FailEverything hook;
+  disk.set_fault_hook(&hook);
+  EXPECT_FALSE(disk.ReadPage(pid, buf).ok());
+  EXPECT_FALSE(disk.WritePage(pid, buf).ok());
+  // Faulted accesses are not counted as physical I/O.
+  EXPECT_EQ(disk.stats().physical_reads, before.physical_reads);
+  EXPECT_EQ(disk.stats().physical_writes, before.physical_writes);
+
+  disk.set_fault_hook(nullptr);
+  EXPECT_TRUE(disk.ReadPage(pid, buf).ok());
+  EXPECT_TRUE(disk.WritePage(pid, buf).ok());
+}
+
+}  // namespace
+}  // namespace imon::storage

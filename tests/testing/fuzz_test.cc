@@ -1,0 +1,130 @@
+// Randomized differential fuzzing: seeded workloads replayed across
+// every physical-design axis, fingerprint-compared against baseline.
+//
+// Custom main(): `fuzz_test --seed=N --iters=K` reruns the sweep from
+// any seed (a divergence report prints the seed that produced it).
+// Under plain ctest the bounded defaults keep tier-1 fast; tier-1 also
+// runs an explicit `fuzz_test --iters=25` sweep (scripts/tier1.sh) and
+// leaves a machine-readable BENCH_fuzz.json behind.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "testing/oracle.h"
+#include "testing/workload_gen.h"
+
+namespace imon::testing {
+namespace {
+
+uint64_t g_seed = 1;
+int g_iters = 5;
+
+TEST(WorkloadGenTest, SameSeedSameWorkload) {
+  GenConfig config;
+  config.seed = g_seed;
+  Workload a = GenerateWorkload(config);
+  Workload b = GenerateWorkload(config);
+  EXPECT_EQ(a.schema, b.schema);
+  EXPECT_EQ(a.data, b.data);
+  EXPECT_EQ(a.index_ddl, b.index_ddl);
+  EXPECT_EQ(a.queries, b.queries);
+}
+
+TEST(WorkloadGenTest, DifferentSeedsDiffer) {
+  GenConfig a_config, b_config;
+  a_config.seed = g_seed;
+  b_config.seed = g_seed + 1;
+  Workload a = GenerateWorkload(a_config);
+  Workload b = GenerateWorkload(b_config);
+  EXPECT_NE(a.data, b.data);
+}
+
+TEST(WorkloadGenTest, ShapeMatchesConfig) {
+  GenConfig config;
+  config.seed = g_seed;
+  config.mutations = 10;
+  config.queries = 7;
+  Workload w = GenerateWorkload(config);
+  EXPECT_EQ(w.tables.size(), 2u);
+  EXPECT_EQ(w.schema.size(), 2u);
+  EXPECT_EQ(w.queries.size(), 7u);
+  EXPECT_GE(w.index_ddl.size(), 1u);
+  EXPECT_GT(w.data.size(), 10u);  // loads plus the mutation tail
+}
+
+// The tentpole sweep: `--iters` seeded workloads, each replayed across
+// the full design grid; any divergence fails with a replayable report.
+TEST(FuzzTest, DifferentialSweepFindsNoDivergence) {
+  int64_t statements = 0;
+  int64_t queries = 0;
+  int64_t divergences = 0;
+  for (int i = 0; i < g_iters; ++i) {
+    GenConfig config;
+    config.seed = g_seed + static_cast<uint64_t>(i);
+    Workload workload = GenerateWorkload(config);
+    DifferentialOracle oracle;
+    auto report = oracle.Run(workload);
+    ASSERT_TRUE(report.ok()) << report.status();
+    statements += report->statements_executed;
+    queries += report->queries_compared;
+    divergences += static_cast<int64_t>(report->divergences.size());
+    for (const Divergence& d : report->divergences) ADD_FAILURE() << d.Repro();
+  }
+  bench::JsonWriter json("fuzz");
+  json.Metric("iterations", static_cast<double>(g_iters), "workloads");
+  json.Metric("statements_executed", static_cast<double>(statements),
+              "statements");
+  json.Metric("queries_compared", static_cast<double>(queries), "queries");
+  json.Metric("divergences", static_cast<double>(divergences), "divergences");
+  json.Write();
+}
+
+// A deliberately broken design axis must be caught, shrunk, and reported
+// reproducibly: the same seed yields byte-identical repro output.
+TEST(FuzzTest, SabotagedAxisYieldsReproducibleShrunkReport) {
+  GenConfig config;
+  config.seed = g_seed + 13;
+  config.queries = 4;
+  Workload workload = GenerateWorkload(config);
+
+  DifferentialOracle::Options options;
+  options.sabotage_index_axis = true;
+  options.max_shrink_replays = 200;
+
+  std::string first_repro;
+  for (int run = 0; run < 2; ++run) {
+    DifferentialOracle oracle(options);
+    auto report = oracle.Run(workload);
+    ASSERT_TRUE(report.ok()) << report.status();
+    ASSERT_FALSE(report->divergences.empty());
+    const Divergence& d = report->divergences.front();
+    EXPECT_EQ(d.seed, workload.seed);
+    EXPECT_NE(d.design.find("indexes"), std::string::npos);
+    EXPECT_LE(d.shrunken_data.size(), workload.data.size());
+    if (run == 0) {
+      first_repro = d.Repro();
+    } else {
+      EXPECT_EQ(d.Repro(), first_repro) << "repro must be deterministic";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace imon::testing
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      imon::testing::g_seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--iters=", 0) == 0) {
+      imon::testing::g_iters = std::atoi(arg.c_str() + 8);
+    }
+  }
+  return RUN_ALL_TESTS();
+}

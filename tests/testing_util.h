@@ -1,0 +1,50 @@
+// Shared helpers for engine-level tests. The result-set comparator
+// (Fingerprint) lives in src/testing/oracle.h so the differential oracle
+// and the hand-written tests use one canonical comparator; this header
+// holds the classic hand-authored dataset used by differential and
+// analyzer tests.
+
+#ifndef IMON_TESTS_TESTING_UTIL_H_
+#define IMON_TESTS_TESTING_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "engine/database.h"
+#include "testing/oracle.h"
+
+namespace imon::testing {
+
+/// A deterministic small database: two joinable tables with skew, nulls
+/// and text columns (item 400 rows, sale 900 rows).
+inline void Populate(engine::Database* db, uint64_t seed) {
+  ASSERT_TRUE(db->Execute("CREATE TABLE item (id INT PRIMARY KEY, "
+                          "grp INT, price DOUBLE, tag TEXT)")
+                  .ok());
+  ASSERT_TRUE(
+      db->Execute("CREATE TABLE sale (item_id INT, qty INT, day INT)").ok());
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < 400; ++i) {
+    std::string tag = rng() % 7 == 0
+                          ? "NULL"
+                          : "'tag" + std::to_string(rng() % 10) + "'";
+    ASSERT_TRUE(db->Execute("INSERT INTO item VALUES (" + std::to_string(i) +
+                            ", " + std::to_string(rng() % 12) + ", " +
+                            std::to_string((rng() % 10000)) + ".25, " + tag +
+                            ")")
+                    .ok());
+  }
+  for (int i = 0; i < 900; ++i) {
+    ASSERT_TRUE(db->Execute("INSERT INTO sale VALUES (" +
+                            std::to_string(rng() % 400) + ", " +
+                            std::to_string(1 + rng() % 5) + ", " +
+                            std::to_string(rng() % 30) + ")")
+                    .ok());
+  }
+}
+
+}  // namespace imon::testing
+
+#endif  // IMON_TESTS_TESTING_UTIL_H_
