@@ -24,3 +24,4 @@ imon_add_bench(micro_engine bench/micro_engine.cc)
 target_link_libraries(micro_engine PRIVATE benchmark::benchmark)
 imon_add_bench(ablation_plan_cache bench/ablation_plan_cache.cc)
 imon_add_bench(micro_concurrent bench/micro_concurrent.cc)
+imon_add_bench(observability_overhead bench/observability_overhead.cc)

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Export the monitor's per-statement stage traces as a Chrome trace-event
+# JSON file (loadable in chrome://tracing or https://ui.perfetto.dev).
+#
+# Usage: scripts/trace_export.sh [output.json]
+#
+# Builds and runs examples/trace_export, which executes a small demo
+# workload and dumps its imp_traces spans. The same data is queryable
+# over SQL:
+#
+#   SELECT stage, count(*) FROM imp_traces GROUP BY stage;
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-imon_trace.json}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)" --target trace_export >/dev/null
+
+./build/examples/trace_export "$out"

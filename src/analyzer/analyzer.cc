@@ -646,6 +646,29 @@ Result<AnalysisReport> Analyzer::Analyze() {
   IMON_RETURN_IF_ERROR(BuildLocksDiagram(&report));
   IMON_RETURN_IF_ERROR(BuildTrends(&report));
   report.analysis_micros = (MonotonicNanos() - start) / 1000;
+
+  // Self-observability: how often each rule fires, in the monitored
+  // engine's registry (imp_metrics `analyzer.*`).
+  metrics::MetricsRegistry* registry = monitored_->metrics();
+  registry->GetCounter("analyzer.runs")->Add();
+  auto kind_slug = [](RecommendationKind kind) {
+    switch (kind) {
+      case RecommendationKind::kCollectStatistics:
+        return "collect_statistics";
+      case RecommendationKind::kModifyToBtree:
+        return "modify_to_btree";
+      case RecommendationKind::kCreateIndex:
+        return "create_index";
+      case RecommendationKind::kDropIndex:
+        return "drop_index";
+    }
+    return "unknown";
+  };
+  for (const Recommendation& rec : report.recommendations) {
+    registry
+        ->GetCounter(std::string("analyzer.rule.") + kind_slug(rec.kind))
+        ->Add();
+  }
   return report;
 }
 

@@ -37,8 +37,13 @@ class LogLine {
 
 }  // namespace imon
 
+// The inverted test with an empty branch swallows a trailing `else`:
+// `if (x) IMON_LOG(kWarn) << ...; else foo();` binds the user's `else`
+// to *their* `if`, not the macro's. A braceless-if expansion would
+// silently steal it instead (dangling-else).
 #define IMON_LOG(level)                                   \
-  if (::imon::GetLogLevel() <= ::imon::LogLevel::level)   \
-  ::imon::internal::LogLine(::imon::LogLevel::level)
+  if (::imon::GetLogLevel() > ::imon::LogLevel::level) {  \
+  } else                                                  \
+    ::imon::internal::LogLine(::imon::LogLevel::level)
 
 #endif  // IMON_COMMON_LOGGING_H_

@@ -106,6 +106,15 @@ Status StorageDaemon::Initialize() {
   poll_session_->set_internal(true);
   write_session_ = workload_db_->CreateSession();
   write_session_->set_internal(true);
+  // The daemon observes the monitored engine, so its own telemetry lands
+  // in that engine's registry — one imp_metrics view covers both.
+  metrics::MetricsRegistry* registry = monitored_->metrics();
+  m_polls_ = registry->GetCounter("daemon.polls");
+  m_poll_errors_ = registry->GetCounter("daemon.poll_errors");
+  m_flushes_ = registry->GetCounter("daemon.flushes");
+  m_rows_appended_ = registry->GetCounter("daemon.rows_appended");
+  m_purge_runs_ = registry->GetCounter("daemon.purge_runs");
+  m_rows_purged_ = registry->GetCounter("daemon.rows_purged");
   return Status::OK();
 }
 
@@ -167,6 +176,7 @@ Status StorageDaemon::PollOnce() {
   std::lock_guard<std::mutex> poll_lock(poll_mutex_);
   Status s = PollCycle();
   if (!s.ok()) {
+    if (m_poll_errors_ != nullptr) m_poll_errors_->Add();
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.poll_errors;
   }
@@ -221,6 +231,7 @@ Status StorageDaemon::PollCycle() {
       stamp(std::move(indexes), &buf_indexes_);
     }
   }
+  if (m_polls_ != nullptr) m_polls_->Add();
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.polls;
@@ -258,6 +269,9 @@ Status StorageDaemon::AppendRows(const std::string& wl_table,
     auto r = workload_db_->Execute(sql.str(), write_session_.get());
     IMON_RETURN_IF_ERROR(r.status());
   }
+  if (m_rows_appended_ != nullptr) {
+    m_rows_appended_->Add(static_cast<int64_t>(rows->size()));
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.rows_written += static_cast<int64_t>(rows->size());
@@ -276,6 +290,7 @@ Status StorageDaemon::FlushNow() {
   IMON_RETURN_IF_ERROR(AppendRows("wl_attributes", {}, &buf_attributes_));
   IMON_RETURN_IF_ERROR(AppendRows("wl_indexes", {}, &buf_indexes_));
   IMON_RETURN_IF_ERROR(AppendRows("wl_statistics", {}, &buf_statistics_));
+  if (m_flushes_ != nullptr) m_flushes_->Add();
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.flushes;
@@ -301,6 +316,8 @@ Status StorageDaemon::PurgeExpired() {
     IMON_RETURN_IF_ERROR(r.status());
     purged += r->affected_rows;
   }
+  if (m_purge_runs_ != nullptr) m_purge_runs_->Add();
+  if (m_rows_purged_ != nullptr) m_rows_purged_->Add(purged);
   std::lock_guard<std::mutex> lock(stats_mutex_);
   stats_.rows_purged += purged;
   return Status::OK();

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "engine/database.h"
 
@@ -163,6 +164,15 @@ class StorageDaemon {
 
   mutable std::mutex stats_mutex_;
   DaemonStats stats_;
+
+  /// imp_metrics mirrors (`daemon.*`) in the monitored engine's registry;
+  /// null until Initialize().
+  metrics::Counter* m_polls_ = nullptr;
+  metrics::Counter* m_poll_errors_ = nullptr;
+  metrics::Counter* m_flushes_ = nullptr;
+  metrics::Counter* m_rows_appended_ = nullptr;
+  metrics::Counter* m_purge_runs_ = nullptr;
+  metrics::Counter* m_rows_purged_ = nullptr;
 };
 
 }  // namespace imon::daemon

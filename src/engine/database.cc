@@ -51,7 +51,23 @@ Database::Database(DatabaseOptions options)
                                                   options_.buffer_pool_pages)),
       locks_(options_.lock_timeout),
       storage_(std::make_unique<exec::StorageLayer>(disk_.get(), pool_.get())),
-      monitor_(std::make_unique<monitor::Monitor>(options_.monitor, clock_)) {}
+      monitor_(std::make_unique<monitor::Monitor>(options_.monitor, clock_)) {
+  // Wire every subsystem into the self-observability registry before any
+  // statement can run (the handles are then read without synchronization).
+  monitor_->AttachMetrics(&metrics_);
+  pool_->AttachMetrics(&metrics_);
+  locks_.AttachMetrics(&metrics_);
+  if (options_.plan_cache_capacity > 0) {
+    for (size_t i = 0; i < kPlanCacheStripes; ++i) {
+      std::string prefix = "plan_cache.stripe" + std::to_string(i);
+      plan_cache_stripes_[i].m_hits = metrics_.GetCounter(prefix + ".hits");
+      plan_cache_stripes_[i].m_misses =
+          metrics_.GetCounter(prefix + ".misses");
+      plan_cache_stripes_[i].m_invalidations =
+          metrics_.GetCounter(prefix + ".invalidations");
+    }
+  }
+}
 
 Database::~Database() = default;
 
@@ -89,15 +105,19 @@ std::shared_ptr<const Database::CachedPlan> Database::LookupPlanCache(
   auto it = stripe.entries.find(hash);
   if (it == stripe.entries.end()) {
     ++stripe.misses;
+    if (stripe.m_misses != nullptr) stripe.m_misses->Add();
     return nullptr;
   }
   if (it->second->catalog_version != catalog_.version()) {
     stripe.entries.erase(it);
     ++stripe.invalidations;
     ++stripe.misses;
+    if (stripe.m_invalidations != nullptr) stripe.m_invalidations->Add();
+    if (stripe.m_misses != nullptr) stripe.m_misses->Add();
     return nullptr;
   }
   ++stripe.hits;
+  if (stripe.m_hits != nullptr) stripe.m_hits->Add();
   return it->second;
 }
 

@@ -21,6 +21,7 @@
 
 #include "catalog/catalog.h"
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "exec/executor.h"
 #include "exec/storage_layer.h"
@@ -175,6 +176,10 @@ class Database {
   catalog::Catalog* catalog() { return &catalog_; }
   const catalog::Catalog* catalog() const { return &catalog_; }
   monitor::Monitor* monitor() { return monitor_.get(); }
+  /// Engine-wide self-observability registry (imp_metrics /
+  /// imp_stage_latency). Subsystems attach at construction.
+  metrics::MetricsRegistry* metrics() { return &metrics_; }
+  const metrics::MetricsRegistry* metrics() const { return &metrics_; }
   exec::StorageLayer* storage_layer() { return storage_.get(); }
   txn::LockManager* lock_manager() { return &locks_; }
   storage::BufferPool* buffer_pool() { return pool_.get(); }
@@ -289,6 +294,9 @@ class Database {
 
   DatabaseOptions options_;
   const Clock* clock_;
+  /// Declared before every subsystem that holds handles into it, so it
+  /// is destroyed after them.
+  metrics::MetricsRegistry metrics_;
   std::unique_ptr<storage::DiskManager> disk_;
   std::unique_ptr<storage::BufferPool> pool_;
   catalog::Catalog catalog_;
@@ -323,6 +331,11 @@ class Database {
     int64_t hits = 0;
     int64_t misses = 0;
     int64_t invalidations = 0;
+    /// imp_metrics mirrors (plan_cache.stripe<i>.*); null when the cache
+    /// is disabled.
+    metrics::Counter* m_hits = nullptr;
+    metrics::Counter* m_misses = nullptr;
+    metrics::Counter* m_invalidations = nullptr;
   };
   PlanCacheStripe& StripeFor(uint64_t hash) {
     return plan_cache_stripes_[hash % kPlanCacheStripes];

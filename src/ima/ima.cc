@@ -273,32 +273,115 @@ class StatisticsProvider : public catalog::VirtualTableProvider {
   const Monitor* monitor_;
 };
 
+/// One row per commit shard; aggregates are SUM() away, and ring-buffer
+/// saturation (the *_dropped columns) is visible per shard.
 class MonitorProvider : public catalog::VirtualTableProvider {
  public:
   explicit MonitorProvider(const Monitor* m) : monitor_(m) {}
   std::vector<ColumnInfo> Schema() const override {
-    return {Col("shards", TypeId::kInt),
+    return {Col("shard", TypeId::kInt),
             Col("statements", TypeId::kInt),
-            Col("dropped", TypeId::kInt),
-            Col("monitor_nanos", TypeId::kInt),
-            Col("max_sessions", TypeId::kInt)};
+            Col("workload_dropped", TypeId::kInt),
+            Col("references_dropped", TypeId::kInt),
+            Col("traces_dropped", TypeId::kInt),
+            Col("monitor_nanos", TypeId::kInt)};
   }
   std::vector<Row> Snapshot() const override {
-    monitor::MonitorCounters c = monitor_->counters();
-    return {{IntV(static_cast<int64_t>(monitor_->shard_count())),
-             IntV(c.statements_committed), IntV(c.statements_dropped),
-             IntV(c.total_monitor_nanos), IntV(monitor_->max_sessions_seen())}};
+    std::vector<Row> out;
+    for (const auto& s : monitor_->ShardStatsSnapshot()) {
+      out.push_back({IntV(s.shard), IntV(s.statements_committed),
+                     IntV(s.workload_dropped), IntV(s.references_dropped),
+                     IntV(s.traces_dropped), IntV(s.monitor_nanos)});
+    }
+    return out;
   }
 
  private:
   const Monitor* monitor_;
 };
 
+class MetricsProvider : public catalog::VirtualTableProvider {
+ public:
+  explicit MetricsProvider(const metrics::MetricsRegistry* r) : registry_(r) {}
+  std::vector<ColumnInfo> Schema() const override {
+    return {Col("name", TypeId::kText), Col("kind", TypeId::kText),
+            Col("value", TypeId::kInt)};
+  }
+  std::vector<Row> Snapshot() const override {
+    std::vector<Row> out;
+    for (const auto& m : registry_->SnapshotValues()) {
+      out.push_back(
+          {Value::Text(m.name), Value::Text(m.kind), IntV(m.value)});
+    }
+    return out;
+  }
+
+ private:
+  const metrics::MetricsRegistry* registry_;
+};
+
+class StageLatencyProvider : public catalog::VirtualTableProvider {
+ public:
+  explicit StageLatencyProvider(const metrics::MetricsRegistry* r)
+      : registry_(r) {}
+  std::vector<ColumnInfo> Schema() const override {
+    return {Col("name", TypeId::kText),      Col("count", TypeId::kInt),
+            Col("total_nanos", TypeId::kInt), Col("max_nanos", TypeId::kInt),
+            Col("p50_nanos", TypeId::kInt),  Col("p95_nanos", TypeId::kInt),
+            Col("p99_nanos", TypeId::kInt)};
+  }
+  std::vector<Row> Snapshot() const override {
+    std::vector<Row> out;
+    for (const auto& h : registry_->SnapshotHistograms()) {
+      out.push_back({Value::Text(h.name), IntV(h.count), IntV(h.sum),
+                     IntV(h.max), IntV(h.p50), IntV(h.p95), IntV(h.p99)});
+    }
+    return out;
+  }
+
+ private:
+  const metrics::MetricsRegistry* registry_;
+};
+
+class TracesProvider : public catalog::VirtualTableProvider {
+ public:
+  explicit TracesProvider(const Monitor* m) : monitor_(m) {}
+  std::vector<ColumnInfo> Schema() const override {
+    return {Col("seq", TypeId::kInt),          Col("hash", TypeId::kInt),
+            Col("session_id", TypeId::kInt),   Col("stage", TypeId::kText),
+            Col("start_micros", TypeId::kInt),
+            Col("duration_nanos", TypeId::kInt)};
+  }
+  std::vector<Row> Snapshot() const override {
+    return Materialize(monitor_->SnapshotTraces());
+  }
+  int SeqColumn() const override { return 0; }
+  std::vector<Row> SnapshotSince(int64_t min_seq) const override {
+    return Materialize(monitor_->SnapshotTracesSince(min_seq));
+  }
+
+ private:
+  static std::vector<Row> Materialize(
+      const std::vector<monitor::TraceRecord>& records) {
+    std::vector<Row> out;
+    for (const auto& t : records) {
+      out.push_back({IntV(t.seq), HashV(t.hash), IntV(t.session_id),
+                     Value::Text(monitor::StageName(t.stage)),
+                     IntV(t.start_micros), IntV(t.duration_nanos)});
+    }
+    return out;
+  }
+
+  const Monitor* monitor_;
+};
+
 }  // namespace
 
-const char* const kImaTableNames[8] = {
-    "imp_statements", "imp_workload",  "imp_references", "imp_tables",
-    "imp_attributes", "imp_indexes",   "imp_statistics", "imp_monitor"};
+const char* const kImaTableNames[11] = {
+    "imp_statements", "imp_workload",   "imp_references",
+    "imp_tables",     "imp_attributes", "imp_indexes",
+    "imp_statistics", "imp_monitor",    "imp_metrics",
+    "imp_stage_latency", "imp_traces"};
 
 Status RegisterImaTables(Database* db) {
   const Monitor* m = db->monitor();
@@ -319,6 +402,13 @@ Status RegisterImaTables(Database* db) {
       "imp_statistics", std::make_shared<StatisticsProvider>(m)));
   IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
       "imp_monitor", std::make_shared<MonitorProvider>(m)));
+  const metrics::MetricsRegistry* registry = db->metrics();
+  IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
+      "imp_metrics", std::make_shared<MetricsProvider>(registry)));
+  IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
+      "imp_stage_latency", std::make_shared<StageLatencyProvider>(registry)));
+  IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
+      "imp_traces", std::make_shared<TracesProvider>(m)));
   return Status::OK();
 }
 

@@ -24,8 +24,21 @@
 //                    locks_held, lock_waits, deadlocks, cache_logical,
 //                    cache_physical, cache_hit_ratio, disk_reads,
 //                    disk_writes, statements)
-//   imp_monitor     (shards, statements, dropped, monitor_nanos,
-//                    max_sessions) — the monitor observing itself
+//   imp_monitor     (shard, statements, workload_dropped,
+//                    references_dropped, traces_dropped, monitor_nanos)
+//                    — one row per commit shard: the monitor observing
+//                    itself, including ring-buffer saturation
+//   imp_metrics     (name, kind, value) — every registered counter and
+//                    gauge of the engine's self-observability registry
+//                    (buffer pool, lock manager, plan cache, daemon,
+//                    analyzer)
+//   imp_stage_latency (name, count, total_nanos, max_nanos, p50_nanos,
+//                    p95_nanos, p99_nanos) — latency histograms: the
+//                    statement-path stages plus lock waits
+//   imp_traces      (seq, hash, session_id, stage, start_micros,
+//                    duration_nanos) — per-statement stage spans
+//                    (parse/bind/optimize/execute/commit), exportable as
+//                    Chrome trace events
 //
 // Scans materialize a snapshot from the monitor's in-memory state; no
 // buffer-pool or disk access is involved.
@@ -39,7 +52,7 @@
 namespace imon::ima {
 
 /// Names of all IMA virtual tables, in registration order.
-extern const char* const kImaTableNames[8];
+extern const char* const kImaTableNames[11];
 
 /// Register every IMA virtual table on `db`. Idempotent per database
 /// (second call returns AlreadyExists).

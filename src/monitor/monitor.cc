@@ -49,6 +49,22 @@ std::vector<Rec> MergeBySeq(std::vector<std::vector<Rec>> parts) {
 
 }  // namespace
 
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kParse:
+      return "parse";
+    case Stage::kBind:
+      return "bind";
+    case Stage::kOptimize:
+      return "optimize";
+    case Stage::kExecute:
+      return "execute";
+    case Stage::kCommit:
+      return "commit";
+  }
+  return "unknown";
+}
+
 Monitor::Monitor(MonitorConfig config, const Clock* clock)
     : config_(config),
       clock_(clock),
@@ -58,8 +74,22 @@ Monitor::Monitor(MonitorConfig config, const Clock* clock)
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(config_.workload_window,
-                                              config_.references_window));
+                                              config_.references_window,
+                                              config_.trace_window));
   }
+}
+
+void Monitor::AttachMetrics(metrics::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    stage_hist_ = {};
+    wallclock_hist_ = nullptr;
+    return;
+  }
+  for (int i = 0; i < kNumStages; ++i) {
+    stage_hist_[i] = registry->GetHistogram(
+        std::string("stage.") + StageName(static_cast<Stage>(i)) + ".nanos");
+  }
+  wallclock_hist_ = registry->GetHistogram("statement.wallclock_nanos");
 }
 
 std::vector<std::unique_lock<std::mutex>> Monitor::LockAllShards() const {
@@ -175,7 +205,53 @@ void Monitor::Commit(QueryTrace* trace) {
     trace->monitor_nanos += MonotonicNanos() - begin;
     record.monitor_nanos = trace->monitor_nanos;
     shard.workload.Push(std::move(record));
+    shard.committed += 1;
+    shard.monitor_nanos += trace->monitor_nanos;
+
+#ifndef IMON_METRICS_DISABLED
+    if (config_.trace_window > 0) {
+      // Close the commit span over the publish work above, then emit one
+      // TraceRecord per marked stage. Trace seqs come from their own
+      // counter (claimed under the shard lock, so per-shard runs stay
+      // ascending for the k-way merge) — the workload seq domain must
+      // remain dense.
+      StageSpan& commit_span =
+          trace->stages[static_cast<size_t>(Stage::kCommit)];
+      commit_span.start_nanos = begin;
+      commit_span.duration_nanos = MonotonicNanos() - begin;
+      int64_t marked = 0;
+      for (const StageSpan& span : trace->stages) {
+        if (span.start_nanos != 0) ++marked;
+      }
+      int64_t tseq =
+          next_trace_seq_.fetch_add(marked, std::memory_order_relaxed);
+      for (int i = 0; i < kNumStages; ++i) {
+        const StageSpan& span = trace->stages[i];
+        if (span.start_nanos == 0) continue;
+        TraceRecord tr;
+        tr.seq = tseq++;
+        tr.hash = trace->hash;
+        tr.session_id = trace->session_id;
+        tr.stage = static_cast<Stage>(i);
+        tr.start_micros = trace->wall_start_micros +
+                          (span.start_nanos - trace->mono_start_nanos) / 1000;
+        tr.duration_nanos = span.duration_nanos;
+        shard.traces.Push(tr);
+      }
+    }
+#endif
   }
+
+#ifndef IMON_METRICS_DISABLED
+  // Histogram handles are wait-free; no lock needed here.
+  for (int i = 0; i < kNumStages; ++i) {
+    const StageSpan& span = trace->stages[i];
+    if (stage_hist_[i] != nullptr && span.start_nanos != 0) {
+      stage_hist_[i]->Record(span.duration_nanos);
+    }
+  }
+  if (wallclock_hist_ != nullptr) wallclock_hist_->Record(wallclock_nanos);
+#endif
 
   statements_executed_.fetch_add(1, std::memory_order_relaxed);
   since_last_sample_.fetch_add(1, std::memory_order_relaxed);
@@ -318,6 +394,47 @@ std::vector<StatisticsRecord> Monitor::SnapshotStatisticsSince(
       [min_seq](const StatisticsRecord& r) { return r.seq > min_seq; });
 }
 
+std::vector<TraceRecord> Monitor::SnapshotTraces() const {
+  std::vector<std::vector<TraceRecord>> parts;
+  parts.reserve(shards_.size());
+  {
+    auto locks = LockAllShards();
+    for (const auto& shard : shards_) parts.push_back(shard->traces.Snapshot());
+  }
+  return MergeBySeq(std::move(parts));
+}
+
+std::vector<TraceRecord> Monitor::SnapshotTracesSince(int64_t min_seq) const {
+  std::vector<std::vector<TraceRecord>> parts;
+  parts.reserve(shards_.size());
+  {
+    auto locks = LockAllShards();
+    for (const auto& shard : shards_) {
+      parts.push_back(shard->traces.SnapshotTail(
+          [min_seq](const TraceRecord& r) { return r.seq > min_seq; }));
+    }
+  }
+  return MergeBySeq(std::move(parts));
+}
+
+std::vector<ShardStats> Monitor::ShardStatsSnapshot() const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  auto locks = LockAllShards();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    ShardStats stats;
+    stats.shard = static_cast<int64_t>(i);
+    stats.statements_committed = shard.committed;
+    stats.workload_dropped = shard.workload.overwritten();
+    stats.references_dropped = shard.references.overwritten();
+    stats.traces_dropped = shard.traces.overwritten();
+    stats.monitor_nanos = shard.monitor_nanos;
+    out.push_back(stats);
+  }
+  return out;
+}
+
 std::map<ObjectId, int64_t> Monitor::TableFrequencies() const {
   std::map<ObjectId, int64_t> out;
   auto locks = LockAllShards();
@@ -369,6 +486,7 @@ void Monitor::Clear() {
       shard->statement_arrivals.clear();
       shard->workload.Clear();
       shard->references.Clear();
+      shard->traces.Clear();
       shard->table_freq.clear();
       shard->attr_freq.clear();
       shard->index_freq.clear();

@@ -35,6 +35,7 @@
 #ifndef IMON_MONITOR_MONITOR_H_
 #define IMON_MONITOR_MONITOR_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -48,6 +49,7 @@
 
 #include "common/clock.h"
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "monitor/ring_buffer.h"
 
 namespace imon::monitor {
@@ -77,6 +79,53 @@ struct MonitorConfig {
   /// bench/micro_concurrent demonstrate shard-lock serialization even on
   /// a single-core host. 0 = off (production).
   int64_t commit_stall_nanos = 0;
+  /// Per-shard stage-trace ring capacity (imp_traces / trace export).
+  /// 0 disables stage tracing even when metrics are compiled in.
+  size_t trace_window = 4096;
+};
+
+// -- per-statement stage tracing ---------------------------------------------
+
+/// Statement-path stages (paper Fig. 2). Each sensor closes the span of
+/// the stage that just finished; kCommit covers the monitor's own
+/// publish step, so the trace also shows the self-cost it measures.
+enum class Stage {
+  kParse = 0,
+  kBind = 1,
+  kOptimize = 2,
+  kExecute = 3,
+  kCommit = 4,
+};
+inline constexpr int kNumStages = 5;
+const char* StageName(Stage stage);
+
+struct StageSpan {
+  int64_t start_nanos = 0;  ///< monotonic; 0 = stage never ran
+  int64_t duration_nanos = 0;
+};
+
+/// One stage of one statement execution, published into the per-shard
+/// trace ring at Commit. Exposed as imp_traces and convertible to Chrome
+/// trace events (monitor/trace_export.h). Trace seqs come from their own
+/// global counter — the workload/references seq domain stays dense (one
+/// block per commit), which tests assert on.
+struct TraceRecord {
+  int64_t seq = 0;
+  uint64_t hash = 0;
+  int64_t session_id = 0;
+  Stage stage = Stage::kParse;
+  int64_t start_micros = 0;  ///< wallclock stage start
+  int64_t duration_nanos = 0;
+};
+
+/// Per-shard publish/saturation counters (one imp_monitor row each).
+struct ShardStats {
+  int64_t shard = 0;
+  int64_t statements_committed = 0;
+  int64_t workload_dropped = 0;    ///< workload ring overwrites
+  int64_t references_dropped = 0;  ///< references ring overwrites
+  int64_t traces_dropped = 0;      ///< trace ring overwrites
+  int64_t monitor_nanos = 0;       ///< sensor self-cost via this shard
 };
 
 // -- records mirroring the paper's Fig. 3 schema -----------------------------
@@ -171,6 +220,11 @@ struct QueryTrace {
   double actual_cost = 0;
   int64_t rows_examined = 0;
   int64_t rows_output = 0;
+
+  /// Stage spans closed by the sensors (compiled out with the metrics
+  /// layer). last_mark_nanos is the running stage boundary.
+  std::array<StageSpan, kNumStages> stages{};
+  int64_t last_mark_nanos = 0;
 };
 
 /// Aggregate view for tests/IMA.
@@ -214,12 +268,17 @@ class Monitor {
     trace->session_id = session_id;
     trace->wall_start_micros = clock_->NowMicros();
     trace->mono_start_nanos = begin;
+#ifndef IMON_METRICS_DISABLED
+    trace->stages = {};
+    trace->last_mark_nanos = begin;
+#endif
     trace->monitor_nanos += MonotonicNanos() - begin;
   }
 
   void OnParseComplete(QueryTrace* trace, std::string_view text) {
     if (!config_.enabled || !trace->active) return;
     int64_t begin = MonotonicNanos();
+    MarkStage(trace, Stage::kParse, begin);
     trace->text.assign(text.data(), text.size());
     trace->hash = HashStatement(text);
     trace->monitor_nanos += MonotonicNanos() - begin;
@@ -232,6 +291,7 @@ class Monitor {
                       std::vector<ObjectId> indexes) {
     if (!config_.enabled || !trace->active) return;
     int64_t begin = MonotonicNanos();
+    MarkStage(trace, Stage::kBind, begin);
     trace->ref_tables = std::move(tables);
     trace->ref_attributes = std::move(attributes);
     trace->ref_indexes = std::move(indexes);
@@ -243,6 +303,7 @@ class Monitor {
                           int64_t optimizer_nanos, int64_t optimizer_io) {
     if (!config_.enabled || !trace->active) return;
     int64_t begin = MonotonicNanos();
+    MarkStage(trace, Stage::kOptimize, begin);
     trace->estimated_cpu = est_cpu;
     trace->estimated_io = est_io;
     trace->used_indexes = used_indexes;
@@ -256,6 +317,7 @@ class Monitor {
                          int64_t rows_examined, int64_t rows_output) {
     if (!config_.enabled || !trace->active) return;
     int64_t begin = MonotonicNanos();
+    MarkStage(trace, Stage::kExecute, begin);
     trace->execute_cpu_nanos = execute_nanos;
     trace->execute_disk_io = execute_io;
     trace->actual_cost = actual_cost;
@@ -296,6 +358,19 @@ class Monitor {
   std::vector<ReferenceRecord> SnapshotReferencesSince(int64_t min_seq) const;
   std::vector<StatisticsRecord> SnapshotStatisticsSince(int64_t min_seq) const;
 
+  /// Stage traces (imp_traces), merged across shards in trace-seq order.
+  std::vector<TraceRecord> SnapshotTraces() const;
+  std::vector<TraceRecord> SnapshotTracesSince(int64_t min_seq) const;
+
+  /// Per-shard commit/drop counters (one imp_monitor row per shard).
+  std::vector<ShardStats> ShardStatsSnapshot() const;
+
+  /// Hook the engine's metrics registry: Commit then feeds per-stage
+  /// latency histograms (`stage.<name>.nanos`) and
+  /// `statement.wallclock_nanos`. Call before concurrent commits start
+  /// (the engine attaches at construction); null detaches.
+  void AttachMetrics(metrics::MetricsRegistry* registry);
+
   /// Access frequency counters (monitor-maintained, unbounded per-shard
   /// maps keyed by object id, merged on read; cleared with the rings).
   std::map<ObjectId, int64_t> TableFrequencies() const;
@@ -314,10 +389,29 @@ class Monitor {
   void Clear();
 
  private:
+  /// Close the span of `stage` at `now` and advance the stage boundary.
+  /// Compiled out with the metrics layer (the spans only feed imp_traces
+  /// and the stage histograms).
+  static void MarkStage(QueryTrace* trace, Stage stage, int64_t now) {
+#ifndef IMON_METRICS_DISABLED
+    StageSpan& span = trace->stages[static_cast<size_t>(stage)];
+    span.start_nanos = trace->last_mark_nanos;
+    span.duration_nanos = now - trace->last_mark_nanos;
+    trace->last_mark_nanos = now;
+#else
+    (void)trace;
+    (void)stage;
+    (void)now;
+#endif
+  }
+
   /// Everything one commit touches, behind one mutex.
   struct Shard {
-    Shard(size_t workload_window, size_t references_window)
-        : workload(workload_window), references(references_window) {}
+    Shard(size_t workload_window, size_t references_window,
+          size_t trace_window)
+        : workload(workload_window),
+          references(references_window),
+          traces(trace_window) {}
 
     mutable std::mutex mutex;
     /// Statement registry, bounded to statement_window entries.
@@ -327,6 +421,11 @@ class Monitor {
     std::deque<uint64_t> statement_arrivals;
     RingBuffer<WorkloadRecord> workload;
     RingBuffer<ReferenceRecord> references;
+    RingBuffer<TraceRecord> traces;
+    /// Commits published via this shard + their sensor self-cost
+    /// (imp_monitor per-shard rows).
+    int64_t committed = 0;
+    int64_t monitor_nanos = 0;
 
     std::unordered_map<ObjectId, int64_t> table_freq;
     std::unordered_map<AttrKey, int64_t, AttrKeyHash> attr_freq;
@@ -349,6 +448,14 @@ class Monitor {
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Global sequence allocator: total order across shards.
   std::atomic<int64_t> next_seq_{1};
+  /// Separate seq domain for stage traces so the workload/references
+  /// domain stays dense (exactly 1 + refs seqs per commit).
+  std::atomic<int64_t> next_trace_seq_{1};
+
+  /// Stage/wallclock histograms in the attached registry (null = not
+  /// attached). Set once at engine construction, before commits run.
+  std::array<metrics::Histogram*, kNumStages> stage_hist_{};
+  metrics::Histogram* wallclock_hist_ = nullptr;
 
   mutable std::mutex stats_mutex_;
   RingBuffer<StatisticsRecord> statistics_;

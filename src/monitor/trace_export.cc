@@ -1,0 +1,48 @@
+#include "monitor/trace_export.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace imon::monitor {
+
+void WriteChromeTrace(const std::vector<TraceRecord>& traces,
+                      std::ostream& out) {
+  // Trace Event format: ts/dur are microseconds (fractional allowed).
+  // One complete event ("ph":"X") per stage span; session id becomes the
+  // tid so concurrent sessions render as parallel lanes.
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceRecord& tr : traces) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << StageName(tr.stage) << "\""
+        << ",\"cat\":\"statement\""
+        << ",\"ph\":\"X\""
+        << ",\"ts\":" << tr.start_micros
+        << ",\"dur\":" << static_cast<double>(tr.duration_nanos) / 1000.0
+        << ",\"pid\":0"
+        << ",\"tid\":" << tr.session_id
+        << ",\"args\":{\"seq\":" << tr.seq
+        << ",\"hash\":" << tr.hash << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string ChromeTraceJson(const std::vector<TraceRecord>& traces) {
+  std::ostringstream out;
+  WriteChromeTrace(traces, out);
+  return out.str();
+}
+
+Status ExportChromeTrace(const Monitor& monitor, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open trace output: " + path);
+  }
+  WriteChromeTrace(monitor.SnapshotTraces(), out);
+  out.flush();
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace imon::monitor

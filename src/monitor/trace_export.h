@@ -1,0 +1,34 @@
+// Chrome trace-event export for the monitor's stage traces.
+//
+// Serializes TraceRecords (imp_traces) into the Trace Event JSON format
+// understood by chrome://tracing and Perfetto: one complete ("ph":"X")
+// event per stage span, with the session id mapped to the trace's
+// thread lane so concurrent sessions render as parallel tracks.
+//
+// Driven by examples/trace_export.cpp and scripts/trace_export.sh.
+
+#ifndef IMON_MONITOR_TRACE_EXPORT_H_
+#define IMON_MONITOR_TRACE_EXPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "monitor/monitor.h"
+
+namespace imon::monitor {
+
+/// Write `traces` as a Trace Event JSON document to `out`.
+void WriteChromeTrace(const std::vector<TraceRecord>& traces,
+                      std::ostream& out);
+
+/// Convenience: serialize to a string (tests).
+std::string ChromeTraceJson(const std::vector<TraceRecord>& traces);
+
+/// Snapshot `monitor`'s stage traces and write them to `path`.
+Status ExportChromeTrace(const Monitor& monitor, const std::string& path);
+
+}  // namespace imon::monitor
+
+#endif  // IMON_MONITOR_TRACE_EXPORT_H_

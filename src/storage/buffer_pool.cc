@@ -24,6 +24,19 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages)
 
 BufferPool::~BufferPool() { FlushAll().ok(); }
 
+void BufferPool::AttachMetrics(metrics::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_hits_ = m_misses_ = m_evictions_ = m_writebacks_ = m_fault_trips_ =
+        nullptr;
+    return;
+  }
+  m_hits_ = registry->GetCounter("buffer_pool.hits");
+  m_misses_ = registry->GetCounter("buffer_pool.misses");
+  m_evictions_ = registry->GetCounter("buffer_pool.evictions");
+  m_writebacks_ = registry->GetCounter("buffer_pool.writebacks");
+  m_fault_trips_ = registry->GetCounter("buffer_pool.fault_trips");
+}
+
 Result<PageGuard> BufferPool::Fetch(PageId pid) {
   logical_reads_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(mutex_);
@@ -39,6 +52,7 @@ Result<PageGuard> BufferPool::Fetch(PageId pid) {
       }
     }
     ++f.pin_count;
+    if (m_hits_ != nullptr) m_hits_->Add();
     return PageGuard(this, idx, f.data.get(), pid);
   }
   IMON_ASSIGN_OR_RETURN(size_t idx, AcquireFrame());
@@ -51,8 +65,10 @@ Result<PageGuard> BufferPool::Fetch(PageId pid) {
   // Read outside the pool lock would be nicer; the in-memory disk makes
   // the hold time trivial, so keep it simple and race-free.
   physical_reads_.fetch_add(1, std::memory_order_relaxed);
+  if (m_misses_ != nullptr) m_misses_->Add();
   Status s = disk_->ReadPage(pid, f.data.get());
   if (!s.ok()) {
+    if (m_fault_trips_ != nullptr) m_fault_trips_->Add();
     table_.erase(pid);
     f.pin_count = 0;
     f.used = false;
@@ -81,8 +97,13 @@ Status BufferPool::FlushAll() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (Frame& f : frames_) {
     if (f.used && f.dirty) {
-      IMON_RETURN_IF_ERROR(disk_->WritePage(f.pid, f.data.get()));
+      Status s = disk_->WritePage(f.pid, f.data.get());
+      if (!s.ok()) {
+        if (m_fault_trips_ != nullptr) m_fault_trips_->Add();
+        return s;
+      }
       dirty_writebacks_.fetch_add(1, std::memory_order_relaxed);
+      if (m_writebacks_ != nullptr) m_writebacks_->Add();
       f.dirty = false;
     }
   }
@@ -129,13 +150,19 @@ Result<size_t> BufferPool::AcquireFrame() {
   lru_pos_.erase(idx);
   Frame& f = frames_[idx];
   if (f.dirty) {
-    IMON_RETURN_IF_ERROR(disk_->WritePage(f.pid, f.data.get()));
+    Status s = disk_->WritePage(f.pid, f.data.get());
+    if (!s.ok()) {
+      if (m_fault_trips_ != nullptr) m_fault_trips_->Add();
+      return s;
+    }
     dirty_writebacks_.fetch_add(1, std::memory_order_relaxed);
+    if (m_writebacks_ != nullptr) m_writebacks_->Add();
   }
   table_.erase(f.pid);
   f.used = false;
   f.dirty = false;
   evictions_.fetch_add(1, std::memory_order_relaxed);
+  if (m_evictions_ != nullptr) m_evictions_->Add();
   return idx;
 }
 

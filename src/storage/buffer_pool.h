@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
@@ -96,6 +97,10 @@ class BufferPool {
 
   BufferPoolStats stats() const;
 
+  /// Publish pool telemetry into `registry` (`buffer_pool.*`); call
+  /// before concurrent use. Null detaches.
+  void AttachMetrics(metrics::MetricsRegistry* registry);
+
   size_t capacity() const { return capacity_; }
   DiskManager* disk() const { return disk_; }
 
@@ -130,6 +135,14 @@ class BufferPool {
   std::atomic<int64_t> physical_reads_{0};
   std::atomic<int64_t> evictions_{0};
   std::atomic<int64_t> dirty_writebacks_{0};
+
+  /// Registry handles (null until AttachMetrics). The atomics above stay
+  /// authoritative for BufferPoolStats; these mirror into imp_metrics.
+  metrics::Counter* m_hits_ = nullptr;
+  metrics::Counter* m_misses_ = nullptr;
+  metrics::Counter* m_evictions_ = nullptr;
+  metrics::Counter* m_writebacks_ = nullptr;
+  metrics::Counter* m_fault_trips_ = nullptr;
 };
 
 }  // namespace imon::storage

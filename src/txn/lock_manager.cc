@@ -1,6 +1,20 @@
 #include "txn/lock_manager.h"
 
+#include "common/clock.h"
+
 namespace imon::txn {
+
+void LockManager::AttachMetrics(metrics::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_acquisitions_ = m_waits_ = m_deadlocks_ = nullptr;
+    m_wait_nanos_ = nullptr;
+    return;
+  }
+  m_acquisitions_ = registry->GetCounter("lock.acquisitions");
+  m_waits_ = registry->GetCounter("lock.waits");
+  m_deadlocks_ = registry->GetCounter("lock.deadlocks");
+  m_wait_nanos_ = registry->GetHistogram("lock.wait_nanos");
+}
 
 bool LockManager::Conflicts(const ObjectLock& lock, TxnId txn,
                             LockMode mode) const {
@@ -57,6 +71,7 @@ Status LockManager::Acquire(TxnId txn, LockObjectId object, LockMode mode) {
     if (state.holders.size() == 1) {
       self->second = LockMode::kExclusive;
       ++total_acquired_;
+      if (m_acquisitions_ != nullptr) m_acquisitions_->Add();
       return Status::OK();
     }
     // Upgrade with other shared holders: wait for them (deadlock-checked
@@ -66,11 +81,21 @@ Status LockManager::Acquire(TxnId txn, LockObjectId object, LockMode mode) {
   if (Conflicts(state, txn, mode)) {
     if (WouldDeadlock(txn, object)) {
       ++total_deadlocks_;
+      if (m_deadlocks_ != nullptr) m_deadlocks_->Add();
       return Status::Aborted("deadlock detected; transaction " +
                              std::to_string(txn) + " chosen as victim");
     }
     ++total_waits_;
+    if (m_waits_ != nullptr) m_waits_->Add();
     waiting_on_[txn] = object;
+    // Time the blocked interval (lock.wait_nanos histogram) regardless
+    // of how the wait resolves — grant, deadlock abort, or timeout.
+    int64_t wait_begin = MonotonicNanos();
+    auto record_wait = [&] {
+      if (m_wait_nanos_ != nullptr) {
+        m_wait_nanos_->Record(MonotonicNanos() - wait_begin);
+      }
+    };
     auto deadline = std::chrono::steady_clock::now() + wait_timeout_;
     bool granted = false;
     while (true) {
@@ -83,6 +108,8 @@ Status LockManager::Acquire(TxnId txn, LockObjectId object, LockMode mode) {
       if (WouldDeadlock(txn, object)) {
         waiting_on_.erase(txn);
         ++total_deadlocks_;
+        if (m_deadlocks_ != nullptr) m_deadlocks_->Add();
+        record_wait();
         return Status::Aborted("deadlock detected while waiting; transaction " +
                                std::to_string(txn) + " chosen as victim");
       }
@@ -92,6 +119,7 @@ Status LockManager::Acquire(TxnId txn, LockObjectId object, LockMode mode) {
       }
     }
     waiting_on_.erase(txn);
+    record_wait();
     if (!granted) {
       return Status::Busy("lock wait timeout on object " +
                           std::to_string(object));
@@ -106,6 +134,7 @@ Status LockManager::Acquire(TxnId txn, LockObjectId object, LockMode mode) {
     fresh.holders[txn] = mode;
   }
   ++total_acquired_;
+  if (m_acquisitions_ != nullptr) m_acquisitions_->Add();
   return Status::OK();
 }
 

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace imon::txn {
@@ -54,6 +55,11 @@ class LockManager {
 
   LockStats stats() const;
 
+  /// Publish lock telemetry into `registry` (`lock.*` counters and the
+  /// `lock.wait_nanos` histogram); call before concurrent use. Null
+  /// detaches.
+  void AttachMetrics(metrics::MetricsRegistry* registry);
+
  private:
   struct ObjectLock {
     /// Granted holders and their mode.
@@ -79,6 +85,13 @@ class LockManager {
   int64_t total_acquired_ = 0;
   int64_t total_waits_ = 0;
   int64_t total_deadlocks_ = 0;
+
+  /// Registry handles (null until AttachMetrics); mirror the counters
+  /// above into imp_metrics and time blocked requests.
+  metrics::Counter* m_acquisitions_ = nullptr;
+  metrics::Counter* m_waits_ = nullptr;
+  metrics::Counter* m_deadlocks_ = nullptr;
+  metrics::Histogram* m_wait_nanos_ = nullptr;
 };
 
 }  // namespace imon::txn

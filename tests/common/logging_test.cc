@@ -1,0 +1,65 @@
+// Regression tests for the IMON_LOG macro, in particular the
+// dangling-else hazard: a braceless `if (...) IMON_LOG(...) << ...;`
+// followed by the caller's own `else` must bind that `else` to the
+// caller's `if`, not to the hidden `if` inside the macro.
+
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace imon {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  LoggingTest() : saved_(GetLogLevel()) {}
+  ~LoggingTest() override { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, MacroDoesNotSwallowTrailingElse) {
+  SetLogLevel(LogLevel::kError);  // keep stderr quiet
+
+  // cond == false: the caller's else MUST run. With a naive
+  //   #define IMON_LOG(l) if (enabled(l)) LogLine(l)
+  // expansion, the else below would bind to the macro's if instead and
+  // run exactly when logging is *enabled* — silently inverting control
+  // flow. This test fails to behave (not to compile) under that bug.
+  bool else_taken = false;
+  bool cond = false;
+  if (cond)
+    IMON_LOG(kError) << "never reached";
+  else
+    else_taken = true;
+  EXPECT_TRUE(else_taken);
+
+  // cond == true: the caller's else must NOT run, even though the log
+  // statement itself is filtered out by the level threshold.
+  else_taken = false;
+  cond = true;
+  if (cond)
+    IMON_LOG(kDebug) << "below threshold, dropped";
+  else
+    else_taken = true;
+  EXPECT_FALSE(else_taken);
+}
+
+TEST_F(LoggingTest, FilteredMessagesDoNotEvaluateOperands) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  IMON_LOG(kDebug) << ++evaluations;  // dropped: operand must not run
+  IMON_LOG(kWarn) << ++evaluations;   // dropped: operand must not run
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, ThresholdIsAdjustable) {
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+}  // namespace
+}  // namespace imon

@@ -1,0 +1,186 @@
+// Unit tests for the sharded metrics registry (common/metrics.h):
+// counter monotonicity under concurrent writers, log2-histogram
+// bucketing/quantiles, and registry handle stability. The MetricsTest
+// suite also runs under ThreadSanitizer in tier-1.
+
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace imon::metrics {
+namespace {
+
+#ifndef IMON_METRICS_DISABLED
+
+TEST(MetricsTest, CounterSumsAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int64_t kIncrements = 20000;
+  Counter c;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int64_t i = 0; i < kIncrements; ++i) c.Add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.Value(), kThreads * kIncrements);
+}
+
+TEST(MetricsTest, CounterReadsAreMonotonicUnderWriters) {
+  constexpr int kThreads = 3;
+  constexpr int64_t kIncrements = 30000;
+  Counter c;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int64_t i = 0; i < kIncrements; ++i) c.Add(2);
+    });
+  }
+  // Racing reader: per-cell monotonic adds mean the summed value can lag
+  // but can never go backwards.
+  int64_t last = 0;
+  while (last < kThreads * kIncrements * 2) {
+    int64_t v = c.Value();
+    EXPECT_GE(v, last);
+    last = v;
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.Value(), kThreads * kIncrements * 2);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(42);
+  EXPECT_EQ(g.Value(), 42);
+  g.Add(-2);
+  EXPECT_EQ(g.Value(), 40);
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+}
+
+TEST(MetricsTest, HistogramBucketIsBitWidth) {
+  EXPECT_EQ(Histogram::BucketFor(-5), 0);
+  EXPECT_EQ(Histogram::BucketFor(0), 0);
+  EXPECT_EQ(Histogram::BucketFor(1), 1);
+  EXPECT_EQ(Histogram::BucketFor(2), 2);
+  EXPECT_EQ(Histogram::BucketFor(3), 2);
+  EXPECT_EQ(Histogram::BucketFor(4), 3);
+  EXPECT_EQ(Histogram::BucketFor(1023), 10);
+  EXPECT_EQ(Histogram::BucketFor(1024), 11);
+  EXPECT_EQ(Histogram::BucketFor(std::numeric_limits<int64_t>::max()),
+            Histogram::kBuckets - 1);
+}
+
+TEST(MetricsTest, HistogramCountSumMaxAndQuantiles) {
+  Histogram h;
+  for (int64_t v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_EQ(h.Count(), 100);
+  EXPECT_EQ(h.Sum(), 5050);
+  EXPECT_EQ(h.Max(), 100);
+
+  int64_t p50 = h.ValueAtPercentile(50);
+  int64_t p95 = h.ValueAtPercentile(95);
+  int64_t p99 = h.ValueAtPercentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.Max());
+  // Bucket upper bounds never under-report: each quantile is >= the true
+  // value and <= the observed maximum.
+  EXPECT_GE(p50, 50);
+  EXPECT_GE(p95, 95);
+  EXPECT_GE(p99, 99);
+}
+
+TEST(MetricsTest, RegistryHandlesAreStable) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("sub.a");
+  Counter* a_again = registry.GetCounter("sub.a");
+  Counter* b = registry.GetCounter("sub.b");
+  EXPECT_EQ(a, a_again);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.GetGauge("sub.g"), registry.GetGauge("sub.g"));
+  EXPECT_EQ(registry.GetHistogram("sub.h"), registry.GetHistogram("sub.h"));
+}
+
+TEST(MetricsTest, SnapshotValuesIsNameSortedAndTyped) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta")->Add(3);
+  registry.GetCounter("alpha")->Add(1);
+  registry.GetGauge("mid")->Set(-4);
+
+  std::vector<MetricValue> values = registry.SnapshotValues();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0].name, "alpha");
+  EXPECT_STREQ(values[0].kind, "counter");
+  EXPECT_EQ(values[0].value, 1);
+  EXPECT_EQ(values[1].name, "mid");
+  EXPECT_STREQ(values[1].kind, "gauge");
+  EXPECT_EQ(values[1].value, -4);
+  EXPECT_EQ(values[2].name, "zeta");
+  EXPECT_STREQ(values[2].kind, "counter");
+  EXPECT_EQ(values[2].value, 3);
+}
+
+TEST(MetricsTest, SnapshotHistogramsCarriesDerivedStats) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat");
+  h->Record(10);
+  h->Record(1000);
+
+  std::vector<HistogramStats> stats = registry.SnapshotHistograms();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "lat");
+  EXPECT_EQ(stats[0].count, 2);
+  EXPECT_EQ(stats[0].sum, 1010);
+  EXPECT_EQ(stats[0].max, 1000);
+  EXPECT_GE(stats[0].p99, stats[0].p50);
+}
+
+TEST(MetricsTest, ConcurrentRegistrationAndUpdates) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int64_t kIncrements = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      // Every thread find-or-creates the same handles while updating.
+      for (int64_t i = 0; i < kIncrements; ++i) {
+        registry.GetCounter("shared.counter")->Add();
+        registry.GetHistogram("shared.hist")->Record(i + 1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(registry.GetCounter("shared.counter")->Value(),
+            kThreads * kIncrements);
+  EXPECT_EQ(registry.GetHistogram("shared.hist")->Count(),
+            kThreads * kIncrements);
+}
+
+#else  // IMON_METRICS_DISABLED
+
+TEST(MetricsTest, DisabledMutatorsAreNoOps) {
+  Counter c;
+  c.Add(5);
+  EXPECT_EQ(c.Value(), 0);
+  Gauge g;
+  g.Set(7);
+  g.Add(3);
+  EXPECT_EQ(g.Value(), 0);
+  Histogram h;
+  h.Record(9);
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_EQ(h.Sum(), 0);
+  EXPECT_EQ(h.Max(), 0);
+}
+
+#endif  // IMON_METRICS_DISABLED
+
+}  // namespace
+}  // namespace imon::metrics

@@ -103,6 +103,70 @@ TEST(MonitorConcurrencyTest, NoLostOrDuplicatedSeqsUnderContention) {
   EXPECT_EQ(m.IndexFrequencies().at(7), kTotal);
 }
 
+TEST(MonitorConcurrencyTest, ShardStatsAccountForCommitsAndDrops) {
+  // Tiny windows force ring wrap-around; the per-shard saturation
+  // counters (imp_monitor rows) must account for exactly what the
+  // merged snapshots lost.
+  MonitorConfig config = BigWindows(4);
+  config.workload_window = 8;
+  config.references_window = 8;
+  config.trace_window = 8;
+
+  constexpr int kThreads = 4;
+  constexpr int64_t kCommits = 500;
+  Monitor m(config, RealClock::Instance());
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&m, t] {
+      for (int64_t i = 0; i < kCommits; ++i) CommitOne(&m, t + 1, i);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  constexpr int64_t kTotal = kThreads * kCommits;
+  std::vector<ShardStats> stats = m.ShardStatsSnapshot();
+  ASSERT_EQ(stats.size(), m.shard_count());
+
+  int64_t committed = 0;
+  int64_t workload_dropped = 0;
+  int64_t references_dropped = 0;
+  for (const ShardStats& s : stats) {
+    EXPECT_GE(s.shard, 0);
+    EXPECT_GE(s.monitor_nanos, 0);
+    committed += s.statements_committed;
+    workload_dropped += s.workload_dropped;
+    references_dropped += s.references_dropped;
+  }
+  EXPECT_EQ(committed, kTotal);
+  // Every commit the retained windows cannot hold is accounted as a
+  // drop — no record vanishes without being counted.
+  EXPECT_GT(workload_dropped, 0);
+  EXPECT_EQ(workload_dropped,
+            kTotal - static_cast<int64_t>(m.SnapshotWorkload().size()));
+  EXPECT_EQ(references_dropped,
+            kTotal * (kSeqsPerCommit - 1) -
+                static_cast<int64_t>(m.SnapshotReferences().size()));
+  // The aggregate view agrees with the per-shard accounting.
+  EXPECT_EQ(m.counters().statements_dropped, workload_dropped);
+
+#ifndef IMON_METRICS_DISABLED
+  // Stage tracing saturates its own ring the same way (5 spans per
+  // commit into a window of 8).
+  int64_t traces_dropped = 0;
+  for (const ShardStats& s : stats) traces_dropped += s.traces_dropped;
+  EXPECT_GT(traces_dropped, 0);
+#endif
+
+  // Clear() empties the windows but never resets the saturation
+  // accounting ("since construction", like statements_executed).
+  m.Clear();
+  std::vector<ShardStats> cleared = m.ShardStatsSnapshot();
+  int64_t dropped_after_clear = 0;
+  for (const ShardStats& s : cleared) dropped_after_clear += s.workload_dropped;
+  EXPECT_EQ(dropped_after_clear, workload_dropped);
+}
+
 TEST(MonitorConcurrencyTest, SincePollingNeverGoesBackwardOrLosesRecords) {
   constexpr int kThreads = 4;
   constexpr int64_t kCommits = 1500;

@@ -1,0 +1,157 @@
+// Stage-trace capture + Chrome trace-event export tests. The trace seq
+// domain is separate from the workload/references domain, so these
+// tests assert density of trace seqs without disturbing the seq
+// accounting the concurrency tests rely on.
+
+#include "monitor/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "monitor/monitor.h"
+
+namespace imon::monitor {
+namespace {
+
+MonitorConfig TraceConfig(size_t shards = 2) {
+  MonitorConfig config;
+  config.shards = shards;
+  config.stats_sample_every = 0;
+  return config;
+}
+
+/// One full sensor cycle; every stage runs, so a commit publishes
+/// kNumStages spans.
+void CommitOne(Monitor* m, int64_t session_id, int64_t i) {
+  QueryTrace trace;
+  m->OnQueryStart(&trace, session_id);
+  m->OnParseComplete(&trace, "SELECT v FROM t WHERE v = " +
+                                 std::to_string(i % 16));
+  m->OnBindComplete(&trace, {1}, {{1, 0}}, {});
+  m->OnOptimizeComplete(&trace, 1.0, 2.0, {7}, 500, 0);
+  m->OnExecuteComplete(&trace, 1000, 0, 3.0, 1, 1);
+  m->Commit(&trace);
+}
+
+TEST(MonitorTraceTest, EveryCommitPublishesOneSpanPerStage) {
+#ifdef IMON_METRICS_DISABLED
+  GTEST_SKIP() << "metrics layer compiled out";
+#endif
+  constexpr int64_t kCommits = 10;
+  Monitor m(TraceConfig(), RealClock::Instance());
+  for (int64_t i = 0; i < kCommits; ++i) CommitOne(&m, /*session_id=*/1, i);
+
+  std::vector<TraceRecord> traces = m.SnapshotTraces();
+  ASSERT_EQ(traces.size(), static_cast<size_t>(kCommits * kNumStages));
+
+  // Trace seqs are dense [1, commits * stages] and the merged view is
+  // strictly ascending.
+  std::set<int64_t> seqs;
+  std::array<int64_t, kNumStages> per_stage{};
+  for (size_t i = 0; i < traces.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(traces[i - 1].seq, traces[i].seq);
+    }
+    EXPECT_TRUE(seqs.insert(traces[i].seq).second);
+    EXPECT_GE(traces[i].duration_nanos, 0);
+    EXPECT_GT(traces[i].start_micros, 0);
+    EXPECT_EQ(traces[i].session_id, 1);
+    EXPECT_NE(traces[i].hash, 0u);
+    per_stage[static_cast<size_t>(traces[i].stage)] += 1;
+  }
+  EXPECT_EQ(*seqs.begin(), 1);
+  EXPECT_EQ(*seqs.rbegin(), kCommits * kNumStages);
+  for (int64_t count : per_stage) EXPECT_EQ(count, kCommits);
+}
+
+TEST(MonitorTraceTest, SnapshotTracesSinceFiltersBySeq) {
+#ifdef IMON_METRICS_DISABLED
+  GTEST_SKIP() << "metrics layer compiled out";
+#endif
+  Monitor m(TraceConfig(), RealClock::Instance());
+  for (int64_t i = 0; i < 6; ++i) CommitOne(&m, /*session_id=*/1, i);
+
+  std::vector<TraceRecord> all = m.SnapshotTraces();
+  ASSERT_FALSE(all.empty());
+  int64_t mid = all[all.size() / 2].seq;
+  std::vector<TraceRecord> tail = m.SnapshotTracesSince(mid);
+  ASSERT_EQ(tail.size(), all.size() - all.size() / 2 - 1);
+  for (const TraceRecord& tr : tail) EXPECT_GT(tr.seq, mid);
+  EXPECT_TRUE(m.SnapshotTracesSince(all.back().seq).empty());
+}
+
+TEST(MonitorTraceTest, ZeroTraceWindowDisablesCapture) {
+  MonitorConfig config = TraceConfig();
+  config.trace_window = 0;
+  Monitor m(config, RealClock::Instance());
+  for (int64_t i = 0; i < 4; ++i) CommitOne(&m, /*session_id=*/1, i);
+  EXPECT_TRUE(m.SnapshotTraces().empty());
+  // The workload path is untouched by the trace switch.
+  EXPECT_EQ(m.SnapshotWorkload().size(), 4u);
+}
+
+TEST(MonitorTraceTest, ChromeTraceJsonShape) {
+  std::vector<TraceRecord> traces(2);
+  traces[0] = {1, 0xabcu, 3, Stage::kParse, 1000, 2500};
+  traces[1] = {2, 0xabcu, 3, Stage::kExecute, 1010, 4000};
+
+  std::string json = ChromeTraceJson(traces);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"execute\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+
+  // Empty input still yields a loadable document.
+  std::string empty = ChromeTraceJson({});
+  EXPECT_NE(empty.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+TEST(MonitorTraceTest, ExportChromeTraceWritesFile) {
+  Monitor m(TraceConfig(), RealClock::Instance());
+  for (int64_t i = 0; i < 3; ++i) CommitOne(&m, /*session_id=*/1, i);
+
+  const std::string path =
+      ::testing::TempDir() + "/imon_trace_export_test.json";
+  ASSERT_TRUE(ExportChromeTrace(m, path).ok());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string contents = buffer.str();
+  EXPECT_NE(contents.find("\"traceEvents\":["), std::string::npos);
+#ifndef IMON_METRICS_DISABLED
+  EXPECT_NE(contents.find("\"name\":\"parse\""), std::string::npos);
+#endif
+  std::remove(path.c_str());
+}
+
+TEST(MonitorTraceTest, ExportChromeTraceRejectsUnwritablePath) {
+  Monitor m(TraceConfig(), RealClock::Instance());
+  EXPECT_FALSE(ExportChromeTrace(m, "/nonexistent-dir/trace.json").ok());
+}
+
+TEST(MonitorTraceTest, ClearDropsBufferedTraces) {
+#ifdef IMON_METRICS_DISABLED
+  GTEST_SKIP() << "metrics layer compiled out";
+#endif
+  Monitor m(TraceConfig(), RealClock::Instance());
+  for (int64_t i = 0; i < 3; ++i) CommitOne(&m, /*session_id=*/1, i);
+  ASSERT_FALSE(m.SnapshotTraces().empty());
+  m.Clear();
+  EXPECT_TRUE(m.SnapshotTraces().empty());
+}
+
+}  // namespace
+}  // namespace imon::monitor
