@@ -1,0 +1,123 @@
+// Closed-loop tuner microbenchmark.
+//
+// Measures the cost of running the autonomous loop itself — the
+// guardrails the tuner adds on top of a plain analyzer Apply():
+//  * revalidation latency (what-if rerun + fresh statistics) per action;
+//  * apply latency (DDL + baseline capture + audit append);
+//  * verification verdict latency at window close;
+//  * end-to-end workload speedup the kept index actually delivers,
+//    proving the loop pays for itself.
+//
+// Emits BENCH_tuner.json next to the console table.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "daemon/daemon.h"
+#include "ima/ima.h"
+#include "tuner/tuner.h"
+
+namespace imon {
+namespace {
+
+using bench::MustExec;
+using bench::Scaled;
+using engine::Database;
+using engine::DatabaseOptions;
+
+int main_impl() {
+  bench::PrintHeader("micro_tuner",
+                     "closed-loop tuning: revalidate / apply / verify cost");
+
+  SimulatedClock clock(1000000000);
+  DatabaseOptions options;
+  options.clock = &clock;
+  Database db(options);
+  if (!ima::RegisterImaTables(&db).ok()) return 1;
+  DatabaseOptions wl_options;
+  wl_options.monitor.enabled = false;
+  wl_options.clock = &clock;
+  Database workload_db(wl_options);
+
+  int64_t rows = Scaled(4000);
+  int64_t selects = Scaled(20);
+  MustExec(&db, "CREATE TABLE t (a INT, b INT)");
+  for (int64_t i = 0; i < rows; ++i) {
+    MustExec(&db, "INSERT INTO t VALUES (" + std::to_string(i) + ", " +
+                      std::to_string(i % 500) + ")");
+  }
+  MustExec(&db, "ANALYZE t");
+  std::vector<std::string> probe(selects, "SELECT a FROM t WHERE b = 123");
+  double before_seconds = bench::TimeStatements(&db, probe);
+
+  tuner::TunerConfig config;
+  config.verification_window = std::chrono::seconds(60);
+  config.table_cooldown = std::chrono::seconds(0);
+  tuner::TuningOrchestrator orch(&db, &workload_db, config, &clock);
+  if (!orch.Initialize().ok()) return 1;
+  if (!tuner::RegisterTuningActionsTable(&db, &orch).ok()) return 1;
+
+  analyzer::Recommendation rec;
+  rec.kind = analyzer::RecommendationKind::kCreateIndex;
+  rec.table = "t";
+  rec.columns = {"b"};
+  rec.index_name = "idx_t_b";
+  rec.sql = "CREATE INDEX idx_t_b ON t (b)";
+  rec.inverse_sql = "DROP INDEX idx_t_b";
+  rec.estimated_benefit = 100;
+  if (!orch.Submit({rec}).ok()) return 1;
+
+  // Tick 1: revalidate + apply (single-flight).
+  int64_t start = MonotonicNanos();
+  if (!orch.Tick().ok()) return 1;
+  double apply_seconds =
+      static_cast<double>(MonotonicNanos() - start) / 1e9;
+
+  double after_seconds = bench::TimeStatements(&db, probe);
+
+  // Tick 2 at window close: measure + verdict.
+  clock.AdvanceSeconds(61);
+  start = MonotonicNanos();
+  if (!orch.Tick().ok()) return 1;
+  double verdict_seconds =
+      static_cast<double>(MonotonicNanos() - start) / 1e9;
+
+  auto actions = orch.SnapshotActions();
+  if (actions.empty() ||
+      actions[0].state != tuner::ActionState::kKept) {
+    std::fprintf(stderr, "bench: expected the index to be kept\n");
+    return 1;
+  }
+  auto stats = orch.stats();
+
+  double speedup = after_seconds > 0 ? before_seconds / after_seconds : 0;
+  std::printf("%-38s %12.3f ms\n", "revalidate+apply tick",
+              apply_seconds * 1e3);
+  std::printf("%-38s %12.3f ms\n", "verification verdict tick",
+              verdict_seconds * 1e3);
+  std::printf("%-38s %12.3f s\n", "probe workload before index",
+              before_seconds);
+  std::printf("%-38s %12.3f s\n", "probe workload after index",
+              after_seconds);
+  std::printf("%-38s %12.2fx\n", "kept-index workload speedup", speedup);
+  std::printf("%-38s %12lld / %lld\n", "actions applied / kept",
+              static_cast<long long>(stats.applied),
+              static_cast<long long>(stats.kept));
+
+  bench::JsonWriter json("tuner");
+  json.Metric("apply_tick_ms", apply_seconds * 1e3, "ms");
+  json.Metric("verdict_tick_ms", verdict_seconds * 1e3, "ms");
+  json.Metric("probe_before_s", before_seconds, "s");
+  json.Metric("probe_after_s", after_seconds, "s");
+  json.Metric("workload_speedup", speedup, "x");
+  json.Metric("baseline_cost", actions[0].baseline_cost, "cost");
+  json.Metric("observed_cost", actions[0].observed_cost, "cost");
+  json.Write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace imon
+
+int main() { return imon::main_impl(); }

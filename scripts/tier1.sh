@@ -30,6 +30,13 @@ echo "== tier-1: differential fuzz sweep (25 seeded workloads) =="
 echo "== tier-1: fault injection suite =="
 (cd build && ./tests/fault_test)
 
+echo "== tier-1: tuner apply-fault fuzz (seeded) =="
+# The seeded fuzz scenario injects apply-path faults and simulated
+# crashes into the closed-loop tuner; every iteration asserts the
+# catalog stayed consistent with the audit trail's terminal states.
+(cd build && ./tests/tuner_test --seed="${IMON_TUNER_FUZZ_SEED:-1234}" \
+  --iters=15 --gtest_filter='*ApplyFaultFuzz*')
+
 echo "== tier-1: observability overhead gate =="
 # Build a second tree with the metrics layer compiled out; the overhead
 # benchmark in each tree emits an elapsed_s figure, and the instrumented
@@ -80,11 +87,11 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake -B build-tsan -S . -DIMON_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$(nproc)" --target \
     monitor_test monitor_concurrency_test engine_test daemon_test fault_test \
-    common_test ima_observability_test
+    common_test ima_observability_test tuner_test
 
   echo "== tier-1: concurrency suites under TSan =="
   (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-    -R 'Monitor|MonitorConcurrency|Database|Differential|Daemon|Fault|Metrics|ImaObservability')
+    -R 'Monitor|MonitorConcurrency|Database|Differential|Daemon|Fault|Metrics|ImaObservability|Tuner')
 
   echo "== tier-1: fault injection under TSan =="
   (cd build-tsan && ./tests/fault_test)

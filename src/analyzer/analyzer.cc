@@ -266,6 +266,9 @@ Status Analyzer::RuleOverflowPages(AnalysisReport* report) {
                                                  100)) +
                  "%); restructure to B-Tree";
     rec.sql = "MODIFY " + name + " TO BTREE";
+    // The inverse restores the structure the table has right now; the
+    // IMA snapshot already told us it is one of HEAP/HASH/ISAM.
+    rec.inverse_sql = "MODIFY " + name + " TO " + storage;
     report->recommendations.push_back(std::move(rec));
   }
   return Status::OK();
@@ -287,12 +290,30 @@ Status Analyzer::RuleUnusedIndexes(AnalysisReport* report) {
   for (const auto& [name, entry] : usage) {
     if (entry.first > 0) continue;   // the optimizer used it
     if (entry.second) continue;      // unique indexes enforce constraints
+    // Resolve the owning table and key columns from the live catalog so
+    // the recommendation carries a machine-readable inverse (the tuner
+    // recreates the index verbatim on rollback). An index that vanished
+    // since the snapshot is stale data, not a recommendation.
+    auto index = monitored_->catalog()->GetIndex(name);
+    if (!index.ok() || index->is_virtual) continue;
+    auto table = monitored_->catalog()->GetTableById(index->table_id);
+    if (!table.ok()) continue;
     Recommendation rec;
     rec.kind = RecommendationKind::kDropIndex;
-    rec.table = name;
+    rec.table = table->name;
+    rec.index_name = name;
+    std::string cols;
+    for (int c : index->key_columns) {
+      if (c < 0 || c >= static_cast<int>(table->columns.size())) continue;
+      if (!cols.empty()) cols += ", ";
+      cols += table->columns[c].name;
+      rec.columns.push_back(table->columns[c].name);
+    }
     rec.reason = "no recorded statement used this index; it only costs "
                  "space and write amplification";
     rec.sql = "DROP INDEX " + name;
+    rec.inverse_sql =
+        "CREATE INDEX " + name + " ON " + table->name + " (" + cols + ")";
     report->recommendations.push_back(std::move(rec));
   }
   return Status::OK();
@@ -544,8 +565,10 @@ Status Analyzer::RuleIndexSelection(
     }
     std::string index_name = "idx_" + table->name;
     for (int c : vi.key_columns) index_name += "_" + table->columns[c].name;
+    rec.index_name = index_name;
     rec.sql = "CREATE INDEX " + index_name + " ON " + table->name + " (" +
               cols + ")";
+    rec.inverse_sql = "DROP INDEX " + index_name;
     rec.reason = "the optimizer chooses this (virtual) index for the "
                  "recorded workload";
     rec.estimated_benefit = chosen_benefit[i];

@@ -44,12 +44,20 @@ const char* RecommendationKindName(RecommendationKind kind);
 
 struct Recommendation {
   RecommendationKind kind;
+  /// The table the change targets (for R5 drop-index: the owning table).
   std::string table;
   std::vector<std::string> columns;
+  /// Index the change creates (R4) or drops (R5); empty otherwise.
+  std::string index_name;
   /// Human-readable rule justification.
   std::string reason;
   /// The statement that implements the change.
   std::string sql;
+  /// The statement that undoes the change, machine-readable so the
+  /// closed-loop tuner can roll back automatically: DROP INDEX for R4,
+  /// MODIFY back to the pre-change structure for R3, CREATE INDEX for
+  /// R5. Empty when the change has no inverse (ANALYZE).
+  std::string inverse_sql;
   /// Frequency-weighted optimizer-cost saving (R4) or 0.
   double estimated_benefit = 0;
   /// Statements supporting this recommendation.

@@ -102,10 +102,8 @@ StorageDaemon::~StorageDaemon() { Stop(); }
 
 Status StorageDaemon::Initialize() {
   IMON_RETURN_IF_ERROR(CreateWorkloadSchema(workload_db_));
-  poll_session_ = monitored_->CreateSession();
-  poll_session_->set_internal(true);
-  write_session_ = workload_db_->CreateSession();
-  write_session_->set_internal(true);
+  poll_session_ = monitored_->CreateInternalSession();
+  write_session_ = workload_db_->CreateInternalSession();
   // The daemon observes the monitored engine, so its own telemetry lands
   // in that engine's registry — one imp_metrics view covers both.
   metrics::MetricsRegistry* registry = monitored_->metrics();
@@ -113,8 +111,10 @@ Status StorageDaemon::Initialize() {
   m_poll_errors_ = registry->GetCounter("daemon.poll_errors");
   m_flushes_ = registry->GetCounter("daemon.flushes");
   m_rows_appended_ = registry->GetCounter("daemon.rows_appended");
+  m_bytes_written_ = registry->GetCounter("daemon.bytes_written");
   m_purge_runs_ = registry->GetCounter("daemon.purge_runs");
   m_rows_purged_ = registry->GetCounter("daemon.rows_purged");
+  m_alerts_raised_ = registry->GetCounter("daemon.alerts_raised");
   return Status::OK();
 }
 
@@ -272,6 +272,7 @@ Status StorageDaemon::AppendRows(const std::string& wl_table,
   if (m_rows_appended_ != nullptr) {
     m_rows_appended_->Add(static_cast<int64_t>(rows->size()));
   }
+  if (m_bytes_written_ != nullptr) m_bytes_written_->Add(bytes);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.rows_written += static_cast<int64_t>(rows->size());
@@ -282,24 +283,39 @@ Status StorageDaemon::AppendRows(const std::string& wl_table,
 }
 
 Status StorageDaemon::FlushNow() {
-  std::lock_guard<std::mutex> lock(buffer_mutex_);
-  IMON_RETURN_IF_ERROR(AppendRows("wl_statements", {}, &buf_statements_));
-  IMON_RETURN_IF_ERROR(AppendRows("wl_workload", {}, &buf_workload_));
-  IMON_RETURN_IF_ERROR(AppendRows("wl_references", {}, &buf_references_));
-  IMON_RETURN_IF_ERROR(AppendRows("wl_tables", {}, &buf_tables_));
-  IMON_RETURN_IF_ERROR(AppendRows("wl_attributes", {}, &buf_attributes_));
-  IMON_RETURN_IF_ERROR(AppendRows("wl_indexes", {}, &buf_indexes_));
-  IMON_RETURN_IF_ERROR(AppendRows("wl_statistics", {}, &buf_statistics_));
-  if (m_flushes_ != nullptr) m_flushes_->Add();
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    ++stats_.flushes;
+    std::lock_guard<std::mutex> lock(buffer_mutex_);
+    IMON_RETURN_IF_ERROR(AppendRows("wl_statements", {}, &buf_statements_));
+    IMON_RETURN_IF_ERROR(AppendRows("wl_workload", {}, &buf_workload_));
+    IMON_RETURN_IF_ERROR(AppendRows("wl_references", {}, &buf_references_));
+    IMON_RETURN_IF_ERROR(AppendRows("wl_tables", {}, &buf_tables_));
+    IMON_RETURN_IF_ERROR(AppendRows("wl_attributes", {}, &buf_attributes_));
+    IMON_RETURN_IF_ERROR(AppendRows("wl_indexes", {}, &buf_indexes_));
+    IMON_RETURN_IF_ERROR(AppendRows("wl_statistics", {}, &buf_statistics_));
+    if (m_flushes_ != nullptr) m_flushes_->Add();
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.flushes;
+    }
+    if (++flushes_since_purge_ >= config_.flushes_per_purge) {
+      flushes_since_purge_ = 0;
+      IMON_RETURN_IF_ERROR(PurgeExpired());
+    }
   }
-  if (++flushes_since_purge_ >= config_.flushes_per_purge) {
-    flushes_since_purge_ = 0;
-    IMON_RETURN_IF_ERROR(PurgeExpired());
+  // The listener (the tuning orchestrator's Tick) runs its own SQL on
+  // the workload DB, so it must never execute under buffer_mutex_.
+  std::function<void()> listener;
+  {
+    std::lock_guard<std::mutex> lock(listener_mutex_);
+    listener = flush_listener_;
   }
+  if (listener) listener();
   return Status::OK();
+}
+
+void StorageDaemon::set_flush_listener(std::function<void()> listener) {
+  std::lock_guard<std::mutex> lock(listener_mutex_);
+  flush_listener_ = std::move(listener);
 }
 
 Status StorageDaemon::PurgeExpired() {
@@ -310,7 +326,7 @@ Status StorageDaemon::PurgeExpired() {
   int64_t purged = 0;
   for (const WlTable& t : kWlTables) {
     auto r = workload_db_->Execute(
-        "DELETE FROM " + std::string(t.name) + " WHERE captured_at < " +
+        "DELETE FROM " + std::string(t.name) + " WHERE captured_at <= " +
             std::to_string(cutoff),
         write_session_.get());
     IMON_RETURN_IF_ERROR(r.status());
@@ -346,6 +362,7 @@ void StorageDaemon::SetAlertHandler(engine::AlertHandler handler) {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           ++stats_.alerts_raised;
         }
+        if (m_alerts_raised_ != nullptr) m_alerts_raised_->Add();
         if (handler) handler(e);
       });
 }

@@ -104,6 +104,11 @@ class StorageDaemon {
   /// Alert callback (fires on the daemon's flush path).
   void SetAlertHandler(engine::AlertHandler handler);
 
+  /// Called after every successful flush, outside any daemon lock. The
+  /// closed-loop tuner hooks its Tick() here so tuning runs on the same
+  /// cadence as workload-DB refreshes without the daemon depending on it.
+  void set_flush_listener(std::function<void()> listener);
+
   DaemonStats stats() const;
 
  private:
@@ -173,6 +178,11 @@ class StorageDaemon {
   metrics::Counter* m_rows_appended_ = nullptr;
   metrics::Counter* m_purge_runs_ = nullptr;
   metrics::Counter* m_rows_purged_ = nullptr;
+  metrics::Counter* m_bytes_written_ = nullptr;
+  metrics::Counter* m_alerts_raised_ = nullptr;
+
+  std::mutex listener_mutex_;
+  std::function<void()> flush_listener_;
 };
 
 }  // namespace imon::daemon

@@ -79,6 +79,12 @@ std::unique_ptr<Session> Database::CreateSession() {
   return session;
 }
 
+std::unique_ptr<Session> Database::CreateInternalSession() {
+  auto session = CreateSession();
+  session->set_internal(true);
+  return session;
+}
+
 int64_t Database::active_sessions() const { return open_sessions_.load(); }
 
 Session* Database::BorrowThreadSession() {

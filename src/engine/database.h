@@ -144,6 +144,11 @@ class Database {
   Result<QueryResult> Execute(const std::string& sql, Session* session);
 
   std::unique_ptr<Session> CreateSession();
+  /// A session with the internal flag already set: its statements bypass
+  /// the monitor entirely. The storage daemon's IMA polling and the
+  /// tuner's DDL apply/rollback path run through these, so the control
+  /// loop's own activity never pollutes the workload it is tuning on.
+  std::unique_ptr<Session> CreateInternalSession();
   /// Open session count (monitored statistic).
   int64_t active_sessions() const;
 

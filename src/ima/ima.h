@@ -42,6 +42,11 @@
 //
 // Scans materialize a snapshot from the monitor's in-memory state; no
 // buffer-pool or disk access is involved.
+//
+// One further IMA table, imp_tuning_actions (the closed-loop tuner's
+// live action list), is registered separately by the tuner library —
+// tuner::RegisterTuningActionsTable — because it exposes orchestrator
+// state rather than monitor state.
 
 #ifndef IMON_IMA_IMA_H_
 #define IMON_IMA_IMA_H_

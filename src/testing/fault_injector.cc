@@ -84,6 +84,19 @@ Status FaultInjector::BeforePoll() {
   return Status::OK();
 }
 
+Status FaultInjector::BeforeApply() {
+  if (!armed()) return Status::OK();
+  bool fail;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.applies_seen;
+    fail = Decide(config_.apply_fault_prob, config_.fail_apply_at,
+                  counters_.applies_seen, &counters_.apply_faults);
+  }
+  if (fail) return Status::Internal("injected apply fault");
+  return Status::OK();
+}
+
 FaultInjector::Counters FaultInjector::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_;

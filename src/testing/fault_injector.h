@@ -26,18 +26,21 @@ namespace imon::testing {
 struct FaultConfig {
   uint64_t seed = 42;
 
-  /// Probability in [0, 1] that an armed read / write / poll fails.
+  /// Probability in [0, 1] that an armed read / write / poll / tuner
+  /// apply step fails.
   double read_fault_prob = 0;
   double write_fault_prob = 0;
   double poll_fault_prob = 0;
+  double apply_fault_prob = 0;
 
   /// Scheduled one-shot faults: fail exactly the Nth armed read / write /
-  /// poll (1-based; 0 disables). Fires once, then only the probabilistic
-  /// faults remain — so a test can kill one precise operation and then
-  /// watch the system recover deterministically.
+  /// poll / apply (1-based; 0 disables). Fires once, then only the
+  /// probabilistic faults remain — so a test can kill one precise
+  /// operation and then watch the system recover deterministically.
   int64_t fail_read_at = 0;
   int64_t fail_write_at = 0;
   int64_t fail_poll_at = 0;
+  int64_t fail_apply_at = 0;
 
   /// Busy-wait added to every armed, non-faulted read/write, for tests
   /// that widen race windows rather than kill I/O. 0 = off.
@@ -67,13 +70,22 @@ class FaultInjector : public storage::DiskFaultHook {
   ///   daemon.set_poll_fault_hook([&] { return injector.BeforePoll(); });
   Status BeforePoll();
 
+  /// Tuner apply hook: install as
+  ///   orchestrator.set_apply_fault_hook([&] { return injector.BeforeApply(); });
+  /// The orchestrator consults it around each DDL step of an apply, so a
+  /// fault simulates a crash mid-apply (before or after the catalog
+  /// change, depending on which consultation fires).
+  Status BeforeApply();
+
   struct Counters {
     int64_t reads_seen = 0;    ///< armed reads that consulted the injector
     int64_t writes_seen = 0;
     int64_t polls_seen = 0;
+    int64_t applies_seen = 0;
     int64_t read_faults = 0;   ///< of those, how many were failed
     int64_t write_faults = 0;
     int64_t poll_faults = 0;
+    int64_t apply_faults = 0;
   };
   Counters counters() const;
 

@@ -202,9 +202,12 @@ TEST_F(AnalyzerTest, UnusedIndexRecommendedForDrop) {
   for (const auto& rec : report->recommendations) {
     if (rec.kind == RecommendationKind::kDropIndex) {
       EXPECT_EQ(rec.sql, "DROP INDEX never_used") << rec.sql;
-      drop_unused = rec.table == "never_used";
+      drop_unused = rec.index_name == "never_used";
+      EXPECT_EQ(rec.table, "t");
+      // The inverse recreates the index verbatim (tuner rollback path).
+      EXPECT_EQ(rec.inverse_sql, "CREATE INDEX never_used ON t (b)");
       // Unique (constraint) indexes are never recommended for drop.
-      EXPECT_NE(rec.table, "unique_one");
+      EXPECT_NE(rec.index_name, "unique_one");
     }
   }
   EXPECT_TRUE(drop_unused) << report->ToString();
