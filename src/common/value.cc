@@ -125,7 +125,7 @@ void AppendU64(std::string* out, uint64_t v) {
   std::memcpy(buf, &v, 8);
   out->append(buf, 8);
 }
-uint64_t ReadU64(const std::string& data, size_t off) {
+uint64_t ReadU64(std::string_view data, size_t off) {
   uint64_t v;
   std::memcpy(&v, data.data() + off, 8);
   return v;
@@ -154,29 +154,40 @@ void Value::SerializeTo(std::string* out) const {
   }
 }
 
-Result<Value> Value::DeserializeFrom(const std::string& data, size_t* offset) {
+Result<Value> Value::DeserializeFrom(std::string_view data, size_t* offset) {
+  Value v;
+  IMON_RETURN_IF_ERROR(DeserializeInto(data, offset, &v));
+  return v;
+}
+
+Status Value::DeserializeInto(std::string_view data, size_t* offset,
+                              Value* out) {
   if (*offset >= data.size())
     return Status::Corruption("value: truncated tag");
   uint8_t tag = static_cast<uint8_t>(data[*offset]);
   *offset += 1;
   TypeId type = static_cast<TypeId>(tag & 0x3);
-  if ((tag & 0x4) != 0) return Value::Null(type);
+  out->type_ = type;
+  if ((tag & 0x4) != 0) {
+    out->null_ = true;
+    return Status::OK();
+  }
+  out->null_ = false;
   switch (type) {
     case TypeId::kInt: {
       if (*offset + 8 > data.size())
         return Status::Corruption("value: truncated int");
-      int64_t v = static_cast<int64_t>(ReadU64(data, *offset));
+      out->int_ = static_cast<int64_t>(ReadU64(data, *offset));
       *offset += 8;
-      return Value::Int(v);
+      return Status::OK();
     }
     case TypeId::kDouble: {
       if (*offset + 8 > data.size())
         return Status::Corruption("value: truncated double");
       uint64_t bits = ReadU64(data, *offset);
       *offset += 8;
-      double d;
-      std::memcpy(&d, &bits, 8);
-      return Value::Double(d);
+      std::memcpy(&out->double_, &bits, 8);
+      return Status::OK();
     }
     case TypeId::kText: {
       if (*offset + 8 > data.size())
@@ -185,9 +196,10 @@ Result<Value> Value::DeserializeFrom(const std::string& data, size_t* offset) {
       *offset += 8;
       if (*offset + len > data.size())
         return Status::Corruption("value: truncated text payload");
-      Value v = Value::Text(data.substr(*offset, len));
+      // assign() reuses the existing buffer when it has the capacity.
+      out->text_.assign(data.data() + *offset, len);
       *offset += len;
-      return v;
+      return Status::OK();
     }
   }
   return Status::Corruption("value: bad type tag");
@@ -198,18 +210,23 @@ void SerializeRow(const Row& row, std::string* out) {
   for (const Value& v : row) v.SerializeTo(out);
 }
 
-Result<Row> DeserializeRow(const std::string& data) {
-  if (data.size() < 8) return Status::Corruption("row: truncated header");
-  size_t offset = 0;
-  uint64_t n = ReadU64(data, 0);
-  offset = 8;
+Result<Row> DeserializeRow(std::string_view data) {
   Row row;
-  row.reserve(n);
-  for (uint64_t i = 0; i < n; ++i) {
-    IMON_ASSIGN_OR_RETURN(Value v, Value::DeserializeFrom(data, &offset));
-    row.push_back(std::move(v));
-  }
+  IMON_RETURN_IF_ERROR(DeserializeRowInto(data, &row));
   return row;
+}
+
+Status DeserializeRowInto(std::string_view data, Row* row) {
+  if (data.size() < 8) return Status::Corruption("row: truncated header");
+  uint64_t n = ReadU64(data, 0);
+  // resize (not clear) keeps surviving Value slots — and their text
+  // buffers' capacity — alive for in-place reuse.
+  row->resize(n);
+  size_t offset = 8;
+  for (uint64_t i = 0; i < n; ++i) {
+    IMON_RETURN_IF_ERROR(Value::DeserializeInto(data, &offset, &(*row)[i]));
+  }
+  return Status::OK();
 }
 
 uint64_t HashRow(const Row& row) {

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -94,8 +95,12 @@ class Value {
   /// Binary serialization used by the storage layer (tag byte + payload).
   void SerializeTo(std::string* out) const;
   /// Deserialize starting at data[*offset]; advances *offset.
-  static Result<Value> DeserializeFrom(const std::string& data,
-                                       size_t* offset);
+  static Result<Value> DeserializeFrom(std::string_view data, size_t* offset);
+  /// In-place variant: decodes into *out, reusing its text buffer's
+  /// capacity. The allocation-free steady state of batch scans depends
+  /// on this (see DESIGN.md §10).
+  static Status DeserializeInto(std::string_view data, size_t* offset,
+                                Value* out);
 
  private:
   TypeId type_;
@@ -110,7 +115,11 @@ using Row = std::vector<Value>;
 
 /// Serialize a whole row (column count + values).
 void SerializeRow(const Row& row, std::string* out);
-Result<Row> DeserializeRow(const std::string& data);
+/// string_view input lets storage scans decode straight out of a pinned
+/// page with no intermediate std::string copy.
+Result<Row> DeserializeRow(std::string_view data);
+/// In-place variant reusing `row`'s capacity across a batch of rows.
+Status DeserializeRowInto(std::string_view data, Row* row);
 
 /// Hash of all values in a row (for hash joins / aggregation keys).
 uint64_t HashRow(const Row& row);

@@ -18,7 +18,8 @@ struct WlTable {
 const WlTable kWlTables[] = {
     {"wl_statements",
      "CREATE TABLE IF NOT EXISTS wl_statements (captured_at INT, hash INT, "
-     "query_text TEXT, frequency INT, first_seen INT, last_seen INT)"},
+     "query_text TEXT, frequency INT, first_seen INT, last_seen INT, "
+     "seq INT)"},
     {"wl_workload",
      "CREATE TABLE IF NOT EXISTS wl_workload (captured_at INT, seq INT, "
      "hash INT, start_micros INT, wallclock_nanos INT, opt_cpu_nanos INT, "
@@ -115,6 +116,7 @@ Status StorageDaemon::Initialize() {
   m_purge_runs_ = registry->GetCounter("daemon.purge_runs");
   m_rows_purged_ = registry->GetCounter("daemon.rows_purged");
   m_alerts_raised_ = registry->GetCounter("daemon.alerts_raised");
+  m_flush_batch_rows_ = registry->GetHistogram("daemon.flush_batch_rows");
   return Status::OK();
 }
 
@@ -149,7 +151,8 @@ void StorageDaemon::ThreadMain() {
 }
 
 Result<std::vector<Row>> StorageDaemon::ReadIma(const std::string& table,
-                                                int64_t* last_seq) {
+                                                int64_t* last_seq,
+                                                int seq_col) {
   std::string sql = "SELECT * FROM " + table;
   if (last_seq != nullptr) {
     sql += " WHERE seq > " + std::to_string(*last_seq);
@@ -158,7 +161,7 @@ Result<std::vector<Row>> StorageDaemon::ReadIma(const std::string& table,
                         monitored_->Execute(sql, poll_session_.get()));
   if (last_seq != nullptr) {
     for (const Row& row : r.rows) {
-      *last_seq = std::max(*last_seq, row[0].AsInt());
+      *last_seq = std::max(*last_seq, row[seq_col].AsInt());
     }
   }
   return std::move(r.rows);
@@ -202,33 +205,38 @@ Status StorageDaemon::PollCycle() {
   bool flush_due = polls_since_flush_ >= config_.polls_per_flush;
   std::vector<Row> statements, tables, attributes, indexes;
   if (flush_due) {
-    // Snapshot the slowly-changing object tables once per flush window.
-    IMON_ASSIGN_OR_RETURN(statements, ReadIma("imp_statements", nullptr));
+    // Once per flush window: changed statements (seq-cursored like the
+    // fast-moving tables — the statement registry stamps rows on every
+    // frequency change) and full snapshots of the object tables.
+    IMON_ASSIGN_OR_RETURN(
+        statements,
+        ReadIma("imp_statements", &last_statements_seq_, /*seq_col=*/5));
     IMON_ASSIGN_OR_RETURN(tables, ReadIma("imp_tables", nullptr));
     IMON_ASSIGN_OR_RETURN(attributes, ReadIma("imp_attributes", nullptr));
     IMON_ASSIGN_OR_RETURN(indexes, ReadIma("imp_indexes", nullptr));
   }
 
-  int64_t now = clock_->NowMicros();
-  auto stamp = [&](std::vector<Row> rows, std::vector<Row>* buffer) {
-    for (Row& row : rows) {
-      Row stamped;
-      stamped.reserve(row.size() + 1);
-      stamped.push_back(Value::Int(now));
-      for (Value& v : row) stamped.push_back(std::move(v));
-      buffer->push_back(std::move(stamped));
+  // Rows are buffered unstamped; FlushNow stamps the whole window with
+  // one captured_at when it writes, so a flush is one timestamp read and
+  // one multi-row append per table instead of per-row work here.
+  auto buffer_rows = [](std::vector<Row> rows, std::vector<Row>* buffer) {
+    if (buffer->empty()) {
+      *buffer = std::move(rows);
+      return;
     }
+    buffer->reserve(buffer->size() + rows.size());
+    for (Row& row : rows) buffer->push_back(std::move(row));
   };
   {
     std::lock_guard<std::mutex> lock(buffer_mutex_);
-    stamp(std::move(workload), &buf_workload_);
-    stamp(std::move(references), &buf_references_);
-    stamp(std::move(statistics), &buf_statistics_);
+    buffer_rows(std::move(workload), &buf_workload_);
+    buffer_rows(std::move(references), &buf_references_);
+    buffer_rows(std::move(statistics), &buf_statistics_);
     if (flush_due) {
-      stamp(std::move(statements), &buf_statements_);
-      stamp(std::move(tables), &buf_tables_);
-      stamp(std::move(attributes), &buf_attributes_);
-      stamp(std::move(indexes), &buf_indexes_);
+      buffer_rows(std::move(statements), &buf_statements_);
+      buffer_rows(std::move(tables), &buf_tables_);
+      buffer_rows(std::move(attributes), &buf_attributes_);
+      buffer_rows(std::move(indexes), &buf_indexes_);
     }
   }
   if (m_polls_ != nullptr) m_polls_->Add();
@@ -244,31 +252,30 @@ Status StorageDaemon::PollCycle() {
 }
 
 Status StorageDaemon::AppendRows(const std::string& wl_table,
-                                 const std::vector<std::string>& /*columns*/,
+                                 const Value& stamp,
                                  std::vector<Row>* rows) {
   if (rows->empty()) return Status::OK();
-  constexpr size_t kBatch = 128;
+  // One multi-row INSERT for the whole buffer: the flush window hits the
+  // workload DB as a single statement (one parse, one table lock, one
+  // implicit transaction) instead of per-chunk round trips.
+  std::string stamp_literal = SqlLiteral(stamp);
+  std::string stamp_serialized;
+  stamp.SerializeTo(&stamp_serialized);
   int64_t bytes = 0;
-  for (size_t start = 0; start < rows->size(); start += kBatch) {
-    std::ostringstream sql;
-    sql << "INSERT INTO " << wl_table << " VALUES ";
-    size_t end = std::min(rows->size(), start + kBatch);
-    for (size_t i = start; i < end; ++i) {
-      if (i > start) sql << ", ";
-      sql << "(";
-      const Row& row = (*rows)[i];
-      for (size_t c = 0; c < row.size(); ++c) {
-        if (c > 0) sql << ", ";
-        sql << SqlLiteral(row[c]);
-      }
-      sql << ")";
-      std::string serialized;
-      SerializeRow(row, &serialized);
-      bytes += static_cast<int64_t>(serialized.size());
-    }
-    auto r = workload_db_->Execute(sql.str(), write_session_.get());
-    IMON_RETURN_IF_ERROR(r.status());
+  std::ostringstream sql;
+  sql << "INSERT INTO " << wl_table << " VALUES ";
+  for (size_t i = 0; i < rows->size(); ++i) {
+    if (i > 0) sql << ", ";
+    sql << "(" << stamp_literal;
+    const Row& row = (*rows)[i];
+    for (const Value& v : row) sql << ", " << SqlLiteral(v);
+    sql << ")";
+    std::string serialized;
+    SerializeRow(row, &serialized);
+    bytes += static_cast<int64_t>(serialized.size() + stamp_serialized.size());
   }
+  auto r = workload_db_->Execute(sql.str(), write_session_.get());
+  IMON_RETURN_IF_ERROR(r.status());
   if (m_rows_appended_ != nullptr) {
     m_rows_appended_->Add(static_cast<int64_t>(rows->size()));
   }
@@ -285,14 +292,24 @@ Status StorageDaemon::AppendRows(const std::string& wl_table,
 Status StorageDaemon::FlushNow() {
   {
     std::lock_guard<std::mutex> lock(buffer_mutex_);
-    IMON_RETURN_IF_ERROR(AppendRows("wl_statements", {}, &buf_statements_));
-    IMON_RETURN_IF_ERROR(AppendRows("wl_workload", {}, &buf_workload_));
-    IMON_RETURN_IF_ERROR(AppendRows("wl_references", {}, &buf_references_));
-    IMON_RETURN_IF_ERROR(AppendRows("wl_tables", {}, &buf_tables_));
-    IMON_RETURN_IF_ERROR(AppendRows("wl_attributes", {}, &buf_attributes_));
-    IMON_RETURN_IF_ERROR(AppendRows("wl_indexes", {}, &buf_indexes_));
-    IMON_RETURN_IF_ERROR(AppendRows("wl_statistics", {}, &buf_statistics_));
+    // Stamp the whole window once: every row persisted by this flush
+    // shares one captured_at, read here rather than at buffering time.
+    Value stamp = Value::Int(clock_->NowMicros());
+    int64_t total_rows = static_cast<int64_t>(
+        buf_statements_.size() + buf_workload_.size() +
+        buf_references_.size() + buf_tables_.size() + buf_attributes_.size() +
+        buf_indexes_.size() + buf_statistics_.size());
+    IMON_RETURN_IF_ERROR(AppendRows("wl_statements", stamp, &buf_statements_));
+    IMON_RETURN_IF_ERROR(AppendRows("wl_workload", stamp, &buf_workload_));
+    IMON_RETURN_IF_ERROR(AppendRows("wl_references", stamp, &buf_references_));
+    IMON_RETURN_IF_ERROR(AppendRows("wl_tables", stamp, &buf_tables_));
+    IMON_RETURN_IF_ERROR(AppendRows("wl_attributes", stamp, &buf_attributes_));
+    IMON_RETURN_IF_ERROR(AppendRows("wl_indexes", stamp, &buf_indexes_));
+    IMON_RETURN_IF_ERROR(AppendRows("wl_statistics", stamp, &buf_statistics_));
     if (m_flushes_ != nullptr) m_flushes_->Add();
+    if (m_flush_batch_rows_ != nullptr) {
+      m_flush_batch_rows_->Record(total_rows);
+    }
     {
       std::lock_guard<std::mutex> stats_lock(stats_mutex_);
       ++stats_.flushes;

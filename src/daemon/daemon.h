@@ -9,9 +9,12 @@
 //
 // The daemon reads the monitored engine's IMA virtual tables over plain
 // SQL (internal session, so the polling itself is not recorded), buffers
-// the rows, and every `polls_per_flush` polls appends them — timestamped
-// — to the workload DB, an ordinary database instance with the wl_*
-// schema. Retention purging and trigger-based DBA alerting run on flush.
+// the rows unstamped, and every `polls_per_flush` polls flushes them to
+// the workload DB, an ordinary database instance with the wl_* schema.
+// A flush stamps the whole window with one captured_at and appends each
+// table's buffer in a single multi-row INSERT (rows per flush is
+// recorded in the daemon.flush_batch_rows histogram). Retention purging
+// and trigger-based DBA alerting run on flush.
 
 #ifndef IMON_DAEMON_DAEMON_H_
 #define IMON_DAEMON_DAEMON_H_
@@ -119,12 +122,13 @@ class StorageDaemon {
   Status PollCycle();
 
   /// SELECT rows of one IMA table with seq > last_seq (or all).
+  /// `seq_col` is the ordinal of the seq column in the result rows.
   Result<std::vector<Row>> ReadIma(const std::string& table,
-                                   int64_t* last_seq);
+                                   int64_t* last_seq, int seq_col = 0);
 
-  /// Append buffered rows of one logical table to its wl_ twin.
-  Status AppendRows(const std::string& wl_table,
-                    const std::vector<std::string>& columns,
+  /// Append buffered rows of one logical table to its wl_ twin as one
+  /// multi-row INSERT, prepending `stamp` (captured_at) to every row.
+  Status AppendRows(const std::string& wl_table, const Value& stamp,
                     std::vector<Row>* rows);
 
   engine::Database* monitored_;
@@ -158,6 +162,7 @@ class StorageDaemon {
   int64_t last_workload_seq_ = 0;
   int64_t last_references_seq_ = 0;
   int64_t last_statistics_seq_ = 0;
+  int64_t last_statements_seq_ = 0;
   int polls_since_flush_ = 0;
   // Guarded by buffer_mutex_ (flushes may come from polls or FlushNow).
   int flushes_since_purge_ = 0;
@@ -180,6 +185,8 @@ class StorageDaemon {
   metrics::Counter* m_rows_purged_ = nullptr;
   metrics::Counter* m_bytes_written_ = nullptr;
   metrics::Counter* m_alerts_raised_ = nullptr;
+  /// Rows persisted per flush window (visible via imp_stage_latency).
+  metrics::Histogram* m_flush_batch_rows_ = nullptr;
 
   std::mutex listener_mutex_;
   std::function<void()> flush_listener_;

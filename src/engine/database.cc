@@ -4,6 +4,7 @@
 
 #include "catalog/histogram.h"
 #include "engine/statement_pipeline.h"
+#include "exec/expr_program.h"
 #include "exec/expression_eval.h"
 
 namespace imon::engine {
@@ -334,13 +335,22 @@ Result<QueryResult> Database::ExecSelect(sql::SelectStmt* stmt,
                                summary.est_cost_io, summary.used_indexes,
                                opt_nanos, opt_io);
 
-  return RunPlannedSelect(bound, *plan, summary, session, trace);
+  // Compile expressions into flat programs; a statement that uses a
+  // non-compilable construct silently falls back to the scalar
+  // tree-walking evaluator.
+  std::shared_ptr<const exec::CompiledSelect> compiled;
+  if (options_.use_compiled_exprs) {
+    auto cr = exec::CompiledSelect::Compile(bound, *plan);
+    if (cr.ok()) compiled = std::move(*cr);
+  }
+  return RunPlannedSelect(bound, *plan, summary, compiled.get(), session,
+                          trace);
 }
 
 Result<QueryResult> Database::RunPlannedSelect(
     const BoundSelect& bound, const PlanNode& plan,
-    const PlanSummary& summary, Session* session,
-    monitor::QueryTrace* trace) {
+    const PlanSummary& summary, const exec::CompiledSelect* compiled,
+    Session* session, monitor::QueryTrace* trace) {
   // Lock referenced base tables (shared).
   for (const BoundTable& bt : bound.tables) {
     if (bt.is_virtual) continue;
@@ -352,6 +362,8 @@ Result<QueryResult> Database::RunPlannedSelect(
   exec::ExecContext ctx;
   ctx.storage = storage_.get();
   ctx.tables = &bound.tables;
+  ctx.batch_size = options_.exec_batch_size;
+  ctx.compiled = compiled;
   auto rs = exec::ExecuteSelect(bound, plan, &ctx);
   int64_t exec_nanos = MonotonicNanos() - exec_start;
   int64_t exec_io = DiskIoTotal(disk_->stats()) - io_before;

@@ -50,6 +50,13 @@ struct DatabaseOptions {
   /// "better caching strategy" extension the paper proposes for
   /// high-throughput simple statements.
   size_t plan_cache_capacity = 0;
+  /// Rows gathered per executor batch on the vectorized scan path.
+  size_t exec_batch_size = 1024;
+  /// Compile SELECT expressions into flat postfix programs (batched
+  /// filters, slot-indexed aggregates). Disable to force the scalar
+  /// tree-walking path — the differential oracle in tests compares the
+  /// two.
+  bool use_compiled_exprs = true;
 };
 
 struct PlanCacheStats {
@@ -206,6 +213,10 @@ class Database {
     optimizer::BoundSelect bound;
     std::unique_ptr<optimizer::PlanNode> plan;
     optimizer::PlanSummary summary;
+    /// Expression programs compiled once at plan time and replayed on
+    /// every cache hit; null when compilation is disabled or the
+    /// statement uses a non-compilable construct (scalar fallback).
+    std::shared_ptr<const exec::CompiledSelect> compiled;
   };
 
   std::shared_ptr<const CachedPlan> LookupPlanCache(uint64_t hash);
@@ -221,6 +232,7 @@ class Database {
   Result<QueryResult> RunPlannedSelect(const optimizer::BoundSelect& bound,
                                        const optimizer::PlanNode& plan,
                                        const optimizer::PlanSummary& summary,
+                                       const exec::CompiledSelect* compiled,
                                        Session* session,
                                        monitor::QueryTrace* trace);
 

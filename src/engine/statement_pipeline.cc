@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "engine/database.h"
+#include "exec/expr_program.h"
 #include "sql/parser.h"
 
 namespace imon::engine {
@@ -51,7 +52,9 @@ Result<QueryResult> StatementPipeline::Run(const std::string& sql) {
                                         entry->summary.est_cost_io,
                                         entry->summary.used_indexes, 0, 0);
       return Finish(db_->RunPlannedSelect(entry->bound, *entry->plan,
-                                          entry->summary, session_, &trace_));
+                                          entry->summary,
+                                          entry->compiled.get(), session_,
+                                          &trace_));
     }
   }
 
@@ -94,10 +97,17 @@ Result<QueryResult> StatementPipeline::BindPlanAndCache(
   db_->monitor_->OnOptimizeComplete(
       &trace_, entry->summary.est_cost_cpu, entry->summary.est_cost_io,
       entry->summary.used_indexes, MonotonicNanos() - opt_start, 0);
+  // Compile once here so every plan-cache hit replays the programs
+  // without re-walking the expression trees.
+  if (db_->options_.use_compiled_exprs) {
+    auto cr = exec::CompiledSelect::Compile(entry->bound, *entry->plan);
+    if (cr.ok()) entry->compiled = std::move(*cr);
+  }
   std::shared_ptr<const Database::CachedPlan> shared = entry;
   db_->StorePlanCache(HashStatement(sql), shared);
   return Finish(db_->RunPlannedSelect(shared->bound, *shared->plan,
-                                      shared->summary, session_, &trace_));
+                                      shared->summary, shared->compiled.get(),
+                                      session_, &trace_));
 }
 
 Result<QueryResult> StatementPipeline::Finish(Result<QueryResult> result) {

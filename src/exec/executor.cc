@@ -1,9 +1,11 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <set>
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "exec/expr_program.h"
 #include "exec/expression_eval.h"
 
 namespace imon::exec {
@@ -29,12 +31,76 @@ Result<bool> PassesFilters(const std::vector<const Expr*>& filters,
   return true;
 }
 
-Result<std::vector<Row>> ExecuteScan(const PlanNode& plan, ExecContext* ctx) {
+/// Compiled-filter variant (same accounting).
+Result<bool> PassesFiltersCompiled(const std::vector<ExprProgram>& programs,
+                                   const Row& row, EvalScratch* scratch,
+                                   ExecContext* ctx) {
+  ++ctx->stats.rows_examined;
+  for (const ExprProgram& p : programs) {
+    bool ok = false;
+    IMON_RETURN_IF_ERROR(p.RunPredicate(row, nullptr, scratch, &ok));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Compiled filter programs for the plan node at pre-order index `idx`,
+/// or null when running uncompiled.
+const std::vector<ExprProgram>* NodePrograms(const ExecContext* ctx,
+                                             size_t idx) {
+  if (ctx->compiled == nullptr) return nullptr;
+  if (idx >= ctx->compiled->node_filters.size()) return nullptr;
+  return &ctx->compiled->node_filters[idx];
+}
+
+/// Run the node's filter chain over a full batch, appending the
+/// survivors to `out`. Every gathered row counts as examined, matching
+/// the scalar path's accounting. Survivors are copied out (selective
+/// materialization) so the arena keeps its storage for the next gather.
+Status FlushBatch(const std::vector<ExprProgram>& filters, RowBatch* batch,
+                  EvalScratch* scratch, std::vector<Row>* out,
+                  ExecContext* ctx) {
+  ctx->stats.rows_examined += static_cast<int64_t>(batch->filled);
+  for (const ExprProgram& f : filters) {
+    if (batch->sel.empty()) break;
+    IMON_RETURN_IF_ERROR(f.FilterBatch(batch, scratch));
+  }
+  for (uint32_t idx : batch->sel) out->push_back(batch->rows[idx]);
+  batch->Reset();
+  return Status::OK();
+}
+
+Result<std::vector<Row>> ExecuteNode(const PlanNode& plan, ExecContext* ctx,
+                                     size_t* node_counter);
+
+Result<std::vector<Row>> ExecuteScan(const PlanNode& plan, ExecContext* ctx,
+                                     size_t node_idx) {
   const optimizer::BoundTable& bt = (*ctx->tables)[plan.table_idx];
   std::vector<Row> out;
   Status inner = Status::OK();
 
-  auto consider = [&](const Row& row) -> bool {
+  const std::vector<ExprProgram>* programs = NodePrograms(ctx, node_idx);
+  const size_t capacity = std::max<size_t>(1, ctx->batch_size);
+  RowBatch batch;
+  EvalScratch scratch;
+
+  // Vectorized consume: gather into the batch arena by swapping with
+  // the scan's decode buffer — storage scans permit mutation, and the
+  // swap hands the slot's old storage back for the next in-place decode.
+  auto consider_batch = [&](Row& row) -> bool {
+    batch.PushSwap(&row);
+    if (batch.full(capacity)) {
+      Status st = FlushBatch(*programs, &batch, &scratch, &out, ctx);
+      if (!st.ok()) {
+        inner = st;
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Scalar fallback: interpret the filter ASTs row by row.
+  auto consider_scalar = [&](const Row& row) -> bool {
     auto pass = PassesFilters(plan.filters, plan.layout, row, ctx);
     if (!pass.ok()) {
       inner = pass.status();
@@ -42,6 +108,20 @@ Result<std::vector<Row>> ExecuteScan(const PlanNode& plan, ExecContext* ctx) {
     }
     if (*pass) out.push_back(row);
     return true;
+  };
+
+  auto consider = [&](Row& row) -> bool {
+    if (programs != nullptr) return consider_batch(row);
+    return consider_scalar(row);
+  };
+
+  auto finish = [&]() -> Status {
+    IMON_RETURN_IF_ERROR(inner);
+    if (programs != nullptr && batch.filled > 0) {
+      IMON_RETURN_IF_ERROR(
+          FlushBatch(*programs, &batch, &scratch, &out, ctx));
+    }
+    return Status::OK();
   };
 
   if (bt.is_virtual) {
@@ -66,26 +146,30 @@ Result<std::vector<Row>> ExecuteScan(const PlanNode& plan, ExecContext* ctx) {
     }
     std::vector<Row> rows = min_seq >= 0 ? bt.provider->SnapshotSince(min_seq)
                                          : bt.provider->Snapshot();
-    for (const Row& row : rows) {
-      if (!consider(row)) break;
+    if (programs != nullptr) {
+      for (Row& row : rows) {
+        if (!consider_batch(row)) break;
+      }
+    } else {
+      for (const Row& row : rows) {
+        if (!consider_scalar(row)) break;
+      }
     }
-    IMON_RETURN_IF_ERROR(inner);
+    IMON_RETURN_IF_ERROR(finish());
     return out;
   }
 
   switch (plan.access.kind) {
     case AccessPathKind::kSeqScan:
       IMON_RETURN_IF_ERROR(ctx->storage->Scan(
-          bt.info, [&](const Locator&, const Row& row) {
-            return consider(row);
-          }));
+          bt.info, [&](const Locator&, Row& row) { return consider(row); }));
       break;
     case AccessPathKind::kPrimaryBtree:
       ++ctx->stats.index_probes;
       IMON_RETURN_IF_ERROR(ctx->storage->ScanPrimaryRange(
           bt.info, plan.access.eq_values, plan.access.lower,
           plan.access.upper,
-          [&](const Locator&, const Row& row) { return consider(row); }));
+          [&](const Locator&, Row& row) { return consider(row); }));
       break;
     case AccessPathKind::kPrimaryHash:
       ++ctx->stats.index_probes;
@@ -93,7 +177,7 @@ Result<std::vector<Row>> ExecuteScan(const PlanNode& plan, ExecContext* ctx) {
       // discard them inside consider().
       IMON_RETURN_IF_ERROR(ctx->storage->HashLookup(
           bt.info, plan.access.eq_values,
-          [&](const Locator&, const Row& row) { return consider(row); }));
+          [&](const Locator&, Row& row) { return consider(row); }));
       break;
     case AccessPathKind::kPrimaryIsam:
       ++ctx->stats.index_probes;
@@ -102,7 +186,7 @@ Result<std::vector<Row>> ExecuteScan(const PlanNode& plan, ExecContext* ctx) {
       IMON_RETURN_IF_ERROR(ctx->storage->ScanIsamRange(
           bt.info, plan.access.eq_values, plan.access.lower,
           plan.access.upper,
-          [&](const Locator&, const Row& row) { return consider(row); }));
+          [&](const Locator&, Row& row) { return consider(row); }));
       break;
     case AccessPathKind::kSecondaryIndex: {
       if (plan.access.index.is_virtual) {
@@ -125,7 +209,7 @@ Result<std::vector<Row>> ExecuteScan(const PlanNode& plan, ExecContext* ctx) {
       break;
     }
   }
-  IMON_RETURN_IF_ERROR(inner);
+  IMON_RETURN_IF_ERROR(finish());
   return out;
 }
 
@@ -156,11 +240,12 @@ Result<bool> JoinConditionsHold(const PlanNode& plan, const Row& combined,
 }
 
 Result<std::vector<Row>> ExecuteHashJoin(const PlanNode& plan,
-                                         ExecContext* ctx) {
+                                         ExecContext* ctx,
+                                         size_t* node_counter) {
   IMON_ASSIGN_OR_RETURN(std::vector<Row> outer_rows,
-                        ExecuteTree(*plan.left, ctx));
+                        ExecuteNode(*plan.left, ctx, node_counter));
   IMON_ASSIGN_OR_RETURN(std::vector<Row> inner_rows,
-                        ExecuteTree(*plan.right, ctx));
+                        ExecuteNode(*plan.right, ctx, node_counter));
 
   // Build on inner side.
   std::unordered_multimap<uint64_t, size_t> table;
@@ -211,12 +296,12 @@ Result<std::vector<Row>> ExecuteHashJoin(const PlanNode& plan,
   return out;
 }
 
-Result<std::vector<Row>> ExecuteNLJoin(const PlanNode& plan,
-                                       ExecContext* ctx) {
+Result<std::vector<Row>> ExecuteNLJoin(const PlanNode& plan, ExecContext* ctx,
+                                       size_t* node_counter) {
   IMON_ASSIGN_OR_RETURN(std::vector<Row> outer_rows,
-                        ExecuteTree(*plan.left, ctx));
+                        ExecuteNode(*plan.left, ctx, node_counter));
   IMON_ASSIGN_OR_RETURN(std::vector<Row> inner_rows,
-                        ExecuteTree(*plan.right, ctx));
+                        ExecuteNode(*plan.right, ctx, node_counter));
   std::vector<Row> out;
   for (const Row& outer : outer_rows) {
     for (const Row& inner : inner_rows) {
@@ -230,10 +315,17 @@ Result<std::vector<Row>> ExecuteNLJoin(const PlanNode& plan,
 }
 
 Result<std::vector<Row>> ExecuteIndexNLJoin(const PlanNode& plan,
-                                            ExecContext* ctx) {
+                                            ExecContext* ctx,
+                                            size_t* node_counter) {
   IMON_ASSIGN_OR_RETURN(std::vector<Row> outer_rows,
-                        ExecuteTree(*plan.left, ctx));
+                        ExecuteNode(*plan.left, ctx, node_counter));
   const PlanNode& inner_scan = *plan.right;
+  // The inner scan is probed directly rather than executed as a node,
+  // but it still occupies its pre-order slot in the compiled programs.
+  size_t inner_idx = (*node_counter)++;
+  const std::vector<ExprProgram>* inner_programs =
+      NodePrograms(ctx, inner_idx);
+  EvalScratch scratch;
   const optimizer::BoundTable& bt = (*ctx->tables)[inner_scan.table_idx];
 
   std::vector<Row> out;
@@ -251,8 +343,11 @@ Result<std::vector<Row>> ExecuteIndexNLJoin(const PlanNode& plan,
 
     Status inner_status = Status::OK();
     auto handle_inner = [&](const Row& inner_row) -> bool {
-      auto pass = PassesFilters(inner_scan.filters, inner_scan.layout,
-                                inner_row, ctx);
+      auto pass = inner_programs != nullptr
+                      ? PassesFiltersCompiled(*inner_programs, inner_row,
+                                              &scratch, ctx)
+                      : PassesFilters(inner_scan.filters, inner_scan.layout,
+                                      inner_row, ctx);
       if (!pass.ok()) {
         inner_status = pass.status();
         return false;
@@ -294,20 +389,29 @@ Result<std::vector<Row>> ExecuteIndexNLJoin(const PlanNode& plan,
   return out;
 }
 
+/// Dispatch one plan node, consuming its pre-order index (shared with
+/// CompiledSelect::Compile's enumeration).
+Result<std::vector<Row>> ExecuteNode(const PlanNode& plan, ExecContext* ctx,
+                                     size_t* node_counter) {
+  size_t idx = (*node_counter)++;
+  switch (plan.kind) {
+    case PlanNodeKind::kScan:
+      return ExecuteScan(plan, ctx, idx);
+    case PlanNodeKind::kHashJoin:
+      return ExecuteHashJoin(plan, ctx, node_counter);
+    case PlanNodeKind::kNestedLoopJoin:
+      return ExecuteNLJoin(plan, ctx, node_counter);
+    case PlanNodeKind::kIndexNLJoin:
+      return ExecuteIndexNLJoin(plan, ctx, node_counter);
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
 }  // namespace
 
 Result<std::vector<Row>> ExecuteTree(const PlanNode& plan, ExecContext* ctx) {
-  switch (plan.kind) {
-    case PlanNodeKind::kScan:
-      return ExecuteScan(plan, ctx);
-    case PlanNodeKind::kHashJoin:
-      return ExecuteHashJoin(plan, ctx);
-    case PlanNodeKind::kNestedLoopJoin:
-      return ExecuteNLJoin(plan, ctx);
-    case PlanNodeKind::kIndexNLJoin:
-      return ExecuteIndexNLJoin(plan, ctx);
-  }
-  return Status::Internal("unknown plan node kind");
+  size_t node_counter = 0;
+  return ExecuteNode(plan, ctx, &node_counter);
 }
 
 namespace {
@@ -362,6 +466,8 @@ Result<ResultSet> ExecuteSelect(const BoundSelect& bound,
                                 const PlanNode& plan, ExecContext* ctx) {
   IMON_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecuteTree(plan, ctx));
   const sql::SelectStmt& stmt = *bound.stmt;
+  const CompiledSelect* cp = ctx->compiled;
+  EvalScratch scratch;
 
   ResultSet result;
   for (const auto& item : bound.items) result.columns.push_back(item.alias);
@@ -377,11 +483,19 @@ Result<ResultSet> ExecuteSelect(const BoundSelect& bound,
 
   if (bound.has_aggregates) {
     std::unordered_map<uint64_t, std::vector<size_t>> index;
+    std::vector<Value> keys;
     for (const Row& row : rows) {
-      std::vector<Value> keys;
+      keys.clear();
       keys.reserve(stmt.group_by.size());
-      for (const auto& g : stmt.group_by) {
-        IMON_ASSIGN_OR_RETURN(Value v, Eval(*g, plan.layout, row));
+      for (size_t gi = 0; gi < stmt.group_by.size(); ++gi) {
+        Value v;
+        if (cp != nullptr) {
+          IMON_RETURN_IF_ERROR(
+              cp->group_keys[gi].Run(row, nullptr, &scratch, &v));
+        } else {
+          IMON_ASSIGN_OR_RETURN(
+              v, Eval(*stmt.group_by[gi], plan.layout, row));
+        }
         keys.push_back(std::move(v));
       }
       uint64_t h = HashRow(keys);
@@ -416,7 +530,13 @@ Result<ResultSet> ExecuteSelect(const BoundSelect& bound,
           ++group->states[a].count;  // COUNT(*)
           group->states[a].seen = true;
         } else {
-          IMON_ASSIGN_OR_RETURN(Value v, Eval(*agg.arg, plan.layout, row));
+          Value v;
+          if (cp != nullptr) {
+            IMON_RETURN_IF_ERROR(
+                cp->agg_args[a]->Run(row, nullptr, &scratch, &v));
+          } else {
+            IMON_ASSIGN_OR_RETURN(v, Eval(*agg.arg, plan.layout, row));
+          }
           group->states[a].Add(v);
         }
       }
@@ -430,9 +550,9 @@ Result<ResultSet> ExecuteSelect(const BoundSelect& bound,
     for (Group& g : groups) {
       Logical l;
       l.row = &g.representative;
+      l.aggs.resize(bound.aggregates.size());
       for (size_t a = 0; a < bound.aggregates.size(); ++a) {
-        l.aggs[bound.aggregates[a].call] =
-            g.states[a].Finish(bound.aggregates[a].func);
+        l.aggs[a] = g.states[a].Finish(bound.aggregates[a].func);
       }
       logical.push_back(std::move(l));
     }
@@ -440,9 +560,14 @@ Result<ResultSet> ExecuteSelect(const BoundSelect& bound,
     if (stmt.having) {
       std::vector<Logical> kept;
       for (Logical& l : logical) {
-        IMON_ASSIGN_OR_RETURN(
-            bool ok, EvalPredicate(*stmt.having, plan.layout, *l.row,
-                                   &l.aggs));
+        bool ok = false;
+        if (cp != nullptr) {
+          IMON_RETURN_IF_ERROR(
+              cp->having->RunPredicate(*l.row, &l.aggs, &scratch, &ok));
+        } else {
+          IMON_ASSIGN_OR_RETURN(
+              ok, EvalPredicate(*stmt.having, plan.layout, *l.row, &l.aggs));
+        }
         if (ok) kept.push_back(std::move(l));
       }
       logical = std::move(kept);
@@ -458,10 +583,16 @@ Result<ResultSet> ExecuteSelect(const BoundSelect& bound,
     std::vector<std::pair<std::vector<Value>, size_t>> keyed(logical.size());
     for (size_t i = 0; i < logical.size(); ++i) {
       keyed[i].second = i;
-      for (const auto& o : stmt.order_by) {
-        IMON_ASSIGN_OR_RETURN(Value v, Eval(*o.expr, plan.layout,
-                                            *logical[i].row,
-                                            &logical[i].aggs));
+      for (size_t k = 0; k < stmt.order_by.size(); ++k) {
+        Value v;
+        if (cp != nullptr) {
+          IMON_RETURN_IF_ERROR(cp->order_keys[k].Run(
+              *logical[i].row, &logical[i].aggs, &scratch, &v));
+        } else {
+          IMON_ASSIGN_OR_RETURN(
+              v, Eval(*stmt.order_by[k].expr, plan.layout, *logical[i].row,
+                      &logical[i].aggs));
+        }
         keyed[i].first.push_back(std::move(v));
       }
     }
@@ -487,9 +618,14 @@ Result<ResultSet> ExecuteSelect(const BoundSelect& bound,
   for (const Logical& l : logical) {
     Row out_row;
     out_row.reserve(bound.items.size());
-    for (const auto& item : bound.items) {
-      IMON_ASSIGN_OR_RETURN(Value v,
-                            Eval(*item.expr, plan.layout, *l.row, &l.aggs));
+    for (size_t i = 0; i < bound.items.size(); ++i) {
+      Value v;
+      if (cp != nullptr) {
+        IMON_RETURN_IF_ERROR(cp->items[i].Run(*l.row, &l.aggs, &scratch, &v));
+      } else {
+        IMON_ASSIGN_OR_RETURN(
+            v, Eval(*bound.items[i].expr, plan.layout, *l.row, &l.aggs));
+      }
       out_row.push_back(std::move(v));
     }
     if (stmt.distinct) {

@@ -11,11 +11,14 @@
 #include <string>
 #include <vector>
 
+#include "exec/row_batch.h"
 #include "exec/storage_layer.h"
 #include "optimizer/binder.h"
 #include "optimizer/plan.h"
 
 namespace imon::exec {
+
+struct CompiledSelect;
 
 /// Per-statement execution counters.
 struct RuntimeStats {
@@ -28,6 +31,12 @@ struct ExecContext {
   StorageLayer* storage = nullptr;
   const std::vector<optimizer::BoundTable>* tables = nullptr;
   RuntimeStats stats;
+  /// Rows per RowBatch on the vectorized path (tests force 1 to drive
+  /// the batch-size differential).
+  size_t batch_size = kDefaultBatchSize;
+  /// Compiled programs for the statement, or null to interpret the AST
+  /// per row (the scalar fallback; also the benchmark baseline).
+  const CompiledSelect* compiled = nullptr;
 };
 
 /// Materialized query result.

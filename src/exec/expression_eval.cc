@@ -13,18 +13,23 @@ namespace {
 
 Value BoolValue(bool b) { return Value::Int(b ? 1 : 0); }
 
-/// Three-valued comparison result: -2 = NULL.
+}  // namespace
+
 int CompareSql(const Value& a, const Value& b) {
   if (a.is_null() || b.is_null()) return -2;
   return a.Compare(b);
 }
 
-Result<Value> Arithmetic(BinaryOp op, const Value& l, const Value& r) {
-  if (l.is_null() || r.is_null()) return Value::Null();
+Status ArithmeticOp(BinaryOp op, const Value& l, const Value& r, Value* out) {
+  if (l.is_null() || r.is_null()) {
+    *out = Value::Null();
+    return Status::OK();
+  }
   if (l.type() == TypeId::kText || r.type() == TypeId::kText) {
     if (op == BinaryOp::kAdd && l.type() == TypeId::kText &&
         r.type() == TypeId::kText) {
-      return Value::Text(l.AsText() + r.AsText());  // '+' concatenates text
+      *out = Value::Text(l.AsText() + r.AsText());  // '+' concatenates text
+      return Status::OK();
     }
     return Status::InvalidArgument("arithmetic on text value");
   }
@@ -32,36 +37,41 @@ Result<Value> Arithmetic(BinaryOp op, const Value& l, const Value& r) {
       l.type() == TypeId::kInt && r.type() == TypeId::kInt;
   switch (op) {
     case BinaryOp::kAdd:
-      return both_int ? Value::Int(l.AsInt() + r.AsInt())
+      *out = both_int ? Value::Int(l.AsInt() + r.AsInt())
                       : Value::Double(l.AsDouble() + r.AsDouble());
+      return Status::OK();
     case BinaryOp::kSub:
-      return both_int ? Value::Int(l.AsInt() - r.AsInt())
+      *out = both_int ? Value::Int(l.AsInt() - r.AsInt())
                       : Value::Double(l.AsDouble() - r.AsDouble());
+      return Status::OK();
     case BinaryOp::kMul:
-      return both_int ? Value::Int(l.AsInt() * r.AsInt())
+      *out = both_int ? Value::Int(l.AsInt() * r.AsInt())
                       : Value::Double(l.AsDouble() * r.AsDouble());
+      return Status::OK();
     case BinaryOp::kDiv: {
       if (both_int) {
         // SQL integer division truncates (PostgreSQL semantics).
-        if (r.AsInt() == 0) return Value::Null();
-        return Value::Int(l.AsInt() / r.AsInt());
+        *out = r.AsInt() == 0 ? Value::Null()
+                              : Value::Int(l.AsInt() / r.AsInt());
+        return Status::OK();
       }
       double divisor = r.AsDouble();
-      if (divisor == 0.0) return Value::Null();  // SQL: division by zero
-      return Value::Double(l.AsDouble() / divisor);
+      // SQL: division by zero yields NULL.
+      *out = divisor == 0.0 ? Value::Null()
+                            : Value::Double(l.AsDouble() / divisor);
+      return Status::OK();
     }
     case BinaryOp::kMod: {
       if (!both_int)
         return Status::InvalidArgument("'%' requires integer operands");
-      if (r.AsInt() == 0) return Value::Null();
-      return Value::Int(l.AsInt() % r.AsInt());
+      *out = r.AsInt() == 0 ? Value::Null()
+                            : Value::Int(l.AsInt() % r.AsInt());
+      return Status::OK();
     }
     default:
       return Status::Internal("not an arithmetic op");
   }
 }
-
-}  // namespace
 
 bool LikeMatch(const std::string& text, const std::string& pattern) {
   // Iterative glob match with backtracking on '%'.
@@ -148,7 +158,9 @@ Result<Value> Eval(const Expr& expr, const optimizer::OutputLayout& layout,
         default: {
           IMON_ASSIGN_OR_RETURN(Value l, Eval(*expr.lhs, layout, row, aggs));
           IMON_ASSIGN_OR_RETURN(Value r, Eval(*expr.rhs, layout, row, aggs));
-          return Arithmetic(expr.binary_op, l, r);
+          Value v;
+          IMON_RETURN_IF_ERROR(ArithmeticOp(expr.binary_op, l, r, &v));
+          return v;
         }
       }
     }
@@ -166,9 +178,9 @@ Result<Value> Eval(const Expr& expr, const optimizer::OutputLayout& layout,
     }
 
     case ExprKind::kFuncCall: {
-      if (aggs != nullptr) {
-        auto it = aggs->find(&expr);
-        if (it != aggs->end()) return it->second;
+      if (aggs != nullptr && expr.agg_slot >= 0 &&
+          expr.agg_slot < static_cast<int>(aggs->size())) {
+        return (*aggs)[expr.agg_slot];
       }
       if (expr.func_name == "abs") {
         IMON_ASSIGN_OR_RETURN(Value v,

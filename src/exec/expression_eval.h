@@ -3,7 +3,7 @@
 #ifndef IMON_EXEC_EXPRESSION_EVAL_H_
 #define IMON_EXEC_EXPRESSION_EVAL_H_
 
-#include <map>
+#include <vector>
 
 #include "common/status.h"
 #include "common/value.h"
@@ -12,8 +12,9 @@
 
 namespace imon::exec {
 
-/// Values of evaluated aggregate calls, keyed by their kFuncCall node.
-using AggregateValues = std::map<const sql::Expr*, Value>;
+/// Values of evaluated aggregate calls, indexed by Expr::agg_slot (the
+/// binder assigns slots in BoundSelect::aggregates order).
+using AggregateValues = std::vector<Value>;
 
 /// Evaluate `expr` against one row laid out by `layout`. Aggregate calls
 /// are looked up in `aggs` (Internal error when absent there).
@@ -29,6 +30,17 @@ Result<bool> EvalPredicate(const sql::Expr& expr,
 
 /// SQL LIKE with % and _ wildcards.
 bool LikeMatch(const std::string& text, const std::string& pattern);
+
+/// Three-valued comparison result: -2 when either operand is NULL.
+/// Shared by the scalar evaluator and the compiled ExprProgram machine
+/// so the two paths cannot drift.
+int CompareSql(const Value& a, const Value& b);
+
+/// SQL arithmetic with NULL propagation ('+' concatenates text,
+/// division by zero yields NULL, '%' requires integers). Status-based so
+/// the compiled path pays no Result<Value> on the non-error path.
+Status ArithmeticOp(sql::BinaryOp op, const Value& l, const Value& r,
+                    Value* out);
 
 }  // namespace imon::exec
 

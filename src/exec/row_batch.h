@@ -1,0 +1,56 @@
+// Unit of vectorized execution: a block of rows plus a selection vector.
+//
+// Operators exchange RowBatches instead of single rows. The selection
+// vector `sel` lists the indices of live rows in `rows`, in order;
+// filters compact `sel` in place rather than copying survivors, so a
+// batch flows through a filter chain with zero row moves. Downstream
+// consumers iterate `sel`, never `rows` directly.
+
+#ifndef IMON_EXEC_ROW_BATCH_H_
+#define IMON_EXEC_ROW_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/value.h"
+
+namespace imon::exec {
+
+/// Default batch size: large enough to amortize per-batch dispatch and
+/// keep a whole batch of row headers in L1/L2, small enough that the
+/// values of a text-heavy batch still fit in cache (see DESIGN.md §10).
+inline constexpr size_t kDefaultBatchSize = 1024;
+
+struct RowBatch {
+  /// Row arena. Slots [0, filled) hold the current batch; Reset() keeps
+  /// the slots (and their values' string capacity) alive for reuse, so a
+  /// scan's steady state allocates nothing per row.
+  std::vector<Row> rows;
+  /// Indices into `rows` of the rows still alive, ascending.
+  std::vector<uint32_t> sel;
+  size_t filled = 0;
+
+  size_t size() const { return sel.size(); }
+  bool empty() const { return sel.empty(); }
+  bool full(size_t capacity) const { return filled >= capacity; }
+
+  /// Swap a scan's decode buffer into the next slot; the row starts
+  /// selected. The buffer receives the slot's previous storage back, to
+  /// be overwritten in place by the next decode.
+  void PushSwap(Row* row) {
+    if (filled == rows.size()) rows.emplace_back();
+    rows[filled].swap(*row);
+    sel.push_back(static_cast<uint32_t>(filled));
+    ++filled;
+  }
+
+  /// Ready the arena for the next gather without releasing row storage.
+  void Reset() {
+    sel.clear();
+    filled = 0;
+  }
+};
+
+}  // namespace imon::exec
+
+#endif  // IMON_EXEC_ROW_BATCH_H_

@@ -335,36 +335,44 @@ Result<Row> StorageLayer::Fetch(const TableInfo& table, const Locator& loc) {
     return Status::NotFound("no row at locator in table '" + table.name +
                             "'");
   }
-  return DeserializeRow(std::string(cursor.payload()));
+  return DeserializeRow(cursor.payload());
 }
 
 Status StorageLayer::Scan(
     const TableInfo& table,
-    const std::function<bool(const Locator&, const Row&)>& fn) {
+    const std::function<bool(const Locator&, Row&)>& fn) {
   if (table.structure == StorageStructure::kHeap) {
-    return HeapFor(table)->Scan([&](Rid rid, const Row& row) {
+    return HeapFor(table)->Scan([&](Rid rid, Row& row) {
       return fn(PackRid(rid), row);
     });
   }
   if (table.structure == StorageStructure::kHash) {
-    return HashFor(table)->Scan([&](Rid rid, const Row& row) {
+    return HashFor(table)->Scan([&](Rid rid, Row& row) {
       return fn(PackRid(rid), row);
     });
   }
   if (table.structure == StorageStructure::kIsam) {
-    return IsamFor(table)->Scan([&](Rid rid, const Row& row) {
+    return IsamFor(table)->Scan([&](Rid rid, Row& row) {
       return fn(PackRid(rid), row);
     });
   }
+  // Leaf-at-a-time: one buffer-pool pin per leaf page, rows decoded
+  // straight out of the pinned page into a reused Row buffer.
   BTree* tree = BtreeFor(table.file_id);
-  IMON_ASSIGN_OR_RETURN(BTree::Cursor cursor, tree->SeekToFirst());
-  while (cursor.Valid()) {
-    IMON_ASSIGN_OR_RETURN(Row row,
-                          DeserializeRow(std::string(cursor.payload())));
-    if (!fn(std::string(cursor.user_key()), row)) break;
-    IMON_RETURN_IF_ERROR(cursor.Next());
-  }
-  return Status::OK();
+  Status inner = Status::OK();
+  Row row;
+  Locator loc;
+  IMON_RETURN_IF_ERROR(tree->ScanFrom(
+      "", [&](std::string_view key, std::string_view payload) {
+        Status st = DeserializeRowInto(payload, &row);
+        if (!st.ok()) {
+          inner = st;
+          return false;
+        }
+        loc.assign(key.data(), key.size());
+        return fn(loc, row);
+      }));
+  return inner;
 }
 
 Result<StorageLayer::EncodedRange> StorageLayer::EncodeRange(
@@ -404,33 +412,29 @@ Result<StorageLayer::EncodedRange> StorageLayer::EncodeRange(
 namespace {
 
 /// Shared range-iteration logic over a BTree given an EncodedRange.
-/// `fn(user_key, payload)` returns false to stop.
+/// `fn(user_key, payload)` returns false to stop. Runs on the
+/// leaf-at-a-time ScanFrom path (one pin per leaf, no entry copies).
 Status IterateRange(
     BTree* tree, const StorageLayer::EncodedRange& range,
     const std::function<bool(std::string_view, std::string_view)>& fn) {
-  IMON_ASSIGN_OR_RETURN(BTree::Cursor cursor,
-                        tree->SeekLowerBound(range.lower));
-  while (cursor.Valid()) {
-    std::string_view key = cursor.user_key();
-    if (!StartsWith(key, range.eq_prefix)) break;
-    if (range.has_upper) {
-      int cmp = std::string_view(key).compare(range.upper_limit);
-      bool is_prefix = StartsWith(key, range.upper_limit);
-      if (range.upper_open) {
-        if (cmp >= 0) break;  // includes the exact/prefix case
-      } else {
-        if (cmp > 0 && !is_prefix) break;
-      }
-    }
-    if (!range.lower_exclusive_prefix.empty() &&
-        StartsWith(key, range.lower_exclusive_prefix)) {
-      IMON_RETURN_IF_ERROR(cursor.Next());
-      continue;
-    }
-    if (!fn(key, cursor.payload())) break;
-    IMON_RETURN_IF_ERROR(cursor.Next());
-  }
-  return Status::OK();
+  return tree->ScanFrom(
+      range.lower, [&](std::string_view key, std::string_view payload) {
+        if (!StartsWith(key, range.eq_prefix)) return false;
+        if (range.has_upper) {
+          int cmp = key.compare(range.upper_limit);
+          bool is_prefix = StartsWith(key, range.upper_limit);
+          if (range.upper_open) {
+            if (cmp >= 0) return false;  // includes the exact/prefix case
+          } else {
+            if (cmp > 0 && !is_prefix) return false;
+          }
+        }
+        if (!range.lower_exclusive_prefix.empty() &&
+            StartsWith(key, range.lower_exclusive_prefix)) {
+          return true;
+        }
+        return fn(key, payload);
+      });
 }
 
 }  // namespace
@@ -439,7 +443,7 @@ Status StorageLayer::ScanIsamRange(
     const TableInfo& table, const std::vector<Value>& eq_prefix,
     const std::optional<optimizer::KeyBound>& lower,
     const std::optional<optimizer::KeyBound>& upper,
-    const std::function<bool(const Locator&, const Row&)>& fn) {
+    const std::function<bool(const Locator&, Row&)>& fn) {
   if (table.structure != StorageStructure::kIsam) {
     return Status::Internal("ISAM range scan on non-ISAM table");
   }
@@ -469,15 +473,14 @@ Status StorageLayer::ScanIsamRange(
     // prefix + 0xFF... (field tags stay below 0xFF).
     high = prefix + std::string(4, '\xff');
   }
-  return IsamFor(table)->ScanRange(low, high,
-                                   [&](Rid rid, const Row& row) {
-                                     return fn(PackRid(rid), row);
-                                   });
+  return IsamFor(table)->ScanRange(low, high, [&](Rid rid, Row& row) {
+    return fn(PackRid(rid), row);
+  });
 }
 
 Status StorageLayer::HashLookup(
     const TableInfo& table, const std::vector<Value>& key_values,
-    const std::function<bool(const Locator&, const Row&)>& fn) {
+    const std::function<bool(const Locator&, Row&)>& fn) {
   if (table.structure != StorageStructure::kHash) {
     return Status::Internal("hash lookup on non-HASH table");
   }
@@ -492,7 +495,7 @@ Status StorageLayer::HashLookup(
                               table.columns[key_cols[i]].type));
     storage::EncodeKeyValue(v, &key);
   }
-  return HashFor(table)->LookupBucket(key, [&](Rid rid, const Row& row) {
+  return HashFor(table)->LookupBucket(key, [&](Rid rid, Row& row) {
     return fn(PackRid(rid), row);
   });
 }
@@ -501,7 +504,7 @@ Status StorageLayer::ScanPrimaryRange(
     const TableInfo& table, const std::vector<Value>& eq_prefix,
     const std::optional<optimizer::KeyBound>& lower,
     const std::optional<optimizer::KeyBound>& upper,
-    const std::function<bool(const Locator&, const Row&)>& fn) {
+    const std::function<bool(const Locator&, Row&)>& fn) {
   if (table.structure != StorageStructure::kBtree) {
     return Status::Internal("primary range scan on non-BTREE table");
   }
@@ -511,15 +514,18 @@ Status StorageLayer::ScanPrimaryRange(
   IMON_ASSIGN_OR_RETURN(EncodedRange range,
                         EncodeRange(types, eq_prefix, lower, upper));
   Status inner = Status::OK();
+  Row row;
+  Locator loc;
   IMON_RETURN_IF_ERROR(IterateRange(
       BtreeFor(table.file_id), range,
       [&](std::string_view key, std::string_view payload) {
-        auto row = DeserializeRow(std::string(payload));
-        if (!row.ok()) {
-          inner = row.status();
+        Status st = DeserializeRowInto(payload, &row);
+        if (!st.ok()) {
+          inner = st;
           return false;
         }
-        return fn(std::string(key), *row);
+        loc.assign(key.data(), key.size());
+        return fn(loc, row);
       }));
   return inner;
 }
@@ -534,9 +540,11 @@ Status StorageLayer::IndexScan(
   for (int ord : idx.key_columns) types.push_back(table.columns[ord].type);
   IMON_ASSIGN_OR_RETURN(EncodedRange range,
                         EncodeRange(types, eq_prefix, lower, upper));
+  Locator loc;
   return IterateRange(BtreeFor(idx.file_id), range,
                       [&](std::string_view, std::string_view payload) {
-                        return fn(std::string(payload));
+                        loc.assign(payload.data(), payload.size());
+                        return fn(loc);
                       });
 }
 

@@ -70,9 +70,12 @@ class StorageLayer {
   // -- reads ------------------------------------------------------------------
   Result<Row> Fetch(const catalog::TableInfo& table, const Locator& loc);
 
-  /// Full scan in storage order; callback returns false to stop.
+  /// Full scan in storage order; callback returns false to stop. Rows
+  /// are decoded into buffers reused across calls: callbacks may move
+  /// from the row (the batch gather path does), but must not hold a
+  /// reference past their return.
   Status Scan(const catalog::TableInfo& table,
-              const std::function<bool(const Locator&, const Row&)>& fn);
+              const std::function<bool(const Locator&, Row&)>& fn);
 
   /// Range scan on an ISAM table's primary structure (routing only —
   /// chains are unordered; callers re-apply their filters).
@@ -80,22 +83,20 @@ class StorageLayer {
                        const std::vector<Value>& eq_prefix,
                        const std::optional<optimizer::KeyBound>& lower,
                        const std::optional<optimizer::KeyBound>& upper,
-                       const std::function<bool(const Locator&,
-                                                const Row&)>& fn);
+                       const std::function<bool(const Locator&, Row&)>& fn);
 
   /// Equality lookup on a HASH table's primary structure (full key).
   /// Collisions are possible; callers re-apply the equality filters.
   Status HashLookup(const catalog::TableInfo& table,
                     const std::vector<Value>& key_values,
-                    const std::function<bool(const Locator&, const Row&)>& fn);
+                    const std::function<bool(const Locator&, Row&)>& fn);
 
   /// Range scan on a BTREE table's primary structure.
   Status ScanPrimaryRange(const catalog::TableInfo& table,
                           const std::vector<Value>& eq_prefix,
                           const std::optional<optimizer::KeyBound>& lower,
                           const std::optional<optimizer::KeyBound>& upper,
-                          const std::function<bool(const Locator&,
-                                                   const Row&)>& fn);
+                          const std::function<bool(const Locator&, Row&)>& fn);
 
   /// Range scan on a secondary index, yielding base-row locators.
   Status IndexScan(const catalog::IndexInfo& idx,

@@ -25,19 +25,32 @@ class StatementsProvider : public catalog::VirtualTableProvider {
   std::vector<ColumnInfo> Schema() const override {
     return {Col("hash", TypeId::kInt), Col("query_text", TypeId::kText),
             Col("frequency", TypeId::kInt), Col("first_seen", TypeId::kInt),
-            Col("last_seen", TypeId::kInt)};
+            Col("last_seen", TypeId::kInt), Col("seq", TypeId::kInt)};
   }
   std::vector<Row> Snapshot() const override {
+    return Materialize(monitor_->SnapshotStatements());
+  }
+  /// seq is the record's change stamp (bumped on every frequency
+  /// update), so `WHERE seq > N` returns exactly the rows that changed
+  /// since the daemon's previous poll.
+  int SeqColumn() const override { return 5; }
+  std::vector<Row> SnapshotSince(int64_t min_seq) const override {
+    return Materialize(monitor_->SnapshotStatementsSince(min_seq));
+  }
+
+ private:
+  static std::vector<Row> Materialize(
+      const std::vector<monitor::StatementRecord>& records) {
     std::vector<Row> out;
-    for (const auto& s : monitor_->SnapshotStatements()) {
-      out.push_back({HashV(s.hash), Value::Text(s.text),
-                     IntV(s.frequency), IntV(s.first_seen_micros),
-                     IntV(s.last_seen_micros)});
+    out.reserve(records.size());
+    for (const auto& s : records) {
+      out.push_back({HashV(s.hash), Value::Text(s.text), IntV(s.frequency),
+                     IntV(s.first_seen_micros), IntV(s.last_seen_micros),
+                     IntV(s.seq)});
     }
     return out;
   }
 
- private:
   const Monitor* monitor_;
 };
 
@@ -62,23 +75,19 @@ class WorkloadProvider : public catalog::VirtualTableProvider {
             Col("monitor_nanos", TypeId::kInt)};
   }
   std::vector<Row> Snapshot() const override {
-    std::vector<Row> out;
-    for (const auto& w : monitor_->SnapshotWorkload()) {
-      out.push_back({IntV(w.seq), HashV(w.hash), IntV(w.start_micros),
-                     IntV(w.wallclock_nanos), IntV(w.optimizer_cpu_nanos),
-                     IntV(w.optimizer_disk_io), IntV(w.execute_cpu_nanos),
-                     IntV(w.execute_disk_io), Value::Double(w.estimated_cpu),
-                     Value::Double(w.estimated_io),
-                     Value::Double(w.estimated_cpu + w.estimated_io),
-                     Value::Double(w.actual_cost), IntV(w.rows_examined),
-                     IntV(w.rows_output), IntV(w.monitor_nanos)});
-    }
-    return out;
+    return Materialize(monitor_->SnapshotWorkload());
   }
   int SeqColumn() const override { return 0; }
   std::vector<Row> SnapshotSince(int64_t min_seq) const override {
+    return Materialize(monitor_->SnapshotWorkloadSince(min_seq));
+  }
+
+ private:
+  static std::vector<Row> Materialize(
+      const std::vector<monitor::WorkloadRecord>& records) {
     std::vector<Row> out;
-    for (const auto& w : monitor_->SnapshotWorkloadSince(min_seq)) {
+    out.reserve(records.size());
+    for (const auto& w : records) {
       out.push_back({IntV(w.seq), HashV(w.hash), IntV(w.start_micros),
                      IntV(w.wallclock_nanos), IntV(w.optimizer_cpu_nanos),
                      IntV(w.optimizer_disk_io), IntV(w.execute_cpu_nanos),
@@ -91,7 +100,6 @@ class WorkloadProvider : public catalog::VirtualTableProvider {
     return out;
   }
 
- private:
   const Monitor* monitor_;
 };
 
@@ -115,6 +123,7 @@ class ReferencesProvider : public catalog::VirtualTableProvider {
   static std::vector<Row> Materialize(
       const std::vector<monitor::ReferenceRecord>& records) {
     std::vector<Row> out;
+    out.reserve(records.size());
     for (const auto& r : records) {
       const char* type = "table";
       switch (r.type) {
@@ -258,6 +267,7 @@ class StatisticsProvider : public catalog::VirtualTableProvider {
   static std::vector<Row> Materialize(
       const std::vector<monitor::StatisticsRecord>& records) {
     std::vector<Row> out;
+    out.reserve(records.size());
     for (const auto& s : records) {
       out.push_back({IntV(s.seq), IntV(s.time_micros),
                      IntV(s.current_sessions), IntV(s.max_sessions_seen),
@@ -364,6 +374,7 @@ class TracesProvider : public catalog::VirtualTableProvider {
   static std::vector<Row> Materialize(
       const std::vector<monitor::TraceRecord>& records) {
     std::vector<Row> out;
+    out.reserve(records.size());
     for (const auto& t : records) {
       out.push_back({IntV(t.seq), HashV(t.hash), IntV(t.session_id),
                      Value::Text(monitor::StageName(t.stage)),

@@ -8,7 +8,9 @@
 //
 // RegisterImaTables() registers these virtual tables on a Database:
 //
-//   imp_statements  (hash, query_text, frequency, first_seen, last_seen)
+//   imp_statements  (hash, query_text, frequency, first_seen, last_seen,
+//                    seq) — seq is the row's change stamp, so
+//                    `WHERE seq > N` polls only changed statements
 //   imp_workload    (seq, hash, start_micros, wallclock_nanos,
 //                    opt_cpu_nanos, opt_disk_io, exec_cpu_nanos,
 //                    exec_disk_io, est_cpu, est_io, est_cost, actual_cost,

@@ -142,6 +142,7 @@ void Monitor::Commit(QueryTrace* trace) {
       stmt.frequency = 1;
       stmt.first_seen_micros = trace->wall_start_micros;
       stmt.last_seen_micros = trace->wall_start_micros;
+      stmt.seq = next_statement_seq_.fetch_add(1, std::memory_order_relaxed);
       while (shard.statements.size() >= config_.statement_window &&
              !shard.statement_arrivals.empty()) {
         uint64_t victim = shard.statement_arrivals.front();
@@ -153,6 +154,8 @@ void Monitor::Commit(QueryTrace* trace) {
     } else {
       it->second.frequency += 1;
       it->second.last_seen_micros = trace->wall_start_micros;
+      it->second.seq =
+          next_statement_seq_.fetch_add(1, std::memory_order_relaxed);
     }
 
     // References: logged once per statement execution.
@@ -318,6 +321,7 @@ std::vector<StatementRecord> Monitor::SnapshotStatements() const {
                                                   record.first_seen_micros);
           it->second.last_seen_micros = std::max(it->second.last_seen_micros,
                                                  record.last_seen_micros);
+          it->second.seq = std::max(it->second.seq, record.seq);
         }
       }
     }
@@ -329,6 +333,21 @@ std::vector<StatementRecord> Monitor::SnapshotStatements() const {
             [](const StatementRecord& a, const StatementRecord& b) {
               return a.first_seen_micros < b.first_seen_micros;
             });
+  return out;
+}
+
+std::vector<StatementRecord> Monitor::SnapshotStatementsSince(
+    int64_t min_seq) const {
+  // The registry keeps one row per hash, so "since" filters on the
+  // row's change stamp after the same cross-shard merge as the full
+  // snapshot (a shard-local row may predate min_seq while another
+  // shard's copy does not — merge first, then filter).
+  std::vector<StatementRecord> all = SnapshotStatements();
+  std::vector<StatementRecord> out;
+  out.reserve(all.size());
+  for (auto& record : all) {
+    if (record.seq > min_seq) out.push_back(std::move(record));
+  }
   return out;
 }
 

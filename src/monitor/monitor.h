@@ -136,6 +136,9 @@ struct StatementRecord {
   int64_t frequency = 0;
   int64_t first_seen_micros = 0;
   int64_t last_seen_micros = 0;
+  /// Bumped every time the record changes (insert or frequency update),
+  /// from its own seq domain; lets the daemon poll only changed rows.
+  int64_t seq = 0;
 };
 
 enum class RefType { kTable = 0, kAttribute = 1, kIndex = 2, kUsedIndex = 3 };
@@ -357,6 +360,10 @@ class Monitor {
   std::vector<WorkloadRecord> SnapshotWorkloadSince(int64_t min_seq) const;
   std::vector<ReferenceRecord> SnapshotReferencesSince(int64_t min_seq) const;
   std::vector<StatisticsRecord> SnapshotStatisticsSince(int64_t min_seq) const;
+  /// Statements whose record changed (insert or frequency bump) since
+  /// min_seq — the registry keeps one row per hash, so this returns
+  /// current rows, not history.
+  std::vector<StatementRecord> SnapshotStatementsSince(int64_t min_seq) const;
 
   /// Stage traces (imp_traces), merged across shards in trace-seq order.
   std::vector<TraceRecord> SnapshotTraces() const;
@@ -451,6 +458,9 @@ class Monitor {
   /// Separate seq domain for stage traces so the workload/references
   /// domain stays dense (exactly 1 + refs seqs per commit).
   std::atomic<int64_t> next_trace_seq_{1};
+  /// Separate seq domain for statement-registry change stamps, for the
+  /// same reason.
+  std::atomic<int64_t> next_statement_seq_{1};
 
   /// Stage/wallclock histograms in the attached registry (null = not
   /// attached). Set once at engine construction, before commits run.

@@ -120,6 +120,7 @@ Status Binder::BindExpr(Expr* expr, const std::vector<BoundTable>& tables,
           agg.func = expr->func_name;
           agg.call = expr;
           agg.arg = is_star ? nullptr : expr->args[0].get();
+          expr->agg_slot = static_cast<int>(aggs->size());
           aggs->push_back(agg);
         }
         return Status::OK();

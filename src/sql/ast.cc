@@ -55,6 +55,7 @@ ExprPtr Expr::Clone() const {
   out->negated = negated;
   out->bound_table = bound_table;
   out->bound_column = bound_column;
+  out->agg_slot = agg_slot;
   return out;
 }
 

@@ -99,6 +99,9 @@ struct Expr {
   /// Resolved column: index of the table in the FROM list + column ordinal.
   int bound_table = -1;
   int bound_column = -1;
+  /// Aggregate calls: index into BoundSelect::aggregates (and into the
+  /// per-group AggregateValues vector); -1 for non-aggregate nodes.
+  int agg_slot = -1;
 
   /// Deep copy (bound annotations included).
   ExprPtr Clone() const;

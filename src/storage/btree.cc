@@ -353,6 +353,33 @@ Status BTree::Cursor::Next() {
   return AdvanceUntilValid();
 }
 
+Status BTree::ScanFrom(
+    const std::string& start_user_key,
+    const std::function<bool(std::string_view user_key,
+                             std::string_view payload)>& fn) const {
+  // FindLeaf with an empty key descends lower-bound to the leftmost
+  // leaf, so one entry path covers full scans and range starts alike.
+  IMON_ASSIGN_OR_RETURN(uint32_t page_no, FindLeaf(start_user_key));
+  bool seek_slot = !start_user_key.empty();
+  while (page_no != kInvalidPageNo) {
+    IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(PageId{file_, page_no}));
+    PageView view = guard.Read();
+    uint16_t slot = 0;
+    if (seek_slot) {
+      slot = LowerBound(view, start_user_key, false);
+      seek_slot = false;
+    }
+    for (; slot < view.slot_count(); ++slot) {
+      std::string_view record = view.Get(slot);
+      std::string_view full = EntryKey(record);
+      std::string_view user = full.substr(0, full.size() - kUniquifierBytes);
+      if (!fn(user, LeafPayload(record))) return Status::OK();
+    }
+    page_no = view.next_page();
+  }
+  return Status::OK();
+}
+
 Result<BTree::Cursor> BTree::SeekToFirst() const {
   IMON_ASSIGN_OR_RETURN(Meta meta, ReadMeta());
   uint32_t page_no = meta.root;

@@ -99,15 +99,16 @@ Result<Rid> HashFile::Update(Rid rid, const Row& row) {
 
 Status HashFile::ScanChain(
     uint32_t first_page,
-    const std::function<bool(Rid, const Row&)>& fn) const {
+    const std::function<bool(Rid, Row&)>& fn) const {
   uint32_t page_no = first_page;
+  Row row;  // decode buffer reused across every row of the chain
   while (page_no != kInvalidPageNo) {
     IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(PageId{file_, page_no}));
     PageView view = guard.Read();
     for (uint16_t slot = 0; slot < view.slot_count(); ++slot) {
       std::string_view record = view.Get(slot);
       if (record.empty()) continue;
-      IMON_ASSIGN_OR_RETURN(Row row, DeserializeRow(std::string(record)));
+      IMON_RETURN_IF_ERROR(DeserializeRowInto(record, &row));
       if (!fn(Rid{page_no, slot}, row)) return Status::OK();
     }
     page_no = view.next_page();
@@ -117,15 +118,15 @@ Status HashFile::ScanChain(
 
 Status HashFile::LookupBucket(
     const std::string& key,
-    const std::function<bool(Rid, const Row&)>& fn) const {
+    const std::function<bool(Rid, Row&)>& fn) const {
   return ScanChain(BucketOf(key), fn);
 }
 
 Status HashFile::Scan(
-    const std::function<bool(Rid, const Row&)>& fn) const {
+    const std::function<bool(Rid, Row&)>& fn) const {
   bool stop = false;
   for (uint32_t b = 0; b < buckets_ && !stop; ++b) {
-    IMON_RETURN_IF_ERROR(ScanChain(b, [&](Rid rid, const Row& row) {
+    IMON_RETURN_IF_ERROR(ScanChain(b, [&](Rid rid, Row& row) {
       if (!fn(rid, row)) {
         stop = true;
         return false;

@@ -42,12 +42,14 @@ class HashFile {
   Result<Rid> Update(Rid rid, const Row& row);
 
   /// Visit rows in the bucket `key` hashes to; callers re-check equality
-  /// on the fetched rows (hash collisions share buckets).
+  /// on the fetched rows (hash collisions share buckets). Rows are
+  /// decoded into a buffer reused across calls: the callback may move
+  /// from it, but must not hold a reference past its return.
   Status LookupBucket(const std::string& key,
-                      const std::function<bool(Rid, const Row&)>& fn) const;
+                      const std::function<bool(Rid, Row&)>& fn) const;
 
   /// Visit every live row (bucket by bucket).
-  Status Scan(const std::function<bool(Rid, const Row&)>& fn) const;
+  Status Scan(const std::function<bool(Rid, Row&)>& fn) const;
 
   Result<HeapFileStats> ComputeStats() const;
 
@@ -60,7 +62,7 @@ class HashFile {
   /// chain with an overflow page when needed).
   Result<uint32_t> PageForInsert(uint32_t bucket, size_t record_size);
   Status ScanChain(uint32_t first_page,
-                   const std::function<bool(Rid, const Row&)>& fn) const;
+                   const std::function<bool(Rid, Row&)>& fn) const;
 
   BufferPool* pool_;
   FileId file_;

@@ -96,15 +96,16 @@ Result<Rid> HeapFile::Update(Rid rid, const Row& row) {
   return Insert(row);
 }
 
-Status HeapFile::Scan(const std::function<bool(Rid, const Row&)>& fn) const {
+Status HeapFile::Scan(const std::function<bool(Rid, Row&)>& fn) const {
   uint32_t page_no = 0;
+  Row row;  // decode buffer reused across every row of the scan
   while (page_no != kInvalidPageNo) {
     IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(PageId{file_, page_no}));
     PageView view = guard.Read();
     for (uint16_t slot = 0; slot < view.slot_count(); ++slot) {
       std::string_view record = view.Get(slot);
       if (record.empty()) continue;
-      IMON_ASSIGN_OR_RETURN(Row row, DeserializeRow(std::string(record)));
+      IMON_RETURN_IF_ERROR(DeserializeRowInto(record, &row));
       if (!fn(Rid{page_no, slot}, row)) return Status::OK();
     }
     page_no = view.next_page();

@@ -74,8 +74,10 @@ class HeapFile {
   Result<Rid> Update(Rid rid, const Row& row);
 
   /// Visit every live row in chain order. The callback returns false to
-  /// stop early.
-  Status Scan(const std::function<bool(Rid, const Row&)>& fn) const;
+  /// stop early. The row is decoded into a buffer reused across calls:
+  /// the callback may move from it, but must not hold a reference past
+  /// its return.
+  Status Scan(const std::function<bool(Rid, Row&)>& fn) const;
 
   /// Main/overflow page accounting for the catalog.
   Result<HeapFileStats> ComputeStats() const;

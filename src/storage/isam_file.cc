@@ -191,15 +191,16 @@ Result<Rid> IsamFile::Update(Rid rid, const Row& row) {
 
 Status IsamFile::ScanChain(
     uint32_t first_page,
-    const std::function<bool(Rid, const Row&)>& fn) const {
+    const std::function<bool(Rid, Row&)>& fn) const {
   uint32_t page_no = first_page;
+  Row row;  // decode buffer reused across every row of the chain
   while (page_no != kInvalidPageNo) {
     IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(PageId{file_, page_no}));
     PageView view = guard.Read();
     for (uint16_t slot = 0; slot < view.slot_count(); ++slot) {
       std::string_view record = view.Get(slot);
       if (record.empty()) continue;
-      IMON_ASSIGN_OR_RETURN(Row row, DeserializeRow(std::string(record)));
+      IMON_RETURN_IF_ERROR(DeserializeRowInto(record, &row));
       if (!fn(Rid{page_no, slot}, row)) return Status::OK();
     }
     page_no = view.next_page();
@@ -209,7 +210,7 @@ Status IsamFile::ScanChain(
 
 Status IsamFile::ScanRange(
     const std::string& lower, const std::string& upper,
-    const std::function<bool(Rid, const Row&)>& fn) const {
+    const std::function<bool(Rid, Row&)>& fn) const {
   IMON_RETURN_IF_ERROR(LoadDirectory());
   size_t start = lower.empty() ? 0 : RouteTo(lower);
   bool stop = false;
@@ -218,7 +219,7 @@ Status IsamFile::ScanRange(
     // in range: their fence (smallest build-time key) already exceeds it.
     if (!upper.empty() && d > start && directory_[d].fence > upper) break;
     IMON_RETURN_IF_ERROR(
-        ScanChain(directory_[d].page_no, [&](Rid rid, const Row& row) {
+        ScanChain(directory_[d].page_no, [&](Rid rid, Row& row) {
           if (!fn(rid, row)) {
             stop = true;
             return false;
@@ -230,7 +231,7 @@ Status IsamFile::ScanRange(
 }
 
 Status IsamFile::Scan(
-    const std::function<bool(Rid, const Row&)>& fn) const {
+    const std::function<bool(Rid, Row&)>& fn) const {
   return ScanRange(std::string(), std::string(), fn);
 }
 

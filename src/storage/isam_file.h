@@ -48,11 +48,13 @@ class IsamFile {
   /// Visit rows whose keys may fall in [lower, upper] (encoded,
   /// inclusive; empty string = unbounded). Rows outside the range can be
   /// yielded (chains are unordered); callers re-apply their filters.
+  /// Rows are decoded into a buffer reused across calls: the callback
+  /// may move from it, but must not hold a reference past its return.
   Status ScanRange(const std::string& lower, const std::string& upper,
-                   const std::function<bool(Rid, const Row&)>& fn) const;
+                   const std::function<bool(Rid, Row&)>& fn) const;
 
   /// Visit every live row.
-  Status Scan(const std::function<bool(Rid, const Row&)>& fn) const;
+  Status Scan(const std::function<bool(Rid, Row&)>& fn) const;
 
   Result<HeapFileStats> ComputeStats() const;
 
@@ -72,7 +74,7 @@ class IsamFile {
   size_t RouteTo(const std::string& key) const;
 
   Status ScanChain(uint32_t first_page,
-                   const std::function<bool(Rid, const Row&)>& fn) const;
+                   const std::function<bool(Rid, Row&)>& fn) const;
 
   BufferPool* pool_;
   FileId file_;

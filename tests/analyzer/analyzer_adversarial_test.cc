@@ -55,7 +55,7 @@ class AnalyzerAdversarialTest : public ::testing::Test {
                     double actual_cost) {
     MustExec(&workload_db_,
              "INSERT INTO wl_statements VALUES (1, " + std::to_string(hash) +
-                 ", '" + text + "', 1, 0, 0)");
+                 ", '" + text + "', 1, 0, 0, 0)");
     MustExec(&workload_db_,
              "INSERT INTO wl_workload VALUES (1, " + std::to_string(hash) +
                  ", " + std::to_string(hash) + ", 0, 0, 0, 0, 0, 0, 0.0, " +

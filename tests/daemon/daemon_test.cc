@@ -193,10 +193,10 @@ TEST_F(DaemonTest, RetentionBoundaryIsInclusiveAtExactlySevenDays) {
   int64_t boundary = now - retention_micros;  // stamped precisely 7d ago
   MustExec(&workload_db_,
            "INSERT INTO wl_statements VALUES (" + std::to_string(boundary) +
-               ", 1, 'boundary', 1, 0, 0)");
+               ", 1, 'boundary', 1, 0, 0, 0)");
   MustExec(&workload_db_,
            "INSERT INTO wl_statements VALUES (" +
-               std::to_string(boundary + 1) + ", 2, 'survivor', 1, 0, 0)");
+               std::to_string(boundary + 1) + ", 2, 'survivor', 1, 0, 0, 0)");
   ASSERT_EQ(CountRows("wl_statements"), 2);
 
   ASSERT_TRUE(daemon.PurgeExpired().ok());
