@@ -118,16 +118,59 @@ if [[ "$exec_gate_ok" != 1 ]]; then
   exit 1
 fi
 
+echo "== tier-1: parallel scan throughput gate =="
+# The morsel-driven scan benchmark emits BENCH_parallel.json with
+# per-worker-count throughput. The gate compares the 1-worker scan and
+# join throughput (which exercise the full morsel machinery — morsels,
+# gather, partial-aggregate merge — on the serial lane) against the
+# committed baseline, within IMON_PARALLEL_GATE_PCT (default 15)
+# percent. Multi-worker figures are recorded in the JSON but not gated:
+# on a small/oversubscribed CI box they swing far more than any real
+# regression signal. The committed baseline is a conservative floor
+# (min over repeated runs), so the gate trips on genuine slowdowns,
+# not scheduler noise. Same retry-keeping-best discipline as above.
+par_gate_pct="${IMON_PARALLEL_GATE_PCT:-15}"
+par_gate_ok=0
+best_s1=""
+best_j1=""
+for attempt in 1 2 3; do
+  (cd build && ./bench/micro_parallel_scan >/dev/null)
+  s1=$(json_value build/BENCH_parallel.json scan_w1_rows_per_sec)
+  j1=$(json_value build/BENCH_parallel.json join_w1_rows_per_sec)
+  if [[ -z "$s1" || -z "$j1" ]]; then
+    echo "tier-1: FAILED to read parallel scan benchmark output" >&2
+    exit 1
+  fi
+  best_s1=$(awk -v a="${best_s1:-0}" -v b="$s1" 'BEGIN { print (b > a) ? b : a }')
+  best_j1=$(awk -v a="${best_j1:-0}" -v b="$j1" 'BEGIN { print (b > a) ? b : a }')
+  base_s1=$(json_value bench/BENCH_parallel.baseline.json scan_w1_rows_per_sec)
+  base_j1=$(json_value bench/BENCH_parallel.baseline.json join_w1_rows_per_sec)
+  s1_pct=$(awk -v b="$base_s1" -v m="$best_s1" 'BEGIN { printf "%.2f", (b - m) / b * 100 }')
+  j1_pct=$(awk -v b="$base_j1" -v m="$best_j1" 'BEGIN { printf "%.2f", (b - m) / b * 100 }')
+  echo "  attempt $attempt: scan w1 ${best_s1} rows/s (regression ${s1_pct}%)," \
+       "join w1 ${best_j1} rows/s (regression ${j1_pct}%)"
+  if awk -v a="$s1_pct" -v c="$j1_pct" -v g="$par_gate_pct" \
+       'BEGIN { exit !(a <= g && c <= g) }'; then
+    par_gate_ok=1
+    break
+  fi
+done
+if [[ "$par_gate_ok" != 1 ]]; then
+  echo "tier-1: parallel scan throughput regressed more than ${par_gate_pct}% on every attempt" >&2
+  exit 1
+fi
+
 if [[ "$run_tsan" == 1 ]]; then
   echo "== tier-1: ThreadSanitizer build =="
   cmake -B build-tsan -S . -DIMON_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$(nproc)" --target \
     monitor_test monitor_concurrency_test engine_test daemon_test fault_test \
-    common_test ima_observability_test tuner_test exec_batch_test
+    common_test ima_observability_test tuner_test exec_batch_test \
+    storage_test parallel_scan_test
 
   echo "== tier-1: concurrency suites under TSan =="
   (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-    -R 'Monitor|MonitorConcurrency|Database|Differential|Daemon|Fault|Metrics|ImaObservability|Tuner|ExecBatch')
+    -R 'Monitor|MonitorConcurrency|Database|Differential|Daemon|Fault|Metrics|ImaObservability|Tuner|ExecBatch|ParallelScan|BufferPool')
 
   echo "== tier-1: fault injection under TSan =="
   (cd build-tsan && ./tests/fault_test)

@@ -6,6 +6,7 @@
 #include "engine/statement_pipeline.h"
 #include "exec/expr_program.h"
 #include "exec/expression_eval.h"
+#include "exec/worker_pool.h"
 
 namespace imon::engine {
 
@@ -40,24 +41,67 @@ int64_t DiskIoTotal(const storage::DiskStats& s) {
   return s.physical_reads + s.physical_writes;
 }
 
+/// Direct construction clamps invalid sizing options to safe minimums;
+/// Database::Open rejects them instead (ValidateDatabaseOptions).
+DatabaseOptions SanitizeOptions(DatabaseOptions o) {
+  if (o.buffer_pool_pages == 0) o.buffer_pool_pages = 1;
+  if (o.buffer_pool_shards == 0) o.buffer_pool_shards = 1;
+  if (o.exec_batch_size == 0) o.exec_batch_size = 1;
+  if (o.exec_workers == 0) o.exec_workers = 1;
+  if (o.exec_morsel_pages == 0) o.exec_morsel_pages = 1;
+  return o;
+}
+
 }  // namespace
 
+Status ValidateDatabaseOptions(const DatabaseOptions& options) {
+  if (options.buffer_pool_pages == 0) {
+    return Status::InvalidArgument(
+        "DatabaseOptions::buffer_pool_pages must be >= 1");
+  }
+  if (options.buffer_pool_shards == 0) {
+    return Status::InvalidArgument(
+        "DatabaseOptions::buffer_pool_shards must be >= 1");
+  }
+  if (options.exec_batch_size == 0) {
+    return Status::InvalidArgument(
+        "DatabaseOptions::exec_batch_size must be >= 1");
+  }
+  if (options.exec_workers == 0) {
+    return Status::InvalidArgument(
+        "DatabaseOptions::exec_workers must be >= 1");
+  }
+  if (options.exec_morsel_pages == 0) {
+    return Status::InvalidArgument(
+        "DatabaseOptions::exec_morsel_pages must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  IMON_RETURN_IF_ERROR(ValidateDatabaseOptions(options));
+  return std::make_unique<Database>(std::move(options));
+}
+
 Database::Database(DatabaseOptions options)
-    : options_(std::move(options)),
+    : options_(SanitizeOptions(std::move(options))),
       clock_(options_.clock != nullptr ? options_.clock
                                        : RealClock::Instance()),
       disk_(std::make_unique<storage::DiskManager>(
           options_.simulated_io_latency_nanos)),
-      pool_(std::make_unique<storage::BufferPool>(disk_.get(),
-                                                  options_.buffer_pool_pages)),
+      pool_(std::make_unique<storage::BufferPool>(
+          disk_.get(), options_.buffer_pool_pages,
+          options_.buffer_pool_shards)),
       locks_(options_.lock_timeout),
       storage_(std::make_unique<exec::StorageLayer>(disk_.get(), pool_.get())),
+      workers_(std::make_unique<exec::WorkerPool>(options_.exec_workers)),
       monitor_(std::make_unique<monitor::Monitor>(options_.monitor, clock_)) {
   // Wire every subsystem into the self-observability registry before any
   // statement can run (the handles are then read without synchronization).
   monitor_->AttachMetrics(&metrics_);
   pool_->AttachMetrics(&metrics_);
   locks_.AttachMetrics(&metrics_);
+  workers_->AttachMetrics(&metrics_);
   if (options_.plan_cache_capacity > 0) {
     for (size_t i = 0; i < kPlanCacheStripes; ++i) {
       std::string prefix = "plan_cache.stripe" + std::to_string(i);
@@ -364,6 +408,8 @@ Result<QueryResult> Database::RunPlannedSelect(
   ctx.tables = &bound.tables;
   ctx.batch_size = options_.exec_batch_size;
   ctx.compiled = compiled;
+  ctx.workers = workers_.get();
+  ctx.morsel_pages = options_.exec_morsel_pages;
   auto rs = exec::ExecuteSelect(bound, plan, &ctx);
   int64_t exec_nanos = MonotonicNanos() - exec_start;
   int64_t exec_io = DiskIoTotal(disk_->stats()) - io_before;

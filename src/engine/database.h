@@ -34,6 +34,15 @@
 
 namespace imon::engine {
 
+/// Hardware concurrency with a floor of 1 (hardware_concurrency() may
+/// report 0 on exotic platforms).
+inline size_t DefaultExecWorkers() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+inline size_t DefaultBufferPoolShards() { return 2 * DefaultExecWorkers(); }
+
 struct DatabaseOptions {
   std::string name = "db";
   monitor::MonitorConfig monitor;
@@ -57,7 +66,23 @@ struct DatabaseOptions {
   /// tree-walking path — the differential oracle in tests compares the
   /// two.
   bool use_compiled_exprs = true;
+  /// Executor lanes for morsel-parallel heap scans (caller + persistent
+  /// workers). 1 = serial execution on the calling thread. Results are
+  /// identical for every worker count.
+  size_t exec_workers = DefaultExecWorkers();
+  /// Pages per scan morsel (the parallel-scan work unit). Morsel
+  /// boundaries are independent of the worker count.
+  size_t exec_morsel_pages = exec::kDefaultMorselPages;
+  /// Buffer pool shards (page-id hash partitioned, each with its own
+  /// mutex/page-table/free-list). Clamped to [1, buffer_pool_pages].
+  size_t buffer_pool_shards = DefaultBufferPoolShards();
 };
+
+/// Reject out-of-range options (zero exec_batch_size / exec_workers /
+/// exec_morsel_pages / buffer_pool_shards / buffer_pool_pages) with a
+/// descriptive Status. Database::Open runs this; the plain constructor
+/// instead clamps invalid values to safe minimums.
+Status ValidateDatabaseOptions(const DatabaseOptions& options);
 
 struct PlanCacheStats {
   int64_t hits = 0;
@@ -143,6 +168,10 @@ class Database {
  public:
   explicit Database(DatabaseOptions options = {});
   ~Database();
+
+  /// Validating factory: returns InvalidArgument instead of silently
+  /// clamping bad options.
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options = {});
 
   /// Execute one SQL statement on this thread's implicit session. Each
   /// calling thread is lazily assigned its own session, so concurrent
@@ -319,6 +348,7 @@ class Database {
   catalog::Catalog catalog_;
   txn::LockManager locks_;
   std::unique_ptr<exec::StorageLayer> storage_;
+  std::unique_ptr<exec::WorkerPool> workers_;
   std::unique_ptr<monitor::Monitor> monitor_;
 
   std::mutex trigger_mutex_;

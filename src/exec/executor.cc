@@ -1,12 +1,16 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
+#include <numeric>
 #include <set>
 #include <unordered_map>
 
 #include "common/hash.h"
 #include "exec/expr_program.h"
 #include "exec/expression_eval.h"
+#include "exec/worker_pool.h"
 
 namespace imon::exec {
 
@@ -73,8 +77,230 @@ Status FlushBatch(const std::vector<ExprProgram>& filters, RowBatch* batch,
 Result<std::vector<Row>> ExecuteNode(const PlanNode& plan, ExecContext* ctx,
                                      size_t* node_counter);
 
+// ---------------------------------------------------------------------------
+// Morsel-driven parallel scans.
+//
+// Eligible scans (full sequential scans of real HEAP tables) split the
+// page chain into fixed page ranges ("morsels") executed on the context's
+// worker pool. Determinism contract: morsel boundaries depend only on the
+// chain and `morsel_pages`, every per-morsel computation follows storage
+// order, and gather merges in morsel-index order — so results (and
+// grouped aggregates) are bit-identical for any worker count, including
+// the inline 1-lane pool.
+// ---------------------------------------------------------------------------
+
+struct MorselPlan {
+  const optimizer::BoundTable* bt = nullptr;
+  std::vector<uint32_t> pages;   ///< heap chain in scan order
+  size_t morsel_pages = kDefaultMorselPages;
+  size_t count = 0;              ///< number of morsels
+};
+
+bool MorselEligible(const PlanNode& plan, const ExecContext* ctx) {
+  if (ctx->workers == nullptr || ctx->tables == nullptr) return false;
+  if (plan.kind != PlanNodeKind::kScan) return false;
+  if (plan.access.kind != AccessPathKind::kSeqScan) return false;
+  const optimizer::BoundTable& bt = (*ctx->tables)[plan.table_idx];
+  if (bt.is_virtual) return false;
+  return bt.info.structure == catalog::StorageStructure::kHeap;
+}
+
+Result<MorselPlan> BuildMorselPlan(const PlanNode& plan, ExecContext* ctx) {
+  MorselPlan mp;
+  mp.bt = &(*ctx->tables)[plan.table_idx];
+  IMON_ASSIGN_OR_RETURN(mp.pages, ctx->storage->HeapPageChain(mp.bt->info));
+  mp.morsel_pages = std::max<size_t>(1, ctx->morsel_pages);
+  mp.count = (mp.pages.size() + mp.morsel_pages - 1) / mp.morsel_pages;
+  return mp;
+}
+
+/// Per-lane reusable scratch: one batch arena and eval stack per lane,
+/// reused across every morsel the lane runs.
+struct LaneScratch {
+  RowBatch batch;
+  EvalScratch eval;
+};
+
+/// Scan morsel `m`, applying the node's filter chain (compiled batch
+/// path or scalar fallback, matching ExecuteScan). Survivors reach
+/// `sink` in storage order; the sink returns false to end the morsel
+/// early (not an error). Returns rows examined. Must not touch
+/// ctx->stats: workers run this concurrently.
+Result<int64_t> ScanMorselFiltered(const MorselPlan& mp, size_t m,
+                                   const PlanNode& plan,
+                                   const std::vector<ExprProgram>* programs,
+                                   size_t batch_capacity, ExecContext* ctx,
+                                   LaneScratch* ls,
+                                   const std::function<bool(const Row&)>& sink) {
+  size_t begin = m * mp.morsel_pages;
+  size_t end = std::min(mp.pages.size(), begin + mp.morsel_pages);
+  int64_t examined = 0;
+  Status inner = Status::OK();
+  if (programs != nullptr) {
+    RowBatch& batch = ls->batch;
+    batch.Reset();
+    bool stopped = false;
+    auto flush = [&]() -> Status {
+      examined += static_cast<int64_t>(batch.filled);
+      for (const ExprProgram& f : *programs) {
+        if (batch.sel.empty()) break;
+        IMON_RETURN_IF_ERROR(f.FilterBatch(&batch, &ls->eval));
+      }
+      for (uint32_t idx : batch.sel) {
+        if (!sink(batch.rows[idx])) {
+          stopped = true;
+          break;
+        }
+      }
+      batch.Reset();
+      return Status::OK();
+    };
+    IMON_RETURN_IF_ERROR(ctx->storage->ScanHeapPages(
+        mp.bt->info, mp.pages, begin, end, [&](const Locator&, Row& row) {
+          batch.PushSwap(&row);
+          if (batch.full(batch_capacity)) {
+            Status st = flush();
+            if (!st.ok()) {
+              inner = st;
+              return false;
+            }
+            if (stopped) return false;
+          }
+          return true;
+        }));
+    IMON_RETURN_IF_ERROR(inner);
+    if (!stopped && batch.filled > 0) IMON_RETURN_IF_ERROR(flush());
+  } else {
+    IMON_RETURN_IF_ERROR(ctx->storage->ScanHeapPages(
+        mp.bt->info, mp.pages, begin, end, [&](const Locator&, Row& row) {
+          ++examined;
+          for (const Expr* f : plan.filters) {
+            auto ok = EvalPredicate(*f, plan.layout, row);
+            if (!ok.ok()) {
+              inner = ok.status();
+              return false;
+            }
+            if (!*ok) return true;
+          }
+          return sink(row);
+        }));
+    IMON_RETURN_IF_ERROR(inner);
+  }
+  return examined;
+}
+
+/// ORDER BY + LIMIT pruning spec for root scans.
+struct TopKSpec {
+  const sql::SelectStmt* stmt = nullptr;
+  size_t k = 0;
+};
+
+/// Keep only rows that can still reach the global top-k, re-emitted in
+/// storage order. Sound because the final ORDER BY is a stable sort with
+/// storage order as tie-break: a row outside its own morsel's stable
+/// top-k has >= k rows globally ahead of it.
+Status PruneMorselTopK(const PlanNode& plan, ExecContext* ctx,
+                       const TopKSpec& spec, EvalScratch* scratch,
+                       std::vector<Row>* rows) {
+  if (rows->size() <= spec.k) return Status::OK();
+  const CompiledSelect* cp = ctx->compiled;
+  const auto& order_by = spec.stmt->order_by;
+  std::vector<std::vector<Value>> keys(rows->size());
+  for (size_t i = 0; i < rows->size(); ++i) {
+    keys[i].reserve(order_by.size());
+    for (size_t k = 0; k < order_by.size(); ++k) {
+      Value v;
+      if (cp != nullptr) {
+        IMON_RETURN_IF_ERROR(
+            cp->order_keys[k].Run((*rows)[i], nullptr, scratch, &v));
+      } else {
+        IMON_ASSIGN_OR_RETURN(
+            v, Eval(*order_by[k].expr, plan.layout, (*rows)[i]));
+      }
+      keys[i].push_back(std::move(v));
+    }
+  }
+  std::vector<size_t> idx(rows->size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < order_by.size(); ++k) {
+      int cmp = keys[a][k].Compare(keys[b][k]);
+      if (cmp != 0) return order_by[k].ascending ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  idx.resize(spec.k);
+  std::sort(idx.begin(), idx.end());
+  std::vector<Row> kept;
+  kept.reserve(idx.size());
+  for (size_t i : idx) kept.push_back(std::move((*rows)[i]));
+  *rows = std::move(kept);
+  return Status::OK();
+}
+
+/// Morsel-parallel seq scan producing filtered rows in storage order.
+/// `per_morsel_limit` caps survivors per morsel (bare LIMIT pushdown:
+/// only a morsel's first k survivors can reach the global first k);
+/// `topk` prunes each morsel to its ORDER BY top-k instead.
+Result<std::vector<Row>> ParallelScanRows(const PlanNode& plan,
+                                          ExecContext* ctx, size_t node_idx,
+                                          const MorselPlan& mp,
+                                          size_t per_morsel_limit,
+                                          const TopKSpec* topk) {
+  const std::vector<ExprProgram>* programs = NodePrograms(ctx, node_idx);
+  const size_t capacity = std::max<size_t>(1, ctx->batch_size);
+  WorkerPool& pool = *ctx->workers;
+  std::vector<LaneScratch> lanes(pool.lane_count());
+  std::vector<std::vector<Row>> rows(mp.count);
+  std::vector<int64_t> examined(mp.count, 0);
+  std::vector<Status> errors(mp.count, Status::OK());
+  std::atomic<bool> failed{false};
+  pool.RunTasks(mp.count, [&](size_t m, size_t lane) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    LaneScratch& ls = lanes[lane];
+    std::vector<Row>& dst = rows[m];
+    auto res = ScanMorselFiltered(
+        mp, m, plan, programs, capacity, ctx, &ls, [&](const Row& r) {
+          dst.push_back(r);
+          return dst.size() < per_morsel_limit;
+        });
+    if (!res.ok()) {
+      errors[m] = res.status();
+      failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+    examined[m] = *res;
+    if (topk != nullptr) {
+      Status st = PruneMorselTopK(plan, ctx, *topk, &ls.eval, &dst);
+      if (!st.ok()) {
+        errors[m] = st;
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  });
+  size_t total = 0;
+  for (size_t m = 0; m < mp.count; ++m) {
+    ctx->stats.rows_examined += examined[m];
+    total += rows[m].size();
+  }
+  // Tasks are claimed in index order and a started task always runs to
+  // completion, so the lowest erroring morsel is deterministic.
+  for (size_t m = 0; m < mp.count; ++m) IMON_RETURN_IF_ERROR(errors[m]);
+  std::vector<Row> out;
+  out.reserve(total);
+  for (std::vector<Row>& part : rows) {
+    for (Row& r : part) out.push_back(std::move(r));
+  }
+  return out;
+}
+
 Result<std::vector<Row>> ExecuteScan(const PlanNode& plan, ExecContext* ctx,
                                      size_t node_idx) {
+  if (MorselEligible(plan, ctx)) {
+    IMON_ASSIGN_OR_RETURN(MorselPlan mp, BuildMorselPlan(plan, ctx));
+    return ParallelScanRows(plan, ctx, node_idx, mp,
+                            std::numeric_limits<size_t>::max(), nullptr);
+  }
   const optimizer::BoundTable& bt = (*ctx->tables)[plan.table_idx];
   std::vector<Row> out;
   Status inner = Status::OK();
@@ -441,6 +667,22 @@ struct AggState {
     seen = true;
   }
 
+  /// Fold another partial state (a later morsel of the same group) in.
+  /// Caller merges in morsel order; sums associate as
+  /// (morsel_0 + morsel_1) + ... which is deterministic for any worker
+  /// count because morsel boundaries are fixed.
+  void Merge(const AggState& o) {
+    count += o.count;
+    if (!o.is_int) is_int = false;
+    sum_i += o.sum_i;
+    sum_d += o.sum_d;
+    if (o.seen) {
+      if (!seen || o.min.Compare(min) < 0) min = o.min;
+      if (!seen || o.max.Compare(max) > 0) max = o.max;
+      seen = true;
+    }
+  }
+
   Value Finish(const std::string& func) const {
     if (func == "count") return Value::Int(count);
     if (!seen) return Value::Null();
@@ -460,11 +702,158 @@ struct Group {
   std::vector<Value> keys;
 };
 
+/// Insertion-ordered group hash table. Because merge processes morsels
+/// in index order and each morsel discovers groups in storage order, the
+/// merged insertion order equals the serial first-seen order.
+struct GroupTable {
+  std::vector<Group> groups;
+  std::unordered_map<uint64_t, std::vector<size_t>> index;
+
+  Group* FindOrCreate(const std::vector<Value>& keys, size_t n_aggs,
+                      const Row& rep, bool* created) {
+    uint64_t h = HashRow(keys);
+    auto it = index.find(h);
+    if (it != index.end()) {
+      for (size_t gi : it->second) {
+        bool same = true;
+        for (size_t k = 0; k < keys.size(); ++k) {
+          if (keys[k].Compare(groups[gi].keys[k]) != 0) {
+            same = false;
+            break;
+          }
+        }
+        if (same) {
+          *created = false;
+          return &groups[gi];
+        }
+      }
+    }
+    groups.emplace_back();
+    Group& g = groups.back();
+    g.representative = rep;
+    g.keys = keys;
+    g.states.resize(n_aggs);
+    index[h].push_back(groups.size() - 1);
+    *created = true;
+    return &g;
+  }
+};
+
+/// Evaluates group keys and aggregate arguments for one input row and
+/// folds them into a GroupTable. Shared by the serial aggregation loop
+/// and the per-morsel partial aggregation tasks.
+struct GroupAccumulator {
+  const BoundSelect* bound = nullptr;
+  const PlanNode* plan = nullptr;
+  const CompiledSelect* cp = nullptr;
+  EvalScratch* scratch = nullptr;
+  GroupTable table;
+  std::vector<Value> keys;  // reused per row
+
+  Status AddRow(const Row& row) {
+    const sql::SelectStmt& stmt = *bound->stmt;
+    keys.clear();
+    keys.reserve(stmt.group_by.size());
+    for (size_t gi = 0; gi < stmt.group_by.size(); ++gi) {
+      Value v;
+      if (cp != nullptr) {
+        IMON_RETURN_IF_ERROR(
+            cp->group_keys[gi].Run(row, nullptr, scratch, &v));
+      } else {
+        IMON_ASSIGN_OR_RETURN(v, Eval(*stmt.group_by[gi], plan->layout, row));
+      }
+      keys.push_back(std::move(v));
+    }
+    bool created = false;
+    Group* group =
+        table.FindOrCreate(keys, bound->aggregates.size(), row, &created);
+    for (size_t a = 0; a < bound->aggregates.size(); ++a) {
+      const auto& agg = bound->aggregates[a];
+      if (agg.arg == nullptr) {
+        ++group->states[a].count;  // COUNT(*)
+        group->states[a].seen = true;
+      } else {
+        Value v;
+        if (cp != nullptr) {
+          IMON_RETURN_IF_ERROR(cp->agg_args[a]->Run(row, nullptr, scratch, &v));
+        } else {
+          IMON_ASSIGN_OR_RETURN(v, Eval(*agg.arg, plan->layout, row));
+        }
+        group->states[a].Add(v);
+      }
+    }
+    return Status::OK();
+  }
+};
+
+/// Fold `from` into `into`, preserving `from`'s insertion order for
+/// newly discovered groups.
+void MergeGroupTables(GroupTable* into, GroupTable&& from, size_t n_aggs) {
+  for (Group& g : from.groups) {
+    bool created = false;
+    Group* dst = into->FindOrCreate(g.keys, n_aggs, g.representative, &created);
+    if (created) {
+      dst->states = std::move(g.states);
+    } else {
+      for (size_t a = 0; a < n_aggs; ++a) dst->states[a].Merge(g.states[a]);
+    }
+  }
+}
+
+/// Root-scan aggregate pushdown: each morsel accumulates a partial
+/// GroupTable; gather merges them in morsel order.
+Result<GroupTable> ParallelAggregateScan(const BoundSelect& bound,
+                                         const PlanNode& plan,
+                                         ExecContext* ctx,
+                                         const MorselPlan& mp) {
+  const std::vector<ExprProgram>* programs = NodePrograms(ctx, 0);
+  const size_t capacity = std::max<size_t>(1, ctx->batch_size);
+  WorkerPool& pool = *ctx->workers;
+  std::vector<LaneScratch> lanes(pool.lane_count());
+  std::vector<GroupTable> tables(mp.count);
+  std::vector<int64_t> examined(mp.count, 0);
+  std::vector<Status> errors(mp.count, Status::OK());
+  std::atomic<bool> failed{false};
+  pool.RunTasks(mp.count, [&](size_t m, size_t lane) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    LaneScratch& ls = lanes[lane];
+    GroupAccumulator acc;
+    acc.bound = &bound;
+    acc.plan = &plan;
+    acc.cp = ctx->compiled;
+    acc.scratch = &ls.eval;
+    Status sink_status = Status::OK();
+    auto res = ScanMorselFiltered(
+        mp, m, plan, programs, capacity, ctx, &ls, [&](const Row& r) {
+          sink_status = acc.AddRow(r);
+          return sink_status.ok();
+        });
+    if (!res.ok()) {
+      errors[m] = res.status();
+    } else if (!sink_status.ok()) {
+      errors[m] = sink_status;
+    } else {
+      examined[m] = *res;
+      tables[m] = std::move(acc.table);
+      return;
+    }
+    failed.store(true, std::memory_order_relaxed);
+  });
+  for (size_t m = 0; m < mp.count; ++m) {
+    ctx->stats.rows_examined += examined[m];
+  }
+  for (size_t m = 0; m < mp.count; ++m) IMON_RETURN_IF_ERROR(errors[m]);
+  GroupTable merged;
+  for (size_t m = 0; m < mp.count; ++m) {
+    MergeGroupTables(&merged, std::move(tables[m]), bound.aggregates.size());
+  }
+  return merged;
+}
+
 }  // namespace
 
 Result<ResultSet> ExecuteSelect(const BoundSelect& bound,
                                 const PlanNode& plan, ExecContext* ctx) {
-  IMON_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecuteTree(plan, ctx));
   const sql::SelectStmt& stmt = *bound.stmt;
   const CompiledSelect* cp = ctx->compiled;
   EvalScratch scratch;
@@ -480,66 +869,29 @@ Result<ResultSet> ExecuteSelect(const BoundSelect& bound,
   };
   std::vector<Logical> logical;
   std::vector<Group> groups;  // storage for aggregate path
+  std::vector<Row> rows;      // storage for non-aggregate path
+
+  // Root-scan morsel pushdown. When the whole plan is one eligible heap
+  // scan, aggregates accumulate per morsel and merge at the gather
+  // point, and ORDER BY/LIMIT prune per morsel, instead of
+  // materializing the full scan output first.
+  const bool root_morsels = MorselEligible(plan, ctx);
 
   if (bound.has_aggregates) {
-    std::unordered_map<uint64_t, std::vector<size_t>> index;
-    std::vector<Value> keys;
-    for (const Row& row : rows) {
-      keys.clear();
-      keys.reserve(stmt.group_by.size());
-      for (size_t gi = 0; gi < stmt.group_by.size(); ++gi) {
-        Value v;
-        if (cp != nullptr) {
-          IMON_RETURN_IF_ERROR(
-              cp->group_keys[gi].Run(row, nullptr, &scratch, &v));
-        } else {
-          IMON_ASSIGN_OR_RETURN(
-              v, Eval(*stmt.group_by[gi], plan.layout, row));
-        }
-        keys.push_back(std::move(v));
-      }
-      uint64_t h = HashRow(keys);
-      Group* group = nullptr;
-      auto it = index.find(h);
-      if (it != index.end()) {
-        for (size_t gi : it->second) {
-          bool same = true;
-          for (size_t k = 0; k < keys.size(); ++k) {
-            if (keys[k].Compare(groups[gi].keys[k]) != 0) {
-              same = false;
-              break;
-            }
-          }
-          if (same) {
-            group = &groups[gi];
-            break;
-          }
-        }
-      }
-      if (group == nullptr) {
-        groups.emplace_back();
-        group = &groups.back();
-        group->representative = row;
-        group->keys = keys;
-        group->states.resize(bound.aggregates.size());
-        index[h].push_back(groups.size() - 1);
-      }
-      for (size_t a = 0; a < bound.aggregates.size(); ++a) {
-        const auto& agg = bound.aggregates[a];
-        if (agg.arg == nullptr) {
-          ++group->states[a].count;  // COUNT(*)
-          group->states[a].seen = true;
-        } else {
-          Value v;
-          if (cp != nullptr) {
-            IMON_RETURN_IF_ERROR(
-                cp->agg_args[a]->Run(row, nullptr, &scratch, &v));
-          } else {
-            IMON_ASSIGN_OR_RETURN(v, Eval(*agg.arg, plan.layout, row));
-          }
-          group->states[a].Add(v);
-        }
-      }
+    if (root_morsels) {
+      IMON_ASSIGN_OR_RETURN(MorselPlan mp, BuildMorselPlan(plan, ctx));
+      IMON_ASSIGN_OR_RETURN(GroupTable merged,
+                            ParallelAggregateScan(bound, plan, ctx, mp));
+      groups = std::move(merged.groups);
+    } else {
+      IMON_ASSIGN_OR_RETURN(rows, ExecuteTree(plan, ctx));
+      GroupAccumulator acc;
+      acc.bound = &bound;
+      acc.plan = &plan;
+      acc.cp = cp;
+      acc.scratch = &scratch;
+      for (const Row& row : rows) IMON_RETURN_IF_ERROR(acc.AddRow(row));
+      groups = std::move(acc.table.groups);
     }
     // Global aggregate with no input and no GROUP BY: one empty group.
     if (groups.empty() && stmt.group_by.empty()) {
@@ -573,6 +925,24 @@ Result<ResultSet> ExecuteSelect(const BoundSelect& bound,
       logical = std::move(kept);
     }
   } else {
+    if (root_morsels && stmt.limit.has_value() && !stmt.distinct) {
+      // LIMIT pushdown into the morsels. Mirrors the projection loop's
+      // "emit, then check >= limit" semantics (which outputs one row
+      // even for LIMIT 0), hence the max with 1.
+      IMON_ASSIGN_OR_RETURN(MorselPlan mp, BuildMorselPlan(plan, ctx));
+      size_t k = static_cast<size_t>(std::max<int64_t>(1, *stmt.limit));
+      if (stmt.order_by.empty()) {
+        IMON_ASSIGN_OR_RETURN(rows,
+                              ParallelScanRows(plan, ctx, 0, mp, k, nullptr));
+      } else {
+        TopKSpec spec{&stmt, k};
+        IMON_ASSIGN_OR_RETURN(
+            rows, ParallelScanRows(plan, ctx, 0, mp,
+                                   std::numeric_limits<size_t>::max(), &spec));
+      }
+    } else {
+      IMON_ASSIGN_OR_RETURN(rows, ExecuteTree(plan, ctx));
+    }
     logical.reserve(rows.size());
     for (const Row& row : rows) logical.push_back(Logical{&row, {}});
   }

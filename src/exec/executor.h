@@ -19,6 +19,12 @@
 namespace imon::exec {
 
 struct CompiledSelect;
+class WorkerPool;
+
+/// Pages per scan morsel. Morsel boundaries depend only on this and the
+/// page chain — never on the worker count — so merged results are
+/// bit-identical across worker counts.
+inline constexpr size_t kDefaultMorselPages = 32;
 
 /// Per-statement execution counters.
 struct RuntimeStats {
@@ -37,6 +43,12 @@ struct ExecContext {
   /// Compiled programs for the statement, or null to interpret the AST
   /// per row (the scalar fallback; also the benchmark baseline).
   const CompiledSelect* compiled = nullptr;
+  /// Worker pool for morsel-parallel heap scans, or null for the serial
+  /// path. A 1-lane pool still routes eligible scans through the morsel
+  /// machinery (inline), keeping results identical across worker counts.
+  WorkerPool* workers = nullptr;
+  /// Pages per morsel for parallel scans.
+  size_t morsel_pages = kDefaultMorselPages;
 };
 
 /// Materialized query result.

@@ -439,6 +439,28 @@ Status IterateRange(
 
 }  // namespace
 
+Result<std::vector<uint32_t>> StorageLayer::HeapPageChain(
+    const TableInfo& table) {
+  if (table.structure != StorageStructure::kHeap) {
+    return Status::Internal("page chain requested for non-HEAP table");
+  }
+  std::vector<uint32_t> pages;
+  IMON_RETURN_IF_ERROR(HeapFor(table)->PageChain(&pages));
+  return pages;
+}
+
+Status StorageLayer::ScanHeapPages(
+    const TableInfo& table, const std::vector<uint32_t>& pages, size_t begin,
+    size_t end, const std::function<bool(const Locator&, Row&)>& fn) {
+  if (table.structure != StorageStructure::kHeap) {
+    return Status::Internal("page-range scan requested for non-HEAP table");
+  }
+  if (begin >= end) return Status::OK();
+  return HeapFor(table)->ScanPages(
+      pages.data() + begin, end - begin,
+      [&](Rid rid, Row& row) { return fn(PackRid(rid), row); });
+}
+
 Status StorageLayer::ScanIsamRange(
     const TableInfo& table, const std::vector<Value>& eq_prefix,
     const std::optional<optimizer::KeyBound>& lower,

@@ -77,6 +77,19 @@ class StorageLayer {
   Status Scan(const catalog::TableInfo& table,
               const std::function<bool(const Locator&, Row&)>& fn);
 
+  /// Page numbers of a HEAP table's chain in scan order; the unit list
+  /// morsel-parallel scans partition. Error for non-heap structures.
+  Result<std::vector<uint32_t>> HeapPageChain(const catalog::TableInfo& table);
+
+  /// Scan rows of heap pages `pages[begin..end)` in order, with the same
+  /// callback contract as Scan. Safe to call concurrently over a frozen
+  /// chain (each call owns its decode buffer); not safe against
+  /// concurrent writers.
+  Status ScanHeapPages(const catalog::TableInfo& table,
+                       const std::vector<uint32_t>& pages, size_t begin,
+                       size_t end,
+                       const std::function<bool(const Locator&, Row&)>& fn);
+
   /// Range scan on an ISAM table's primary structure (routing only —
   /// chains are unordered; callers re-apply their filters).
   Status ScanIsamRange(const catalog::TableInfo& table,

@@ -1,0 +1,114 @@
+#include "exec/worker_pool.h"
+
+namespace imon::exec {
+
+namespace {
+/// Lane the current thread is running a pool task on, or -1. Reentrant
+/// RunTasks calls detect themselves through this and run inline on the
+/// same lane (so per-lane scratch stays single-threaded).
+thread_local int tl_lane = -1;
+}  // namespace
+
+WorkerPool::WorkerPool(size_t workers) : lanes_(workers == 0 ? 1 : workers) {
+  threads_.reserve(lanes_ - 1);
+  for (size_t lane = 1; lane < lanes_; ++lane) {
+    threads_.emplace_back([this, lane] { WorkerLoop(lane); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::AttachMetrics(metrics::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_morsels_ = nullptr;
+    m_busy_ = nullptr;
+    return;
+  }
+  m_morsels_ = registry->GetCounter("exec.morsels_dispatched");
+  m_busy_ = registry->GetGauge("exec.worker_busy");
+}
+
+void WorkerPool::RunTasks(size_t count,
+                          const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return;
+  if (m_morsels_ != nullptr) m_morsels_->Add(static_cast<int64_t>(count));
+  if (lanes_ == 1 || count == 1 || tl_lane >= 0) {
+    // Serial pool, single task, or a reentrant call from inside a task:
+    // run inline on the current lane.
+    size_t lane = tl_lane >= 0 ? static_cast<size_t>(tl_lane) : 0;
+    for (size_t task = 0; task < count; ++task) {
+      if (m_busy_ != nullptr) m_busy_->Add(1);
+      fn(task, lane);
+      if (m_busy_ != nullptr) m_busy_->Add(-1);
+    }
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.count = count;
+  std::unique_lock<std::mutex> lock(mutex_);
+  jobs_.push_back(&job);
+  ++job.refs;  // the owner's own reference while it drains
+  work_cv_.notify_all();
+  DrainJob(&job, /*lane=*/0, lock);
+  --job.refs;
+  for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+    if (*it == &job) {
+      jobs_.erase(it);
+      break;
+    }
+  }
+  // The job is stack-allocated: wait until every worker has both finished
+  // its claimed tasks and dropped its pointer before returning.
+  done_cv_.wait(lock, [&job] { return job.pending == 0 && job.refs == 0; });
+}
+
+void WorkerPool::DrainJob(Job* job, size_t lane,
+                          std::unique_lock<std::mutex>& lock) {
+  while (job->next < job->count) {
+    size_t task = job->next++;
+    ++job->pending;
+    lock.unlock();
+    if (m_busy_ != nullptr) m_busy_->Add(1);
+    int prev_lane = tl_lane;
+    tl_lane = static_cast<int>(lane);
+    (*job->fn)(task, lane);
+    tl_lane = prev_lane;
+    if (m_busy_ != nullptr) m_busy_->Add(-1);
+    lock.lock();
+    --job->pending;
+    if (job->pending == 0 && job->next >= job->count) done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::WorkerLoop(size_t lane) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    Job* job = nullptr;
+    work_cv_.wait(lock, [this, &job] {
+      if (shutdown_) return true;
+      for (Job* j : jobs_) {
+        if (j->next < j->count) {
+          job = j;
+          return true;
+        }
+      }
+      return false;
+    });
+    if (shutdown_) return;
+    ++job->refs;
+    DrainJob(job, lane, lock);
+    --job->refs;
+    if (job->refs == 0 && job->pending == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace imon::exec

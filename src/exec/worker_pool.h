@@ -1,0 +1,87 @@
+// Persistent worker pool for morsel-driven scan parallelism.
+//
+// A pool of `workers` lanes runs batches of independent tasks (morsels).
+// Lane 0 is the calling thread — RunTasks never blocks the caller behind
+// a context switch for small jobs — and lanes 1..workers-1 are persistent
+// threads spawned once at construction. Task indices are handed out from
+// an atomic cursor, so morsel scheduling is work-stealing by default:
+// a lane that finishes a cheap morsel immediately grabs the next one.
+//
+// Determinism contract: the pool only decides *which lane* runs a task
+// and *when*; callers must make merged results depend only on the task
+// index (fixed morsel boundaries, gather in task order), never on lane
+// assignment or completion order.
+
+#ifndef IMON_EXEC_WORKER_POOL_H_
+#define IMON_EXEC_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace imon::exec {
+
+class WorkerPool {
+ public:
+  /// `workers` is the total lane count including the caller; `1` means
+  /// fully serial (no threads are spawned and RunTasks runs inline).
+  explicit WorkerPool(size_t workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total lanes (caller + persistent workers). Lane indices passed to
+  /// task functions are in [0, lane_count()).
+  size_t lane_count() const { return lanes_; }
+
+  /// Run `fn(task, lane)` for every task in [0, count), distributing
+  /// tasks across lanes, and return when all have finished. The caller
+  /// participates as lane 0. Reentrant calls (a task running RunTasks)
+  /// execute inline on the calling lane to avoid deadlock.
+  void RunTasks(size_t count, const std::function<void(size_t, size_t)>& fn);
+
+  /// Publish pool telemetry (`exec.morsels_dispatched`,
+  /// `exec.worker_busy`) into `registry`; call before concurrent use.
+  /// Null detaches.
+  void AttachMetrics(metrics::MetricsRegistry* registry);
+
+ private:
+  /// One RunTasks invocation; lives on the caller's stack. `refs` counts
+  /// workers still inside Claim/Run for this job so the owner cannot
+  /// destroy it under them.
+  struct Job {
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    size_t count = 0;
+    size_t next = 0;     ///< next unclaimed task; guarded by pool mutex
+    size_t pending = 0;  ///< claimed-but-unfinished tasks; pool mutex
+    size_t refs = 0;     ///< workers holding a pointer to this job
+  };
+
+  void WorkerLoop(size_t lane);
+  /// Run tasks of `job` until none are claimable. Caller must have
+  /// incremented `job->refs` under the pool mutex.
+  void DrainJob(Job* job, size_t lane, std::unique_lock<std::mutex>& lock);
+
+  size_t lanes_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers: a claimable task exists
+  std::condition_variable done_cv_;  ///< owners: job finished / released
+  std::deque<Job*> jobs_;            ///< jobs with unclaimed tasks
+  bool shutdown_ = false;
+
+  metrics::Counter* m_morsels_ = nullptr;
+  metrics::Gauge* m_busy_ = nullptr;
+};
+
+}  // namespace imon::exec
+
+#endif  // IMON_EXEC_WORKER_POOL_H_

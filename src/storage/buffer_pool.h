@@ -1,4 +1,15 @@
-// LRU buffer pool with pin/unpin page guards and hit/miss accounting.
+// Sharded, scan-resistant buffer pool with pin/unpin page guards and
+// hit/miss accounting.
+//
+// The pool is partitioned by page-id hash into independent shards, each
+// with its own mutex, page table, free list and replacer, so concurrent
+// scan workers fault pages without serializing on one global lock.
+// Eviction within a shard is segmented LRU (an LRU-2 approximation): a
+// page faulted in by a scan sits in the probationary *cold* segment and
+// is evicted before any page of the protected *hot* segment, which a
+// frame enters only on its second reference. A 100k-row table scan
+// therefore recycles its own cold frames instead of flushing hot
+// catalog/index pages.
 //
 // Cache-usage counters (logical reads, physical reads, hit ratio) feed the
 // monitor's system-wide statistics table, and the cache warm-up behaviour
@@ -9,7 +20,6 @@
 #ifndef IMON_STORAGE_BUFFER_POOL_H_
 #define IMON_STORAGE_BUFFER_POOL_H_
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -31,14 +41,16 @@ class BufferPool;
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferPool* pool, size_t frame, char* data, PageId pid)
-      : pool_(pool), frame_(frame), data_(data), pid_(pid) {}
+  PageGuard(BufferPool* pool, size_t shard, size_t frame, char* data,
+            PageId pid)
+      : pool_(pool), shard_(shard), frame_(frame), data_(data), pid_(pid) {}
   ~PageGuard() { Release(); }
 
   PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
   PageGuard& operator=(PageGuard&& o) noexcept {
     Release();
     pool_ = o.pool_;
+    shard_ = o.shard_;
     frame_ = o.frame_;
     data_ = o.data_;
     pid_ = o.pid_;
@@ -61,6 +73,7 @@ class PageGuard {
 
  private:
   BufferPool* pool_ = nullptr;
+  size_t shard_ = 0;
   size_t frame_ = 0;
   char* data_ = nullptr;
   PageId pid_;
@@ -73,13 +86,28 @@ struct BufferPoolStats {
   int64_t dirty_writebacks = 0;
 };
 
-/// Fixed-capacity page cache over a DiskManager. Thread-safe: one mutex
-/// guards the mapping/LRU; concurrent access to page *contents* is
-/// serialized by the engine's lock manager (readers share, writers hold
-/// exclusive table locks).
+/// Per-shard snapshot for tests and introspection.
+struct BufferPoolShardInfo {
+  size_t capacity = 0;        ///< frames owned by this shard
+  size_t resident_pages = 0;  ///< frames currently holding a page
+  size_t pinned_frames = 0;
+  size_t hot_frames = 0;  ///< resident frames in the protected segment
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+};
+
+/// Fixed-capacity page cache over a DiskManager, hash-partitioned into
+/// `shards` independent sub-pools. Thread-safe: each shard has its own
+/// mutex guarding its mapping/replacer; concurrent access to page
+/// *contents* is serialized by the engine's lock manager (readers share,
+/// writers hold exclusive table locks).
 class BufferPool {
  public:
-  BufferPool(DiskManager* disk, size_t capacity_pages);
+  /// `shards` defaults to 1 (a classic single-instance pool). Shards are
+  /// clamped to [1, capacity_pages] so every shard owns at least one
+  /// frame.
+  BufferPool(DiskManager* disk, size_t capacity_pages, size_t shards = 1);
   ~BufferPool();
 
   /// Pin an existing page.
@@ -97,11 +125,18 @@ class BufferPool {
 
   BufferPoolStats stats() const;
 
-  /// Publish pool telemetry into `registry` (`buffer_pool.*`); call
-  /// before concurrent use. Null detaches.
+  /// Publish pool telemetry into `registry` (`buffer_pool.*` aggregates
+  /// plus `buffer_pool.shard<i>.*` per-shard counters); call before
+  /// concurrent use. Null detaches.
   void AttachMetrics(metrics::MetricsRegistry* registry);
 
   size_t capacity() const { return capacity_; }
+  size_t shard_count() const { return shards_.size(); }
+  /// Which shard `pid` maps to (exposed for tests).
+  size_t ShardFor(PageId pid) const {
+    return PageIdHash{}(pid) % shards_.size();
+  }
+  std::vector<BufferPoolShardInfo> ShardInfos() const;
   DiskManager* disk() const { return disk_; }
 
  private:
@@ -110,39 +145,67 @@ class BufferPool {
   struct Frame {
     PageId pid;
     bool dirty = false;
+    bool hot = false;  ///< protected SLRU segment (second reference seen)
     int pin_count = 0;
     bool used = false;
     std::unique_ptr<char[]> data;
   };
 
-  void Unpin(size_t frame_idx);
-  void MarkDirty(size_t frame_idx);
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Frame> frames;
+    std::unordered_map<PageId, size_t, PageIdHash> table;
+    std::vector<size_t> free_list;  ///< never-used / purged frame indices
+    /// Replacer: unpinned resident frames only; front = most recent.
+    std::list<size_t> cold;
+    std::list<size_t> hot;
+    std::unordered_map<size_t, std::list<size_t>::iterator> pos;
+    size_t hot_frames = 0;  ///< resident frames with the hot bit set
+    size_t hot_cap = 1;     ///< hot segment limit (3/4 of shard frames)
 
-  /// Find a frame for a new page: free frame or LRU-evict an unpinned one.
-  /// Caller holds mutex_. Returns Status on "all pinned".
-  Result<size_t> AcquireFrame();
+    // Counters; guarded by `mutex`.
+    int64_t logical_reads = 0;
+    int64_t physical_reads = 0;
+    int64_t evictions = 0;
+    int64_t dirty_writebacks = 0;
+
+    metrics::Counter* m_hits = nullptr;
+    metrics::Counter* m_misses = nullptr;
+    metrics::Counter* m_evictions = nullptr;
+  };
+
+  void Unpin(size_t shard_idx, size_t frame_idx);
+  void MarkDirty(size_t shard_idx, size_t frame_idx);
+
+  /// Lock a shard, counting contended acquisitions into
+  /// `buffer_pool.shard_lock_wait`.
+  std::unique_lock<std::mutex> LockShard(const Shard& s) const;
+
+  /// Remove an unpinned frame from whichever replacer list holds it.
+  /// Caller holds the shard mutex.
+  void Detach(Shard& s, size_t frame_idx);
+  /// Move the frame into the protected segment, demoting the hot LRU
+  /// tail if the segment overflows. Caller holds the shard mutex.
+  void Promote(Shard& s, size_t frame_idx);
+
+  /// Find a frame for a new page: free-list frame, else evict the cold
+  /// LRU tail, else the hot LRU tail. Caller holds the shard mutex.
+  /// Returns ResourceExhausted naming `pid` and capacities if every
+  /// frame is pinned.
+  Result<size_t> AcquireFrame(size_t shard_idx, Shard& s, PageId pid);
 
   DiskManager* disk_;
   size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex mutex_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t, PageIdHash> table_;
-  std::list<size_t> lru_;  // front = most recent; only unpinned frames
-  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
-
-  std::atomic<int64_t> logical_reads_{0};
-  std::atomic<int64_t> physical_reads_{0};
-  std::atomic<int64_t> evictions_{0};
-  std::atomic<int64_t> dirty_writebacks_{0};
-
-  /// Registry handles (null until AttachMetrics). The atomics above stay
+  /// Registry handles (null until AttachMetrics). The shard counters stay
   /// authoritative for BufferPoolStats; these mirror into imp_metrics.
   metrics::Counter* m_hits_ = nullptr;
   metrics::Counter* m_misses_ = nullptr;
   metrics::Counter* m_evictions_ = nullptr;
   metrics::Counter* m_writebacks_ = nullptr;
   metrics::Counter* m_fault_trips_ = nullptr;
+  metrics::Counter* m_lock_wait_ = nullptr;
 };
 
 }  // namespace imon::storage

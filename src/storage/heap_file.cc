@@ -113,6 +113,34 @@ Status HeapFile::Scan(const std::function<bool(Rid, Row&)>& fn) const {
   return Status::OK();
 }
 
+Status HeapFile::PageChain(std::vector<uint32_t>* out) const {
+  out->clear();
+  uint32_t page_no = 0;
+  while (page_no != kInvalidPageNo) {
+    out->push_back(page_no);
+    IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(PageId{file_, page_no}));
+    page_no = guard.Read().next_page();
+  }
+  return Status::OK();
+}
+
+Status HeapFile::ScanPages(const uint32_t* pages, size_t count,
+                           const std::function<bool(Rid, Row&)>& fn) const {
+  Row row;  // decode buffer reused across every row of this range
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t page_no = pages[i];
+    IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(PageId{file_, page_no}));
+    PageView view = guard.Read();
+    for (uint16_t slot = 0; slot < view.slot_count(); ++slot) {
+      std::string_view record = view.Get(slot);
+      if (record.empty()) continue;
+      IMON_RETURN_IF_ERROR(DeserializeRowInto(record, &row));
+      if (!fn(Rid{page_no, slot}, row)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
 Result<HeapFileStats> HeapFile::ComputeStats() const {
   HeapFileStats stats;
   uint32_t page_no = 0;

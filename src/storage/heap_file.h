@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/status.h"
 #include "common/value.h"
@@ -78,6 +79,17 @@ class HeapFile {
   /// the callback may move from it, but must not hold a reference past
   /// its return.
   Status Scan(const std::function<bool(Rid, Row&)>& fn) const;
+
+  /// Collect the chain's page numbers in scan order, so a caller can
+  /// partition the file into page-range morsels.
+  Status PageChain(std::vector<uint32_t>* out) const;
+
+  /// Visit every live row of `pages[0..count)` in order, with the same
+  /// callback contract as Scan. Thread-safe against concurrent ScanPages
+  /// calls over a frozen chain (each call owns its decode buffer); not
+  /// safe against concurrent writers.
+  Status ScanPages(const uint32_t* pages, size_t count,
+                   const std::function<bool(Rid, Row&)>& fn) const;
 
   /// Main/overflow page accounting for the catalog.
   Result<HeapFileStats> ComputeStats() const;

@@ -1,0 +1,260 @@
+// Morsel-driven parallel scans: the differential invariant is that the
+// worker count and the morsel size may change *cost*, never *results*.
+// Every query must produce byte-identical output across worker counts
+// {1, 2, 4, 8} x both expression paths (compiled / scalar), morsel
+// boundaries must not leak into results, and errors raised mid-scan
+// must be deterministic regardless of scheduling.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "testing/oracle.h"
+#include "tests/testing_util.h"
+
+namespace imon::engine {
+namespace {
+
+using imon::testing::Fingerprint;
+
+DatabaseOptions ParOpts(size_t workers, bool compiled,
+                        size_t morsel_pages = 0) {
+  DatabaseOptions o;
+  o.exec_workers = workers;
+  o.use_compiled_exprs = compiled;
+  if (morsel_pages > 0) o.exec_morsel_pages = morsel_pages;
+  return o;
+}
+
+/// Order-sensitive rendering: unlike Fingerprint (which sorts rows),
+/// this preserves emission order so ORDER BY / LIMIT output and the
+/// morsel gather order are part of the comparison.
+std::string OrderedDump(const QueryResult& r) {
+  std::string out;
+  for (const Row& row : r.rows) {
+    for (const Value& v : row) {
+      out += v.ToString();
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+// The mix exercises every morsel-eligible shape: inner filtered scans,
+// root aggregates (plain and grouped), top-k via ORDER BY + LIMIT, bare
+// LIMIT pushdown, DISTINCT, and joins whose probe side is morselized.
+// item.price values are exact quarter multiples, so double sums are
+// dyadic and associativity cannot introduce drift.
+const char* const kParallelQueries[] = {
+    "SELECT count(*) FROM item",
+    "SELECT count(*), count(tag), sum(price), min(price), max(price) "
+    "FROM item",
+    "SELECT grp, count(*), sum(price) FROM item GROUP BY grp ORDER BY grp",
+    "SELECT id, price FROM item WHERE grp < 4 AND tag IS NOT NULL "
+    "ORDER BY id",
+    "SELECT id FROM item WHERE tag IS NULL AND grp < 6 ORDER BY id LIMIT 25",
+    "SELECT id, grp FROM item WHERE price > 50.0 LIMIT 10",
+    "SELECT DISTINCT grp FROM item ORDER BY grp",
+    "SELECT id, price FROM item ORDER BY price, id LIMIT 7",
+    "SELECT i.grp, sum(s.qty) FROM item i JOIN sale s ON i.id = s.item_id "
+    "GROUP BY i.grp ORDER BY i.grp",
+    "SELECT count(*) FROM sale WHERE qty > 2 AND day BETWEEN 10 AND 200",
+};
+
+std::vector<std::string> RunAll(Database* db) {
+  std::vector<std::string> out;
+  for (const char* q : kParallelQueries) {
+    auto r = db->Execute(q);
+    EXPECT_TRUE(r.ok()) << q << " -> " << r.status();
+    out.push_back(r.ok() ? OrderedDump(*r) : "<error>");
+  }
+  return out;
+}
+
+class ParallelScanTest : public ::testing::Test {};
+
+TEST_F(ParallelScanTest, WorkerCountsAndExprPathsAgree) {
+  Database baseline_db{ParOpts(1, false)};
+  imon::testing::Populate(&baseline_db, /*seed=*/7);
+  auto baseline = RunAll(&baseline_db);
+
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    for (bool compiled : {false, true}) {
+      Database db{ParOpts(workers, compiled)};
+      imon::testing::Populate(&db, /*seed=*/7);
+      auto got = RunAll(&db);
+      for (size_t i = 0; i < std::size(kParallelQueries); ++i) {
+        EXPECT_EQ(got[i], baseline[i])
+            << "workers=" << workers << " compiled=" << compiled
+            << " diverged on: " << kParallelQueries[i];
+      }
+    }
+  }
+}
+
+// Degenerate morsel geometries: one page per morsel maximizes the
+// number of partial results to merge; a huge morsel collapses the scan
+// to a single task (the inline path). Both must match the default.
+TEST_F(ParallelScanTest, MorselSizeDoesNotChangeResults) {
+  Database baseline_db{ParOpts(4, true)};
+  imon::testing::Populate(&baseline_db, /*seed=*/11);
+  auto baseline = RunAll(&baseline_db);
+
+  for (size_t morsel_pages : {size_t{1}, size_t{1} << 20}) {
+    Database db{ParOpts(4, true, morsel_pages)};
+    imon::testing::Populate(&db, /*seed=*/11);
+    auto got = RunAll(&db);
+    for (size_t i = 0; i < std::size(kParallelQueries); ++i) {
+      EXPECT_EQ(got[i], baseline[i])
+          << "morsel_pages=" << morsel_pages
+          << " diverged on: " << kParallelQueries[i];
+    }
+  }
+}
+
+TEST_F(ParallelScanTest, EmptyTableAcrossWorkerCounts) {
+  for (size_t workers : {1u, 4u}) {
+    Database db{ParOpts(workers, true, /*morsel_pages=*/1)};
+    ASSERT_TRUE(db.Execute("CREATE TABLE empty_t (a INT, b TEXT)").ok());
+    auto rows = db.Execute("SELECT a, b FROM empty_t WHERE a > 0");
+    ASSERT_TRUE(rows.ok());
+    EXPECT_TRUE(rows->rows.empty());
+    auto agg = db.Execute("SELECT count(*), sum(a) FROM empty_t");
+    ASSERT_TRUE(agg.ok());
+    ASSERT_EQ(agg->rows.size(), 1u);
+    EXPECT_EQ(agg->rows[0][0].AsInt(), 0);
+    EXPECT_TRUE(agg->rows[0][1].is_null());
+  }
+}
+
+// A runtime error ('arithmetic on text value') fires only on rows with
+// a non-NULL tag, i.e. mid-scan inside some morsel. Which morsel hits
+// it first must not depend on scheduling: morsels are claimed in index
+// order and the gather reports the lowest-indexed morsel's error.
+TEST_F(ParallelScanTest, MidScanErrorsAreDeterministic) {
+  std::string serial_msg;
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    Database db{ParOpts(workers, /*compiled=*/false, /*morsel_pages=*/1)};
+    imon::testing::Populate(&db, /*seed=*/7);
+    auto r = db.Execute("SELECT id + tag FROM item");
+    ASSERT_FALSE(r.ok()) << "workers=" << workers;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    if (workers == 1) {
+      serial_msg = std::string(r.status().message());
+    } else {
+      EXPECT_EQ(std::string(r.status().message()), serial_msg)
+          << "workers=" << workers;
+    }
+  }
+}
+
+// Full-table scans examine every row exactly once no matter how the
+// pages are carved into morsels or which lane runs them.
+TEST_F(ParallelScanTest, RowsExaminedParityOnFullScans) {
+  const char* q = "SELECT count(*) FROM item WHERE grp < 5";
+  int64_t serial_examined = -1;
+  for (size_t workers : {1u, 4u}) {
+    for (bool compiled : {false, true}) {
+      Database db{ParOpts(workers, compiled, /*morsel_pages=*/1)};
+      imon::testing::Populate(&db, /*seed=*/7);
+      auto r = db.Execute(q);
+      ASSERT_TRUE(r.ok());
+      if (serial_examined < 0) {
+        serial_examined = r->stats.rows_examined;
+      } else {
+        EXPECT_EQ(r->stats.rows_examined, serial_examined)
+            << "workers=" << workers << " compiled=" << compiled;
+      }
+    }
+  }
+}
+
+// Many client threads issuing queries against one shared database while
+// each query fans out over the worker pool: the TSan target for the
+// whole scan path (shard locks, worker pool, per-lane scratch).
+TEST_F(ParallelScanTest, ConcurrentClientsOnSharedDatabase) {
+  Database db{ParOpts(4, true, /*morsel_pages=*/1)};
+  imon::testing::Populate(&db, /*seed=*/3);
+  auto expected_r = db.Execute(
+      "SELECT grp, count(*), sum(price) FROM item GROUP BY grp ORDER BY grp");
+  ASSERT_TRUE(expected_r.ok());
+  std::string expected = OrderedDump(*expected_r);
+
+  std::vector<std::thread> clients;
+  std::vector<int> mismatches(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&db, &expected, &mismatches, t] {
+      for (int iter = 0; iter < 10; ++iter) {
+        auto r = db.Execute(
+            "SELECT grp, count(*), sum(price) FROM item "
+            "GROUP BY grp ORDER BY grp");
+        if (!r.ok() || OrderedDump(*r) != expected) ++mismatches[t];
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(mismatches[t], 0) << "client " << t;
+}
+
+TEST_F(ParallelScanTest, ParallelCountersSurfaceInMetrics) {
+  Database db{ParOpts(2, true, /*morsel_pages=*/1)};
+  imon::testing::Populate(&db, /*seed=*/5);
+  ASSERT_TRUE(db.Execute("SELECT count(*) FROM sale").ok());
+
+  EXPECT_GT(db.metrics()->GetCounter("exec.morsels_dispatched")->Value(), 0);
+
+  std::vector<std::string> want = {
+      "buffer_pool.shard_lock_wait", "buffer_pool.shard0.hits",
+      "buffer_pool.shard0.misses",   "buffer_pool.shard0.evictions",
+      "exec.morsels_dispatched",     "exec.worker_busy",
+  };
+  auto values = db.metrics()->SnapshotValues();
+  for (const std::string& name : want) {
+    bool found = false;
+    for (const auto& mv : values) found = found || mv.name == name;
+    EXPECT_TRUE(found) << "metric not registered: " << name;
+  }
+}
+
+// Open-time validation: sizing knobs of zero are rejected with a clear
+// InvalidArgument naming the field, before any resources are created.
+TEST_F(ParallelScanTest, OpenRejectsZeroSizingOptions) {
+  struct Case {
+    const char* field;
+    void (*set)(DatabaseOptions*);
+  };
+  const Case cases[] = {
+      {"exec_batch_size",
+       [](DatabaseOptions* o) { o->exec_batch_size = 0; }},
+      {"exec_workers", [](DatabaseOptions* o) { o->exec_workers = 0; }},
+      {"exec_morsel_pages",
+       [](DatabaseOptions* o) { o->exec_morsel_pages = 0; }},
+      {"buffer_pool_shards",
+       [](DatabaseOptions* o) { o->buffer_pool_shards = 0; }},
+      {"buffer_pool_pages",
+       [](DatabaseOptions* o) { o->buffer_pool_pages = 0; }},
+  };
+  for (const Case& c : cases) {
+    DatabaseOptions o;
+    c.set(&o);
+    auto db = Database::Open(o);
+    ASSERT_FALSE(db.ok()) << c.field;
+    EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument) << c.field;
+    EXPECT_NE(std::string(db.status().message()).find(c.field),
+              std::string::npos)
+        << db.status().message();
+  }
+
+  DatabaseOptions good;
+  good.exec_workers = 2;
+  auto db = Database::Open(good);
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->Execute("CREATE TABLE ok_t (a INT)").ok());
+}
+
+}  // namespace
+}  // namespace imon::engine

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/clock.h"
 
@@ -133,6 +137,155 @@ TEST_F(BufferPoolTest, PurgeDropsCachedPagesOfFile) {
   auto again = pool_.Fetch(pid);
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(pool_.stats().physical_reads, before.physical_reads + 1);
+}
+
+TEST_F(BufferPoolTest, AllPinnedErrorNamesPageShardAndCapacity) {
+  std::vector<PageGuard> guards;
+  for (size_t i = 0; i < pool_.capacity(); ++i) {
+    auto g = pool_.New(file_);
+    ASSERT_TRUE(g.ok());
+    guards.push_back(std::move(g.TakeValue()));
+  }
+  auto overflow = pool_.New(file_);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  std::string msg(overflow.status().message());
+  // The message must name the page that could not be pinned, the shard
+  // whose frames were exhausted, and the overall pool geometry.
+  EXPECT_NE(msg.find("cannot pin page"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(std::to_string(file_) + ":4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("shard"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("pool capacity 4"), std::string::npos) << msg;
+}
+
+TEST_F(BufferPoolTest, LongScanDoesNotEvictRepeatedlyHitPages) {
+  // Warm three pages into the protected (hot) segment: a page becomes hot
+  // on its second reference.
+  std::vector<PageId> hot;
+  for (int i = 0; i < 3; ++i) {
+    auto g = pool_.New(file_);
+    ASSERT_TRUE(g.ok());
+    hot.push_back(g->page_id());
+  }
+  for (const PageId& pid : hot) ASSERT_TRUE(pool_.Fetch(pid).ok());
+
+  // A long sequential scan of one-touch pages must recycle only the
+  // probationary frame, never the hot set.
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(pool_.New(file_).ok());
+
+  auto before = pool_.stats();
+  for (const PageId& pid : hot) ASSERT_TRUE(pool_.Fetch(pid).ok());
+  auto after = pool_.stats();
+  EXPECT_EQ(after.physical_reads, before.physical_reads)
+      << "scan evicted pages with recent repeated hits";
+}
+
+TEST(BufferPoolShardingTest, UniformWorkloadBalancesShards) {
+  DiskManager disk;
+  BufferPool pool(&disk, 512, 8);
+  FileId f = disk.CreateFile();
+  ASSERT_EQ(pool.shard_count(), 8u);
+
+  constexpr int kPages = 400;
+  for (int i = 0; i < kPages; ++i) ASSERT_TRUE(pool.New(f).ok());
+
+  auto infos = pool.ShardInfos();
+  ASSERT_EQ(infos.size(), 8u);
+  size_t resident = 0;
+  size_t capacity = 0;
+  for (const auto& info : infos) {
+    resident += info.resident_pages;
+    capacity += info.capacity;
+  }
+  EXPECT_EQ(resident, static_cast<size_t>(kPages));
+  EXPECT_EQ(capacity, 512u);
+  const double mean = static_cast<double>(kPages) / 8.0;
+  for (size_t i = 0; i < infos.size(); ++i) {
+    EXPECT_LE(static_cast<double>(infos[i].resident_pages), 2.0 * mean)
+        << "shard " << i << " holds " << infos[i].resident_pages
+        << " pages, more than 2x the mean of " << mean;
+  }
+}
+
+TEST(BufferPoolShardingTest, ExhaustingOneShardLeavesOthersUsable) {
+  DiskManager disk;
+  BufferPool pool(&disk, 16, 4);  // 4 frames per shard
+  FileId f = disk.CreateFile();
+
+  // Collect 5 pages that hash to shard 0 and one page from another shard.
+  std::vector<PageId> shard0;
+  PageId other{};
+  bool have_other = false;
+  while (shard0.size() < 5 || !have_other) {
+    auto g = pool.New(f);
+    ASSERT_TRUE(g.ok());
+    PageId pid = g->page_id();
+    if (pool.ShardFor(pid) == 0) {
+      if (shard0.size() < 5) shard0.push_back(pid);
+    } else if (!have_other) {
+      other = pid;
+      have_other = true;
+    }
+  }
+
+  std::vector<PageGuard> pins;
+  for (size_t i = 0; i < 4; ++i) {
+    auto g = pool.Fetch(shard0[i]);
+    ASSERT_TRUE(g.ok());
+    pins.push_back(std::move(g.TakeValue()));
+  }
+  auto overflow = pool.Fetch(shard0[4]);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(std::string(overflow.status().message()).find("shard 0"),
+            std::string::npos);
+  // Other shards are unaffected by shard 0 being fully pinned.
+  EXPECT_TRUE(pool.Fetch(other).ok());
+  pins.clear();
+  EXPECT_TRUE(pool.Fetch(shard0[4]).ok());
+}
+
+TEST(BufferPoolShardingTest, ConcurrentPinnersExhaustShardGracefully) {
+  DiskManager disk;
+  BufferPool pool(&disk, 16, 4);  // 4 frames per shard
+  FileId f = disk.CreateFile();
+
+  std::vector<PageId> shard0;
+  while (shard0.size() < 6) {
+    auto g = pool.New(f);
+    ASSERT_TRUE(g.ok());
+    if (pool.ShardFor(g->page_id()) == 0) shard0.push_back(g->page_id());
+  }
+
+  // Each thread repeatedly pins all six shard-0 pages at once. At most four
+  // distinct pages fit in the shard, so every iteration must see graceful
+  // ResourceExhausted failures rather than crashes or deadlocks.
+  std::atomic<int> failures{0};
+  std::atomic<bool> wrong_code{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int iter = 0; iter < 25; ++iter) {
+        std::vector<PageGuard> pins;
+        for (const PageId& pid : shard0) {
+          auto g = pool.Fetch(pid);
+          if (g.ok()) {
+            pins.push_back(std::move(g.TakeValue()));
+          } else {
+            if (g.status().code() != StatusCode::kResourceExhausted) {
+              wrong_code.store(true);
+            }
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(failures.load(), 0);
+  EXPECT_FALSE(wrong_code.load());
+  // All pins released: the shard is usable again.
+  EXPECT_TRUE(pool.Fetch(shard0[0]).ok());
 }
 
 TEST(DiskManagerTest, CountsPhysicalIo) {
