@@ -30,6 +30,11 @@ echo "== tier-1: differential fuzz sweep (25 seeded workloads) =="
 echo "== tier-1: fault injection suite =="
 (cd build && ./tests/fault_test)
 
+echo "== tier-1: differential compression sweep (100 seeded workloads) =="
+# Every seeded workload is analyzed twice — raw rows vs per-template
+# aggregates — and the recommendation sets must match rule-for-rule.
+(cd build && ./tests/compression_test --iters=100)
+
 echo "== tier-1: tuner apply-fault fuzz (seeded) =="
 # The seeded fuzz scenario injects apply-path faults and simulated
 # crashes into the closed-loop tuner; every iteration asserts the
@@ -160,17 +165,54 @@ if [[ "$par_gate_ok" != 1 ]]; then
   exit 1
 fi
 
+echo "== tier-1: workload compression gate =="
+# The compression benchmark emits BENCH_compress.json. Two absolute
+# bounds: the per-template history at 100x execution volume must stay
+# within 25% of the raw history's bytes, and template-path analyzer
+# latency must stay sublinear in that volume (<= 20x growth against
+# ~100x more raw data). The committed baseline additionally bounds
+# template-path latency regressions within IMON_COMPRESS_GATE_PCT
+# (default 50 — the figure is milliseconds-scale and noisy on a shared
+# box). Same retry-keeping-best discipline as the gates above.
+compress_gate_pct="${IMON_COMPRESS_GATE_PCT:-50}"
+compress_gate_ok=0
+best_clat=""
+for attempt in 1 2 3; do
+  (cd build && ./bench/micro_compression >/dev/null)
+  ratio=$(json_value build/BENCH_compress.json bytes_ratio_100x)
+  growth=$(json_value build/BENCH_compress.json template_latency_growth_100x)
+  clat=$(json_value build/BENCH_compress.json template_latency_ms_100x)
+  if [[ -z "$ratio" || -z "$growth" || -z "$clat" ]]; then
+    echo "tier-1: FAILED to read compression benchmark output" >&2
+    exit 1
+  fi
+  best_clat=$(awk -v a="${best_clat:-1e30}" -v b="$clat" 'BEGIN { print (b < a) ? b : a }')
+  base_clat=$(json_value bench/BENCH_compress.baseline.json template_latency_ms_100x)
+  clat_pct=$(awk -v b="$base_clat" -v m="$best_clat" 'BEGIN { printf "%.2f", (m - b) / b * 100 }')
+  echo "  attempt $attempt: bytes ratio ${ratio}, latency growth ${growth}x," \
+       "template latency ${best_clat}ms (regression ${clat_pct}%)"
+  if awk -v r="$ratio" -v g="$growth" -v p="$clat_pct" -v gp="$compress_gate_pct" \
+       'BEGIN { exit !(r <= 0.25 && g <= 20 && p <= gp) }'; then
+    compress_gate_ok=1
+    break
+  fi
+done
+if [[ "$compress_gate_ok" != 1 ]]; then
+  echo "tier-1: workload compression gate failed on every attempt" >&2
+  exit 1
+fi
+
 if [[ "$run_tsan" == 1 ]]; then
   echo "== tier-1: ThreadSanitizer build =="
   cmake -B build-tsan -S . -DIMON_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$(nproc)" --target \
     monitor_test monitor_concurrency_test engine_test daemon_test fault_test \
     common_test ima_observability_test tuner_test exec_batch_test \
-    storage_test parallel_scan_test
+    storage_test parallel_scan_test compression_test
 
   echo "== tier-1: concurrency suites under TSan =="
   (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-    -R 'Monitor|MonitorConcurrency|Database|Differential|Daemon|Fault|Metrics|ImaObservability|Tuner|ExecBatch|ParallelScan|BufferPool')
+    -R 'Monitor|MonitorConcurrency|Database|Differential|Daemon|Fault|Metrics|ImaObservability|Tuner|ExecBatch|ParallelScan|BufferPool|Compression|SamplingDeterminism|Log2Buckets')
 
   echo "== tier-1: fault injection under TSan =="
   (cd build-tsan && ./tests/fault_test)

@@ -8,6 +8,7 @@
 
 #include "common/clock.h"
 #include "optimizer/binder.h"
+#include "sql/normalizer.h"
 #include "sql/parser.h"
 
 namespace imon::analyzer {
@@ -111,23 +112,109 @@ Analyzer::Fetch(const std::string& logical_name) {
   return std::make_pair(std::move(r.rows), std::move(cols));
 }
 
-Result<std::vector<Analyzer::StatementInfo>> Analyzer::LoadStatements() {
+namespace {
+
+bool IsSelectText(const std::string& text) {
+  std::string head = text.substr(0, 6);
+  for (char& c : head) c = static_cast<char>(std::tolower(c));
+  return head == "select";
+}
+
+}  // namespace
+
+void Analyzer::SortStatementsForRules(std::vector<StatementInfo>* out) {
+  std::sort(out->begin(), out->end(),
+            [](const StatementInfo& a, const StatementInfo& b) {
+              if (a.first_seen_micros != b.first_seen_micros) {
+                return a.first_seen_micros < b.first_seen_micros;
+              }
+              return a.fingerprint < b.fingerprint;
+            });
+}
+
+Result<std::vector<Analyzer::StatementInfo>> Analyzer::LoadStatements(
+    AnalysisReport* report) {
+  std::vector<StatementInfo> out;
+  bool from_templates = false;
+  switch (config_.workload_source) {
+    case WorkloadSource::kTemplates: {
+      IMON_ASSIGN_OR_RETURN(out, LoadStatementsFromTemplates());
+      from_templates = true;
+      break;
+    }
+    case WorkloadSource::kRawRows: {
+      IMON_ASSIGN_OR_RETURN(out, LoadStatementsFromRawRows());
+      break;
+    }
+    case WorkloadSource::kAuto: {
+      // Templates when available and populated; raw rows otherwise (a
+      // workload DB written before the template schema existed, or one
+      // filled out-of-band with raw rows only).
+      auto templates = LoadStatementsFromTemplates();
+      if (templates.ok() && !templates->empty()) {
+        out = std::move(*templates);
+        from_templates = true;
+      } else {
+        IMON_ASSIGN_OR_RETURN(out, LoadStatementsFromRawRows());
+      }
+      break;
+    }
+  }
+  if (report != nullptr) report->from_templates = from_templates;
+  // Deterministic rule order, identical for both sources: the greedy
+  // index search and R1's table counting then tie-break the same way no
+  // matter which representation was read.
+  SortStatementsForRules(&out);
+  return out;
+}
+
+Result<std::vector<Analyzer::StatementInfo>> Analyzer::LoadStatementsFromRawRows() {
   IMON_ASSIGN_OR_RETURN(auto statements, Fetch("statements"));
   auto& [stmt_rows, stmt_cols] = statements;
-  std::map<uint64_t, StatementInfo> by_hash;
+  // Per raw hash first (snapshots append over time: keep the largest
+  // frequency and the earliest first_seen per hash)...
+  struct RawStatement {
+    std::string text;
+    int64_t frequency = 1;
+    int64_t first_seen = 0;
+    bool have_first_seen = false;
+  };
+  std::map<uint64_t, RawStatement> raw;
   int hash_col = stmt_cols.at("hash");
   int text_col = stmt_cols.at("query_text");
   int freq_col = stmt_cols.at("frequency");
+  int first_col = stmt_cols.at("first_seen");
   for (const Row& row : stmt_rows) {
     uint64_t hash = static_cast<uint64_t>(row[hash_col].AsInt());
-    StatementInfo& info = by_hash[hash];
-    info.hash = hash;
-    info.text = row[text_col].AsText();
-    // Snapshots append over time; keep the largest frequency seen.
-    info.frequency = std::max(info.frequency, row[freq_col].AsInt());
-    std::string head = info.text.substr(0, 6);
-    for (char& c : head) c = static_cast<char>(std::tolower(c));
-    info.is_select = head == "select";
+    RawStatement& s = raw[hash];
+    s.text = row[text_col].AsText();
+    s.frequency = std::max(s.frequency, row[freq_col].AsInt());
+    int64_t first_seen = row[first_col].AsInt();
+    s.first_seen =
+        s.have_first_seen ? std::min(s.first_seen, first_seen) : first_seen;
+    s.have_first_seen = true;
+  }
+
+  // ...then group hashes into templates. Representative = the member
+  // with the smallest (first_seen, hash) — the monitor picks its sampled
+  // representative by the identical rule.
+  std::map<uint64_t, StatementInfo> by_fingerprint;
+  std::map<uint64_t, uint64_t> fingerprint_of;  // raw hash -> template
+  std::map<uint64_t, std::set<ObjectId>> group_tables;
+  for (const auto& [hash, s] : raw) {
+    uint64_t fingerprint = sql::NormalizeStatement(s.text).fingerprint;
+    fingerprint_of[hash] = fingerprint;
+    auto [it, inserted] = by_fingerprint.try_emplace(fingerprint);
+    StatementInfo& info = it->second;
+    if (inserted || s.first_seen < info.first_seen_micros ||
+        (s.first_seen == info.first_seen_micros && hash < info.hash)) {
+      info.hash = hash;
+      info.text = s.text;
+      info.first_seen_micros = s.first_seen;
+      info.is_select = IsSelectText(s.text);
+    }
+    info.fingerprint = fingerprint;
+    info.frequency = inserted ? s.frequency : info.frequency + s.frequency;
   }
 
   IMON_ASSIGN_OR_RETURN(auto workload, Fetch("workload"));
@@ -136,34 +223,96 @@ Result<std::vector<Analyzer::StatementInfo>> Analyzer::LoadStatements() {
   int wl_actual = wl_cols.at("actual_cost");
   int wl_est = wl_cols.at("est_cost");
   for (const Row& row : wl_rows) {
-    auto it = by_hash.find(static_cast<uint64_t>(row[wl_hash].AsInt()));
-    if (it == by_hash.end()) continue;
-    it->second.total_actual += row[wl_actual].AsDouble();
-    it->second.total_estimated += row[wl_est].AsDouble();
-    it->second.executions += 1;
+    auto fp = fingerprint_of.find(static_cast<uint64_t>(row[wl_hash].AsInt()));
+    if (fp == fingerprint_of.end()) continue;
+    StatementInfo& info = by_fingerprint.at(fp->second);
+    info.total_actual += row[wl_actual].AsDouble();
+    info.total_estimated += row[wl_est].AsDouble();
+    info.executions += 1;
   }
 
-  std::vector<StatementInfo> out;
-  out.reserve(by_hash.size());
-  for (auto& [hash, info] : by_hash) out.push_back(std::move(info));
-  return out;
-}
-
-Status Analyzer::RuleCostMismatch(
-    const std::vector<StatementInfo>& statements, AnalysisReport* report) {
-  // Tables referenced by each flagged statement, from the references data.
+  // Referenced tables per template, for R1.
   IMON_ASSIGN_OR_RETURN(auto references, Fetch("references"));
   auto& [ref_rows, ref_cols] = references;
   int ref_hash = ref_cols.at("hash");
   int ref_type = ref_cols.at("object_type");
   int ref_table = ref_cols.at("table_id");
-  std::map<uint64_t, std::set<ObjectId>> tables_of;
   for (const Row& row : ref_rows) {
     if (row[ref_type].AsText() != "table") continue;
-    tables_of[static_cast<uint64_t>(row[ref_hash].AsInt())].insert(
-        row[ref_table].AsInt());
+    auto fp = fingerprint_of.find(static_cast<uint64_t>(row[ref_hash].AsInt()));
+    if (fp == fingerprint_of.end()) continue;
+    group_tables[fp->second].insert(row[ref_table].AsInt());
   }
 
+  std::vector<StatementInfo> out;
+  out.reserve(by_fingerprint.size());
+  for (auto& [fingerprint, info] : by_fingerprint) {
+    const std::set<ObjectId>& tables = group_tables[fingerprint];
+    info.ref_tables.assign(tables.begin(), tables.end());
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Result<std::vector<Analyzer::StatementInfo>>
+Analyzer::LoadStatementsFromTemplates() {
+  IMON_ASSIGN_OR_RETURN(auto templates, Fetch("templates"));
+  auto& [rows, cols] = templates;
+  int fp_col = cols.at("fingerprint");
+  int hash_col = cols.at("sample_hash");
+  int text_col = cols.at("sample_text");
+  int exec_col = cols.at("executions");
+  int actual_col = cols.at("total_actual");
+  int est_col = cols.at("total_estimated");
+  int first_col = cols.at("first_seen");
+  int tables_col = cols.at("ref_tables");
+
+  // One current row per fingerprint in both sources (the daemon upserts,
+  // the IMA snapshot merges shards); keep the most-advanced row should a
+  // stale duplicate ever appear.
+  std::map<uint64_t, StatementInfo> by_fingerprint;
+  for (const Row& row : rows) {
+    uint64_t fingerprint = static_cast<uint64_t>(row[fp_col].AsInt());
+    StatementInfo info;
+    info.fingerprint = fingerprint;
+    info.hash = static_cast<uint64_t>(row[hash_col].AsInt());
+    info.text = row[text_col].AsText();
+    info.executions = row[exec_col].AsInt();
+    info.frequency = std::max<int64_t>(1, info.executions);
+    info.total_actual = row[actual_col].AsDouble();
+    info.total_estimated = row[est_col].AsDouble();
+    info.first_seen_micros = row[first_col].AsInt();
+    info.is_select = IsSelectText(info.text);
+    std::set<ObjectId> tables;
+    const std::string csv = row[tables_col].AsText();
+    for (size_t pos = 0; pos < csv.size();) {
+      size_t comma = csv.find(',', pos);
+      if (comma == std::string::npos) comma = csv.size();
+      if (comma > pos) {
+        tables.insert(std::stoll(csv.substr(pos, comma - pos)));
+      }
+      pos = comma + 1;
+    }
+    info.ref_tables.assign(tables.begin(), tables.end());
+    auto it = by_fingerprint.find(fingerprint);
+    if (it == by_fingerprint.end() ||
+        it->second.executions < info.executions) {
+      by_fingerprint[fingerprint] = std::move(info);
+    }
+  }
+
+  std::vector<StatementInfo> out;
+  out.reserve(by_fingerprint.size());
+  for (auto& [fingerprint, info] : by_fingerprint) {
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Status Analyzer::RuleCostMismatch(
+    const std::vector<StatementInfo>& statements, AnalysisReport* report) {
+  // Per-template mean costs: the loaders carry exact rolling sums and the
+  // referenced tables, so the rule itself is source-agnostic.
   std::map<ObjectId, int64_t> flagged_tables;  // table -> supporting stmts
   for (const StatementInfo& s : statements) {
     if (s.executions == 0) continue;
@@ -173,7 +322,7 @@ Status Analyzer::RuleCostMismatch(
     double ratio = std::max(actual, estimated) / std::min(actual, estimated);
     if (ratio < config_.cost_mismatch_factor) continue;
     ++report->cost_mismatch_statements;
-    for (ObjectId t : tables_of[s.hash]) ++flagged_tables[t];
+    for (ObjectId t : s.ref_tables) ++flagged_tables[t];
   }
 
   for (const auto& [table_id, support] : flagged_tables) {
@@ -594,7 +743,15 @@ Status Analyzer::BuildCostDiagram(
   }
   std::sort(selects.begin(), selects.end(),
             [](const StatementInfo* a, const StatementInfo* b) {
-              return a->total_actual > b->total_actual;
+              if (a->total_actual != b->total_actual) {
+                return a->total_actual > b->total_actual;
+              }
+              // Cost ties: fall back to workload order so the diagram is
+              // deterministic and identical across workload sources.
+              if (a->first_seen_micros != b->first_seen_micros) {
+                return a->first_seen_micros < b->first_seen_micros;
+              }
+              return a->fingerprint < b->fingerprint;
             });
   if (static_cast<int>(selects.size()) > config_.top_statements) {
     selects.resize(config_.top_statements);
@@ -650,7 +807,7 @@ Result<AnalysisReport> Analyzer::Analyze() {
   int64_t start = MonotonicNanos();
   AnalysisReport report;
   IMON_ASSIGN_OR_RETURN(std::vector<StatementInfo> statements,
-                        LoadStatements());
+                        LoadStatements(&report));
   report.statements_analyzed = static_cast<int64_t>(statements.size());
   IMON_RETURN_IF_ERROR(RuleCostMismatch(statements, &report));
   IMON_RETURN_IF_ERROR(RuleMissingHistograms(&report));

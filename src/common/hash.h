@@ -35,6 +35,17 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
   return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
 }
 
+/// splitmix64 finalizer: full-avalanche 64-bit mix. FNV-1a and HashCombine
+/// leave the low bits weakly mixed; anything that buckets or compares raw
+/// 64-bit fingerprints (template registry shards, sampling decisions) runs
+/// the combined value through this first.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace imon
 
 #endif  // IMON_COMMON_HASH_H_

@@ -48,6 +48,23 @@ int64_t Histogram::ValueAtPercentile(double p) const {
   return Max();
 }
 
+int64_t Log2Buckets::ValueAtPercentile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(count));
+  if (rank >= count) rank = count - 1;
+  int64_t seen = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    seen += counts[i];
+    if (seen > rank) {
+      int64_t upper =
+          i == 0 ? 0 : static_cast<int64_t>((uint64_t{1} << i) - 1);
+      return max > 0 ? std::min(upper, max) : upper;
+    }
+  }
+  return max;
+}
+
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);

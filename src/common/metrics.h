@@ -143,6 +143,33 @@ class Histogram {
   std::atomic<int64_t> max_{0};
 };
 
+/// Plain (externally synchronized) log2 bucket array sharing Histogram's
+/// bucket math. Unlike Histogram this is workload DATA, not telemetry:
+/// per-template cost quantiles in the monitor's compression layer live in
+/// these under the shard lock, are mergeable across shards, and stay
+/// active when the metrics layer is compiled out. Quantiles report the
+/// bucket upper bound clamped to the observed max (<= 2x overestimate by
+/// construction) — recommendations never depend on them, so the error
+/// budget is purely a telemetry-fidelity bound (see metrics_test.cc).
+struct Log2Buckets {
+  std::array<int64_t, Histogram::kBuckets> counts{};
+  int64_t count = 0;
+  int64_t max = 0;
+
+  void Record(int64_t value) {
+    ++counts[Histogram::BucketFor(value)];
+    ++count;
+    if (value > max) max = value;
+  }
+  void Merge(const Log2Buckets& other) {
+    for (int i = 0; i < Histogram::kBuckets; ++i) counts[i] += other.counts[i];
+    count += other.count;
+    if (other.max > max) max = other.max;
+  }
+  /// Same semantics as Histogram::ValueAtPercentile, p in [0, 100].
+  int64_t ValueAtPercentile(double p) const;
+};
+
 /// One named counter/gauge value for IMA materialization.
 struct MetricValue {
   std::string name;

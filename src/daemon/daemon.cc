@@ -49,6 +49,24 @@ const WlTable kWlTables[] = {
      "disk_writes INT, statements INT)"},
 };
 
+/// The compressed workload lives outside kWlTables on purpose: retention
+/// purges iterate that array, and wl_templates must outlive the raw-row
+/// purge (one current row per statement shape, never aged out).
+const char* const kWlTemplatesDdl =
+    "CREATE TABLE IF NOT EXISTS wl_templates (captured_at INT, seq INT, "
+    "fingerprint INT, template_text TEXT, sample_hash INT, sample_text TEXT, "
+    "executions INT, sampled_count INT, total_actual DOUBLE, "
+    "total_estimated DOUBLE, first_seen INT, last_seen INT, "
+    "ref_tables TEXT, ref_attrs TEXT, p50_actual DOUBLE, p95_actual DOUBLE, "
+    "p99_actual DOUBLE, p50_estimated DOUBLE, p95_estimated DOUBLE, "
+    "p99_estimated DOUBLE, src_id INT, src_executions INT, src_sampled INT, "
+    "src_actual DOUBLE, src_estimated DOUBLE)";
+// The trailing src_* columns are daemon resume state, not workload data:
+// the monitor incarnation the row was last flushed from and that
+// incarnation's raw cumulative counters. A restarted daemon facing the
+// SAME monitor restores its delta baseline from them instead of
+// re-adding counts the previous daemon already persisted.
+
 /// Render a Value as a SQL literal (with '' escaping for text).
 std::string SqlLiteral(const Value& v) {
   if (v.is_null()) return "NULL";
@@ -89,6 +107,8 @@ Status CreateWorkloadSchema(Database* workload_db) {
     auto r = workload_db->Execute(t.ddl);
     IMON_RETURN_IF_ERROR(r.status());
   }
+  auto r = workload_db->Execute(kWlTemplatesDdl);
+  IMON_RETURN_IF_ERROR(r.status());
   return Status::OK();
 }
 
@@ -117,6 +137,9 @@ Status StorageDaemon::Initialize() {
   m_rows_purged_ = registry->GetCounter("daemon.rows_purged");
   m_alerts_raised_ = registry->GetCounter("daemon.alerts_raised");
   m_flush_batch_rows_ = registry->GetHistogram("daemon.flush_batch_rows");
+  m_templates_flushed_ = registry->GetCounter("daemon.templates_flushed");
+  m_sample_rate_ = registry->GetGauge("daemon.sample_rate");
+  m_sample_rate_->Set(monitored_->monitor()->workload_sample_rate_ppm());
   return Status::OK();
 }
 
@@ -203,14 +226,16 @@ Status StorageDaemon::PollCycle() {
 
   ++polls_since_flush_;
   bool flush_due = polls_since_flush_ >= config_.polls_per_flush;
-  std::vector<Row> statements, tables, attributes, indexes;
+  std::vector<Row> statements, templates, tables, attributes, indexes;
   if (flush_due) {
-    // Once per flush window: changed statements (seq-cursored like the
-    // fast-moving tables — the statement registry stamps rows on every
-    // frequency change) and full snapshots of the object tables.
+    // Once per flush window: changed statements and templates (both
+    // seq-cursored — their registries stamp rows on every change) and
+    // full snapshots of the object tables.
     IMON_ASSIGN_OR_RETURN(
         statements,
         ReadIma("imp_statements", &last_statements_seq_, /*seq_col=*/5));
+    IMON_ASSIGN_OR_RETURN(templates,
+                          ReadIma("imp_templates", &last_templates_seq_));
     IMON_ASSIGN_OR_RETURN(tables, ReadIma("imp_tables", nullptr));
     IMON_ASSIGN_OR_RETURN(attributes, ReadIma("imp_attributes", nullptr));
     IMON_ASSIGN_OR_RETURN(indexes, ReadIma("imp_indexes", nullptr));
@@ -234,6 +259,7 @@ Status StorageDaemon::PollCycle() {
     buffer_rows(std::move(statistics), &buf_statistics_);
     if (flush_due) {
       buffer_rows(std::move(statements), &buf_statements_);
+      buffer_rows(std::move(templates), &buf_templates_);
       buffer_rows(std::move(tables), &buf_tables_);
       buffer_rows(std::move(attributes), &buf_attributes_);
       buffer_rows(std::move(indexes), &buf_indexes_);
@@ -298,7 +324,11 @@ Status StorageDaemon::FlushNow() {
     int64_t total_rows = static_cast<int64_t>(
         buf_statements_.size() + buf_workload_.size() +
         buf_references_.size() + buf_tables_.size() + buf_attributes_.size() +
-        buf_indexes_.size() + buf_statistics_.size());
+        buf_indexes_.size() + buf_statistics_.size() + buf_templates_.size());
+    // Raw-row volume of this window drives the adaptive sampler; read it
+    // before the appends clear the buffers.
+    int64_t raw_window_rows =
+        static_cast<int64_t>(buf_workload_.size() + buf_references_.size());
     IMON_RETURN_IF_ERROR(AppendRows("wl_statements", stamp, &buf_statements_));
     IMON_RETURN_IF_ERROR(AppendRows("wl_workload", stamp, &buf_workload_));
     IMON_RETURN_IF_ERROR(AppendRows("wl_references", stamp, &buf_references_));
@@ -306,6 +336,8 @@ Status StorageDaemon::FlushNow() {
     IMON_RETURN_IF_ERROR(AppendRows("wl_attributes", stamp, &buf_attributes_));
     IMON_RETURN_IF_ERROR(AppendRows("wl_indexes", stamp, &buf_indexes_));
     IMON_RETURN_IF_ERROR(AppendRows("wl_statistics", stamp, &buf_statistics_));
+    IMON_RETURN_IF_ERROR(FlushTemplates(stamp));
+    AdaptSampleRate(raw_window_rows);
     if (m_flushes_ != nullptr) m_flushes_->Add();
     if (m_flush_batch_rows_ != nullptr) {
       m_flush_batch_rows_->Record(total_rows);
@@ -328,6 +360,146 @@ Status StorageDaemon::FlushNow() {
   }
   if (listener) listener();
   return Status::OK();
+}
+
+Status StorageDaemon::FlushTemplates(const Value& stamp) {
+  if (buf_templates_.empty()) return Status::OK();
+  // Buffered imp_templates rows carry the monitor's CUMULATIVE counts;
+  // when a window caught the same fingerprint more than once, only the
+  // latest (max seq) row matters.
+  std::unordered_map<uint64_t, const Row*> latest;
+  std::vector<uint64_t> order;
+  for (const Row& row : buf_templates_) {
+    uint64_t fp = static_cast<uint64_t>(row[1].AsInt());
+    auto [it, inserted] = latest.emplace(fp, &row);
+    if (inserted) {
+      order.push_back(fp);
+    } else if (row[0].AsInt() > (*it->second)[0].AsInt()) {
+      it->second = &row;
+    }
+  }
+
+  std::vector<Row> out;
+  out.reserve(order.size());
+  std::string del = "DELETE FROM wl_templates WHERE fingerprint IN (";
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i > 0) del += ", ";
+    del += std::to_string(static_cast<int64_t>(order[i]));
+  }
+  del += ")";
+
+  for (uint64_t fp : order) {
+    const Row& row = *latest[fp];
+    auto [sit, first_sight] = template_state_.try_emplace(fp);
+    TemplateFlushState& st = sit->second;
+    if (first_sight) {
+      // A previous daemon run may have persisted this template; fold its
+      // row in as the base so counts accumulate across restarts.
+      auto r = workload_db_->Execute(
+          "SELECT executions, sampled_count, total_actual, total_estimated, "
+          "first_seen, src_id, src_executions, src_sampled, src_actual, "
+          "src_estimated FROM wl_templates WHERE fingerprint = " +
+              std::to_string(static_cast<int64_t>(fp)),
+          write_session_.get());
+      IMON_RETURN_IF_ERROR(r.status());
+      if (!r->rows.empty()) {
+        const Row& p = r->rows[0];
+        st.persisted_executions = p[0].AsInt();
+        st.persisted_sampled = p[1].AsInt();
+        st.persisted_actual = p[2].AsDouble();
+        st.persisted_estimated = p[3].AsDouble();
+        st.persisted_first_seen = p[4].AsInt();
+        if (static_cast<uint64_t>(p[5].AsInt()) ==
+            monitored_->monitor()->incarnation()) {
+          // Daemon-only restart: the monitor kept counting, and the
+          // persisted totals already include its state up to src_*.
+          // Resume the deltas there — folding the full cumulative count
+          // again would double-book everything the previous daemon run
+          // flushed.
+          st.last_executions = p[6].AsInt();
+          st.last_sampled = p[7].AsInt();
+          st.last_actual = p[8].AsDouble();
+          st.last_estimated = p[9].AsDouble();
+        }
+      }
+    }
+    // Delta since the last flush. A current value below the last one
+    // means the monitor reset (restart or template eviction); the whole
+    // current count is then new relative to what was persisted.
+    auto delta_i = [](int64_t cur, int64_t* last) {
+      int64_t d = cur >= *last ? cur - *last : cur;
+      *last = cur;
+      return d;
+    };
+    auto delta_d = [](double cur, double* last) {
+      double d = cur >= *last ? cur - *last : cur;
+      *last = cur;
+      return d;
+    };
+    st.persisted_executions += delta_i(row[5].AsInt(), &st.last_executions);
+    st.persisted_sampled += delta_i(row[6].AsInt(), &st.last_sampled);
+    st.persisted_actual += delta_d(row[7].AsDouble(), &st.last_actual);
+    st.persisted_estimated += delta_d(row[8].AsDouble(), &st.last_estimated);
+    int64_t first_seen = row[9].AsInt();
+    if (st.persisted_first_seen == 0 || first_seen < st.persisted_first_seen) {
+      st.persisted_first_seen = first_seen;
+    }
+    Row o = row;  // text/sample/refs/quantiles: latest monitor view wins
+    o[5] = Value::Int(st.persisted_executions);
+    o[6] = Value::Int(st.persisted_sampled);
+    o[7] = Value::Double(st.persisted_actual);
+    o[8] = Value::Double(st.persisted_estimated);
+    o[9] = Value::Int(st.persisted_first_seen);
+    // Resume state: which monitor these raw cumulative counts came from.
+    // Taken from `row` (the monitor's view), not `o` (already rebased).
+    o.push_back(
+        Value::Int(static_cast<int64_t>(monitored_->monitor()->incarnation())));
+    o.push_back(row[5]);
+    o.push_back(row[6]);
+    o.push_back(row[7]);
+    o.push_back(row[8]);
+    out.push_back(std::move(o));
+  }
+
+  // Upsert: drop the fingerprints' current rows, append the new state as
+  // one multi-row INSERT — wl_templates always holds exactly one row per
+  // template.
+  auto d = workload_db_->Execute(del, write_session_.get());
+  IMON_RETURN_IF_ERROR(d.status());
+  int64_t upserts = static_cast<int64_t>(out.size());
+  IMON_RETURN_IF_ERROR(AppendRows("wl_templates", stamp, &out));
+  if (m_templates_flushed_ != nullptr) m_templates_flushed_->Add(upserts);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.templates_flushed += upserts;
+  }
+  buf_templates_.clear();
+  return Status::OK();
+}
+
+void StorageDaemon::AdaptSampleRate(int64_t raw_rows_in_window) {
+  if (config_.flush_pressure_rows <= 0) return;
+  monitor::Monitor* m = monitored_->monitor();
+  uint64_t cur = m->workload_sample_rate_ppm();
+  uint64_t next = cur;
+  if (raw_rows_in_window > config_.flush_pressure_rows) {
+    // Multiplicative decrease toward the volume the flush path can hold:
+    // the observed window was already sampled at `cur`, so scaling by
+    // threshold/observed targets the threshold directly.
+    next = cur * static_cast<uint64_t>(config_.flush_pressure_rows) /
+           static_cast<uint64_t>(raw_rows_in_window);
+  } else if (cur < monitor::kSampleAllPpm) {
+    // Pressure gone: recover toward full capture, doubling per flush.
+    next = cur * 2;
+  }
+  next = std::max<uint64_t>(next, config_.min_sample_rate_ppm);
+  next = std::min<uint64_t>(next, monitor::kSampleAllPpm);
+  if (next != cur) m->SetWorkloadSampleRate(static_cast<uint32_t>(next));
+  if (m_sample_rate_ != nullptr) {
+    m_sample_rate_->Set(static_cast<int64_t>(next));
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.sample_rate_ppm = static_cast<int64_t>(next);
 }
 
 void StorageDaemon::set_flush_listener(std::function<void()> listener) {

@@ -27,6 +27,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
@@ -41,10 +42,20 @@ struct DaemonConfig {
   std::chrono::milliseconds poll_interval{30000};
   /// Disk is touched only every Nth poll ("every few minutes").
   int polls_per_flush = 4;
-  /// Workload-DB retention. Paper default: seven days.
+  /// Workload-DB retention. Paper default: seven days. Applies to raw
+  /// per-execution rows only: wl_templates holds one current aggregate
+  /// row per statement shape and is never purged.
   std::chrono::seconds retention{7 * 24 * 3600};
   /// Purge expired rows every Nth flush.
   int flushes_per_purge = 4;
+  /// Flush-pressure threshold: when one flush window buffers more than
+  /// this many raw rows (workload + references), the daemon lowers the
+  /// monitor's raw-record sample rate proportionally; when the backlog
+  /// drains it doubles the rate back toward full capture. Template
+  /// aggregates are exact regardless. 0 disables adaptation.
+  int64_t flush_pressure_rows = 8192;
+  /// Floor for the adaptive sample rate (parts-per-million).
+  uint32_t min_sample_rate_ppm = 10000;
 };
 
 struct DaemonStats {
@@ -55,6 +66,9 @@ struct DaemonStats {
   int64_t rows_purged = 0;
   int64_t alerts_raised = 0;
   int64_t poll_errors = 0;
+  int64_t templates_flushed = 0;  ///< wl_templates upserts performed
+  /// Current raw-record sample rate pushed to the monitor (ppm).
+  int64_t sample_rate_ppm = 1000000;
 };
 
 /// Creates the wl_* schema (IMA schemas + captured_at timestamp column)
@@ -131,6 +145,16 @@ class StorageDaemon {
   Status AppendRows(const std::string& wl_table, const Value& stamp,
                     std::vector<Row>* rows);
 
+  /// Upsert buffered imp_templates rows into wl_templates: one current
+  /// row per fingerprint, counts accumulated across daemon restarts and
+  /// monitor resets (the persisted base is folded in on first sight of a
+  /// fingerprint). Caller holds buffer_mutex_.
+  Status FlushTemplates(const Value& stamp);
+
+  /// Compare the flush window's raw-row volume against the pressure
+  /// threshold and push an adjusted sample rate to the monitor.
+  void AdaptSampleRate(int64_t raw_rows_in_window);
+
   engine::Database* monitored_;
   engine::Database* workload_db_;
   DaemonConfig config_;
@@ -157,12 +181,31 @@ class StorageDaemon {
   std::vector<Row> buf_attributes_;
   std::vector<Row> buf_indexes_;
   std::vector<Row> buf_statistics_;
+  std::vector<Row> buf_templates_;
+
+  /// Per-fingerprint cumulative flush state: `persisted_*` mirrors the
+  /// current wl_templates row, `last_*` the monitor values at the last
+  /// flush (deltas bridge monitor resets and daemon restarts). Guarded
+  /// by buffer_mutex_.
+  struct TemplateFlushState {
+    int64_t persisted_executions = 0;
+    int64_t persisted_sampled = 0;
+    double persisted_actual = 0;
+    double persisted_estimated = 0;
+    int64_t persisted_first_seen = 0;
+    int64_t last_executions = 0;
+    int64_t last_sampled = 0;
+    double last_actual = 0;
+    double last_estimated = 0;
+  };
+  std::unordered_map<uint64_t, TemplateFlushState> template_state_;
 
   // Poll-cycle state, guarded by poll_mutex_.
   int64_t last_workload_seq_ = 0;
   int64_t last_references_seq_ = 0;
   int64_t last_statistics_seq_ = 0;
   int64_t last_statements_seq_ = 0;
+  int64_t last_templates_seq_ = 0;
   int polls_since_flush_ = 0;
   // Guarded by buffer_mutex_ (flushes may come from polls or FlushNow).
   int flushes_since_purge_ = 0;
@@ -187,6 +230,9 @@ class StorageDaemon {
   metrics::Counter* m_alerts_raised_ = nullptr;
   /// Rows persisted per flush window (visible via imp_stage_latency).
   metrics::Histogram* m_flush_batch_rows_ = nullptr;
+  metrics::Counter* m_templates_flushed_ = nullptr;
+  /// Current raw-record keep fraction (ppm) pushed to the monitor.
+  metrics::Gauge* m_sample_rate_ = nullptr;
 
   std::mutex listener_mutex_;
   std::function<void()> flush_listener_;

@@ -103,6 +103,84 @@ class WorkloadProvider : public catalog::VirtualTableProvider {
   const Monitor* monitor_;
 };
 
+/// Compressed workload: one row per distinct statement template. The
+/// object-reference lists are serialized as comma-joined TEXT ("1,2" /
+/// "1:0,1:2") — per-template they are tiny and fixed, and keeping the
+/// row self-contained spares a second junction table. Quantiles are in
+/// optimizer cost units (the monitor buckets milli-cost fixed point).
+class TemplatesProvider : public catalog::VirtualTableProvider {
+ public:
+  explicit TemplatesProvider(const Monitor* m) : monitor_(m) {}
+  std::vector<ColumnInfo> Schema() const override {
+    return {Col("seq", TypeId::kInt),
+            Col("fingerprint", TypeId::kInt),
+            Col("template_text", TypeId::kText),
+            Col("sample_hash", TypeId::kInt),
+            Col("sample_text", TypeId::kText),
+            Col("executions", TypeId::kInt),
+            Col("sampled_count", TypeId::kInt),
+            Col("total_actual", TypeId::kDouble),
+            Col("total_estimated", TypeId::kDouble),
+            Col("first_seen", TypeId::kInt),
+            Col("last_seen", TypeId::kInt),
+            Col("ref_tables", TypeId::kText),
+            Col("ref_attrs", TypeId::kText),
+            Col("p50_actual", TypeId::kDouble),
+            Col("p95_actual", TypeId::kDouble),
+            Col("p99_actual", TypeId::kDouble),
+            Col("p50_estimated", TypeId::kDouble),
+            Col("p95_estimated", TypeId::kDouble),
+            Col("p99_estimated", TypeId::kDouble)};
+  }
+  std::vector<Row> Snapshot() const override {
+    return Materialize(monitor_->SnapshotTemplates());
+  }
+  /// seq is the template's change stamp (bumped on every execution), so
+  /// the daemon polls only templates touched since its last flush.
+  int SeqColumn() const override { return 0; }
+  std::vector<Row> SnapshotSince(int64_t min_seq) const override {
+    return Materialize(monitor_->SnapshotTemplatesSince(min_seq));
+  }
+
+ private:
+  static std::vector<Row> Materialize(
+      const std::vector<monitor::TemplateRecord>& records) {
+    std::vector<Row> out;
+    out.reserve(records.size());
+    for (const auto& t : records) {
+      std::string tables;
+      for (monitor::ObjectId id : t.ref_tables) {
+        if (!tables.empty()) tables.push_back(',');
+        tables += std::to_string(id);
+      }
+      std::string attrs;
+      for (const auto& [table_id, ordinal] : t.ref_attributes) {
+        if (!attrs.empty()) attrs.push_back(',');
+        attrs += std::to_string(table_id) + ":" + std::to_string(ordinal);
+      }
+      auto q = [](const metrics::Log2Buckets& h, double p) {
+        return Value::Double(static_cast<double>(h.ValueAtPercentile(p)) /
+                             1000.0);
+      };
+      out.push_back({IntV(t.seq), HashV(t.fingerprint),
+                     Value::Text(t.template_text), HashV(t.sample_hash),
+                     Value::Text(t.sample_text), IntV(t.executions),
+                     IntV(t.sampled_count), Value::Double(t.total_actual),
+                     Value::Double(t.total_estimated),
+                     IntV(t.first_seen_micros), IntV(t.last_seen_micros),
+                     Value::Text(tables), Value::Text(attrs),
+                     q(t.actual_cost_milli, 50), q(t.actual_cost_milli, 95),
+                     q(t.actual_cost_milli, 99),
+                     q(t.estimated_cost_milli, 50),
+                     q(t.estimated_cost_milli, 95),
+                     q(t.estimated_cost_milli, 99)});
+    }
+    return out;
+  }
+
+  const Monitor* monitor_;
+};
+
 class ReferencesProvider : public catalog::VirtualTableProvider {
  public:
   explicit ReferencesProvider(const Monitor* m) : monitor_(m) {}
@@ -294,14 +372,16 @@ class MonitorProvider : public catalog::VirtualTableProvider {
             Col("workload_dropped", TypeId::kInt),
             Col("references_dropped", TypeId::kInt),
             Col("traces_dropped", TypeId::kInt),
-            Col("monitor_nanos", TypeId::kInt)};
+            Col("monitor_nanos", TypeId::kInt),
+            Col("workload_sampled_out", TypeId::kInt)};
   }
   std::vector<Row> Snapshot() const override {
     std::vector<Row> out;
     for (const auto& s : monitor_->ShardStatsSnapshot()) {
       out.push_back({IntV(s.shard), IntV(s.statements_committed),
                      IntV(s.workload_dropped), IntV(s.references_dropped),
-                     IntV(s.traces_dropped), IntV(s.monitor_nanos)});
+                     IntV(s.traces_dropped), IntV(s.monitor_nanos),
+                     IntV(s.workload_sampled_out)});
     }
     return out;
   }
@@ -388,11 +468,11 @@ class TracesProvider : public catalog::VirtualTableProvider {
 
 }  // namespace
 
-const char* const kImaTableNames[11] = {
+const char* const kImaTableNames[12] = {
     "imp_statements", "imp_workload",   "imp_references",
-    "imp_tables",     "imp_attributes", "imp_indexes",
-    "imp_statistics", "imp_monitor",    "imp_metrics",
-    "imp_stage_latency", "imp_traces"};
+    "imp_templates",  "imp_tables",     "imp_attributes",
+    "imp_indexes",    "imp_statistics", "imp_monitor",
+    "imp_metrics",    "imp_stage_latency", "imp_traces"};
 
 Status RegisterImaTables(Database* db) {
   const Monitor* m = db->monitor();
@@ -403,6 +483,8 @@ Status RegisterImaTables(Database* db) {
       "imp_workload", std::make_shared<WorkloadProvider>(m)));
   IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
       "imp_references", std::make_shared<ReferencesProvider>(m)));
+  IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
+      "imp_templates", std::make_shared<TemplatesProvider>(m)));
   IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
       "imp_tables", std::make_shared<TablesProvider>(m, c)));
   IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(

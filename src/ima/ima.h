@@ -16,6 +16,14 @@
 //                    exec_disk_io, est_cpu, est_io, est_cost, actual_cost,
 //                    rows_examined, rows_output, monitor_nanos)
 //   imp_references  (seq, hash, object_type, object_id, table_id, ordinal)
+//   imp_templates   (seq, fingerprint, template_text, sample_hash,
+//                    sample_text, executions, sampled_count, total_actual,
+//                    total_estimated, first_seen, last_seen, ref_tables,
+//                    ref_attrs, p50/p95/p99_actual, p50/p95/p99_estimated)
+//                    — the compressed workload: one row per distinct
+//                    statement shape, with exact rolling cost sums and
+//                    log2-histogram quantiles; seq is a change stamp
+//                    (`WHERE seq > N` polls only touched templates)
 //   imp_tables      (table_id, table_name, frequency, storage,
 //                    data_pages, overflow_pages, row_count)
 //   imp_attributes  (table_id, ordinal, attr_name, frequency,
@@ -27,9 +35,14 @@
 //                    cache_physical, cache_hit_ratio, disk_reads,
 //                    disk_writes, statements)
 //   imp_monitor     (shard, statements, workload_dropped,
-//                    references_dropped, traces_dropped, monitor_nanos)
+//                    references_dropped, traces_dropped, monitor_nanos,
+//                    workload_sampled_out)
 //                    — one row per commit shard: the monitor observing
-//                    itself, including ring-buffer saturation
+//                    itself, including ring-buffer saturation and the
+//                    raw executions skipped by adaptive sampling (the
+//                    template aggregates still count those exactly, so
+//                    SUM(executions - sampled_count) over imp_templates
+//                    reconciles with SUM(workload_sampled_out))
 //   imp_metrics     (name, kind, value) — every registered counter and
 //                    gauge of the engine's self-observability registry
 //                    (buffer pool, lock manager, plan cache, daemon,
@@ -59,7 +72,7 @@
 namespace imon::ima {
 
 /// Names of all IMA virtual tables, in registration order.
-extern const char* const kImaTableNames[11];
+extern const char* const kImaTableNames[12];
 
 /// Register every IMA virtual table on `db`. Idempotent per database
 /// (second call returns AlreadyExists).

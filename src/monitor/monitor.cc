@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
+
+#include "sql/normalizer.h"
 
 namespace imon::monitor {
 
@@ -69,6 +72,8 @@ Monitor::Monitor(MonitorConfig config, const Clock* clock)
     : config_(config),
       clock_(clock),
       statistics_(config.statistics_window) {
+  static std::atomic<uint64_t> next_incarnation{1};
+  incarnation_ = next_incarnation.fetch_add(1, std::memory_order_relaxed);
   size_t shards = ResolveShardCount(config_.shards);
   config_.shards = shards;
   shards_.reserve(shards);
@@ -104,6 +109,12 @@ void Monitor::Commit(QueryTrace* trace) {
   int64_t begin = MonotonicNanos();
   int64_t wallclock_nanos = begin - trace->mono_start_nanos;
 
+  // Normalize outside the shard lock: a pure function of the text, and
+  // the template fingerprint doubles as the sampling-decision key.
+  sql::NormalizedStatement norm = sql::NormalizeStatement(trace->text);
+  double estimated_total = trace->estimated_cpu + trace->estimated_io;
+  uint32_t rate = sample_rate_ppm_.load(std::memory_order_relaxed);
+
   WorkloadRecord record;
   record.hash = trace->hash;
   record.start_micros = trace->wall_start_micros;
@@ -122,9 +133,80 @@ void Monitor::Commit(QueryTrace* trace) {
   Shard& shard = ShardFor(trace->session_id);
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
+    // -- compressed-template aggregate: sees EVERY commit, before the
+    // sampling decision, so template counts stay exact under sampling.
+    auto [tit, t_created] = shard.templates.try_emplace(norm.fingerprint);
+    TemplateRecord& tmpl = tit->second;
+    if (t_created) {
+      while (shard.templates.size() > config_.template_window &&
+             !shard.template_arrivals.empty()) {
+        uint64_t victim = shard.template_arrivals.front();
+        shard.template_arrivals.pop_front();
+        if (victim != norm.fingerprint) shard.templates.erase(victim);
+      }
+      shard.template_arrivals.push_back(norm.fingerprint);
+      tmpl.fingerprint = norm.fingerprint;
+      tmpl.template_text = std::move(norm.template_text);
+      tmpl.sample_hash = trace->hash;
+      tmpl.sample_text = trace->text;
+      tmpl.first_seen_micros = trace->wall_start_micros;
+      tmpl.last_seen_micros = trace->wall_start_micros;
+      tmpl.ref_tables = trace->ref_tables;
+      tmpl.ref_attributes = trace->ref_attributes;
+    } else if (trace->wall_start_micros < tmpl.first_seen_micros ||
+               (trace->wall_start_micros == tmpl.first_seen_micros &&
+                trace->hash < tmpl.sample_hash)) {
+      // Deterministic representative: min (first_seen, raw hash). The
+      // analyzer's raw-row grouping applies the identical rule, so both
+      // paths plan what-if candidates from the same statement text.
+      tmpl.sample_hash = trace->hash;
+      tmpl.sample_text = trace->text;
+      tmpl.first_seen_micros = trace->wall_start_micros;
+    }
+    int64_t ordinal = tmpl.executions;  // 0-based arrival index
+    tmpl.executions += 1;
+    if (trace->wall_start_micros > tmpl.last_seen_micros) {
+      tmpl.last_seen_micros = trace->wall_start_micros;
+    }
+    tmpl.total_actual += trace->actual_cost;
+    tmpl.total_estimated += estimated_total;
+    tmpl.actual_cost_milli.Record(
+        static_cast<int64_t>(std::llround(trace->actual_cost * 1000.0)));
+    tmpl.estimated_cost_milli.Record(
+        static_cast<int64_t>(std::llround(estimated_total * 1000.0)));
+    tmpl.seq = next_template_seq_.fetch_add(1, std::memory_order_relaxed);
+
+    // -- adaptive sampling: keep or skip this commit's raw records.
+    // Deterministic in (seed, fingerprint, arrival ordinal) so a seeded
+    // run reproduces the exact sample set.
+    bool kept =
+        rate >= kSampleAllPpm ||
+        Mix64(config_.sample_seed ^ norm.fingerprint ^
+              static_cast<uint64_t>(ordinal)) %
+                kSampleAllPpm <
+            rate;
+    if (!kept) {
+      shard.workload_sampled_out += 1;
+      // Object frequency maps track executions, not retained raw rows.
+      for (ObjectId t : trace->ref_tables) ++shard.table_freq[t];
+      for (const auto& [table_id, o] : trace->ref_attributes) {
+        ++shard.attr_freq[AttrKey{table_id, o}];
+      }
+      for (ObjectId idx : trace->used_indexes) ++shard.index_freq[idx];
+      trace->monitor_nanos += MonotonicNanos() - begin;
+      shard.monitor_nanos += trace->monitor_nanos;
+      statements_executed_.fetch_add(1, std::memory_order_relaxed);
+      since_last_sample_.fetch_add(1, std::memory_order_relaxed);
+      total_monitor_nanos_.fetch_add(trace->monitor_nanos,
+                                     std::memory_order_relaxed);
+      return;
+    }
+    tmpl.sampled_count += 1;
+
     // One fetch_add claims the statement's whole seq block (workload
     // record first, then one seq per reference) so the global order is
-    // identical to the pre-sharding single-counter order.
+    // identical to the pre-sharding single-counter order. Sampled-out
+    // commits return before this point, keeping the domain dense.
     int64_t refs = static_cast<int64_t>(
         trace->ref_tables.size() + trace->ref_attributes.size() +
         trace->ref_indexes.size() + trace->used_indexes.size());
@@ -351,6 +433,65 @@ std::vector<StatementRecord> Monitor::SnapshotStatementsSince(
   return out;
 }
 
+std::vector<TemplateRecord> Monitor::SnapshotTemplates() const {
+  std::unordered_map<uint64_t, TemplateRecord> merged;
+  {
+    auto locks = LockAllShards();
+    for (const auto& shard : shards_) {
+      for (const auto& [fp, rec] : shard->templates) {
+        auto [it, inserted] = merged.emplace(fp, rec);
+        if (inserted) continue;
+        TemplateRecord& m = it->second;
+        // Representative precedes the first/last-seen fold: each side's
+        // sample is its own earliest (first_seen, hash) execution, so
+        // comparing those pairs picks the global minimum.
+        if (rec.first_seen_micros < m.first_seen_micros ||
+            (rec.first_seen_micros == m.first_seen_micros &&
+             rec.sample_hash < m.sample_hash)) {
+          m.sample_hash = rec.sample_hash;
+          m.sample_text = rec.sample_text;
+          m.ref_tables = rec.ref_tables;
+          m.ref_attributes = rec.ref_attributes;
+        }
+        m.executions += rec.executions;
+        m.sampled_count += rec.sampled_count;
+        m.total_actual += rec.total_actual;
+        m.total_estimated += rec.total_estimated;
+        m.first_seen_micros =
+            std::min(m.first_seen_micros, rec.first_seen_micros);
+        m.last_seen_micros = std::max(m.last_seen_micros, rec.last_seen_micros);
+        m.seq = std::max(m.seq, rec.seq);
+        m.actual_cost_milli.Merge(rec.actual_cost_milli);
+        m.estimated_cost_milli.Merge(rec.estimated_cost_milli);
+      }
+    }
+  }
+  std::vector<TemplateRecord> out;
+  out.reserve(merged.size());
+  for (auto& [fp, rec] : merged) out.push_back(std::move(rec));
+  // Deterministic order — greedy rules downstream iterate in this order,
+  // so raw-mode analysis sorts its groups the same way.
+  std::sort(out.begin(), out.end(),
+            [](const TemplateRecord& a, const TemplateRecord& b) {
+              if (a.first_seen_micros != b.first_seen_micros) {
+                return a.first_seen_micros < b.first_seen_micros;
+              }
+              return a.fingerprint < b.fingerprint;
+            });
+  return out;
+}
+
+std::vector<TemplateRecord> Monitor::SnapshotTemplatesSince(
+    int64_t min_seq) const {
+  std::vector<TemplateRecord> all = SnapshotTemplates();
+  std::vector<TemplateRecord> out;
+  out.reserve(all.size());
+  for (auto& rec : all) {
+    if (rec.seq > min_seq) out.push_back(std::move(rec));
+  }
+  return out;
+}
+
 std::vector<WorkloadRecord> Monitor::SnapshotWorkload() const {
   std::vector<std::vector<WorkloadRecord>> parts;
   parts.reserve(shards_.size());
@@ -448,6 +589,7 @@ std::vector<ShardStats> Monitor::ShardStatsSnapshot() const {
     stats.workload_dropped = shard.workload.overwritten();
     stats.references_dropped = shard.references.overwritten();
     stats.traces_dropped = shard.traces.overwritten();
+    stats.workload_sampled_out = shard.workload_sampled_out;
     stats.monitor_nanos = shard.monitor_nanos;
     out.push_back(stats);
   }
@@ -503,6 +645,8 @@ void Monitor::Clear() {
     for (const auto& shard : shards_) {
       shard->statements.clear();
       shard->statement_arrivals.clear();
+      shard->templates.clear();
+      shard->template_arrivals.clear();
       shard->workload.Clear();
       shard->references.Clear();
       shard->traces.Clear();

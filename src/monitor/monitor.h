@@ -82,7 +82,19 @@ struct MonitorConfig {
   /// Per-shard stage-trace ring capacity (imp_traces / trace export).
   /// 0 disables stage tracing even when metrics are compiled in.
   size_t trace_window = 4096;
+  /// Per-shard bound on the compressed-template registry (distinct
+  /// statement shapes, not executions — compression keeps this small by
+  /// construction). FIFO eviction past the bound, like statements.
+  size_t template_window = 4096;
+  /// Seed for the deterministic workload sampling decision: with the
+  /// same seed, fingerprints and per-template arrival ordinals, the
+  /// sampler keeps exactly the same subset of raw records (asserted by
+  /// the sampling determinism test).
+  uint64_t sample_seed = 0x1e55eedULL;
 };
+
+/// Sampling rates are parts-per-million; 1000000 keeps every raw record.
+inline constexpr uint32_t kSampleAllPpm = 1'000'000;
 
 // -- per-statement stage tracing ---------------------------------------------
 
@@ -125,6 +137,7 @@ struct ShardStats {
   int64_t workload_dropped = 0;    ///< workload ring overwrites
   int64_t references_dropped = 0;  ///< references ring overwrites
   int64_t traces_dropped = 0;      ///< trace ring overwrites
+  int64_t workload_sampled_out = 0;  ///< raw records skipped by the sampler
   int64_t monitor_nanos = 0;       ///< sensor self-cost via this shard
 };
 
@@ -168,6 +181,42 @@ struct WorkloadRecord {
   int64_t rows_output = 0;
   int64_t monitor_nanos = 0;       ///< self-cost of the sensors (Fig. 5)
   std::vector<ObjectId> used_indexes;
+};
+
+/// Per-template rolling aggregate — the compressed form of the workload.
+/// One row per distinct statement *shape* (literals normalized away by
+/// sql::NormalizeStatement); every commit updates its template, while raw
+/// per-execution rows are subject to ring windows and adaptive sampling.
+/// Costs are tracked two ways: exact rolling sums (total_actual /
+/// total_estimated — these drive analyzer rules, so compression cannot
+/// change recommendations) and log2-bucketed quantiles in fixed-point
+/// milli-cost units (telemetry with a documented <= 2x error bound).
+struct TemplateRecord {
+  /// Change stamp from its own seq domain (one row per fingerprint, like
+  /// the statement registry); lets the daemon poll only changed rows.
+  int64_t seq = 0;
+  uint64_t fingerprint = 0;
+  std::string template_text;
+  /// Deterministic representative raw execution: the statement with the
+  /// minimal (first_seen_micros, hash) among all matching this template.
+  /// Its text re-parses (no `?` placeholders), so what-if analysis over
+  /// templates has a concrete statement to plan.
+  uint64_t sample_hash = 0;
+  std::string sample_text;
+  int64_t executions = 0;     ///< every commit, sampled or not
+  int64_t sampled_count = 0;  ///< commits whose raw records were kept
+  double total_actual = 0;
+  double total_estimated = 0;  ///< estimated_cpu + estimated_io, summed
+  int64_t first_seen_micros = 0;
+  int64_t last_seen_micros = 0;
+  /// Object bindings, recorded at template creation (statements sharing a
+  /// shape bind the same objects); per-object frequency delta for the
+  /// analyzer = executions x one ref each.
+  std::vector<ObjectId> ref_tables;
+  std::vector<std::pair<ObjectId, int>> ref_attributes;
+  /// Cost quantile buckets, fixed-point milli-cost units (cost * 1000).
+  metrics::Log2Buckets actual_cost_milli;
+  metrics::Log2Buckets estimated_cost_milli;
 };
 
 struct StatisticsRecord {
@@ -261,6 +310,12 @@ class Monitor {
   void set_enabled(bool on) { config_.enabled = on; }
   const MonitorConfig& config() const { return config_; }
   size_t shard_count() const { return shards_.size(); }
+  /// Process-unique id of this monitor instance. Cumulative counters
+  /// (template executions, cost sums) are only comparable within one
+  /// incarnation; the daemon persists it with wl_templates so a
+  /// restarted daemon can tell "same monitor, resume deltas" from "new
+  /// monitor, counts start over".
+  uint64_t incarnation() const { return incarnation_; }
 
   // -- sensors (hot path; inline enabled check) -----------------------------
 
@@ -352,6 +407,30 @@ class Monitor {
   std::vector<WorkloadRecord> SnapshotWorkload() const;
   std::vector<ReferenceRecord> SnapshotReferences() const;
   std::vector<StatisticsRecord> SnapshotStatistics() const;
+  /// Compressed per-template aggregates, merged across shards by
+  /// fingerprint (summed counts, merged quantile buckets, min/max seen
+  /// span, representative = min (first_seen, hash)); deterministically
+  /// ordered by (first_seen_micros, fingerprint).
+  std::vector<TemplateRecord> SnapshotTemplates() const;
+  /// Templates whose row changed since min_seq (change-stamp domain,
+  /// like SnapshotStatementsSince).
+  std::vector<TemplateRecord> SnapshotTemplatesSince(int64_t min_seq) const;
+
+  // -- adaptive workload sampling ---------------------------------------------
+
+  /// Fraction of commits whose raw records (statement registry, workload
+  /// + reference rings, traces) are kept, in parts-per-million. Template
+  /// aggregates and object frequency maps always see every commit. The
+  /// daemon lowers this under flush pressure and restores it when the
+  /// backlog drains; the keep decision is a deterministic hash of
+  /// (sample_seed, fingerprint, per-template arrival ordinal).
+  void SetWorkloadSampleRate(uint32_t ppm) {
+    sample_rate_ppm_.store(ppm > kSampleAllPpm ? kSampleAllPpm : ppm,
+                           std::memory_order_relaxed);
+  }
+  uint32_t workload_sample_rate_ppm() const {
+    return sample_rate_ppm_.load(std::memory_order_relaxed);
+  }
 
   /// Incremental snapshots: records with seq > min_seq, copying only the
   /// new tail of each shard's ring (the daemon's poll path). All shard
@@ -426,6 +505,12 @@ class Monitor {
     /// FIFO arrival order of registry hashes; drives O(1) amortized
     /// eviction when the window is full (stale entries are skipped).
     std::deque<uint64_t> statement_arrivals;
+    /// Compressed-template registry (fingerprint -> rolling aggregate),
+    /// bounded to template_window with the same FIFO eviction scheme.
+    std::unordered_map<uint64_t, TemplateRecord> templates;
+    std::deque<uint64_t> template_arrivals;
+    /// Commits whose raw records the sampler skipped via this shard.
+    int64_t workload_sampled_out = 0;
     RingBuffer<WorkloadRecord> workload;
     RingBuffer<ReferenceRecord> references;
     RingBuffer<TraceRecord> traces;
@@ -461,6 +546,12 @@ class Monitor {
   /// Separate seq domain for statement-registry change stamps, for the
   /// same reason.
   std::atomic<int64_t> next_statement_seq_{1};
+  /// Change-stamp domain for the template registry.
+  std::atomic<int64_t> next_template_seq_{1};
+  /// Raw-record keep fraction, parts-per-million (kSampleAllPpm = off).
+  std::atomic<uint32_t> sample_rate_ppm_{kSampleAllPpm};
+  /// See incarnation(); assigned from a process-wide counter.
+  uint64_t incarnation_ = 0;
 
   /// Stage/wallclock histograms in the attached registry (null = not
   /// attached). Set once at engine construction, before commits run.

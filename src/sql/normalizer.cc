@@ -1,0 +1,135 @@
+#include "sql/normalizer.h"
+
+#include <vector>
+
+#include "common/hash.h"
+#include "sql/lexer.h"
+
+namespace imon::sql {
+
+namespace {
+
+bool IsLiteralToken(const Token& t) {
+  if (t.type == TokenType::kInteger || t.type == TokenType::kFloat ||
+      t.type == TokenType::kString) {
+    return true;
+  }
+  return t.type == TokenType::kKeyword && (t.text == "true" || t.text == "false");
+}
+
+// A `-` or `+` directly before a literal is a unary sign (folded into the
+// placeholder) unless the previous emitted token could end an expression.
+bool EndsExpression(const std::string& emitted) {
+  if (emitted.empty()) return false;
+  if (emitted == "?" || emitted == ")") return true;
+  // Identifiers and the `*` wildcard can be left operands; keywords and all
+  // other symbols cannot.
+  char c = emitted.back();
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+}  // namespace
+
+NormalizedStatement NormalizeStatement(const std::string& text) {
+  NormalizedStatement out;
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) {
+    out.template_text = text;
+    out.fingerprint = Mix64(HashStatement(text));
+    out.normalized = false;
+    return out;
+  }
+
+  // Pass 1: literal -> `?` with unary-sign folding. Emitted is the canonical
+  // token stream; keywords are tracked so the IN-list pass can tell `in (`
+  // from a plain parenthesized expression.
+  std::vector<std::string> emitted;
+  std::vector<bool> is_keyword;
+  const auto& toks = *tokens;
+  auto push = [&](std::string s, bool kw) {
+    emitted.push_back(std::move(s));
+    is_keyword.push_back(kw);
+  };
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.type == TokenType::kEnd) break;
+    if (IsLiteralToken(t)) {
+      ++out.literal_count;
+      push("?", false);
+      continue;
+    }
+    if (t.type == TokenType::kSymbol && (t.text == "-" || t.text == "+") &&
+        i + 1 < toks.size() && IsLiteralToken(toks[i + 1]) &&
+        toks[i + 1].type != TokenType::kString &&
+        !(emitted.size() >= 1 && EndsExpression(emitted.back()) &&
+          !is_keyword.back())) {
+      // Unary sign: fold with the following literal into one placeholder.
+      ++out.literal_count;
+      push("?", false);
+      ++i;
+      continue;
+    }
+    switch (t.type) {
+      case TokenType::kIdentifier:
+        push(t.text, false);
+        break;
+      case TokenType::kKeyword:
+        push(t.text, true);
+        break;
+      case TokenType::kSymbol:
+        push(t.text, false);
+        break;
+      default:
+        push(t.text, false);
+        break;
+    }
+  }
+  // Trailing statement terminator carries no shape information.
+  while (!emitted.empty() && emitted.back() == ";") {
+    emitted.pop_back();
+    is_keyword.pop_back();
+  }
+
+  // Pass 2: collapse `in ( ?, ?, ... )` to `in ( ? )` when every element is
+  // a placeholder. VALUES lists keep their arity (column count matters).
+  std::vector<std::string> collapsed;
+  collapsed.reserve(emitted.size());
+  for (size_t i = 0; i < emitted.size(); ++i) {
+    if (is_keyword[i] && emitted[i] == "in" && i + 2 < emitted.size() &&
+        emitted[i + 1] == "(") {
+      size_t j = i + 2;
+      bool all_placeholders = true;
+      bool expect_value = true;
+      while (j < emitted.size() && emitted[j] != ")") {
+        if (expect_value ? emitted[j] != "?" : emitted[j] != ",") {
+          all_placeholders = false;
+          break;
+        }
+        expect_value = !expect_value;
+        ++j;
+      }
+      if (all_placeholders && j < emitted.size() && j > i + 2 &&
+          !expect_value) {
+        collapsed.push_back("in");
+        collapsed.push_back("(");
+        collapsed.push_back("?");
+        collapsed.push_back(")");
+        i = j;  // loop increment skips past ')'
+        continue;
+      }
+    }
+    collapsed.push_back(emitted[i]);
+  }
+
+  std::string tmpl;
+  for (size_t i = 0; i < collapsed.size(); ++i) {
+    if (i) tmpl.push_back(' ');
+    tmpl += collapsed[i];
+  }
+  out.template_text = std::move(tmpl);
+  out.fingerprint = Mix64(HashStatement(out.template_text));
+  out.normalized = true;
+  return out;
+}
+
+}  // namespace imon::sql

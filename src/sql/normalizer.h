@@ -1,0 +1,38 @@
+// Statement normalizer: rewrites a SQL text into a canonical template by
+// replacing literals with `?` placeholders, collapsing IN-lists, and
+// canonicalizing whitespace/case, then derives a stable 64-bit fingerprint.
+// Statements that differ only in literal values share one template, which is
+// the unit of workload compression (per-template rolling aggregates replace
+// raw per-execution rows past the monitor's ring window).
+//
+// Canonicalization rules (documented in DESIGN.md §12):
+//   - integer / float / string literals -> `?` (sign folded in when unary)
+//   - `true` / `false` keyword literals -> `?`
+//   - `IN ( ?, ?, ... )` with only literal elements -> `IN ( ? )`
+//   - keywords and identifiers lower-cased (the lexer already does this)
+//   - tokens joined by single spaces; comments and trailing `;` dropped
+//   - `NULL` is kept verbatim: `IS NULL` is a predicate shape, not a literal
+
+#ifndef IMON_SQL_NORMALIZER_H_
+#define IMON_SQL_NORMALIZER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace imon::sql {
+
+struct NormalizedStatement {
+  std::string template_text;  // canonical template, `?` for literals
+  uint64_t fingerprint = 0;   // Mix64-finalized hash of template_text
+  size_t literal_count = 0;   // literals replaced (before IN-list collapse)
+  bool normalized = false;    // false: tokenize failed, raw text hashed as-is
+};
+
+/// Normalize `text`. Never fails: if the text does not tokenize, the raw
+/// text becomes its own template (normalized=false) so malformed statements
+/// still aggregate under a stable fingerprint.
+NormalizedStatement NormalizeStatement(const std::string& text);
+
+}  // namespace imon::sql
+
+#endif  // IMON_SQL_NORMALIZER_H_

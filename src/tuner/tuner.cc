@@ -426,25 +426,24 @@ double TuningOrchestrator::RevalidateIndexBenefit(const TuningAction& action) {
   }
   if (virtual_index.key_columns.empty()) return 0;
 
-  // SELECT statements that reference the target table, with their
-  // recorded frequencies.
+  // What-if over the compressed workload: one representative plan per
+  // distinct statement shape, weighted by the template's exact execution
+  // count — O(distinct templates) optimizer calls instead of one per
+  // recorded statement text.
   const monitor::Monitor* monitor = monitored_->monitor();
-  std::unordered_set<uint64_t> table_hashes;
-  for (const auto& ref : monitor->SnapshotReferences()) {
-    if (ref.type == monitor::RefType::kTable && ref.table_id == table->id) {
-      table_hashes.insert(ref.hash);
-    }
-  }
   double benefit = 0;
-  for (const auto& statement : monitor->SnapshotStatements()) {
-    if (table_hashes.count(statement.hash) == 0) continue;
-    if (!IsSelect(statement.text)) continue;
-    auto base = monitored_->WhatIfPlan(statement.text, {});
+  for (const auto& tmpl : monitor->SnapshotTemplates()) {
+    if (std::find(tmpl.ref_tables.begin(), tmpl.ref_tables.end(),
+                  table->id) == tmpl.ref_tables.end()) {
+      continue;
+    }
+    if (!IsSelect(tmpl.sample_text)) continue;
+    auto base = monitored_->WhatIfPlan(tmpl.sample_text, {});
     if (!base.ok()) continue;
-    auto with = monitored_->WhatIfPlan(statement.text, {virtual_index});
+    auto with = monitored_->WhatIfPlan(tmpl.sample_text, {virtual_index});
     if (!with.ok()) continue;
     double gain = base->summary.TotalCost() - with->summary.TotalCost();
-    benefit += static_cast<double>(statement.frequency) * std::max(0.0, gain);
+    benefit += static_cast<double>(tmpl.executions) * std::max(0.0, gain);
   }
   return benefit;
 }

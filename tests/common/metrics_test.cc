@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <thread>
@@ -181,6 +182,98 @@ TEST(MetricsTest, DisabledMutatorsAreNoOps) {
 }
 
 #endif  // IMON_METRICS_DISABLED
+
+// --- Log2Buckets ---------------------------------------------------------
+//
+// Unlike the telemetry types above, Log2Buckets is workload *data* (the
+// per-template cost distributions behind imp_templates quantiles), so it
+// is never compiled out and these tests run in every build flavor.
+
+/// Reference quantile with the implementation's rank convention:
+/// 0-based index floor(p/100 * n), clamped to n-1.
+int64_t TrueQuantile(std::vector<int64_t> values, double p) {
+  std::sort(values.begin(), values.end());
+  auto n = static_cast<int64_t>(values.size());
+  int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  return values[static_cast<size_t>(rank)];
+}
+
+/// The log2 accuracy contract: a reported quantile never under-reports
+/// the true order statistic and overshoots it by strictly less than 2x
+/// (bucket upper bound 2^i - 1, clamped to the observed max).
+void ExpectWithinLog2Envelope(const Log2Buckets& buckets,
+                              const std::vector<int64_t>& values, double p) {
+  int64_t truth = TrueQuantile(values, p);
+  int64_t reported = buckets.ValueAtPercentile(p);
+  EXPECT_GE(reported, truth) << "p" << p;
+  EXPECT_LT(reported, 2 * truth) << "p" << p;
+  EXPECT_LE(reported, *std::max_element(values.begin(), values.end()))
+      << "p" << p;
+}
+
+TEST(Log2BucketsTest, ConstantDistributionIsExact) {
+  Log2Buckets b;
+  std::vector<int64_t> values(500, 777);
+  for (int64_t v : values) b.Record(v);
+  EXPECT_EQ(b.count, 500);
+  EXPECT_EQ(b.max, 777);
+  // Every quantile clamps to the observed max: exact for constants.
+  EXPECT_EQ(b.ValueAtPercentile(50), 777);
+  EXPECT_EQ(b.ValueAtPercentile(95), 777);
+  EXPECT_EQ(b.ValueAtPercentile(99), 777);
+}
+
+TEST(Log2BucketsTest, BimodalDistributionWithinErrorBounds) {
+  Log2Buckets b;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 450; ++i) values.push_back(10);     // fast mode
+  for (int i = 0; i < 50; ++i) values.push_back(9000);    // slow mode
+  for (int64_t v : values) b.Record(v);
+  ExpectWithinLog2Envelope(b, values, 50);
+  ExpectWithinLog2Envelope(b, values, 95);
+  ExpectWithinLog2Envelope(b, values, 99);
+  // The slow mode tops out at the observed max, reported exactly.
+  EXPECT_EQ(b.ValueAtPercentile(99), 9000);
+}
+
+TEST(Log2BucketsTest, HeavyTailDistributionWithinErrorBounds) {
+  // Deterministic power-law-ish tail: v = i^3 + 1 spans seven orders of
+  // magnitude over 1000 samples.
+  Log2Buckets b;
+  std::vector<int64_t> values;
+  for (int64_t i = 0; i < 1000; ++i) values.push_back(i * i * i + 1);
+  for (int64_t v : values) b.Record(v);
+  for (double p : {50.0, 95.0, 99.0}) ExpectWithinLog2Envelope(b, values, p);
+}
+
+TEST(Log2BucketsTest, MergeMatchesUnionRecording) {
+  Log2Buckets left, right, whole;
+  std::vector<int64_t> values;
+  for (int64_t i = 1; i <= 600; ++i) values.push_back(i * 17 % 4096 + 1);
+  for (size_t i = 0; i < values.size(); ++i) {
+    (i % 2 == 0 ? left : right).Record(values[i]);
+    whole.Record(values[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count, whole.count);
+  EXPECT_EQ(left.max, whole.max);
+  EXPECT_EQ(left.counts, whole.counts);
+  for (double p : {50.0, 95.0, 99.0}) {
+    EXPECT_EQ(left.ValueAtPercentile(p), whole.ValueAtPercentile(p));
+  }
+}
+
+TEST(Log2BucketsTest, EdgeValuesDoNotOverflowBuckets) {
+  Log2Buckets b;
+  b.Record(0);
+  b.Record(-5);
+  b.Record(std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(b.count, 3);
+  EXPECT_EQ(b.max, std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(b.ValueAtPercentile(0), 0);
+  EXPECT_EQ(b.ValueAtPercentile(100), std::numeric_limits<int64_t>::max());
+}
 
 }  // namespace
 }  // namespace imon::metrics

@@ -210,6 +210,76 @@ TEST_F(DaemonTest, RetentionBoundaryIsInclusiveAtExactlySevenDays) {
   EXPECT_EQ(daemon.stats().rows_purged, 1);
 }
 
+TEST_F(DaemonTest, TemplatesOutliveRetentionPurgeAcrossDaemonRestart) {
+  // Compressed workload history must survive the raw-row retention purge,
+  // and a daemon restarted between a purge and the next flush must not
+  // double-count what its predecessor already persisted.
+  DaemonConfig config = FastConfig();
+  config.retention = std::chrono::seconds(100);
+
+  auto template_executions = [&]() -> int64_t {
+    QueryResult r = MustExec(
+        &workload_db_, "SELECT template_text, executions FROM wl_templates");
+    for (const Row& row : r.rows) {
+      if (row[0].AsText().find("where v =") != std::string::npos) {
+        return row[1].AsInt();
+      }
+    }
+    return -1;
+  };
+
+  MustExec(&monitored_, "CREATE TABLE t (v INT)");
+  {
+    StorageDaemon daemon(&monitored_, &workload_db_, config, &clock_);
+    ASSERT_TRUE(daemon.Initialize().ok());
+    // Five literal variants collapse into one template.
+    for (int i = 1; i <= 5; ++i) {
+      MustExec(&monitored_, "SELECT v FROM t WHERE v = " + std::to_string(i));
+    }
+    ASSERT_TRUE(daemon.PollOnce().ok());
+    ASSERT_TRUE(daemon.PollOnce().ok());  // flush
+    ASSERT_EQ(template_executions(), 5);
+    ASSERT_GE(CountRows("wl_statements"), 1);
+
+    clock_.AdvanceSeconds(200);
+    ASSERT_TRUE(daemon.PurgeExpired().ok());
+    EXPECT_EQ(CountRows("wl_statements"), 0);
+    EXPECT_EQ(CountRows("wl_workload"), 0);
+    // Raw rows are gone; the compressed history is retention-exempt.
+    EXPECT_EQ(template_executions(), 5);
+  }  // daemon gone: restart lands between the purge and the next flush
+
+  {
+    StorageDaemon daemon(&monitored_, &workload_db_, config, &clock_);
+    ASSERT_TRUE(daemon.Initialize().ok());
+    for (int i = 6; i <= 8; ++i) {
+      MustExec(&monitored_, "SELECT v FROM t WHERE v = " + std::to_string(i));
+    }
+    ASSERT_TRUE(daemon.PollOnce().ok());
+    ASSERT_TRUE(daemon.PollOnce().ok());
+    // Same monitor incarnation: the new daemon resumes its flush deltas
+    // from the persisted src_* baseline. Re-adding the monitor's full
+    // cumulative count would report 13 here.
+    EXPECT_EQ(template_executions(), 8);
+  }
+
+  // Full restart: a fresh monitored engine means a new monitor
+  // incarnation whose counts start over; they accumulate onto the
+  // persisted base instead of resuming a stale baseline.
+  Database monitored2(MonitoredOptions());
+  ASSERT_TRUE(ima::RegisterImaTables(&monitored2).ok());
+  MustExec(&monitored2, "CREATE TABLE t (v INT)");
+  {
+    StorageDaemon daemon(&monitored2, &workload_db_, config, &clock_);
+    ASSERT_TRUE(daemon.Initialize().ok());
+    MustExec(&monitored2, "SELECT v FROM t WHERE v = 9");
+    MustExec(&monitored2, "SELECT v FROM t WHERE v = 10");
+    ASSERT_TRUE(daemon.PollOnce().ok());
+    ASSERT_TRUE(daemon.PollOnce().ok());
+    EXPECT_EQ(template_executions(), 10);
+  }
+}
+
 TEST_F(DaemonTest, AlertRulesFireOnThreshold) {
   StorageDaemon daemon(&monitored_, &workload_db_, FastConfig(), &clock_);
   ASSERT_TRUE(daemon.Initialize().ok());

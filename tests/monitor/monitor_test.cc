@@ -207,6 +207,92 @@ TEST(MonitorTest, ConcurrentCommitsAreSafe) {
   EXPECT_EQ(statements.size(), config.statement_window);
 }
 
+TEST(MonitorTest, TemplatesAggregateAcrossLiterals) {
+  Monitor m(SmallConfig(), RealClock::Instance());
+  RunStatement(&m, "SELECT a FROM t WHERE id = 1", 1.0, 2.0);
+  RunStatement(&m, "SELECT a FROM t WHERE id = 2", 1.0, 4.0);
+  RunStatement(&m, "SELECT a FROM t WHERE id = 3", 1.0, 6.0);
+  RunStatement(&m, "SELECT b FROM t", 1.0, 1.0);
+  auto templates = m.SnapshotTemplates();
+  ASSERT_EQ(templates.size(), 2u);
+  const TemplateRecord* point = nullptr;
+  for (const auto& t : templates) {
+    if (t.template_text == "select a from t where id = ?") point = &t;
+  }
+  ASSERT_NE(point, nullptr);
+  EXPECT_EQ(point->executions, 3);
+  EXPECT_EQ(point->sampled_count, 3);
+  EXPECT_DOUBLE_EQ(point->total_actual, 12.0);
+  EXPECT_DOUBLE_EQ(point->total_estimated, 6.0);
+  EXPECT_EQ(point->actual_cost_milli.count, 3);
+  // Representative = earliest execution (ties broken by raw hash).
+  EXPECT_EQ(point->sample_text, "SELECT a FROM t WHERE id = 1");
+  EXPECT_EQ(point->ref_tables, std::vector<ObjectId>{1});
+  EXPECT_GT(point->seq, 0);
+}
+
+TEST(MonitorTest, TemplateWindowEvictsOldest) {
+  MonitorConfig config = SmallConfig();
+  config.template_window = 2;
+  Monitor m(config, RealClock::Instance());
+  RunStatement(&m, "SELECT a FROM t1");
+  RunStatement(&m, "SELECT a FROM t2");
+  RunStatement(&m, "SELECT a FROM t3");
+  auto templates = m.SnapshotTemplates();
+  ASSERT_EQ(templates.size(), 2u);
+  for (const auto& t : templates) {
+    EXPECT_NE(t.template_text, "select a from t1");
+  }
+}
+
+TEST(MonitorTest, SamplingKeepsTemplateCountsExact) {
+  MonitorConfig config = SmallConfig();
+  config.workload_window = 256;
+  Monitor m(config, RealClock::Instance());
+  m.SetWorkloadSampleRate(250'000);  // keep ~25% of raw records
+  for (int i = 0; i < 100; ++i) {
+    RunStatement(&m, "SELECT a FROM t WHERE id = " + std::to_string(i));
+  }
+  auto templates = m.SnapshotTemplates();
+  ASSERT_EQ(templates.size(), 1u);
+  EXPECT_EQ(templates[0].executions, 100);
+  EXPECT_LT(templates[0].sampled_count, 100);
+  EXPECT_EQ(static_cast<int64_t>(m.SnapshotWorkload().size()),
+            templates[0].sampled_count);
+  // Drop accounting reconciles exactly with the template's view.
+  int64_t sampled_out = 0;
+  for (const auto& s : m.ShardStatsSnapshot()) {
+    sampled_out += s.workload_sampled_out;
+  }
+  EXPECT_EQ(sampled_out, 100 - templates[0].sampled_count);
+  // Raw seq domain stays dense: sampled-out commits allocate no seqs, so
+  // the max seq equals kept commits x (1 workload + 4 reference) seqs.
+  auto workload = m.SnapshotWorkload();
+  auto refs = m.SnapshotReferences();
+  int64_t max_seq = 0;
+  for (const auto& r : workload) max_seq = std::max(max_seq, r.seq);
+  for (const auto& r : refs) max_seq = std::max(max_seq, r.seq);
+  EXPECT_EQ(max_seq, templates[0].sampled_count * 5);
+}
+
+TEST(MonitorTest, SamplingIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    MonitorConfig config = SmallConfig();
+    config.workload_window = 256;
+    config.sample_seed = seed;
+    Monitor m(config, RealClock::Instance());
+    m.SetWorkloadSampleRate(500'000);
+    std::vector<uint64_t> kept;
+    for (int i = 0; i < 64; ++i) {
+      RunStatement(&m, "SELECT a FROM t WHERE id = " + std::to_string(i));
+    }
+    for (const auto& r : m.SnapshotWorkload()) kept.push_back(r.hash);
+    return kept;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
 TEST(RingBufferTest, BasicPushAndWrap) {
   RingBuffer<int> ring(3);
   EXPECT_EQ(ring.capacity(), 3u);

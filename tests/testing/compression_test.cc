@@ -1,0 +1,403 @@
+// Differential workload-compression suite: every seeded fuzz workload
+// is analyzed twice — once over the raw per-execution rows, once over
+// the compressed per-template aggregates — and the two reports must
+// produce the identical recommendation set (kind, table, index name,
+// ordered attributes) for rules R1-R5. Compression that changes a
+// tuning decision is a bug, not a space optimization.
+//
+// Custom main(): `compression_test --seed=N --iters=K` replays the
+// sweep from any seed; tier-1 runs an explicit 100-workload sweep and
+// leaves BENCH_compress_equiv.json behind.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.h"
+#include "bench/bench_util.h"
+#include "daemon/daemon.h"
+#include "ima/ima.h"
+#include "monitor/monitor.h"
+#include "testing/fault_injector.h"
+#include "testing/workload_gen.h"
+
+namespace imon::testing {
+namespace {
+
+using analyzer::AnalysisReport;
+using analyzer::Analyzer;
+using analyzer::AnalyzerConfig;
+using analyzer::RecommendationKindName;
+using analyzer::WorkloadSource;
+using engine::Database;
+using engine::DatabaseOptions;
+
+uint64_t g_seed = 1;
+int g_iters = 5;
+
+/// One full paper pipeline: monitored engine + IMA + storage daemon +
+/// workload DB, on a simulated clock so replays are time-deterministic.
+struct Pipeline {
+  explicit Pipeline(daemon::DaemonConfig daemon_config = DefaultDaemonConfig())
+      : clock(1000000),
+        monitored(MonitoredOptions(&clock)),
+        workload_db(WorkloadOptions(&clock)) {
+    EXPECT_TRUE(ima::RegisterImaTables(&monitored).ok());
+    storage_daemon = std::make_unique<daemon::StorageDaemon>(
+        &monitored, &workload_db, daemon_config, &clock);
+    EXPECT_TRUE(storage_daemon->Initialize().ok());
+  }
+
+  static daemon::DaemonConfig DefaultDaemonConfig() {
+    daemon::DaemonConfig config;
+    config.polls_per_flush = 1;
+    return config;
+  }
+  static DatabaseOptions MonitoredOptions(const Clock* clock) {
+    DatabaseOptions o;
+    o.name = "monitored";
+    o.clock = clock;
+    return o;
+  }
+  static DatabaseOptions WorkloadOptions(const Clock* clock) {
+    DatabaseOptions o;
+    o.name = "workload";
+    o.monitor.enabled = false;
+    o.clock = clock;
+    return o;
+  }
+
+  void Replay(const Workload& w) {
+    for (const std::string& sql : w.schema) Must(sql);
+    for (const std::string& sql : w.data) Must(sql);
+    for (const std::string& sql : w.index_ddl) Must(sql);
+    for (const std::string& sql : w.queries) Must(sql);
+  }
+  void Must(const std::string& sql) {
+    auto r = monitored.Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status();
+  }
+
+  SimulatedClock clock;
+  Database monitored;
+  Database workload_db;
+  std::unique_ptr<daemon::StorageDaemon> storage_daemon;
+};
+
+/// The equivalence key of one recommendation: kind, table, index name
+/// and the ordered attribute list. Reports agree iff these multisets do.
+std::vector<std::string> RecommendationKeys(const AnalysisReport& report) {
+  std::vector<std::string> keys;
+  for (const auto& rec : report.recommendations) {
+    std::string key = std::string(RecommendationKindName(rec.kind)) + "|" +
+                      rec.table + "|" + rec.index_name + "|";
+    for (const std::string& column : rec.columns) key += column + ",";
+    keys.push_back(std::move(key));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+Result<AnalysisReport> AnalyzeWith(Database* monitored, Database* workload_db,
+                                   WorkloadSource source) {
+  AnalyzerConfig config;
+  config.workload_source = source;
+  Analyzer analyzer(monitored, workload_db, config);
+  return analyzer.Analyze();
+}
+
+// The tentpole sweep: `--iters` seeded workloads, each replayed into two
+// identical pipelines and analyzed raw vs compressed. Any recommendation
+// divergence fails with the seed and both reports.
+TEST(CompressionDifferentialTest, RawAndTemplateAnalysesAgree) {
+  int64_t raw_statements = 0;
+  int64_t templates = 0;
+  int64_t divergences = 0;
+  for (int i = 0; i < g_iters; ++i) {
+    GenConfig config;
+    config.seed = g_seed + static_cast<uint64_t>(i);
+    Workload workload = GenerateWorkload(config);
+
+    // Two fresh pipelines: Analyze() runs ANALYZE on the engine before
+    // index selection, so both modes must start from identical state.
+    Pipeline raw_pipeline;
+    Pipeline template_pipeline;
+    raw_pipeline.Replay(workload);
+    template_pipeline.Replay(workload);
+    if (::testing::Test::HasFatalFailure()) return;
+    ASSERT_TRUE(raw_pipeline.storage_daemon->PollOnce().ok());
+    ASSERT_TRUE(template_pipeline.storage_daemon->PollOnce().ok());
+
+    auto raw_report =
+        AnalyzeWith(&raw_pipeline.monitored, &raw_pipeline.workload_db,
+                    WorkloadSource::kRawRows);
+    auto template_report = AnalyzeWith(&template_pipeline.monitored,
+                                       &template_pipeline.workload_db,
+                                       WorkloadSource::kTemplates);
+    ASSERT_TRUE(raw_report.ok()) << raw_report.status();
+    ASSERT_TRUE(template_report.ok()) << template_report.status();
+    EXPECT_FALSE(raw_report->from_templates);
+    EXPECT_TRUE(template_report->from_templates);
+
+    EXPECT_EQ(raw_report->statements_analyzed,
+              template_report->statements_analyzed)
+        << "seed " << config.seed;
+    EXPECT_EQ(raw_report->cost_mismatch_statements,
+              template_report->cost_mismatch_statements)
+        << "seed " << config.seed;
+    auto raw_keys = RecommendationKeys(*raw_report);
+    auto template_keys = RecommendationKeys(*template_report);
+    if (raw_keys != template_keys) ++divergences;
+    EXPECT_EQ(raw_keys, template_keys)
+        << "seed " << config.seed << "\n--- raw rows ---\n"
+        << raw_report->ToString() << "\n--- templates ---\n"
+        << template_report->ToString();
+    raw_statements += raw_report->statements_analyzed;
+    templates += template_report->statements_analyzed;
+  }
+  bench::JsonWriter json("compress_equiv");
+  json.Metric("iterations", static_cast<double>(g_iters), "workloads");
+  json.Metric("templates_compared", static_cast<double>(templates),
+              "templates");
+  json.Metric("raw_groups_compared", static_cast<double>(raw_statements),
+              "templates");
+  json.Metric("divergences", static_cast<double>(divergences), "divergences");
+  json.Write();
+}
+
+// Same equivalence over the live IMA tables (no workload DB attached):
+// the analyzer reads imp_statements/imp_workload vs imp_templates.
+TEST(CompressionDifferentialTest, LiveImaModeAgrees) {
+  for (int i = 0; i < std::min(g_iters, 3); ++i) {
+    GenConfig config;
+    config.seed = g_seed + 1000 + static_cast<uint64_t>(i);
+    Workload workload = GenerateWorkload(config);
+    Pipeline raw_pipeline;
+    Pipeline template_pipeline;
+    raw_pipeline.Replay(workload);
+    template_pipeline.Replay(workload);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    auto raw_report = AnalyzeWith(&raw_pipeline.monitored, nullptr,
+                                  WorkloadSource::kRawRows);
+    auto template_report = AnalyzeWith(&template_pipeline.monitored, nullptr,
+                                       WorkloadSource::kTemplates);
+    ASSERT_TRUE(raw_report.ok()) << raw_report.status();
+    ASSERT_TRUE(template_report.ok()) << template_report.status();
+    EXPECT_EQ(raw_report->statements_analyzed,
+              template_report->statements_analyzed)
+        << "seed " << config.seed;
+    EXPECT_EQ(RecommendationKeys(*raw_report),
+              RecommendationKeys(*template_report))
+        << "seed " << config.seed << "\n--- raw rows ---\n"
+        << raw_report->ToString() << "\n--- templates ---\n"
+        << template_report->ToString();
+  }
+}
+
+// kAuto reads templates when the compressed table is populated, and
+// falls back to raw rows for workload DBs filled before the template
+// schema existed (or, as here, out-of-band with raw rows only).
+TEST(CompressionDifferentialTest, AutoSourcePrefersTemplatesAndFallsBack) {
+  Pipeline pipeline;
+  pipeline.Must("CREATE TABLE t (a INT, b INT)");
+  for (int i = 0; i < 30; ++i) {
+    pipeline.Must("INSERT INTO t VALUES (" + std::to_string(i) + ", " +
+                  std::to_string(i) + ")");
+  }
+  pipeline.Must("SELECT a FROM t WHERE b = 7");
+  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_TRUE(pipeline.storage_daemon->PollOnce().ok());
+
+  auto with_templates = AnalyzeWith(&pipeline.monitored, &pipeline.workload_db,
+                                    WorkloadSource::kAuto);
+  ASSERT_TRUE(with_templates.ok()) << with_templates.status();
+  EXPECT_TRUE(with_templates->from_templates);
+  EXPECT_GT(with_templates->statements_analyzed, 0);
+
+  // A raw-only workload DB: wl_templates exists but stays empty.
+  SimulatedClock clock(1000000);
+  Database raw_only(Pipeline::WorkloadOptions(&clock));
+  ASSERT_TRUE(daemon::CreateWorkloadSchema(&raw_only).ok());
+  ASSERT_TRUE(raw_only
+                  .Execute("INSERT INTO wl_statements VALUES "
+                           "(1, 42, 'SELECT * FROM t_raw', 1, 0, 0, 0)")
+                  .ok());
+  ASSERT_TRUE(raw_only
+                  .Execute("INSERT INTO wl_workload VALUES (1, 42, 42, 0, 0, "
+                           "0, 0, 0, 0, 0.0, 0.0, 10.0, 40.0, 0, 0, 0)")
+                  .ok());
+  auto raw_fallback =
+      AnalyzeWith(&pipeline.monitored, &raw_only, WorkloadSource::kAuto);
+  ASSERT_TRUE(raw_fallback.ok()) << raw_fallback.status();
+  EXPECT_FALSE(raw_fallback->from_templates);
+  EXPECT_EQ(raw_fallback->statements_analyzed, 1);
+}
+
+/// Everything one flush-pressure scenario observes, for replay equality.
+struct SamplingObservation {
+  std::vector<std::pair<uint64_t, int64_t>> kept;  // (hash, start_micros)
+  std::vector<std::string> templates;  // fingerprint|executions|sampled
+  int64_t sample_rate_ppm = 0;
+  int64_t sampled_out = 0;
+
+  bool operator==(const SamplingObservation& other) const {
+    return kept == other.kept && templates == other.templates &&
+           sample_rate_ppm == other.sample_rate_ppm &&
+           sampled_out == other.sampled_out;
+  }
+};
+
+SamplingObservation RunFlushPressureScenario(uint64_t seed) {
+  daemon::DaemonConfig daemon_config;
+  daemon_config.polls_per_flush = 1;
+  daemon_config.flush_pressure_rows = 64;
+  daemon_config.min_sample_rate_ppm = 50000;
+  Pipeline pipeline(daemon_config);
+
+  // Polls fail while the injector is armed, so the monitor backlog grows
+  // past the pressure threshold before the daemon can drain it.
+  FaultConfig fault_config;
+  fault_config.seed = seed;
+  fault_config.poll_fault_prob = 1.0;
+  FaultInjector injector(fault_config);
+  pipeline.storage_daemon->set_poll_fault_hook(
+      [&injector] { return injector.BeforePoll(); });
+  injector.Arm();
+
+  pipeline.Must("CREATE TABLE pressure (v INT, w INT)");
+  for (int i = 0; i < 200; ++i) {
+    pipeline.Must("INSERT INTO pressure VALUES (" + std::to_string(i) + ", " +
+                  std::to_string(i % 7) + ")");
+  }
+  EXPECT_FALSE(pipeline.storage_daemon->PollOnce().ok());
+  EXPECT_EQ(injector.counters().poll_faults, 1);
+  injector.Disarm();
+  // The recovering poll drains the whole backlog in one window: pressure
+  // detected, sample rate lowered.
+  EXPECT_TRUE(pipeline.storage_daemon->PollOnce().ok());
+  EXPECT_LT(pipeline.storage_daemon->stats().sample_rate_ppm, 1000000);
+
+  // Phase 2 executes under sampling: raw rows thin out, templates stay
+  // exact.
+  for (int i = 0; i < 300; ++i) {
+    pipeline.Must("SELECT w FROM pressure WHERE v = " + std::to_string(i));
+  }
+  EXPECT_TRUE(pipeline.storage_daemon->PollOnce().ok());
+
+  SamplingObservation observation;
+  const monitor::Monitor* mon = pipeline.monitored.monitor();
+  for (const auto& record : mon->SnapshotWorkload()) {
+    observation.kept.emplace_back(record.hash, record.start_micros);
+  }
+  int64_t executions = 0;
+  int64_t sampled = 0;
+  for (const auto& tmpl : mon->SnapshotTemplates()) {
+    EXPECT_GE(tmpl.executions, tmpl.sampled_count);
+    executions += tmpl.executions;
+    sampled += tmpl.sampled_count;
+    observation.templates.push_back(std::to_string(tmpl.fingerprint) + "|" +
+                                    std::to_string(tmpl.executions) + "|" +
+                                    std::to_string(tmpl.sampled_count));
+  }
+  for (const auto& shard : mon->ShardStatsSnapshot()) {
+    observation.sampled_out += shard.workload_sampled_out;
+  }
+  // Exact reconciliation: every sampled-out commit is still counted by
+  // its template, and nothing else is.
+  EXPECT_EQ(executions - sampled, observation.sampled_out);
+  EXPECT_GT(observation.sampled_out, 0);
+  observation.sample_rate_ppm =
+      pipeline.storage_daemon->stats().sample_rate_ppm;
+
+  // The same accounting must reconcile over SQL (imp_templates against
+  // imp_monitor), the way a DBA would check it. Restore full capture
+  // first: a kept commit bumps executions and sampled_count together
+  // (gap-invariant), so the reconciliation queries no longer perturb the
+  // numbers they read.
+  pipeline.monitored.monitor()->SetWorkloadSampleRate(monitor::kSampleAllPpm);
+  auto template_rows = pipeline.monitored.Execute(
+      "SELECT executions, sampled_count FROM imp_templates");
+  EXPECT_TRUE(template_rows.ok());
+  int64_t sql_gap = 0;
+  if (template_rows.ok()) {
+    for (const Row& row : template_rows->rows) {
+      sql_gap += row[0].AsInt() - row[1].AsInt();
+    }
+  }
+  auto shard_rows = pipeline.monitored.Execute(
+      "SELECT workload_sampled_out FROM imp_monitor");
+  EXPECT_TRUE(shard_rows.ok());
+  int64_t sql_sampled_out = 0;
+  if (shard_rows.ok()) {
+    for (const Row& row : shard_rows->rows) sql_sampled_out += row[0].AsInt();
+  }
+  EXPECT_EQ(sql_gap, sql_sampled_out);
+  return observation;
+}
+
+// Satellite: the fault-driven pressure scenario is deterministic per
+// seed — same kept raw rows, same template counters, same adapted rate —
+// and its drop accounting reconciles exactly.
+TEST(SamplingDeterminismTest, FlushPressureScenarioReproducesPerSeed) {
+  SamplingObservation first = RunFlushPressureScenario(g_seed);
+  if (::testing::Test::HasFatalFailure()) return;
+  SamplingObservation second = RunFlushPressureScenario(g_seed);
+  EXPECT_EQ(first, second);
+  EXPECT_LT(first.kept.size(),
+            static_cast<size_t>(first.sampled_out) + first.kept.size());
+}
+
+// Under sampling pressure the compressed analysis keeps seeing the whole
+// workload: template mode still reports every distinct shape with exact
+// execution counts, while raw mode visibly thins out.
+TEST(SamplingDeterminismTest, TemplatesStayExactUnderSampling) {
+  daemon::DaemonConfig daemon_config;
+  daemon_config.polls_per_flush = 1;
+  Pipeline pipeline(daemon_config);
+  pipeline.Must("CREATE TABLE s (v INT)");
+  pipeline.monitored.monitor()->SetWorkloadSampleRate(100000);  // 10%
+  for (int i = 0; i < 200; ++i) {
+    pipeline.Must("INSERT INTO s VALUES (" + std::to_string(i) + ")");
+  }
+  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_TRUE(pipeline.storage_daemon->PollOnce().ok());
+
+  auto report = AnalyzeWith(&pipeline.monitored, &pipeline.workload_db,
+                            WorkloadSource::kTemplates);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // One INSERT template, 200 exact executions — regardless of sampling.
+  bool found = false;
+  auto rows = pipeline.workload_db.Execute(
+      "SELECT template_text, executions, sampled_count FROM wl_templates");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  for (const Row& row : rows->rows) {
+    if (row[0].AsText().rfind("insert into s", 0) == 0) {
+      found = true;
+      EXPECT_EQ(row[1].AsInt(), 200);
+      EXPECT_LT(row[2].AsInt(), 200);  // raw rows were sampled out
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace imon::testing
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      imon::testing::g_seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--iters=", 0) == 0) {
+      imon::testing::g_iters = std::atoi(arg.c_str() + 8);
+    }
+  }
+  return RUN_ALL_TESTS();
+}
