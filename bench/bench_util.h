@@ -13,6 +13,10 @@
 #include <string>
 #include <vector>
 
+#if defined(__linux__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "common/clock.h"
 #include "engine/database.h"
 
@@ -57,9 +61,33 @@ inline void PrintHeader(const char* figure, const char* caption) {
   std::printf("================================================================\n");
 }
 
-/// Collects named metrics and writes them as `BENCH_<bench>.json` in the
-/// working directory, so successive runs leave a machine-readable
-/// trajectory next to the console output.
+/// Directory `BENCH_*.json` files land in: the build root (parent of
+/// the bench/ or tests/ directory holding the running executable), so
+/// machine-readable outputs collect under build/ no matter which
+/// working directory the binary was launched from — a bench run from
+/// the repo root must not strand artifacts there. Falls back to the
+/// working directory when the executable path cannot be resolved.
+inline std::string JsonOutputDir() {
+#if defined(__linux__)
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  std::string exe(buf);
+  size_t slash = exe.rfind('/');
+  if (slash == std::string::npos || slash == 0) return "";
+  std::string dir = exe.substr(0, slash);  // .../build/bench
+  size_t parent = dir.rfind('/');
+  if (parent == std::string::npos || parent == 0) return dir + "/";
+  return dir.substr(0, parent) + "/";  // .../build
+#else
+  return "";
+#endif
+}
+
+/// Collects named metrics and writes them as `BENCH_<bench>.json` under
+/// the build root (see JsonOutputDir), so successive runs leave a
+/// machine-readable trajectory next to the console output.
 class JsonWriter {
  public:
   explicit JsonWriter(std::string bench_name)
@@ -73,7 +101,7 @@ class JsonWriter {
   /// Write BENCH_<bench>.json; returns false (with a stderr note) on I/O
   /// failure so benches can keep printing their console tables regardless.
   bool Write() const {
-    std::string path = "BENCH_" + bench_name_ + ".json";
+    std::string path = JsonOutputDir() + "BENCH_" + bench_name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());

@@ -1,0 +1,96 @@
+// Metrics-history flight recorder microbenchmark.
+//
+// Exercises the three hot paths of common/metrics_history.h in
+// isolation — Record (per-point insert with same-tick merge), Sample
+// (one full registry sweep, the daemon's per-poll cost), and Aggregate
+// (the window read behind alert rules and tuner baselines) — and emits
+// BENCH_history.json. scripts/tier1.sh gates record throughput and
+// sweep latency against the committed bench/BENCH_history.baseline.json
+// so regressions in the recorder surface before they tax every poll.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/metrics_history.h"
+
+int main() {
+  using namespace imon;
+  using bench::Scaled;
+
+  bench::PrintHeader("Metrics history",
+                     "flight recorder: record / sample / aggregate");
+
+  constexpr int64_t kRawMicros =
+      metrics::MetricsHistory::kResolutionSeconds[0] * 1000000LL;
+
+  // Record: one series, time advancing 10 ms per point, so ~1000 points
+  // merge into each raw tick and the ring wraps several times over.
+  metrics::MetricsHistory history;
+  const int64_t records = Scaled(2000000);
+  int64_t start = MonotonicNanos();
+  for (int64_t i = 0; i < records; ++i) {
+    history.Record("bench.series", i & 1023, i * 10000);
+  }
+  double record_s = static_cast<double>(MonotonicNanos() - start) / 1e9;
+  double record_ops =
+      static_cast<double>(records) / (record_s > 0 ? record_s : 1e-9);
+  std::printf("record: %lld points in %.3f s (%.0f points/s)\n",
+              static_cast<long long>(records), record_s, record_ops);
+
+  // Sample: a registry the size of the live engine's (the daemon sweeps
+  // every counter, gauge and histogram percentile each poll).
+  metrics::MetricsRegistry registry;
+  for (int i = 0; i < 64; ++i) {
+    registry.GetCounter("bench.counter." + std::to_string(i))->Add(i + 1);
+  }
+  for (int i = 0; i < 8; ++i) {
+    metrics::Histogram* h =
+        registry.GetHistogram("bench.hist." + std::to_string(i));
+    for (int v = 1; v <= 1000; ++v) h->Record(v);
+  }
+  metrics::MetricsHistory swept;
+  const int64_t sweeps = Scaled(2000);
+  start = MonotonicNanos();
+  for (int64_t s = 0; s < sweeps; ++s) {
+    swept.Sample(registry, s * kRawMicros);
+  }
+  double sweep_s = static_cast<double>(MonotonicNanos() - start) / 1e9;
+  double sample_micros =
+      sweep_s * 1e6 / static_cast<double>(sweeps > 0 ? sweeps : 1);
+  std::printf("sample: %lld registry sweeps in %.3f s (%.1f us/sweep, "
+              "%zu series)\n",
+              static_cast<long long>(sweeps), sweep_s, sample_micros,
+              swept.SeriesCount());
+
+  // Aggregate: the full raw window, as an alert rule or tuner baseline
+  // read would.
+  const int64_t aggregates = Scaled(20000);
+  int64_t span_micros = records * 10000;
+  double checksum = 0;
+  start = MonotonicNanos();
+  for (int64_t i = 0; i < aggregates; ++i) {
+    metrics::HistoryAggregate agg = history.Aggregate(
+        "bench.series", metrics::MetricsHistory::kResolutionSeconds[0], 0,
+        span_micros);
+    checksum += static_cast<double>(agg.count);
+  }
+  double agg_s = static_cast<double>(MonotonicNanos() - start) / 1e9;
+  double aggregate_micros =
+      agg_s * 1e6 / static_cast<double>(aggregates > 0 ? aggregates : 1);
+  std::printf("aggregate: %lld window reads in %.3f s (%.2f us/read, "
+              "checksum %.0f)\n",
+              static_cast<long long>(aggregates), agg_s, aggregate_micros,
+              checksum);
+
+  bench::JsonWriter json("history");
+  json.Metric("record_ops_per_sec", record_ops, "1/s");
+  json.Metric("sample_micros", sample_micros, "us");
+  json.Metric("aggregate_micros", aggregate_micros, "us");
+  json.Metric("series_count", static_cast<double>(swept.SeriesCount()));
+  json.Write();
+  return 0;
+}

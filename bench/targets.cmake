@@ -30,3 +30,4 @@ imon_add_bench(observability_overhead bench/observability_overhead.cc)
 imon_add_bench(micro_tuner bench/micro_tuner.cc)
 target_link_libraries(micro_tuner PRIVATE imon_tuner)
 imon_add_bench(micro_compression bench/micro_compression.cc)
+imon_add_bench(micro_history bench/micro_history.cc)

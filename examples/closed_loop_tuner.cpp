@@ -21,6 +21,7 @@
 #include "bench/bench_util.h"
 #include "daemon/daemon.h"
 #include "ima/ima.h"
+#include "monitor/trace_export.h"
 #include "tuner/tuner.h"
 
 using namespace imon;
@@ -141,5 +142,15 @@ int main() {
               static_cast<long long>(stats.kept),
               static_cast<long long>(stats.rolled_back),
               static_cast<long long>(stats.rejected));
+
+  // Statement spans plus the tuner lifecycle on its own track — load in
+  // chrome://tracing or Perfetto; each span carries its decision_id.
+  auto spans = tuner::ActionLifecycleSpans(orch.SnapshotActions(),
+                                           clock.NowMicros());
+  const std::string trace_path = "closed_loop_tuner.trace.json";
+  if (monitor::ExportChromeTrace(*db.monitor(), spans, trace_path).ok()) {
+    std::printf("trace with %zu tuner lifecycle span(s): %s\n", spans.size(),
+                trace_path.c_str());
+  }
   return 0;
 }

@@ -202,6 +202,44 @@ if [[ "$compress_gate_ok" != 1 ]]; then
   exit 1
 fi
 
+echo "== tier-1: metrics history gate =="
+# The flight-recorder microbench emits BENCH_history.json. Record
+# throughput (per-point inserts with same-tick merge) and registry-sweep
+# latency (the daemon's per-poll Sample cost) are gated against the
+# committed conservative baseline within IMON_HISTORY_GATE_PCT (default
+# 50 — microsecond-scale figures swing on a shared box). Same
+# retry-keeping-best discipline as the gates above.
+hist_gate_pct="${IMON_HISTORY_GATE_PCT:-50}"
+hist_gate_ok=0
+best_rops=""
+best_smic=""
+for attempt in 1 2 3; do
+  (cd build && ./bench/micro_history >/dev/null)
+  rops=$(json_value build/BENCH_history.json record_ops_per_sec)
+  smic=$(json_value build/BENCH_history.json sample_micros)
+  if [[ -z "$rops" || -z "$smic" ]]; then
+    echo "tier-1: FAILED to read metrics history benchmark output" >&2
+    exit 1
+  fi
+  best_rops=$(awk -v a="${best_rops:-0}" -v b="$rops" 'BEGIN { print (b > a) ? b : a }')
+  best_smic=$(awk -v a="${best_smic:-1e30}" -v b="$smic" 'BEGIN { print (b < a) ? b : a }')
+  base_rops=$(json_value bench/BENCH_history.baseline.json record_ops_per_sec)
+  base_smic=$(json_value bench/BENCH_history.baseline.json sample_micros)
+  rops_pct=$(awk -v b="$base_rops" -v m="$best_rops" 'BEGIN { printf "%.2f", (b - m) / b * 100 }')
+  smic_pct=$(awk -v b="$base_smic" -v m="$best_smic" 'BEGIN { printf "%.2f", (m - b) / b * 100 }')
+  echo "  attempt $attempt: record ${best_rops}/s (regression ${rops_pct}%)," \
+       "sweep ${best_smic}us (regression ${smic_pct}%)"
+  if awk -v r="$rops_pct" -v s="$smic_pct" -v g="$hist_gate_pct" \
+       'BEGIN { exit !(r <= g && s <= g) }'; then
+    hist_gate_ok=1
+    break
+  fi
+done
+if [[ "$hist_gate_ok" != 1 ]]; then
+  echo "tier-1: metrics history gate failed on every attempt" >&2
+  exit 1
+fi
+
 if [[ "$run_tsan" == 1 ]]; then
   echo "== tier-1: ThreadSanitizer build =="
   cmake -B build-tsan -S . -DIMON_SANITIZE=thread >/dev/null

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/clock.h"
+#include "common/hash.h"
 #include "optimizer/binder.h"
 #include "sql/normalizer.h"
 #include "sql/parser.h"
@@ -313,7 +314,8 @@ Status Analyzer::RuleCostMismatch(
     const std::vector<StatementInfo>& statements, AnalysisReport* report) {
   // Per-template mean costs: the loaders carry exact rolling sums and the
   // referenced tables, so the rule itself is source-agnostic.
-  std::map<ObjectId, int64_t> flagged_tables;  // table -> supporting stmts
+  // table -> the templates whose mismatch flagged it (the evidence).
+  std::map<ObjectId, std::vector<const StatementInfo*>> flagged_tables;
   for (const StatementInfo& s : statements) {
     if (s.executions == 0) continue;
     double actual = s.total_actual / s.executions;
@@ -322,7 +324,7 @@ Status Analyzer::RuleCostMismatch(
     double ratio = std::max(actual, estimated) / std::min(actual, estimated);
     if (ratio < config_.cost_mismatch_factor) continue;
     ++report->cost_mismatch_statements;
-    for (ObjectId t : s.ref_tables) ++flagged_tables[t];
+    for (ObjectId t : s.ref_tables) flagged_tables[t].push_back(&s);
   }
 
   for (const auto& [table_id, support] : flagged_tables) {
@@ -330,13 +332,18 @@ Status Analyzer::RuleCostMismatch(
     if (!table.ok()) continue;
     Recommendation rec;
     rec.kind = RecommendationKind::kCollectStatistics;
+    rec.rule = "R1";
     rec.table = table->name;
     rec.reason =
         "actual and estimated costs differ significantly for " +
-        std::to_string(support) +
+        std::to_string(support.size()) +
         " statement(s); statistics may be missing or outdated";
     rec.sql = "ANALYZE " + table->name;
-    rec.supporting_statements = support;
+    rec.supporting_statements = static_cast<int64_t>(support.size());
+    for (const StatementInfo* s : support) {
+      rec.evidence.push_back({s->fingerprint, s->executions, s->total_actual,
+                              s->total_estimated});
+    }
     report->recommendations.push_back(std::move(rec));
   }
   return Status::OK();
@@ -371,6 +378,7 @@ Status Analyzer::RuleMissingHistograms(AnalysisReport* report) {
     if (merged) continue;
     Recommendation rec;
     rec.kind = RecommendationKind::kCollectStatistics;
+    rec.rule = "R2";
     rec.table = table->name;
     rec.columns.assign(columns.begin(), columns.end());
     rec.reason = "referenced attributes have no statistics; histograms "
@@ -407,6 +415,7 @@ Status Analyzer::RuleOverflowPages(AnalysisReport* report) {
     }
     Recommendation rec;
     rec.kind = RecommendationKind::kModifyToBtree;
+    rec.rule = "R3";
     rec.table = name;
     rec.reason = "heap table has " + std::to_string(overflow) +
                  " overflow pages over " + std::to_string(main_pages) +
@@ -449,6 +458,7 @@ Status Analyzer::RuleUnusedIndexes(AnalysisReport* report) {
     if (!table.ok()) continue;
     Recommendation rec;
     rec.kind = RecommendationKind::kDropIndex;
+    rec.rule = "R5";
     rec.table = table->name;
     rec.index_name = name;
     std::string cols;
@@ -705,7 +715,20 @@ Status Analyzer::RuleIndexSelection(
     if (!table.ok()) continue;
     Recommendation rec;
     rec.kind = RecommendationKind::kCreateIndex;
+    rec.rule = "R4";
     rec.table = table->name;
+    // Evidence: the SELECT templates on this table the what-if search
+    // optimized for — the statements that explain the index's existence.
+    for (const StatementInfo& s : statements) {
+      if (!s.is_select) continue;
+      if (std::find(s.ref_tables.begin(), s.ref_tables.end(), vi.table_id) ==
+          s.ref_tables.end()) {
+        continue;
+      }
+      rec.evidence.push_back({s.fingerprint, s.executions, s.total_actual,
+                              s.total_estimated});
+    }
+    rec.supporting_statements = static_cast<int64_t>(rec.evidence.size());
     std::string cols;
     for (int c : vi.key_columns) {
       if (!cols.empty()) cols += ", ";
@@ -826,6 +849,19 @@ Result<AnalysisReport> Analyzer::Analyze() {
   IMON_RETURN_IF_ERROR(BuildLocksDiagram(&report));
   IMON_RETURN_IF_ERROR(BuildTrends(&report));
   report.analysis_micros = (MonotonicNanos() - start) / 1000;
+
+  // Stamp every emitted recommendation with a unique decision id. Mixing
+  // a process-wide counter with the wall clock keeps ids unique across
+  // analyzer instances, restarts and SimulatedClock tests; masking keeps
+  // them positive (SQL-friendly).
+  static std::atomic<uint64_t> decision_counter{0};
+  for (Recommendation& rec : report.recommendations) {
+    uint64_t raw = Mix64(HashCombine(
+        static_cast<uint64_t>(monitored_->clock()->NowMicros()),
+        decision_counter.fetch_add(1, std::memory_order_relaxed) + 1));
+    rec.decision_id = static_cast<int64_t>(raw & 0x7fffffffffffffffULL);
+    if (rec.decision_id == 0) rec.decision_id = 1;
+  }
 
   // Self-observability: how often each rule fires, in the monitored
   // engine's registry (imp_metrics `analyzer.*`).

@@ -42,6 +42,17 @@ enum class RecommendationKind {
 
 const char* RecommendationKindName(RecommendationKind kind);
 
+/// One supporting statement template with its aggregate numbers at
+/// recommendation time — the evidence trail behind a decision. Persisted
+/// by the tuner as imp_tuning_provenance / wl_tuning_provenance, where
+/// `fingerprint` joins back to imp_templates.
+struct RecommendationEvidence {
+  uint64_t fingerprint = 0;
+  int64_t executions = 0;
+  double total_actual = 0;
+  double total_estimated = 0;
+};
+
 struct Recommendation {
   RecommendationKind kind;
   /// The table the change targets (for R5 drop-index: the owning table).
@@ -64,6 +75,16 @@ struct Recommendation {
   int64_t supporting_statements = 0;
   /// Estimated index size in pages (R4).
   double estimated_pages = 0;
+  /// Provenance: unique id stamped by Analyze() on every emitted
+  /// recommendation; threads unchanged through the tuner lifecycle so
+  /// audit rows, provenance rows and trace spans all join on it.
+  int64_t decision_id = 0;
+  /// The rule that fired ("R1".."R5").
+  std::string rule;
+  /// The statement templates whose aggregates justified the decision
+  /// (filled by R1 and R4; structural rules R2/R3/R5 argue from catalog
+  /// state, not statements).
+  std::vector<RecommendationEvidence> evidence;
 };
 
 /// One bar group of the Fig. 6 cost diagram.

@@ -124,6 +124,7 @@ std::vector<HistogramStats> MetricsRegistry::SnapshotHistograms() const {
     s.p50 = h->ValueAtPercentile(50.0);
     s.p95 = h->ValueAtPercentile(95.0);
     s.p99 = h->ValueAtPercentile(99.0);
+    s.last_update_micros = h->LastUpdateMicros();
     out.push_back(std::move(s));
   }
   return out;

@@ -119,9 +119,26 @@ class Histogram {
 #endif
   }
 
+  /// Record() plus a wall-clock stamp of the observation, so readers
+  /// (imp_stage_latency, alert rules) can detect stale stages. One extra
+  /// relaxed store on the hot path; last-writer-wins is fine — the stamp
+  /// answers "has this moved recently", not "what moved last".
+  void RecordAt(int64_t value, int64_t now_micros) {
+#ifndef IMON_METRICS_DISABLED
+    Record(value);
+    last_update_micros_.store(now_micros, std::memory_order_relaxed);
+#else
+    (void)value;
+    (void)now_micros;
+#endif
+  }
+
   int64_t Count() const;
   int64_t Sum() const { return sum_.Value(); }
   int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  int64_t LastUpdateMicros() const {
+    return last_update_micros_.load(std::memory_order_relaxed);
+  }
 
   /// Approximate value at percentile p in [0, 100].
   int64_t ValueAtPercentile(double p) const;
@@ -141,6 +158,7 @@ class Histogram {
   std::array<std::atomic<int64_t>, kBuckets> buckets_{};
   Counter sum_;
   std::atomic<int64_t> max_{0};
+  std::atomic<int64_t> last_update_micros_{0};
 };
 
 /// Plain (externally synchronized) log2 bucket array sharing Histogram's
@@ -186,6 +204,7 @@ struct HistogramStats {
   int64_t p50 = 0;
   int64_t p95 = 0;
   int64_t p99 = 0;
+  int64_t last_update_micros = 0;  ///< 0 until a RecordAt() lands
 };
 
 /// Owner of all named metrics. Registration (name -> stable handle) is

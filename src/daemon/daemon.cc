@@ -47,6 +47,10 @@ const WlTable kWlTables[] = {
      "locks_held INT, lock_waits INT, deadlocks INT, cache_logical INT, "
      "cache_physical INT, cache_hit_ratio DOUBLE, disk_reads INT, "
      "disk_writes INT, statements INT)"},
+    {"wl_metrics_history",
+     "CREATE TABLE IF NOT EXISTS wl_metrics_history (captured_at INT, "
+     "name TEXT, resolution INT, tick_micros INT, min INT, max INT, "
+     "sum INT, count INT, last INT)"},
 };
 
 /// The compressed workload lives outside kWlTables on purpose: retention
@@ -101,6 +105,57 @@ std::string SqlLiteral(const Value& v) {
 }
 
 }  // namespace
+
+std::vector<HistoryAlertRule> DefaultHistoryAlertRules() {
+  std::vector<HistoryAlertRule> rules;
+  {
+    // Buffer-pool hit rate fell below 90% and stayed there for two
+    // consecutive polls — the working set no longer fits, or a scan is
+    // flooding the pool.
+    HistoryAlertRule r;
+    r.name = "bp_hit_rate_drop";
+    r.series = "engine.cache_hit_ratio_ppm";
+    r.resolution_seconds = 10;
+    r.kind = HistoryAlertRule::Kind::kThreshold;
+    r.cmp = HistoryAlertRule::Cmp::kBelow;
+    r.limit = 900000;
+    r.window_seconds = 60;
+    r.sustain_polls = 2;
+    r.message = "buffer pool hit ratio below 90% for consecutive polls";
+    rules.push_back(std::move(r));
+  }
+  {
+    // The adaptive sampler has been pinned below full capture for three
+    // polls — flush pressure is sustained, raw history is being thinned.
+    HistoryAlertRule r;
+    r.name = "flush_pressure_sustained";
+    r.series = "daemon.sample_rate";
+    r.resolution_seconds = 10;
+    r.kind = HistoryAlertRule::Kind::kThreshold;
+    r.cmp = HistoryAlertRule::Cmp::kBelow;
+    r.limit = 1000000;  // monitor::kSampleAllPpm
+    r.window_seconds = 60;
+    r.sustain_polls = 3;
+    r.message = "daemon flush pressure sustained; raw sampling degraded";
+    rules.push_back(std::move(r));
+  }
+  {
+    // Two or more tuner rollbacks inside ten minutes: verification keeps
+    // regressing — the analyzer and reality disagree.
+    HistoryAlertRule r;
+    r.name = "verification_regression_streak";
+    r.series = "tuner.rolled_back";
+    r.resolution_seconds = 600;
+    r.kind = HistoryAlertRule::Kind::kDelta;
+    r.cmp = HistoryAlertRule::Cmp::kAbove;
+    r.limit = 1;
+    r.window_seconds = 600;
+    r.sustain_polls = 1;
+    r.message = "tuner rolled back repeatedly within the window";
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
 
 Status CreateWorkloadSchema(Database* workload_db) {
   for (const WlTable& t : kWlTables) {
@@ -217,6 +272,12 @@ Status StorageDaemon::PollCycle() {
   // A fresh statistics sample accompanies every poll.
   monitored_->SampleSystemStats();
 
+  // Flight recorder: every registered metric lands in the history rings
+  // on the poll cadence, then the trend alert rules run over the rollups.
+  int64_t now = clock_->NowMicros();
+  SampleMetricsHistory(now);
+  EvaluateHistoryAlerts(now);
+
   IMON_ASSIGN_OR_RETURN(std::vector<Row> workload,
                         ReadIma("imp_workload", &last_workload_seq_));
   IMON_ASSIGN_OR_RETURN(std::vector<Row> references,
@@ -277,6 +338,115 @@ Status StorageDaemon::PollCycle() {
   return Status::OK();
 }
 
+void StorageDaemon::SampleMetricsHistory(int64_t now_micros) {
+  metrics::MetricsHistory* history = monitored_->metrics_history();
+  history->Sample(*monitored_->metrics(), now_micros);
+  // Derived series: the buffer-pool hit ratio as ppm (the raw snapshot
+  // exposes only the two read counters; alert rules want the ratio).
+  monitor::SystemSnapshot snap = monitored_->GatherSystemSnapshot();
+  int64_t hit_ppm =
+      snap.cache_logical_reads > 0
+          ? 1000000 - snap.cache_physical_reads * 1000000 /
+                          snap.cache_logical_reads
+          : 1000000;
+  history->Record("engine.cache_hit_ratio_ppm", hit_ppm, now_micros);
+
+  // Stage completed raw ticks for the next flush; the cursor guarantees
+  // each tick is persisted exactly once.
+  std::vector<metrics::HistorySample> done =
+      history->SnapshotRawCompletedSince(last_history_tick_, now_micros);
+  if (done.empty()) return;
+  std::vector<Row> rows;
+  rows.reserve(done.size());
+  for (const metrics::HistorySample& s : done) {
+    last_history_tick_ = std::max(last_history_tick_, s.tick_micros);
+    rows.push_back({Value::Text(s.name), Value::Int(s.resolution),
+                    Value::Int(s.tick_micros), Value::Int(s.min),
+                    Value::Int(s.max), Value::Int(s.sum), Value::Int(s.count),
+                    Value::Int(s.last)});
+  }
+  std::lock_guard<std::mutex> lock(buffer_mutex_);
+  buf_history_.reserve(buf_history_.size() + rows.size());
+  for (Row& r : rows) buf_history_.push_back(std::move(r));
+}
+
+void StorageDaemon::EvaluateHistoryAlerts(int64_t now_micros) {
+  const metrics::MetricsHistory* history = monitored_->metrics_history();
+  std::vector<engine::AlertEvent> fired;
+  engine::AlertHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(alert_mutex_);
+    handler = alert_handler_;
+    for (size_t i = 0; i < alert_rules_.size(); ++i) {
+      const HistoryAlertRule& rule = alert_rules_[i];
+      HistoryAlertState& st = alert_states_[i];
+      st.last_eval_micros = now_micros;
+      metrics::HistoryAggregate agg = history->Aggregate(
+          rule.series, rule.resolution_seconds,
+          now_micros -
+              static_cast<int64_t>(rule.window_seconds) * 1'000'000,
+          now_micros);
+      if (agg.empty()) {
+        // No data is not a breach: an unsampled series keeps whatever
+        // state it had but never accrues toward firing.
+        st.breach_polls = 0;
+        st.firing = false;
+        continue;
+      }
+      st.value = rule.kind == HistoryAlertRule::Kind::kDelta
+                     ? agg.max - agg.min
+                     : agg.last;
+      bool breach = rule.cmp == HistoryAlertRule::Cmp::kAbove
+                        ? st.value > rule.limit
+                        : st.value < rule.limit;
+      if (!breach) {
+        st.breach_polls = 0;
+        st.firing = false;
+        continue;
+      }
+      ++st.breach_polls;
+      if (!st.firing && st.breach_polls >= rule.sustain_polls) {
+        st.firing = true;
+        ++st.fire_count;
+        if (st.first_fired_micros == 0) st.first_fired_micros = now_micros;
+        st.last_fired_micros = now_micros;
+        engine::AlertEvent e;
+        e.trigger_name = rule.name;
+        e.table = "imp_metrics_history";
+        e.message = rule.message;
+        fired.push_back(std::move(e));
+      }
+    }
+  }
+  if (fired.empty()) return;
+  if (m_alerts_raised_ != nullptr) {
+    m_alerts_raised_->Add(static_cast<int64_t>(fired.size()));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.alerts_raised += static_cast<int64_t>(fired.size());
+  }
+  if (handler) {
+    for (const engine::AlertEvent& e : fired) handler(e);
+  }
+}
+
+void StorageDaemon::AddHistoryAlertRule(HistoryAlertRule rule) {
+  std::lock_guard<std::mutex> lock(alert_mutex_);
+  HistoryAlertState st;
+  st.rule = rule.name;
+  st.series = rule.series;
+  st.threshold = rule.limit;
+  st.message = rule.message;
+  alert_states_.push_back(std::move(st));
+  alert_rules_.push_back(std::move(rule));
+}
+
+std::vector<HistoryAlertState> StorageDaemon::SnapshotAlerts() const {
+  std::lock_guard<std::mutex> lock(alert_mutex_);
+  return alert_states_;
+}
+
 Status StorageDaemon::AppendRows(const std::string& wl_table,
                                  const Value& stamp,
                                  std::vector<Row>* rows) {
@@ -324,7 +494,8 @@ Status StorageDaemon::FlushNow() {
     int64_t total_rows = static_cast<int64_t>(
         buf_statements_.size() + buf_workload_.size() +
         buf_references_.size() + buf_tables_.size() + buf_attributes_.size() +
-        buf_indexes_.size() + buf_statistics_.size() + buf_templates_.size());
+        buf_indexes_.size() + buf_statistics_.size() + buf_templates_.size() +
+        buf_history_.size());
     // Raw-row volume of this window drives the adaptive sampler; read it
     // before the appends clear the buffers.
     int64_t raw_window_rows =
@@ -336,11 +507,13 @@ Status StorageDaemon::FlushNow() {
     IMON_RETURN_IF_ERROR(AppendRows("wl_attributes", stamp, &buf_attributes_));
     IMON_RETURN_IF_ERROR(AppendRows("wl_indexes", stamp, &buf_indexes_));
     IMON_RETURN_IF_ERROR(AppendRows("wl_statistics", stamp, &buf_statistics_));
+    IMON_RETURN_IF_ERROR(
+        AppendRows("wl_metrics_history", stamp, &buf_history_));
     IMON_RETURN_IF_ERROR(FlushTemplates(stamp));
     AdaptSampleRate(raw_window_rows);
     if (m_flushes_ != nullptr) m_flushes_->Add();
     if (m_flush_batch_rows_ != nullptr) {
-      m_flush_batch_rows_->Record(total_rows);
+      m_flush_batch_rows_->RecordAt(total_rows, clock_->NowMicros());
     }
     {
       std::lock_guard<std::mutex> stats_lock(stats_mutex_);
@@ -545,6 +718,12 @@ Status StorageDaemon::AddAlertRule(const std::string& name,
 }
 
 void StorageDaemon::SetAlertHandler(engine::AlertHandler handler) {
+  {
+    // History-rule transitions invoke the handler directly on the poll
+    // path (EvaluateHistoryAlerts does its own accounting).
+    std::lock_guard<std::mutex> lock(alert_mutex_);
+    alert_handler_ = handler;
+  }
   workload_db_->SetAlertHandler(
       [this, handler = std::move(handler)](const engine::AlertEvent& e) {
         {
@@ -559,6 +738,61 @@ void StorageDaemon::SetAlertHandler(engine::AlertHandler handler) {
 DaemonStats StorageDaemon::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
+}
+
+namespace {
+
+catalog::ColumnInfo AlertCol(const char* name, TypeId type) {
+  catalog::ColumnInfo c;
+  c.name = name;
+  c.type = type;
+  return c;
+}
+
+class AlertsProvider : public catalog::VirtualTableProvider {
+ public:
+  explicit AlertsProvider(const StorageDaemon* daemon) : daemon_(daemon) {}
+
+  std::vector<catalog::ColumnInfo> Schema() const override {
+    return {AlertCol("rule", TypeId::kText),
+            AlertCol("series", TypeId::kText),
+            AlertCol("state", TypeId::kText),
+            AlertCol("value", TypeId::kInt),
+            AlertCol("threshold", TypeId::kInt),
+            AlertCol("breach_polls", TypeId::kInt),
+            AlertCol("fire_count", TypeId::kInt),
+            AlertCol("first_fired_micros", TypeId::kInt),
+            AlertCol("last_fired_micros", TypeId::kInt),
+            AlertCol("last_eval_micros", TypeId::kInt),
+            AlertCol("message", TypeId::kText)};
+  }
+
+  std::vector<Row> Snapshot() const override {
+    std::vector<Row> out;
+    for (const HistoryAlertState& s : daemon_->SnapshotAlerts()) {
+      out.push_back({Value::Text(s.rule), Value::Text(s.series),
+                     Value::Text(s.firing ? "firing" : "clear"),
+                     Value::Int(s.value), Value::Int(s.threshold),
+                     Value::Int(s.breach_polls), Value::Int(s.fire_count),
+                     Value::Int(s.first_fired_micros),
+                     Value::Int(s.last_fired_micros),
+                     Value::Int(s.last_eval_micros), Value::Text(s.message)});
+    }
+    return out;
+  }
+
+ private:
+  const StorageDaemon* daemon_;
+};
+
+}  // namespace
+
+Status RegisterAlertsTable(engine::Database* db, StorageDaemon* daemon) {
+  if (db == nullptr || daemon == nullptr) {
+    return Status::InvalidArgument("null database or daemon");
+  }
+  return db->RegisterVirtualTable("imp_alerts",
+                                  std::make_shared<AlertsProvider>(daemon));
 }
 
 }  // namespace imon::daemon

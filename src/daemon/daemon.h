@@ -58,6 +58,54 @@ struct DaemonConfig {
   uint32_t min_sample_rate_ppm = 10000;
 };
 
+/// One declarative alert rule evaluated by the daemon every poll over
+/// the metrics-history rollups (the SQL-trigger path in AddAlertRule
+/// watches appended wl_* rows; this engine watches trends).
+///
+/// Grammar: `value(kind) cmp limit`, where value is computed over the
+/// aggregate of `series` at `resolution_seconds` in the trailing
+/// `window_seconds`:
+///   kThreshold  -> the most recent value in the window (agg.last)
+///   kDelta      -> agg.max - agg.min (change across the window; for
+///                  cumulative counters this is "events in window")
+/// The rule FIRES after `sustain_polls` consecutive breaching
+/// evaluations and CLEARS on the first non-breaching one. An empty
+/// window (series not yet sampled) is never a breach.
+struct HistoryAlertRule {
+  enum class Kind { kThreshold, kDelta };
+  enum class Cmp { kAbove, kBelow };
+
+  std::string name;
+  std::string series;
+  int resolution_seconds = 10;
+  Kind kind = Kind::kThreshold;
+  Cmp cmp = Cmp::kAbove;
+  int64_t limit = 0;
+  int window_seconds = 60;
+  int sustain_polls = 1;
+  std::string message;
+};
+
+/// Current evaluation state of one rule (one imp_alerts row).
+struct HistoryAlertState {
+  std::string rule;
+  std::string series;
+  bool firing = false;
+  int64_t value = 0;  ///< last evaluated value (0 until first eval)
+  int64_t threshold = 0;
+  int64_t breach_polls = 0;  ///< consecutive breaching evaluations
+  int64_t fire_count = 0;    ///< clear->firing transitions
+  int64_t first_fired_micros = 0;
+  int64_t last_fired_micros = 0;
+  int64_t last_eval_micros = 0;
+  std::string message;
+};
+
+/// The built-in rule set: buffer-pool hit-rate drop, sustained flush
+/// pressure (adaptive sampler pinned below full capture), and a
+/// tuner verification-regression streak.
+std::vector<HistoryAlertRule> DefaultHistoryAlertRules();
+
 struct DaemonStats {
   int64_t polls = 0;
   int64_t flushes = 0;
@@ -118,7 +166,18 @@ class StorageDaemon {
                       const std::string& when_predicate,
                       const std::string& message);
 
-  /// Alert callback (fires on the daemon's flush path).
+  /// Install a declarative trend alert evaluated every poll over the
+  /// metrics-history rollups (see HistoryAlertRule). Surfaced as one
+  /// imp_alerts row; firing transitions count into stats().alerts_raised
+  /// and invoke the alert handler.
+  void AddHistoryAlertRule(HistoryAlertRule rule);
+
+  /// Current state of every installed history alert rule, in
+  /// installation order. Backs the imp_alerts IMA table.
+  std::vector<HistoryAlertState> SnapshotAlerts() const;
+
+  /// Alert callback (fires on the daemon's flush path for SQL-trigger
+  /// alerts, and on the poll path for history-rule transitions).
   void SetAlertHandler(engine::AlertHandler handler);
 
   /// Called after every successful flush, outside any daemon lock. The
@@ -155,6 +214,16 @@ class StorageDaemon {
   /// threshold and push an adjusted sample rate to the monitor.
   void AdaptSampleRate(int64_t raw_rows_in_window);
 
+  /// Sample every registered metric (plus derived series) into the
+  /// monitored engine's history rings and stage completed raw ticks for
+  /// persistence. Caller holds poll_mutex_.
+  void SampleMetricsHistory(int64_t now_micros);
+
+  /// Evaluate every history alert rule against the rollups; fire/clear
+  /// transitions update stats and invoke the alert handler (outside
+  /// alert_mutex_).
+  void EvaluateHistoryAlerts(int64_t now_micros);
+
   engine::Database* monitored_;
   engine::Database* workload_db_;
   DaemonConfig config_;
@@ -182,6 +251,7 @@ class StorageDaemon {
   std::vector<Row> buf_indexes_;
   std::vector<Row> buf_statistics_;
   std::vector<Row> buf_templates_;
+  std::vector<Row> buf_history_;
 
   /// Per-fingerprint cumulative flush state: `persisted_*` mirrors the
   /// current wl_templates row, `last_*` the monitor values at the last
@@ -206,6 +276,9 @@ class StorageDaemon {
   int64_t last_statistics_seq_ = 0;
   int64_t last_statements_seq_ = 0;
   int64_t last_templates_seq_ = 0;
+  /// Newest raw history tick already staged for persistence; each
+  /// completed tick is written to wl_metrics_history exactly once.
+  int64_t last_history_tick_ = 0;
   int polls_since_flush_ = 0;
   // Guarded by buffer_mutex_ (flushes may come from polls or FlushNow).
   int flushes_since_purge_ = 0;
@@ -236,7 +309,21 @@ class StorageDaemon {
 
   std::mutex listener_mutex_;
   std::function<void()> flush_listener_;
+
+  /// History alert rules + their evaluation state, installation-ordered.
+  /// alert_mutex_ guards both and the handler copy; the handler itself
+  /// is always invoked outside the lock.
+  mutable std::mutex alert_mutex_;
+  std::vector<HistoryAlertRule> alert_rules_;
+  std::vector<HistoryAlertState> alert_states_;
+  engine::AlertHandler alert_handler_;
 };
+
+/// Expose the daemon's history-alert states as the `imp_alerts` virtual
+/// table in `db` (rule, series, state, value, threshold, breach_polls,
+/// fire_count, first_fired_micros, last_fired_micros, last_eval_micros,
+/// message). The daemon must outlive `db`'s use of the table.
+Status RegisterAlertsTable(engine::Database* db, StorageDaemon* daemon);
 
 }  // namespace imon::daemon
 

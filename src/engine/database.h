@@ -22,6 +22,7 @@
 #include "catalog/catalog.h"
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/metrics_history.h"
 #include "common/status.h"
 #include "exec/executor.h"
 #include "exec/storage_layer.h"
@@ -221,6 +222,12 @@ class Database {
   /// imp_stage_latency). Subsystems attach at construction.
   metrics::MetricsRegistry* metrics() { return &metrics_; }
   const metrics::MetricsRegistry* metrics() const { return &metrics_; }
+  /// Multi-resolution time-series rings over the registry
+  /// (imp_metrics_history). The daemon samples into it each poll.
+  metrics::MetricsHistory* metrics_history() { return &metrics_history_; }
+  const metrics::MetricsHistory* metrics_history() const {
+    return &metrics_history_;
+  }
   exec::StorageLayer* storage_layer() { return storage_.get(); }
   txn::LockManager* lock_manager() { return &locks_; }
   storage::BufferPool* buffer_pool() { return pool_.get(); }
@@ -343,6 +350,7 @@ class Database {
   /// Declared before every subsystem that holds handles into it, so it
   /// is destroyed after them.
   metrics::MetricsRegistry metrics_;
+  metrics::MetricsHistory metrics_history_;
   std::unique_ptr<storage::DiskManager> disk_;
   std::unique_ptr<storage::BufferPool> pool_;
   catalog::Catalog catalog_;

@@ -418,19 +418,50 @@ class StageLatencyProvider : public catalog::VirtualTableProvider {
     return {Col("name", TypeId::kText),      Col("count", TypeId::kInt),
             Col("total_nanos", TypeId::kInt), Col("max_nanos", TypeId::kInt),
             Col("p50_nanos", TypeId::kInt),  Col("p95_nanos", TypeId::kInt),
-            Col("p99_nanos", TypeId::kInt)};
+            Col("p99_nanos", TypeId::kInt),
+            Col("last_updated_micros", TypeId::kInt)};
   }
   std::vector<Row> Snapshot() const override {
     std::vector<Row> out;
     for (const auto& h : registry_->SnapshotHistograms()) {
       out.push_back({Value::Text(h.name), IntV(h.count), IntV(h.sum),
-                     IntV(h.max), IntV(h.p50), IntV(h.p95), IntV(h.p99)});
+                     IntV(h.max), IntV(h.p50), IntV(h.p95), IntV(h.p99),
+                     IntV(h.last_update_micros)});
     }
     return out;
   }
 
  private:
   const metrics::MetricsRegistry* registry_;
+};
+
+/// The flight recorder: every retained ring entry of the engine's
+/// multi-resolution metrics history. Empty when the metrics layer is
+/// compiled out (-DIMON_METRICS=OFF).
+class MetricsHistoryProvider : public catalog::VirtualTableProvider {
+ public:
+  explicit MetricsHistoryProvider(const metrics::MetricsHistory* h)
+      : history_(h) {}
+  std::vector<ColumnInfo> Schema() const override {
+    return {Col("name", TypeId::kText), Col("resolution", TypeId::kInt),
+            Col("tick_micros", TypeId::kInt), Col("min", TypeId::kInt),
+            Col("max", TypeId::kInt),         Col("sum", TypeId::kInt),
+            Col("count", TypeId::kInt),       Col("last", TypeId::kInt)};
+  }
+  std::vector<Row> Snapshot() const override {
+    std::vector<Row> out;
+    std::vector<metrics::HistorySample> samples = history_->Snapshot();
+    out.reserve(samples.size());
+    for (const auto& s : samples) {
+      out.push_back({Value::Text(s.name), IntV(s.resolution),
+                     IntV(s.tick_micros), IntV(s.min), IntV(s.max),
+                     IntV(s.sum), IntV(s.count), IntV(s.last)});
+    }
+    return out;
+  }
+
+ private:
+  const metrics::MetricsHistory* history_;
 };
 
 class TracesProvider : public catalog::VirtualTableProvider {
@@ -468,11 +499,12 @@ class TracesProvider : public catalog::VirtualTableProvider {
 
 }  // namespace
 
-const char* const kImaTableNames[12] = {
+const char* const kImaTableNames[13] = {
     "imp_statements", "imp_workload",   "imp_references",
     "imp_templates",  "imp_tables",     "imp_attributes",
     "imp_indexes",    "imp_statistics", "imp_monitor",
-    "imp_metrics",    "imp_stage_latency", "imp_traces"};
+    "imp_metrics",    "imp_stage_latency", "imp_traces",
+    "imp_metrics_history"};
 
 Status RegisterImaTables(Database* db) {
   const Monitor* m = db->monitor();
@@ -502,6 +534,9 @@ Status RegisterImaTables(Database* db) {
       "imp_stage_latency", std::make_shared<StageLatencyProvider>(registry)));
   IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
       "imp_traces", std::make_shared<TracesProvider>(m)));
+  IMON_RETURN_IF_ERROR(db->RegisterVirtualTable(
+      "imp_metrics_history",
+      std::make_shared<MetricsHistoryProvider>(db->metrics_history())));
   return Status::OK();
 }
 

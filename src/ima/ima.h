@@ -48,20 +48,45 @@
 //                    (buffer pool, lock manager, plan cache, daemon,
 //                    analyzer)
 //   imp_stage_latency (name, count, total_nanos, max_nanos, p50_nanos,
-//                    p95_nanos, p99_nanos) — latency histograms: the
-//                    statement-path stages plus lock waits
+//                    p95_nanos, p99_nanos, last_updated_micros) —
+//                    latency histograms: the statement-path stages plus
+//                    lock waits; last_updated_micros stamps the most
+//                    recent recorded tick (0 = never), so alert rules
+//                    can detect stale stages
 //   imp_traces      (seq, hash, session_id, stage, start_micros,
 //                    duration_nanos) — per-statement stage spans
 //                    (parse/bind/optimize/execute/commit), exportable as
 //                    Chrome trace events
+//   imp_metrics_history (name, resolution, tick_micros, min, max, sum,
+//                    count, last) — the flight recorder: every counter/
+//                    gauge/histogram-percentile sampled by the daemon
+//                    each poll into fixed-size ring buffers at 10s/1m/
+//                    10m resolution (~85min/~4.3h/48h retained); the
+//                    daemon persists completed 10s ticks into the
+//                    retention-governed wl_metrics_history
 //
 // Scans materialize a snapshot from the monitor's in-memory state; no
 // buffer-pool or disk access is involved.
 //
-// One further IMA table, imp_tuning_actions (the closed-loop tuner's
-// live action list), is registered separately by the tuner library —
-// tuner::RegisterTuningActionsTable — because it exposes orchestrator
-// state rather than monitor state.
+// Two further IMA table groups are registered by the libraries whose
+// state they expose rather than by RegisterImaTables:
+//
+//   imp_tuning_actions   (tuner::RegisterTuningActionsTable) — the
+//                    closed-loop tuner's live action list, now carrying
+//                    decision_id + rule
+//   imp_tuning_provenance (tuner::RegisterTuningProvenanceTable) —
+//                    (decision_id, action_id, rule, fingerprint,
+//                    executions, total_actual, total_estimated,
+//                    recommended_at): the template evidence behind each
+//                    analyzer decision, joinable against
+//                    imp_tuning_actions and imp_templates to answer
+//                    "why does this index exist"
+//   imp_alerts      (daemon::RegisterAlertsTable) — (rule, series,
+//                    state, value, threshold, breach_polls, fire_count,
+//                    first_fired_micros, last_fired_micros,
+//                    last_eval_micros, message): the daemon's
+//                    history-rule alert engine, evaluated every poll
+//                    over the imp_metrics_history rollups
 
 #ifndef IMON_IMA_IMA_H_
 #define IMON_IMA_IMA_H_
@@ -72,7 +97,7 @@
 namespace imon::ima {
 
 /// Names of all IMA virtual tables, in registration order.
-extern const char* const kImaTableNames[12];
+extern const char* const kImaTableNames[13];
 
 /// Register every IMA virtual table on `db`. Idempotent per database
 /// (second call returns AlreadyExists).

@@ -328,14 +328,19 @@ void Monitor::Commit(QueryTrace* trace) {
   }
 
 #ifndef IMON_METRICS_DISABLED
-  // Histogram handles are wait-free; no lock needed here.
+  // Histogram handles are wait-free; no lock needed here. The statement's
+  // wall-clock end stamps last_updated_micros, so imp_stage_latency
+  // readers (and staleness alert rules) see when a stage last moved.
+  int64_t wall_end_micros = trace->wall_start_micros + wallclock_nanos / 1000;
   for (int i = 0; i < kNumStages; ++i) {
     const StageSpan& span = trace->stages[i];
     if (stage_hist_[i] != nullptr && span.start_nanos != 0) {
-      stage_hist_[i]->Record(span.duration_nanos);
+      stage_hist_[i]->RecordAt(span.duration_nanos, wall_end_micros);
     }
   }
-  if (wallclock_hist_ != nullptr) wallclock_hist_->Record(wallclock_nanos);
+  if (wallclock_hist_ != nullptr) {
+    wallclock_hist_->RecordAt(wallclock_nanos, wall_end_micros);
+  }
 #endif
 
   statements_executed_.fetch_add(1, std::memory_order_relaxed);

@@ -1,15 +1,57 @@
 #include "monitor/trace_export.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
 namespace imon::monitor {
 
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 void WriteChromeTrace(const std::vector<TraceRecord>& traces,
+                      const std::vector<LifecycleSpan>& spans,
                       std::ostream& out) {
   // Trace Event format: ts/dur are microseconds (fractional allowed).
   // One complete event ("ph":"X") per stage span; session id becomes the
-  // tid so concurrent sessions render as parallel lanes.
+  // tid so concurrent sessions render as parallel lanes. Subsystem
+  // lifecycle spans go to pid 1 with their own process_name, so they
+  // render as a dedicated track above the statement lanes.
   out << "{\"traceEvents\":[";
   bool first = true;
   for (const TraceRecord& tr : traces) {
@@ -25,21 +67,68 @@ void WriteChromeTrace(const std::vector<TraceRecord>& traces,
         << ",\"args\":{\"seq\":" << tr.seq
         << ",\"hash\":" << tr.hash << "}}";
   }
+  if (!spans.empty()) {
+    if (!first) out << ",";
+    first = false;
+    const std::string& track_name =
+        spans.front().track_name.empty() ? spans.front().category
+                                         : spans.front().track_name;
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1"
+        << ",\"args\":{\"name\":\"" << EscapeJson(track_name) << "\"}}";
+  }
+  for (const LifecycleSpan& span : spans) {
+    out << ",{\"name\":\"" << EscapeJson(span.name) << "\""
+        << ",\"cat\":\"" << EscapeJson(span.category) << "\""
+        << ",\"ph\":\"X\""
+        << ",\"ts\":" << span.start_micros
+        << ",\"dur\":"
+        << std::max<int64_t>(0, span.end_micros - span.start_micros)
+        << ",\"pid\":1"
+        << ",\"tid\":" << span.track << ",\"args\":{";
+    bool first_arg = true;
+    for (const auto& [key, value] : span.int_args) {
+      if (!first_arg) out << ",";
+      first_arg = false;
+      out << "\"" << EscapeJson(key) << "\":" << value;
+    }
+    for (const auto& [key, value] : span.text_args) {
+      if (!first_arg) out << ",";
+      first_arg = false;
+      out << "\"" << EscapeJson(key) << "\":\"" << EscapeJson(value) << "\"";
+    }
+    out << "}}";
+  }
   out << "],\"displayTimeUnit\":\"ms\"}\n";
 }
 
+void WriteChromeTrace(const std::vector<TraceRecord>& traces,
+                      std::ostream& out) {
+  WriteChromeTrace(traces, {}, out);
+}
+
 std::string ChromeTraceJson(const std::vector<TraceRecord>& traces) {
+  return ChromeTraceJson(traces, {});
+}
+
+std::string ChromeTraceJson(const std::vector<TraceRecord>& traces,
+                            const std::vector<LifecycleSpan>& spans) {
   std::ostringstream out;
-  WriteChromeTrace(traces, out);
+  WriteChromeTrace(traces, spans, out);
   return out.str();
 }
 
 Status ExportChromeTrace(const Monitor& monitor, const std::string& path) {
+  return ExportChromeTrace(monitor, {}, path);
+}
+
+Status ExportChromeTrace(const Monitor& monitor,
+                         const std::vector<LifecycleSpan>& spans,
+                         const std::string& path) {
   std::ofstream out(path);
   if (!out) {
     return Status::InvalidArgument("cannot open trace output: " + path);
   }
-  WriteChromeTrace(monitor.SnapshotTraces(), out);
+  WriteChromeTrace(monitor.SnapshotTraces(), spans, out);
   out.flush();
   if (!out) return Status::Internal("short write to " + path);
   return Status::OK();

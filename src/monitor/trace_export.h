@@ -5,13 +5,20 @@
 // event per stage span, with the session id mapped to the trace's
 // thread lane so concurrent sessions render as parallel tracks.
 //
+// Subsystems above the monitor can contribute LifecycleSpans — named
+// spans on their own process track (the tuner exports its action
+// lifecycle this way, with decision_id in the span args, so tuning
+// decisions render alongside the statement traffic they reacted to).
+//
 // Driven by examples/trace_export.cpp and scripts/trace_export.sh.
 
 #ifndef IMON_MONITOR_TRACE_EXPORT_H_
 #define IMON_MONITOR_TRACE_EXPORT_H_
 
+#include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -19,15 +26,42 @@
 
 namespace imon::monitor {
 
+/// One non-statement span rendered on a dedicated process track
+/// (`"pid":1`, named via a process_name metadata event). `track` maps to
+/// the Chrome tid, so related spans (e.g. one tuning action's phases)
+/// share a lane.
+struct LifecycleSpan {
+  std::string name;
+  std::string category;
+  std::string track_name;  ///< process_name of the dedicated track
+  int64_t track = 0;       ///< tid within the track
+  int64_t start_micros = 0;
+  int64_t end_micros = 0;  ///< clamped to start when earlier (open span)
+  std::vector<std::pair<std::string, int64_t>> int_args;
+  std::vector<std::pair<std::string, std::string>> text_args;
+};
+
 /// Write `traces` as a Trace Event JSON document to `out`.
 void WriteChromeTrace(const std::vector<TraceRecord>& traces,
                       std::ostream& out);
 
+/// Write `traces` plus subsystem `spans` (dedicated tracks) to `out`.
+void WriteChromeTrace(const std::vector<TraceRecord>& traces,
+                      const std::vector<LifecycleSpan>& spans,
+                      std::ostream& out);
+
 /// Convenience: serialize to a string (tests).
 std::string ChromeTraceJson(const std::vector<TraceRecord>& traces);
+std::string ChromeTraceJson(const std::vector<TraceRecord>& traces,
+                            const std::vector<LifecycleSpan>& spans);
 
 /// Snapshot `monitor`'s stage traces and write them to `path`.
 Status ExportChromeTrace(const Monitor& monitor, const std::string& path);
+
+/// Snapshot `monitor`'s stage traces, append `spans`, write to `path`.
+Status ExportChromeTrace(const Monitor& monitor,
+                         const std::vector<LifecycleSpan>& spans,
+                         const std::string& path);
 
 }  // namespace imon::monitor
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <map>
 #include <set>
 #include <sstream>
@@ -11,6 +12,7 @@
 
 #include "catalog/catalog.h"
 #include "monitor/monitor.h"
+#include "monitor/trace_export.h"
 
 namespace imon::tuner {
 
@@ -29,7 +31,15 @@ const char* kAuditDdl =
     "event_seq INT, event_at INT, state TEXT, kind TEXT, table_name TEXT, "
     "index_name TEXT, action_sql TEXT, inverse_sql TEXT, benefit DOUBLE, "
     "baseline_cost DOUBLE, baseline_execs INT, applied_seq INT, "
-    "observed_cost DOUBLE, observed_execs INT, detail TEXT)";
+    "observed_cost DOUBLE, observed_execs INT, detail TEXT, "
+    "decision_id INT, rule TEXT)";
+
+constexpr char kProvenanceTable[] = "wl_tuning_provenance";
+
+const char* kProvenanceDdl =
+    "CREATE TABLE IF NOT EXISTS wl_tuning_provenance (decision_id INT, "
+    "action_id INT, rule TEXT, fingerprint INT, executions INT, "
+    "total_actual DOUBLE, total_estimated DOUBLE, recommended_at INT)";
 
 std::string SqlLiteral(const Value& v) {
   if (v.is_null()) return "NULL";
@@ -171,7 +181,9 @@ Status CreateTuningSchema(Database* workload_db) {
     return Status::InvalidArgument("null workload_db");
   }
   auto r = workload_db->Execute(kAuditDdl);
-  return r.status();
+  IMON_RETURN_IF_ERROR(r.status());
+  auto p = workload_db->Execute(kProvenanceDdl);
+  return p.status();
 }
 
 TuningOrchestrator::TuningOrchestrator(Database* monitored,
@@ -192,6 +204,8 @@ Status TuningOrchestrator::Initialize() {
     audit_session_ = workload_db_->CreateInternalSession();
     auto r = workload_db_->Execute(kAuditDdl, audit_session_.get());
     IMON_RETURN_IF_ERROR(r.status());
+    auto p = workload_db_->Execute(kProvenanceDdl, audit_session_.get());
+    IMON_RETURN_IF_ERROR(p.status());
   }
   metrics::MetricsRegistry* registry = monitored_->metrics();
   m_ticks_ = registry->GetCounter("tuner.ticks");
@@ -204,6 +218,7 @@ Status TuningOrchestrator::Initialize() {
   m_cooldown_skips_ = registry->GetCounter("tuner.cooldown_skips");
   m_reconciled_ = registry->GetCounter("tuner.reconciled");
   IMON_RETURN_IF_ERROR(Recover());
+  IMON_RETURN_IF_ERROR(RecoverProvenance());
   initialized_ = true;
   return Status::OK();
 }
@@ -243,9 +258,31 @@ Status TuningOrchestrator::Submit(
     action.proposed_benefit = rec.estimated_benefit;
     action.proposed_at = NowMicros();
     action.detail = rec.reason;
+    action.decision_id = rec.decision_id;
+    action.rule = rec.rule;
     ++stats_.submitted;
     if (m_submitted_ != nullptr) m_submitted_->Add();
     Audit(action);
+    // Freeze the analyzer's evidence behind this decision. Rules that
+    // argue from catalog state carry no templates; they still get one
+    // row (fingerprint 0) so every action explains itself.
+    ProvenanceRecord base;
+    base.decision_id = action.decision_id;
+    base.action_id = action.id;
+    base.rule = action.rule;
+    base.recommended_at = action.proposed_at;
+    if (rec.evidence.empty()) {
+      RecordProvenance(base);
+    } else {
+      for (const analyzer::RecommendationEvidence& ev : rec.evidence) {
+        ProvenanceRecord record = base;
+        record.fingerprint = ev.fingerprint;
+        record.executions = ev.executions;
+        record.total_actual = ev.total_actual;
+        record.total_estimated = ev.total_estimated;
+        RecordProvenance(record);
+      }
+    }
     actions_.push_back(std::move(action));
   }
   return Status::OK();
@@ -295,6 +332,13 @@ void TuningOrchestrator::JudgeVerifying() {
     action.observed_cost = observed.mean_cost;
     action.observed_execs = observed.executions;
     action.decided_at = NowMicros();
+    if (observed.executions > 0) {
+      // The verdict measurement joins the same flight-recorder series as
+      // the baseline, so imp_metrics_history shows cost before and after.
+      monitored_->metrics_history()->Record(
+          CostSeriesName(action.table),
+          std::llround(observed.mean_cost * 1e6), NowMicros());
+    }
     std::ostringstream os;
     os << "baseline " << action.baseline_cost << " over "
        << action.baseline_execs << " execs; observed " << observed.mean_cost
@@ -516,12 +560,38 @@ void TuningOrchestrator::ApplyOne() {
   if (IsStructural(action.kind)) {
     last_apply_micros_[action.table] = NowMicros();
     StatementCosts baseline = MeasureStatementCosts(action.table, 0);
-    action.baseline_cost = baseline.mean_cost;
+    // Feed the measurement into the flight recorder, then read the
+    // baseline back from the raw-resolution rollup over the pre-apply
+    // verification window: earlier measurements against the same table
+    // (previous applies, verification verdicts) sharpen the baseline
+    // beyond the one instantaneous scalar. With history compiled out the
+    // aggregate is empty and the scalar stands.
+    metrics::MetricsHistory* history = monitored_->metrics_history();
+    const std::string series = CostSeriesName(action.table);
+    int64_t apply_now = NowMicros();
+    if (baseline.executions > 0) {
+      history->Record(series, std::llround(baseline.mean_cost * 1e6),
+                      apply_now);
+    }
+    int64_t window_micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            config_.verification_window)
+            .count();
+    metrics::HistoryAggregate pre_apply = history->Aggregate(
+        series, metrics::MetricsHistory::kResolutionSeconds[0],
+        apply_now - window_micros, apply_now);
+    action.baseline_cost =
+        pre_apply.empty() ? baseline.mean_cost : pre_apply.Mean() / 1e6;
     action.baseline_execs = baseline.executions;
     action.applied_seq = baseline.max_seq;
     std::ostringstream os;
-    os << "applied; baseline " << baseline.mean_cost << " over "
-       << baseline.executions << " execs" << StageLatencyNote();
+    os << "applied; baseline " << action.baseline_cost << " over "
+       << baseline.executions << " execs";
+    if (!pre_apply.empty()) {
+      os << " (history: " << pre_apply.count << " samples over "
+         << pre_apply.ticks << " ticks)";
+    }
+    os << StageLatencyNote();
     Transition(&action, ActionState::kApplied, os.str());
     Transition(&action, ActionState::kVerifying,
                "verification window open");
@@ -666,7 +736,9 @@ void TuningOrchestrator::Audit(const TuningAction& action) {
       std::to_string(action.applied_seq) + ", " +
       SqlLiteral(Value::Double(action.observed_cost)) + ", " +
       std::to_string(action.observed_execs) + ", " +
-      SqlLiteral(Value::Text(action.detail)) + ")";
+      SqlLiteral(Value::Text(action.detail)) + ", " +
+      std::to_string(action.decision_id) + ", " +
+      SqlLiteral(Value::Text(action.rule)) + ")";
   // Audit failures must not wedge the loop; the live imp_tuning_actions
   // view stays correct regardless.
   (void)workload_db_->Execute(sql, audit_session_.get());
@@ -745,6 +817,17 @@ Status TuningOrchestrator::Recover() {
     action.observed_cost = row[col["observed_cost"]].AsDouble();
     action.observed_execs = row[col["observed_execs"]].AsInt();
     action.detail = row[col["detail"]].AsText();
+    // Provenance columns are optional: an audit trail written before
+    // they existed recovers with decision_id 0 / empty rule instead of
+    // failing Corruption.
+    auto decision_it = col.find("decision_id");
+    if (decision_it != col.end()) {
+      action.decision_id = row[decision_it->second].AsInt();
+    }
+    auto rule_it = col.find("rule");
+    if (rule_it != col.end()) {
+      action.rule = row[rule_it->second].AsText();
+    }
     action.proposed_at = entry.first_event_at;
     if (action.kind == RecommendationKind::kCreateIndex) {
       action.columns = ParseIndexColumns(action.sql);
@@ -772,9 +855,75 @@ Status TuningOrchestrator::Recover() {
   return Status::OK();
 }
 
+void TuningOrchestrator::RecordProvenance(ProvenanceRecord record) {
+  if (workload_db_ != nullptr && audit_session_ != nullptr) {
+    std::string sql =
+        std::string("INSERT INTO ") + kProvenanceTable + " VALUES (" +
+        std::to_string(record.decision_id) + ", " +
+        std::to_string(record.action_id) + ", " +
+        SqlLiteral(Value::Text(record.rule)) + ", " +
+        std::to_string(static_cast<int64_t>(record.fingerprint)) + ", " +
+        std::to_string(record.executions) + ", " +
+        SqlLiteral(Value::Double(record.total_actual)) + ", " +
+        SqlLiteral(Value::Double(record.total_estimated)) + ", " +
+        std::to_string(record.recommended_at) + ")";
+    // Best effort, like Audit: losing an evidence row must not block
+    // the tuning loop; the in-memory copy keeps imp_tuning_provenance
+    // correct for this instance regardless.
+    (void)workload_db_->Execute(sql, audit_session_.get());
+  }
+  provenance_.push_back(std::move(record));
+}
+
+Status TuningOrchestrator::RecoverProvenance() {
+  if (workload_db_ == nullptr || audit_session_ == nullptr) {
+    return Status::OK();
+  }
+  auto r = workload_db_->Execute(
+      std::string("SELECT * FROM ") + kProvenanceTable, audit_session_.get());
+  IMON_RETURN_IF_ERROR(r.status());
+  if (r->rows.empty()) return Status::OK();
+
+  std::map<std::string, int> col;
+  for (size_t i = 0; i < r->columns.size(); ++i) {
+    col[r->columns[i]] = static_cast<int>(i);
+  }
+  for (const char* required :
+       {"decision_id", "action_id", "rule", "fingerprint", "executions",
+        "total_actual", "total_estimated", "recommended_at"}) {
+    if (col.find(required) == col.end()) {
+      return Status::Corruption(std::string("wl_tuning_provenance misses ") +
+                                required);
+    }
+  }
+  for (const Row& row : r->rows) {
+    ProvenanceRecord record;
+    record.decision_id = row[col["decision_id"]].AsInt();
+    record.action_id = row[col["action_id"]].AsInt();
+    record.rule = row[col["rule"]].AsText();
+    record.fingerprint =
+        static_cast<uint64_t>(row[col["fingerprint"]].AsInt());
+    record.executions = row[col["executions"]].AsInt();
+    record.total_actual = row[col["total_actual"]].AsDouble();
+    record.total_estimated = row[col["total_estimated"]].AsDouble();
+    record.recommended_at = row[col["recommended_at"]].AsInt();
+    provenance_.push_back(std::move(record));
+  }
+  return Status::OK();
+}
+
+std::string TuningOrchestrator::CostSeriesName(const std::string& table) {
+  return "tuner.stmt_cost_micros." + table;
+}
+
 std::vector<TuningAction> TuningOrchestrator::SnapshotActions() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return actions_;
+}
+
+std::vector<ProvenanceRecord> TuningOrchestrator::SnapshotProvenance() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return provenance_;
 }
 
 TunerStats TuningOrchestrator::stats() const {
@@ -811,7 +960,9 @@ class TuningActionsProvider : public catalog::VirtualTableProvider {
             Col("proposed_at", TypeId::kInt),
             Col("applied_at", TypeId::kInt),
             Col("decided_at", TypeId::kInt),
-            Col("detail", TypeId::kText)};
+            Col("detail", TypeId::kText),
+            Col("decision_id", TypeId::kInt),
+            Col("rule", TypeId::kText)};
   }
 
   std::vector<Row> Snapshot() const override {
@@ -833,7 +984,44 @@ class TuningActionsProvider : public catalog::VirtualTableProvider {
                      Value::Int(a.proposed_at),
                      Value::Int(a.applied_at),
                      Value::Int(a.decided_at),
-                     Value::Text(a.detail)});
+                     Value::Text(a.detail),
+                     Value::Int(a.decision_id),
+                     Value::Text(a.rule)});
+    }
+    return out;
+  }
+
+ private:
+  const TuningOrchestrator* orchestrator_;
+};
+
+class TuningProvenanceProvider : public catalog::VirtualTableProvider {
+ public:
+  explicit TuningProvenanceProvider(const TuningOrchestrator* orchestrator)
+      : orchestrator_(orchestrator) {}
+
+  std::vector<ColumnInfo> Schema() const override {
+    return {Col("decision_id", TypeId::kInt),
+            Col("action_id", TypeId::kInt),
+            Col("rule", TypeId::kText),
+            Col("fingerprint", TypeId::kInt),
+            Col("executions", TypeId::kInt),
+            Col("total_actual", TypeId::kDouble),
+            Col("total_estimated", TypeId::kDouble),
+            Col("recommended_at", TypeId::kInt)};
+  }
+
+  std::vector<Row> Snapshot() const override {
+    std::vector<Row> out;
+    for (const ProvenanceRecord& p : orchestrator_->SnapshotProvenance()) {
+      out.push_back({Value::Int(p.decision_id),
+                     Value::Int(p.action_id),
+                     Value::Text(p.rule),
+                     Value::Int(static_cast<int64_t>(p.fingerprint)),
+                     Value::Int(p.executions),
+                     Value::Double(p.total_actual),
+                     Value::Double(p.total_estimated),
+                     Value::Int(p.recommended_at)});
     }
     return out;
   }
@@ -852,6 +1040,55 @@ Status RegisterTuningActionsTable(Database* db,
   return db->RegisterVirtualTable(
       "imp_tuning_actions",
       std::make_shared<TuningActionsProvider>(orchestrator));
+}
+
+Status RegisterTuningProvenanceTable(Database* db,
+                                     const TuningOrchestrator* orchestrator) {
+  if (db == nullptr || orchestrator == nullptr) {
+    return Status::InvalidArgument("null database or orchestrator");
+  }
+  return db->RegisterVirtualTable(
+      "imp_tuning_provenance",
+      std::make_shared<TuningProvenanceProvider>(orchestrator));
+}
+
+std::vector<monitor::LifecycleSpan> ActionLifecycleSpans(
+    const std::vector<TuningAction>& actions, int64_t now_micros) {
+  std::vector<monitor::LifecycleSpan> out;
+  for (const TuningAction& a : actions) {
+    monitor::LifecycleSpan span;
+    span.category = "tuner";
+    span.track_name = "tuner";
+    span.track = a.id;
+    span.name = std::string(RecommendationKindName(a.kind)) + " " +
+                (a.index_name.empty() ? a.table : a.index_name) + " [" +
+                ActionStateName(a.state) + "]";
+    span.start_micros = a.proposed_at;
+    span.end_micros = a.decided_at > 0 ? a.decided_at : now_micros;
+    span.int_args = {{"decision_id", a.decision_id},
+                     {"action_id", a.id}};
+    span.text_args = {{"rule", a.rule},
+                      {"state", ActionStateName(a.state)},
+                      {"table", a.table},
+                      {"sql", a.sql}};
+    out.push_back(span);
+    if (a.applied_at > 0 && IsStructural(a.kind)) {
+      monitor::LifecycleSpan verify;
+      verify.category = "tuner";
+      verify.track_name = "tuner";
+      verify.track = a.id;
+      verify.name = "verify " + (a.index_name.empty() ? a.table
+                                                      : a.index_name);
+      verify.start_micros = a.applied_at;
+      verify.end_micros = a.decided_at > 0 ? a.decided_at : now_micros;
+      verify.int_args = {{"decision_id", a.decision_id},
+                         {"action_id", a.id},
+                         {"observed_execs", a.observed_execs}};
+      verify.text_args = {{"rule", a.rule}};
+      out.push_back(verify);
+    }
+  }
+  return out;
 }
 
 }  // namespace imon::tuner

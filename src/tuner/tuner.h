@@ -21,15 +21,26 @@
 //     to the monitor), serialized single-flight, with a per-table
 //     cooldown so the tuner never thrashes one table.
 //   * Verification compares post-apply per-execution actual costs of the
-//     statements touching the tuned table against a baseline captured
-//     just before the apply, over a Clock-driven observation window.
+//     statements touching the tuned table against a pre-apply baseline,
+//     over a Clock-driven observation window. Both the baseline and the
+//     verdict measurement are recorded into the engine's metrics-history
+//     flight recorder (tuner.stmt_cost_micros.<table>), and the baseline
+//     is read back from the raw-resolution rollup over the pre-apply
+//     window — so repeated applies against the same table see the
+//     accumulated cost history, not just one instantaneous scalar (with
+//     a scalar fallback when history is compiled out).
 //     Regression beyond the tolerance triggers the recommendation's
 //     machine-readable inverse statement (DROP INDEX / MODIFY back):
 //     automatic rollback.
 //
 // Every transition is appended to the persistent wl_tuning_actions audit
 // table in the workload DB, and the live action list is exposed as the
-// imp_tuning_actions IMA virtual table. On construction over an existing
+// imp_tuning_actions IMA virtual table. Each submitted action also
+// freezes its analyzer evidence — decision_id, the rule that fired, and
+// the supporting template aggregates — into wl_tuning_provenance,
+// exposed live as imp_tuning_provenance; joining it against
+// imp_tuning_actions and imp_templates answers "why does this index
+// exist and what happened to cost afterwards" over plain SQL. On construction over an existing
 // workload DB the orchestrator recovers from the audit trail: an apply
 // interrupted by a crash is detected and the catalog reconciled (undo the
 // half-applied change, or mark the action failed) on the next tick.
@@ -54,6 +65,10 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "engine/database.h"
+
+namespace imon::monitor {
+struct LifecycleSpan;
+}
 
 namespace imon::tuner {
 
@@ -123,6 +138,32 @@ struct TuningAction {
   double observed_cost = 0;
   int64_t observed_execs = 0;
   std::string detail;
+  /// Provenance: the analyzer decision this action implements. Threads
+  /// unchanged from Recommendation.decision_id through every state, so
+  /// audit rows, wl_tuning_provenance rows and trace spans join on it.
+  int64_t decision_id = 0;
+  /// Analyzer rule that fired ("R1".."R5"); empty on pre-provenance rows
+  /// recovered from an old audit trail.
+  std::string rule;
+};
+
+/// One evidence row behind a decision (a row of imp_tuning_provenance /
+/// wl_tuning_provenance): which statement template justified the
+/// analyzer decision that became `action_id`, with the template's
+/// aggregate numbers frozen at recommendation time. `fingerprint` joins
+/// imp_templates / wl_templates; `decision_id` + `action_id` join
+/// imp_tuning_actions. Rules that argue from catalog state rather than
+/// statements (R2/R3/R5) contribute one row with fingerprint 0, so every
+/// action has at least one provenance row answering "why".
+struct ProvenanceRecord {
+  int64_t decision_id = 0;
+  int64_t action_id = 0;
+  std::string rule;
+  uint64_t fingerprint = 0;
+  int64_t executions = 0;
+  double total_actual = 0;
+  double total_estimated = 0;
+  int64_t recommended_at = 0;  ///< micros; the action's proposed_at
 };
 
 struct TunerStats {
@@ -138,7 +179,8 @@ struct TunerStats {
   int64_t reconciled = 0;
 };
 
-/// Create the wl_tuning_actions audit table in `workload_db`. Idempotent.
+/// Create the wl_tuning_actions audit table and the wl_tuning_provenance
+/// evidence table in `workload_db`. Idempotent.
 Status CreateTuningSchema(engine::Database* workload_db);
 
 class TuningOrchestrator {
@@ -173,6 +215,10 @@ class TuningOrchestrator {
 
   /// Live copy of every action (the imp_tuning_actions contents).
   std::vector<TuningAction> SnapshotActions() const;
+
+  /// Live copy of every evidence row (the imp_tuning_provenance
+  /// contents). Recovered from wl_tuning_provenance across restarts.
+  std::vector<ProvenanceRecord> SnapshotProvenance() const;
 
   TunerStats stats() const;
 
@@ -219,8 +265,18 @@ class TuningOrchestrator {
   /// a workload DB.
   void Audit(const TuningAction& action);
 
+  /// Persist one evidence row into wl_tuning_provenance (best effort,
+  /// like Audit) and keep the in-memory copy.
+  void RecordProvenance(ProvenanceRecord record);
+
   /// Rebuild in-memory state from wl_tuning_actions (crash recovery).
   Status Recover();
+  /// Reload the evidence trail from wl_tuning_provenance.
+  Status RecoverProvenance();
+
+  /// Series name of the per-table statement-cost flight recorder
+  /// ("tuner.stmt_cost_micros.<table>" in imp_metrics_history).
+  static std::string CostSeriesName(const std::string& table);
 
   void Transition(TuningAction* action, ActionState state,
                   const std::string& detail);
@@ -237,6 +293,7 @@ class TuningOrchestrator {
 
   mutable std::mutex mutex_;
   std::vector<TuningAction> actions_;
+  std::vector<ProvenanceRecord> provenance_;
   int64_t next_action_id_ = 1;
   int64_t next_event_seq_ = 1;
   /// table name -> micros of its most recent apply (cooldown guard).
@@ -262,6 +319,22 @@ class TuningOrchestrator {
 /// SQL. The orchestrator must outlive `db`'s use of the table.
 Status RegisterTuningActionsTable(engine::Database* db,
                                   const TuningOrchestrator* orchestrator);
+
+/// Register the imp_tuning_provenance virtual table on `db`, exposing
+/// `orchestrator`'s evidence trail. Joins: decision_id/action_id against
+/// imp_tuning_actions, fingerprint against imp_templates. The
+/// orchestrator must outlive `db`'s use of the table.
+Status RegisterTuningProvenanceTable(engine::Database* db,
+                                     const TuningOrchestrator* orchestrator);
+
+/// Convert tuning actions into Chrome-trace lifecycle spans on a
+/// dedicated "tuner" track (monitor::WriteChromeTrace's spans overload):
+/// one span per action from proposal to decision, plus a nested "verify"
+/// span over the observation window, each carrying decision_id /
+/// action_id / rule in its args so the track joins the audit and
+/// provenance tables. `now_micros` closes still-open spans.
+std::vector<monitor::LifecycleSpan> ActionLifecycleSpans(
+    const std::vector<TuningAction>& actions, int64_t now_micros);
 
 }  // namespace imon::tuner
 

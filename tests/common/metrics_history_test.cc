@@ -1,0 +1,221 @@
+// Rollup correctness of the metrics-history flight recorder: cascade
+// bucket boundaries, ring wrap-around under bounded memory, and the
+// invariant that coarse entries are exact unions of the raw ticks they
+// cover.
+
+#include "common/metrics_history.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace imon::metrics {
+namespace {
+
+constexpr int64_t kSec = 1000000;
+constexpr int64_t kRaw = MetricsHistory::kResolutionSeconds[0] * kSec;
+
+std::vector<HistorySample> SamplesOf(const MetricsHistory& h,
+                                     const std::string& name,
+                                     int32_t resolution) {
+  std::vector<HistorySample> out;
+  for (const HistorySample& s : h.Snapshot()) {
+    if (s.name == name && s.resolution == resolution) out.push_back(s);
+  }
+  return out;
+}
+
+#ifndef IMON_METRICS_DISABLED
+
+TEST(MetricsHistory, RollupCascadeBoundaries) {
+  MetricsHistory h;
+  // Two points inside one 10s bucket, one point in the next bucket but
+  // the same 1m bucket, one point in the next 1m bucket but the same
+  // 10m bucket.
+  h.Record("s", 5, 11 * kSec);   // raw tick 10s, 1m tick 0, 10m tick 0
+  h.Record("s", 7, 19 * kSec);   // same raw tick
+  h.Record("s", 1, 21 * kSec);   // raw tick 20s, same 1m tick
+  h.Record("s", 9, 61 * kSec);   // 1m tick 60s, same 10m tick
+
+  auto raw = SamplesOf(h, "s", 10);
+  ASSERT_EQ(raw.size(), 3u);
+  EXPECT_EQ(raw[0].tick_micros, 10 * kSec);
+  EXPECT_EQ(raw[0].min, 5);
+  EXPECT_EQ(raw[0].max, 7);
+  EXPECT_EQ(raw[0].sum, 12);
+  EXPECT_EQ(raw[0].count, 2);
+  EXPECT_EQ(raw[0].last, 7);
+  EXPECT_EQ(raw[1].tick_micros, 20 * kSec);
+  EXPECT_EQ(raw[1].count, 1);
+  EXPECT_EQ(raw[2].tick_micros, 60 * kSec);
+  EXPECT_EQ(raw[2].last, 9);
+
+  auto one_m = SamplesOf(h, "s", 60);
+  ASSERT_EQ(one_m.size(), 2u);
+  EXPECT_EQ(one_m[0].tick_micros, 0);
+  EXPECT_EQ(one_m[0].min, 1);
+  EXPECT_EQ(one_m[0].max, 7);
+  EXPECT_EQ(one_m[0].sum, 13);
+  EXPECT_EQ(one_m[0].count, 3);
+  EXPECT_EQ(one_m[1].tick_micros, 60 * kSec);
+  EXPECT_EQ(one_m[1].count, 1);
+
+  auto ten_m = SamplesOf(h, "s", 600);
+  ASSERT_EQ(ten_m.size(), 1u);
+  EXPECT_EQ(ten_m[0].tick_micros, 0);
+  EXPECT_EQ(ten_m[0].sum, 22);
+  EXPECT_EQ(ten_m[0].count, 4);
+  EXPECT_EQ(ten_m[0].last, 9);
+}
+
+TEST(MetricsHistory, RingWrapRetainsAtLeastOneHourInFixedMemory) {
+  MetricsHistory h;
+  // Feed 2 hours of 10s ticks — more than the raw ring holds — and
+  // check that (a) the ring stays at its fixed capacity, (b) the
+  // retained raw span still covers at least one hour, and (c) the
+  // newest ticks survived the wrap, the oldest were evicted.
+  const int64_t ticks = 720;  // 2 h of 10 s buckets
+  for (int64_t i = 0; i < ticks; ++i) {
+    h.Record("wrap", i, i * kRaw);
+  }
+  auto raw = SamplesOf(h, "wrap", 10);
+  ASSERT_EQ(raw.size(), MetricsHistory::kRingCapacity[0]);
+  int64_t span = raw.back().tick_micros - raw.front().tick_micros;
+  EXPECT_GE(span, 3600 * kSec);
+  EXPECT_EQ(raw.back().tick_micros, (ticks - 1) * kRaw);
+  EXPECT_EQ(raw.front().tick_micros,
+            (ticks - static_cast<int64_t>(raw.size())) * kRaw);
+  // The coarser rings absorbed the full window without growing.
+  EXPECT_LE(SamplesOf(h, "wrap", 60).size(),
+            MetricsHistory::kRingCapacity[1]);
+  EXPECT_LE(SamplesOf(h, "wrap", 600).size(),
+            MetricsHistory::kRingCapacity[2]);
+}
+
+TEST(MetricsHistory, CoarseEntriesAreUnionsOfRawTicks) {
+  MetricsHistory h;
+  // A deterministic pseudo-random stream over ~40 minutes; every coarse
+  // entry must equal the merge of the raw ticks inside its bucket.
+  uint64_t state = 42;
+  for (int64_t i = 0; i < 2400; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    int64_t value = static_cast<int64_t>(state % 1000);
+    h.Record("u", value, i * kSec);
+  }
+  auto raw = SamplesOf(h, "u", 10);
+  ASSERT_FALSE(raw.empty());
+  for (int32_t level : {60, 600}) {
+    for (const HistorySample& coarse : SamplesOf(h, "u", level)) {
+      HistorySample merged;
+      merged.min = INT64_MAX;
+      merged.max = INT64_MIN;
+      for (const HistorySample& r : raw) {
+        if (r.tick_micros < coarse.tick_micros ||
+            r.tick_micros >= coarse.tick_micros + level * kSec) {
+          continue;
+        }
+        merged.min = std::min(merged.min, r.min);
+        merged.max = std::max(merged.max, r.max);
+        merged.sum += r.sum;
+        merged.count += r.count;
+        merged.last = r.last;
+      }
+      if (merged.count == 0) continue;  // raw ticks already evicted
+      EXPECT_EQ(coarse.min, merged.min) << level << "s @ "
+                                        << coarse.tick_micros;
+      EXPECT_EQ(coarse.max, merged.max);
+      EXPECT_EQ(coarse.sum, merged.sum);
+      EXPECT_EQ(coarse.count, merged.count);
+      EXPECT_EQ(coarse.last, merged.last);
+    }
+  }
+}
+
+TEST(MetricsHistory, AggregateWindowAndBackwardClock) {
+  MetricsHistory h;
+  h.Record("a", 10, 100 * kSec);
+  h.Record("a", 20, 110 * kSec);
+  h.Record("a", 30, 120 * kSec);
+  // A point older than the newest bucket merges into it instead of
+  // tearing the ring (tick monotonicity under clock backwardness).
+  h.Record("a", 40, 105 * kSec);
+
+  HistoryAggregate all = h.Aggregate("a", 10, 0, 200 * kSec);
+  EXPECT_EQ(all.count, 4);
+  EXPECT_EQ(all.sum, 100);
+  EXPECT_EQ(all.min, 10);
+  EXPECT_EQ(all.max, 40);
+
+  HistoryAggregate window = h.Aggregate("a", 10, 110 * kSec, 115 * kSec);
+  EXPECT_EQ(window.ticks, 1);
+  EXPECT_EQ(window.sum, 20);
+
+  EXPECT_TRUE(h.Aggregate("a", 10, 500 * kSec, 600 * kSec).empty());
+  EXPECT_TRUE(h.Aggregate("missing", 10, 0, 200 * kSec).empty());
+  EXPECT_TRUE(h.Aggregate("a", 7, 0, 200 * kSec).empty());  // bad level
+
+  auto raw = SamplesOf(h, "a", 10);
+  ASSERT_EQ(raw.size(), 3u);
+  EXPECT_EQ(raw.back().tick_micros, 120 * kSec);
+  EXPECT_EQ(raw.back().count, 2);  // 30 and the late 40
+}
+
+TEST(MetricsHistory, PersistenceCursorSeesEachCompletedTickOnce) {
+  MetricsHistory h;
+  h.Record("c", 1, 10 * kSec);
+  h.Record("c", 2, 20 * kSec);
+  h.Record("c", 3, 30 * kSec);  // still open at now=35s
+
+  auto first = h.SnapshotRawCompletedSince(0, 35 * kSec);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].tick_micros, 10 * kSec);
+  EXPECT_EQ(first[1].tick_micros, 20 * kSec);
+
+  int64_t cursor = first.back().tick_micros;
+  auto again = h.SnapshotRawCompletedSince(cursor, 35 * kSec);
+  EXPECT_TRUE(again.empty());
+
+  auto later = h.SnapshotRawCompletedSince(cursor, 45 * kSec);
+  ASSERT_EQ(later.size(), 1u);
+  EXPECT_EQ(later[0].tick_micros, 30 * kSec);
+}
+
+TEST(MetricsHistory, SampleCoversCountersGaugesAndPercentiles) {
+  MetricsRegistry registry;
+  registry.GetCounter("ctr")->Add(5);
+  registry.GetGauge("gau")->Set(17);
+  Histogram* hist = registry.GetHistogram("lat");
+  for (int v = 1; v <= 100; ++v) hist->Record(v);
+
+  MetricsHistory h;
+  h.Sample(registry, 10 * kSec);
+
+  HistoryAggregate ctr = h.Aggregate("ctr", 10, 0, 20 * kSec);
+  EXPECT_EQ(ctr.last, 5);
+  HistoryAggregate gau = h.Aggregate("gau", 10, 0, 20 * kSec);
+  EXPECT_EQ(gau.last, 17);
+  EXPECT_FALSE(h.Aggregate("lat.p50", 10, 0, 20 * kSec).empty());
+  EXPECT_FALSE(h.Aggregate("lat.p95", 10, 0, 20 * kSec).empty());
+  EXPECT_FALSE(h.Aggregate("lat.p99", 10, 0, 20 * kSec).empty());
+  HistoryAggregate cnt = h.Aggregate("lat.count", 10, 0, 20 * kSec);
+  EXPECT_EQ(cnt.last, 100);
+}
+
+#else  // IMON_METRICS_DISABLED
+
+TEST(MetricsHistory, CompiledOutIsInertAndEmpty) {
+  MetricsHistory h;
+  h.Record("s", 5, 11 * kSec);
+  MetricsRegistry registry;
+  h.Sample(registry, 20 * kSec);
+  EXPECT_TRUE(h.Snapshot().empty());
+  EXPECT_TRUE(h.Aggregate("s", 10, 0, 100 * kSec).empty());
+  EXPECT_TRUE(h.SnapshotRawCompletedSince(0, 100 * kSec).empty());
+  EXPECT_EQ(h.SeriesCount(), 0u);
+}
+
+#endif  // IMON_METRICS_DISABLED
+
+}  // namespace
+}  // namespace imon::metrics

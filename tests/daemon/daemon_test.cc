@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "ima/ima.h"
+#include "testing/fault_injector.h"
 
 namespace imon::daemon {
 namespace {
@@ -318,6 +322,142 @@ TEST_F(DaemonTest, AlertRulesFireOnThreshold) {
   EXPECT_EQ(alerts[0].trigger_name, "deadlock_alert");
   EXPECT_GE(daemon.stats().alerts_raised, 1);
 }
+
+#ifndef IMON_METRICS_DISABLED
+
+// History alert rules fire after `sustain_polls` breaching evaluations
+// and clear on the first clean one — and a poll killed by the fault
+// injector merely delays that progression, it never corrupts it. Two
+// identical runs (same seed, same simulated clock) must produce
+// bit-identical alert state, handler events, and counters.
+TEST_F(DaemonTest, HistoryAlertsFireAndClearDeterministicallyUnderPollFaults) {
+  struct Outcome {
+    std::vector<HistoryAlertState> after_fire;
+    std::vector<HistoryAlertState> after_clear;
+    std::vector<std::string> events;
+    int64_t alerts_raised = 0;
+    int64_t poll_errors = 0;
+  };
+
+  auto run = [](Outcome* out) {
+    SimulatedClock clock(1000000000);
+    DatabaseOptions mo;
+    mo.name = "monitored";
+    mo.clock = &clock;
+    Database monitored(mo);
+    ASSERT_TRUE(ima::RegisterImaTables(&monitored).ok());
+    DatabaseOptions wo;
+    wo.name = "workload";
+    wo.monitor.enabled = false;
+    wo.clock = &clock;
+    Database workload(wo);
+    StorageDaemon daemon(&monitored, &workload, DaemonConfig{}, &clock);
+    ASSERT_TRUE(daemon.Initialize().ok());
+    ASSERT_TRUE(RegisterAlertsTable(&monitored, &daemon).ok());
+
+    HistoryAlertRule rule;
+    rule.name = "pressure_high";
+    rule.series = "test.pressure";
+    rule.kind = HistoryAlertRule::Kind::kThreshold;
+    rule.cmp = HistoryAlertRule::Cmp::kAbove;
+    rule.limit = 100;
+    rule.window_seconds = 60;
+    rule.sustain_polls = 2;
+    rule.message = "pressure above 100";
+    daemon.AddHistoryAlertRule(rule);
+    daemon.SetAlertHandler([out](const engine::AlertEvent& e) {
+      out->events.push_back(e.trigger_name + "|" + e.table + "|" + e.message);
+    });
+
+    // Kill exactly the 3rd poll — right in the middle of the breach
+    // streak — so one evaluation is simply lost.
+    testing::FaultConfig fault;
+    fault.fail_poll_at = 3;
+    testing::FaultInjector injector(fault);
+    injector.Arm();
+    daemon.set_poll_fault_hook([&] { return injector.BeforePoll(); });
+
+    metrics::Gauge* pressure = monitored.metrics()->GetGauge("test.pressure");
+
+    pressure->Set(50);
+    ASSERT_TRUE(daemon.PollOnce().ok());  // clean: no breach
+    clock.AdvanceSeconds(10);
+
+    pressure->Set(500);
+    ASSERT_TRUE(daemon.PollOnce().ok());  // breach 1 of 2: not firing yet
+    EXPECT_FALSE(daemon.SnapshotAlerts()[0].firing);
+    clock.AdvanceSeconds(10);
+
+    EXPECT_FALSE(daemon.PollOnce().ok());  // faulted: evaluation skipped
+    EXPECT_FALSE(daemon.SnapshotAlerts()[0].firing);
+    clock.AdvanceSeconds(10);
+
+    ASSERT_TRUE(daemon.PollOnce().ok());  // breach 2 of 2: fires
+    out->after_fire = daemon.SnapshotAlerts();
+    clock.AdvanceSeconds(10);
+
+    ASSERT_TRUE(daemon.PollOnce().ok());  // still breaching: one event only
+    clock.AdvanceSeconds(10);
+
+    pressure->Set(50);
+    ASSERT_TRUE(daemon.PollOnce().ok());  // clean sample: clears
+    out->after_clear = daemon.SnapshotAlerts();
+
+    // The firing state is queryable while hot, via the IMA table.
+    QueryResult r = [&] {
+      auto res = monitored.Execute(
+          "SELECT rule, state, fire_count, value, threshold "
+          "FROM imp_alerts");
+      EXPECT_TRUE(res.ok()) << res.status();
+      return res.ok() ? res.TakeValue() : QueryResult{};
+    }();
+    ASSERT_EQ(r.rows.size(), 1u);
+    EXPECT_EQ(r.rows[0][0].AsText(), "pressure_high");
+    EXPECT_EQ(r.rows[0][1].AsText(), "clear");  // cleared by now
+    EXPECT_EQ(r.rows[0][2].AsInt(), 1);
+    EXPECT_EQ(r.rows[0][3].AsInt(), 50);
+    EXPECT_EQ(r.rows[0][4].AsInt(), 100);
+
+    out->alerts_raised = daemon.stats().alerts_raised;
+    out->poll_errors = daemon.stats().poll_errors;
+  };
+
+  Outcome a, b;
+  run(&a);
+  run(&b);
+
+  ASSERT_EQ(a.after_fire.size(), 1u);
+  EXPECT_TRUE(a.after_fire[0].firing);
+  EXPECT_EQ(a.after_fire[0].fire_count, 1);
+  EXPECT_EQ(a.after_fire[0].breach_polls, 2);
+  EXPECT_EQ(a.after_fire[0].value, 500);
+  ASSERT_EQ(a.after_clear.size(), 1u);
+  EXPECT_FALSE(a.after_clear[0].firing);
+  EXPECT_EQ(a.after_clear[0].fire_count, 1);
+  EXPECT_EQ(a.after_clear[0].breach_polls, 0);
+  EXPECT_EQ(a.after_clear[0].value, 50);
+  ASSERT_EQ(a.events.size(), 1u);
+  EXPECT_EQ(a.events[0],
+            "pressure_high|imp_metrics_history|pressure above 100");
+  EXPECT_EQ(a.alerts_raised, 1);
+  EXPECT_EQ(a.poll_errors, 1);
+
+  // Determinism: the delayed run replays to identical state.
+  auto same = [](const HistoryAlertState& x, const HistoryAlertState& y) {
+    return x.rule == y.rule && x.firing == y.firing && x.value == y.value &&
+           x.breach_polls == y.breach_polls && x.fire_count == y.fire_count &&
+           x.first_fired_micros == y.first_fired_micros &&
+           x.last_fired_micros == y.last_fired_micros &&
+           x.last_eval_micros == y.last_eval_micros;
+  };
+  EXPECT_TRUE(same(a.after_fire[0], b.after_fire[0]));
+  EXPECT_TRUE(same(a.after_clear[0], b.after_clear[0]));
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.alerts_raised, b.alerts_raised);
+  EXPECT_EQ(a.poll_errors, b.poll_errors);
+}
+
+#endif  // IMON_METRICS_DISABLED
 
 TEST_F(DaemonTest, BackgroundThreadPollsAndStops) {
   // The background thread uses real waiting; keep the interval tiny.

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/metrics_history.h"
 #include "engine/database.h"
 
 namespace imon::ima {
@@ -231,6 +232,72 @@ TEST_F(ImaObservabilityTest, RegistryHammerWithSqlReader) {
       "SELECT value FROM imp_metrics WHERE name = 'hammer.counter'");
   ASSERT_EQ(final_scan.rows.size(), 1u);
   EXPECT_EQ(final_scan.rows[0][0].AsInt(), kThreads * kIncrements);
+}
+
+// Cross-thread stress for the flight recorder: writer threads hammer
+// MetricsHistory::Record and full registry Sample sweeps while SQL
+// readers scan imp_metrics_history concurrently. Tier-1 reruns this
+// binary under TSan; the single-lock series map must keep every scan a
+// coherent snapshot (monotonic per-tick counts, min <= last <= max).
+TEST_F(ImaObservabilityTest, HistoryHammerWithSqlReaders) {
+#ifdef IMON_METRICS_DISABLED
+  GTEST_SKIP() << "metrics layer compiled out";
+#endif
+  metrics::MetricsHistory* history = db_->metrics_history();
+  db_->metrics()->GetCounter("hammer.ctr")->Add(7);
+  db_->metrics()->GetGauge("hammer.gau")->Set(13);
+
+  constexpr int kWriters = 3;
+  constexpr int64_t kPoints = 8000;
+  std::atomic<int> finished{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([history, t, &finished, this] {
+      const std::string series = "hammer.series." + std::to_string(t);
+      for (int64_t i = 0; i < kPoints; ++i) {
+        // Advancing timestamps wrap the raw ring mid-hammer; every 1024
+        // points one full registry sweep races the dedicated series.
+        history->Record(series, i & 255, i * 1000000);
+        if ((i & 1023) == 0) {
+          history->Sample(*db_->metrics(), i * 1000000);
+        }
+      }
+      finished.fetch_add(1);
+    });
+  }
+
+  do {
+    QueryResult r = MustExec(
+        "SELECT name, min, max, last, count FROM imp_metrics_history");
+    for (const Row& row : r.rows) {
+      EXPECT_LE(row[1].AsInt(), row[2].AsInt()) << row[0].AsText();
+      EXPECT_LE(row[1].AsInt(), row[3].AsInt()) << row[0].AsText();
+      EXPECT_LE(row[3].AsInt(), row[2].AsInt()) << row[0].AsText();
+      EXPECT_GE(row[4].AsInt(), 1) << row[0].AsText();
+    }
+  } while (finished.load(std::memory_order_acquire) < kWriters);
+  for (auto& w : writers) w.join();
+
+  // Quiesced: each writer's series is fully present across the rings,
+  // and the registry sweeps landed counter + gauge series too.
+  for (int t = 0; t < kWriters; ++t) {
+    QueryResult r = MustExec(
+        "SELECT sum(count) FROM imp_metrics_history WHERE name = "
+        "'hammer.series." +
+        std::to_string(t) + "' AND resolution = 600");
+    ASSERT_EQ(r.rows.size(), 1u);
+    EXPECT_EQ(r.rows[0][0].AsInt(), kPoints);
+  }
+  EXPECT_GE(MustExec("SELECT count(*) FROM imp_metrics_history WHERE "
+                     "name = 'hammer.ctr'")
+                .rows[0][0]
+                .AsInt(),
+            1);
+  EXPECT_GE(MustExec("SELECT count(*) FROM imp_metrics_history WHERE "
+                     "name = 'hammer.gau'")
+                .rows[0][0]
+                .AsInt(),
+            1);
 }
 
 }  // namespace

@@ -117,6 +117,40 @@ TEST(MonitorTraceTest, ChromeTraceJsonShape) {
   EXPECT_NE(empty.find("\"traceEvents\":[]"), std::string::npos);
 }
 
+TEST(MonitorTraceTest, LifecycleSpansGetTheirOwnTrack) {
+  std::vector<TraceRecord> traces(1);
+  traces[0] = {1, 0xabcu, 3, Stage::kParse, 1000, 2500};
+
+  LifecycleSpan span;
+  span.name = "CREATE INDEX idx_t_b [KEPT]";
+  span.category = "tuner";
+  span.track_name = "tuner";
+  span.track = 7;
+  span.start_micros = 5000;
+  span.end_micros = 9000;
+  span.int_args = {{"decision_id", 42}, {"action_id", 7}};
+  span.text_args = {{"rule", "R4"}, {"note", "a \"quoted\"\nnote"}};
+
+  std::string json = ChromeTraceJson(traces, {span});
+  // Statement spans keep pid 0; lifecycle spans live on pid 1 with a
+  // process_name metadata event naming the track.
+  EXPECT_NE(json.find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"tuner\""), std::string::npos);
+  EXPECT_NE(json.find("\"decision_id\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"R4\""), std::string::npos);
+  // Text args are JSON-escaped, never raw.
+  EXPECT_NE(json.find("a \\\"quoted\\\"\\nnote"), std::string::npos);
+  EXPECT_EQ(json.find("\nnote"), std::string::npos);
+
+  // No spans -> byte-identical to the two-arg overload (no stray
+  // metadata events).
+  EXPECT_EQ(ChromeTraceJson(traces, {}), ChromeTraceJson(traces));
+}
+
 TEST(MonitorTraceTest, ExportChromeTraceWritesFile) {
   Monitor m(TraceConfig(), RealClock::Instance());
   for (int64_t i = 0; i < 3; ++i) CommitOne(&m, /*session_id=*/1, i);

@@ -462,6 +462,129 @@ TEST_F(TunerTest, ConcurrentTicksAndImaReadsAreSafe) {
   }
 }
 
+TEST_F(TunerTest, ProvenanceJoinRoundTrip) {
+  BuildSkewedWorkload("t", 2000, 5);
+
+  // Real analyzer output, so decision_id / rule / evidence are the ones
+  // Analyze() stamped — not hand-crafted values.
+  analyzer::Analyzer an(&monitored_, nullptr);
+  auto report = an.Analyze();
+  ASSERT_TRUE(report.ok()) << report.status();
+  std::vector<Recommendation> index_recs;
+  for (const Recommendation& rec : report->recommendations) {
+    if (rec.kind == RecommendationKind::kCreateIndex) index_recs.push_back(rec);
+  }
+  ASSERT_FALSE(index_recs.empty()) << report->ToString();
+  ASSERT_NE(index_recs[0].decision_id, 0);
+  ASSERT_EQ(index_recs[0].rule, "R4");
+  ASSERT_FALSE(index_recs[0].evidence.empty());
+
+  {
+    TuningOrchestrator orch(&monitored_, &workload_db_, FastConfig(),
+                            &clock_);
+    ASSERT_TRUE(orch.Initialize().ok());
+    ASSERT_TRUE(RegisterTuningActionsTable(&monitored_, &orch).ok());
+    ASSERT_TRUE(RegisterTuningProvenanceTable(&monitored_, &orch).ok());
+    ASSERT_TRUE(orch.Submit(index_recs).ok());
+
+    // The action carries the decision id; every evidence template became
+    // one provenance row tied to it.
+    auto actions = orch.SnapshotActions();
+    ASSERT_FALSE(actions.empty());
+    EXPECT_EQ(actions[0].decision_id, index_recs[0].decision_id);
+    EXPECT_EQ(actions[0].rule, "R4");
+    auto provenance = orch.SnapshotProvenance();
+    ASSERT_EQ(provenance.size(), index_recs[0].evidence.size());
+    EXPECT_EQ(provenance[0].decision_id, index_recs[0].decision_id);
+    EXPECT_EQ(provenance[0].action_id, actions[0].id);
+    EXPECT_EQ(provenance[0].fingerprint, index_recs[0].evidence[0].fingerprint);
+    EXPECT_EQ(provenance[0].executions, index_recs[0].evidence[0].executions);
+
+    // SQL sees the same rows: imp_tuning_provenance joins
+    // imp_tuning_actions on both decision_id and action_id.
+    QueryResult joined = MustExec(
+        &monitored_,
+        "SELECT p.decision_id, a.decision_id, p.rule, a.rule "
+        "FROM imp_tuning_provenance p "
+        "JOIN imp_tuning_actions a ON p.action_id = a.action_id");
+    ASSERT_EQ(joined.rows.size(), provenance.size());
+    for (const Row& row : joined.rows) {
+      EXPECT_EQ(row[0].AsInt(), row[1].AsInt());
+      EXPECT_EQ(row[2].AsText(), row[3].AsText());
+    }
+  }
+
+  // A fresh orchestrator over the same workload DB recovers both the
+  // actions (with decision_id / rule from the audit columns) and the
+  // evidence rows from wl_tuning_provenance.
+  TuningOrchestrator recovered(&monitored_, &workload_db_, FastConfig(),
+                               &clock_);
+  ASSERT_TRUE(recovered.Initialize().ok());
+  auto actions = recovered.SnapshotActions();
+  ASSERT_FALSE(actions.empty());
+  EXPECT_EQ(actions[0].decision_id, index_recs[0].decision_id);
+  EXPECT_EQ(actions[0].rule, "R4");
+  auto provenance = recovered.SnapshotProvenance();
+  ASSERT_EQ(provenance.size(), index_recs[0].evidence.size());
+  EXPECT_EQ(provenance[0].decision_id, index_recs[0].decision_id);
+  EXPECT_EQ(provenance[0].fingerprint, index_recs[0].evidence[0].fingerprint);
+}
+
+// Pins the documented acceptance query: one SQL join over
+// imp_tuning_provenance ⋈ imp_tuning_actions ⋈ imp_templates answers
+// "why does index I exist and what happened to cost afterwards"
+// (examples/provenance_explorer.cpp runs the same statement).
+TEST_F(TunerTest, ProvenanceExplainsKeptIndexOverSql) {
+  BuildSkewedWorkload("t", 2000, 5);
+
+  analyzer::Analyzer an(&monitored_, nullptr);
+  auto report = an.Analyze();
+  ASSERT_TRUE(report.ok()) << report.status();
+  std::vector<Recommendation> index_recs;
+  for (const Recommendation& rec : report->recommendations) {
+    if (rec.kind == RecommendationKind::kCreateIndex) index_recs.push_back(rec);
+  }
+  ASSERT_FALSE(index_recs.empty()) << report->ToString();
+
+  TuningOrchestrator orch(&monitored_, &workload_db_, FastConfig(), &clock_);
+  ASSERT_TRUE(orch.Initialize().ok());
+  ASSERT_TRUE(RegisterTuningActionsTable(&monitored_, &orch).ok());
+  ASSERT_TRUE(RegisterTuningProvenanceTable(&monitored_, &orch).ok());
+  ASSERT_TRUE(orch.Submit(index_recs).ok());
+
+  ASSERT_TRUE(orch.Tick().ok());  // revalidate + apply
+  for (int i = 0; i < 5; ++i) {
+    MustExec(&monitored_, "SELECT a FROM t WHERE b = 123");
+  }
+  clock_.AdvanceSeconds(61);
+  ASSERT_TRUE(orch.Tick().ok());  // verdict
+  ASSERT_EQ(ImaState(1), "KEPT");
+
+  QueryResult r = MustExec(
+      &monitored_,
+      "SELECT a.index_name, a.state, p.rule, t.template_text, "
+      "p.executions, a.baseline_cost, a.observed_cost "
+      "FROM imp_tuning_provenance p "
+      "JOIN imp_tuning_actions a ON p.action_id = a.action_id "
+      "JOIN imp_templates t ON p.fingerprint = t.fingerprint");
+  ASSERT_FALSE(r.rows.empty())
+      << "the provenance join must explain the kept index";
+  bool explained = false;
+  for (const Row& row : r.rows) {
+    if (row[0].AsText() != index_recs[0].index_name) continue;
+    explained = true;
+    EXPECT_EQ(row[1].AsText(), "KEPT");
+    EXPECT_EQ(row[2].AsText(), "R4");
+    EXPECT_NE(row[3].AsText().find("select"), std::string::npos)
+        << row[3].AsText();
+    EXPECT_GT(row[4].AsInt(), 0);
+    EXPECT_GT(row[5].AsDouble(), 0);   // baseline cost before the index
+    EXPECT_LT(row[6].AsDouble(), row[5].AsDouble())
+        << "cost afterwards should have improved";
+  }
+  EXPECT_TRUE(explained) << "no joined row for " << index_recs[0].index_name;
+}
+
 // Seeded fuzz: probabilistic apply faults + simulated crashes, every
 // iteration checked for terminal-state/catalog consistency.
 TEST_F(TunerTest, ApplyFaultFuzzKeepsCatalogConsistent) {
