@@ -1,0 +1,249 @@
+// Load benchmark for the network server front end (DESIGN.md §14):
+// holds 1000+ concurrent client connections against one imon server and
+// drives the paper's "1m test" (NREF primary-key point selects) through
+// the wire protocol.
+//
+// Measures:
+//   * sustained throughput (requests/s) across all connections,
+//   * request latency through the full stack (client -> epoll -> queue
+//     -> executor -> frames back), p50/p99,
+//   * the differential guarantee: a sample of remote results must
+//     fingerprint byte-identical to embedded Database::Execute.
+//
+// Emits BENCH_server.json; scripts/tier1.sh gates throughput against
+// bench/BENCH_server.baseline.json and requires fingerprint_match == 1.
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "ima/ima.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "testing/oracle.h"
+#include "workload/nref.h"
+
+namespace {
+
+using imon::MonotonicNanos;
+using imon::engine::Database;
+using imon::engine::DatabaseOptions;
+using imon::engine::QueryResult;
+using imon::server::Client;
+using imon::server::Server;
+using imon::server::ServerOptions;
+using imon::workload::PointQuery;
+
+/// The bench needs one fd per held connection plus engine files; lift
+/// the soft RLIMIT_NOFILE toward the hard cap so 1000+ sockets fit.
+void RaiseFdLimit(rlim_t want) {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return;
+  if (rl.rlim_cur >= want) return;
+  rl.rlim_cur = std::min(want, rl.rlim_max);
+  ::setrlimit(RLIMIT_NOFILE, &rl);
+}
+
+double Percentile(std::vector<int64_t>* micros, double p) {
+  if (micros->empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(micros->size()));
+  idx = std::min(idx, micros->size() - 1);
+  std::nth_element(micros->begin(), micros->begin() + idx, micros->end());
+  return static_cast<double>((*micros)[idx]);
+}
+
+}  // namespace
+
+int main() {
+  using imon::bench::JsonWriter;
+  using imon::bench::PrintHeader;
+  using imon::bench::Scaled;
+
+  const int64_t kConnections = Scaled(1000);
+  const int64_t kRequestsPerConn = Scaled(12);
+  const int64_t kProteins = Scaled(4000);
+  const size_t kDrivers = 8;
+  const size_t kFingerprintSamples = 64;
+
+  PrintHeader("micro_server",
+              "wire-protocol load: concurrent connections on NREF point "
+              "selects");
+  RaiseFdLimit(static_cast<rlim_t>(kConnections) + 512);
+
+  DatabaseOptions dopts;
+  dopts.plan_cache_capacity = 1024;
+  Database db(dopts);
+  if (!imon::ima::RegisterImaTables(&db).ok()) return 1;
+  imon::workload::NrefConfig nref;
+  nref.proteins = kProteins;
+  if (!imon::workload::SetupNref(&db, nref).ok()) {
+    std::fprintf(stderr, "micro_server: NREF setup failed\n");
+    return 1;
+  }
+
+  ServerOptions sopts;
+  sopts.event_threads = 4;
+  sopts.executor_threads = 8;
+  sopts.queue_depth = 4096;
+  sopts.idle_timeout = std::chrono::milliseconds(0);  // no reaping mid-bench
+  Server server(&db, sopts);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "micro_server: server failed to start\n");
+    return 1;
+  }
+
+  // -- connect phase: open and hold every connection ------------------------
+  int64_t connect_start = MonotonicNanos();
+  std::vector<Client> clients(static_cast<size_t>(kConnections));
+  std::atomic<int64_t> connect_failures{0};
+  {
+    std::vector<std::thread> connectors;
+    for (size_t d = 0; d < kDrivers; ++d) {
+      connectors.emplace_back([&, d] {
+        for (size_t i = d; i < clients.size(); i += kDrivers) {
+          if (!clients[i].Connect("127.0.0.1", server.port()).ok()) {
+            connect_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : connectors) t.join();
+  }
+  double connect_secs =
+      static_cast<double>(MonotonicNanos() - connect_start) / 1e9;
+  int64_t held = server.connections_open();
+  std::printf("connections: %lld held (%lld failed) in %.2fs\n",
+              static_cast<long long>(held),
+              static_cast<long long>(connect_failures.load()), connect_secs);
+
+  // -- differential phase: remote results vs embedded execution -------------
+  bool fingerprint_match = true;
+  {
+    std::mt19937_64 rng(2009);
+    for (size_t i = 0; i < kFingerprintSamples && fingerprint_match; ++i) {
+      std::string sql =
+          PointQuery(1 + static_cast<int64_t>(rng() % kProteins));
+      auto remote = clients[i % clients.size()].Execute(sql);
+      auto local = db.Execute(sql);
+      if (!remote.ok() || !local.ok()) {
+        fingerprint_match = false;
+        break;
+      }
+      QueryResult remote_qr;
+      remote_qr.columns = remote->columns;
+      remote_qr.rows = remote->rows;
+      fingerprint_match = imon::testing::Fingerprint(remote_qr) ==
+                          imon::testing::Fingerprint(*local);
+    }
+    std::printf("differential: remote vs embedded fingerprints %s\n",
+                fingerprint_match ? "identical" : "DIVERGED");
+  }
+
+  // -- load phase: every connection issues point selects --------------------
+  std::atomic<int64_t> errors{0};
+  std::vector<std::vector<int64_t>> lat_micros(kDrivers);
+  int64_t load_start = MonotonicNanos();
+  {
+    std::vector<std::thread> drivers;
+    for (size_t d = 0; d < kDrivers; ++d) {
+      drivers.emplace_back([&, d] {
+        std::mt19937_64 rng(0x5EED + d);
+        auto& lats = lat_micros[d];
+        lats.reserve(static_cast<size_t>(kRequestsPerConn) *
+                     (clients.size() / kDrivers + 1));
+        for (int64_t round = 0; round < kRequestsPerConn; ++round) {
+          for (size_t i = d; i < clients.size(); i += kDrivers) {
+            if (!clients[i].connected()) continue;
+            std::string sql =
+                PointQuery(1 + static_cast<int64_t>(rng() % kProteins));
+            int64_t t0 = MonotonicNanos();
+            auto r = clients[i].Execute(sql);
+            if (r.ok()) {
+              lats.push_back((MonotonicNanos() - t0) / 1000);
+            } else {
+              errors.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : drivers) t.join();
+  }
+  double load_secs = static_cast<double>(MonotonicNanos() - load_start) / 1e9;
+
+  std::vector<int64_t> all;
+  for (auto& v : lat_micros) all.insert(all.end(), v.begin(), v.end());
+  double requests = static_cast<double>(all.size());
+  double rps = requests / load_secs;
+  double p50 = Percentile(&all, 0.50);
+  double p99 = Percentile(&all, 0.99);
+
+  std::printf("load: %.0f requests over %lld connections in %.2fs "
+              "-> %.0f req/s (p50 %.0fus, p99 %.0fus, %lld errors)\n",
+              requests, static_cast<long long>(held), load_secs, rps, p50,
+              p99, static_cast<long long>(errors.load()));
+
+  // -- join mix: the "50k test" 2-table join over a connection subset -------
+  const int64_t kJoinRequests = Scaled(400);
+  std::vector<std::vector<int64_t>> join_micros(kDrivers);
+  int64_t join_start = MonotonicNanos();
+  {
+    std::vector<std::thread> drivers;
+    for (size_t d = 0; d < kDrivers; ++d) {
+      drivers.emplace_back([&, d] {
+        std::mt19937_64 rng(0x101 + d);
+        for (int64_t i = static_cast<int64_t>(d); i < kJoinRequests;
+             i += static_cast<int64_t>(kDrivers)) {
+          Client& c = clients[static_cast<size_t>(i) % clients.size()];
+          if (!c.connected()) continue;
+          std::string sql = imon::workload::SimpleJoinQuery(
+              1 + static_cast<int64_t>(rng() % kProteins));
+          int64_t t0 = MonotonicNanos();
+          if (c.Execute(sql).ok()) {
+            join_micros[d].push_back((MonotonicNanos() - t0) / 1000);
+          } else {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : drivers) t.join();
+  }
+  double join_secs = static_cast<double>(MonotonicNanos() - join_start) / 1e9;
+  std::vector<int64_t> joins;
+  for (auto& v : join_micros) joins.insert(joins.end(), v.begin(), v.end());
+  double join_rps = static_cast<double>(joins.size()) / join_secs;
+  double join_p99 = Percentile(&joins, 0.99);
+  std::printf("join mix: %zu requests in %.2fs -> %.0f req/s (p99 %.0fus)\n",
+              joins.size(), join_secs, join_rps, join_p99);
+
+  for (auto& c : clients) c.Disconnect();
+  server.Shutdown();
+
+  JsonWriter json("server");
+  json.Metric("connections", static_cast<double>(held));
+  json.Metric("connect_failures", static_cast<double>(connect_failures));
+  json.Metric("requests", requests);
+  json.Metric("point_select_rps", rps, "req/s");
+  json.Metric("p50_micros", p50, "us");
+  json.Metric("p99_micros", p99, "us");
+  json.Metric("join_rps", join_rps, "req/s");
+  json.Metric("join_p99_micros", join_p99, "us");
+  json.Metric("errors", static_cast<double>(errors));
+  json.Metric("fingerprint_match", fingerprint_match ? 1.0 : 0.0);
+  json.Write();
+
+  if (!fingerprint_match || errors.load() > 0 ||
+      held < kConnections - connect_failures.load()) {
+    return 1;
+  }
+  return 0;
+}

@@ -29,5 +29,7 @@ imon_add_bench(micro_parallel_scan bench/micro_parallel_scan.cc)
 imon_add_bench(observability_overhead bench/observability_overhead.cc)
 imon_add_bench(micro_tuner bench/micro_tuner.cc)
 target_link_libraries(micro_tuner PRIVATE imon_tuner)
+imon_add_bench(micro_server bench/micro_server.cc)
+target_link_libraries(micro_server PRIVATE imon_server imon_testing)
 imon_add_bench(micro_compression bench/micro_compression.cc)
 imon_add_bench(micro_history bench/micro_history.cc)

@@ -2,48 +2,58 @@
 // the paper's "terminal monitor". Lines are statements; the IMA virtual
 // tables (imp_*) are queryable like any other table.
 //
-//   ./examples/imon_shell
+// Two modes:
+//   ./examples/imon_shell                     embedded engine (default)
+//   ./examples/imon_shell --connect host:port remote imond over the wire
+//
 //   imon> CREATE TABLE t (a INT, b TEXT)
 //   imon> INSERT INTO t VALUES (1, 'hello')
 //   imon> SELECT * FROM t
 //   imon> SELECT query_text, frequency FROM imp_statements
-//   imon> \stats       -- engine counters
+//   imon> \stats       -- engine counters (server.* metrics when remote)
 //   imon> \quit
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "common/clock.h"
 #include "engine/database.h"
 #include "ima/ima.h"
+#include "server/client.h"
 
+using imon::Row;
 using imon::engine::Database;
 using imon::engine::DatabaseOptions;
 using imon::engine::QueryResult;
 
 namespace {
 
-void PrintResult(const QueryResult& result, double millis) {
-  if (!result.columns.empty()) {
-    for (const auto& c : result.columns) std::printf("%-20s", c.c_str());
+void PrintTable(const std::vector<std::string>& columns,
+                const std::vector<Row>& rows, const std::string& message,
+                double millis, double est_cost, double actual_cost) {
+  if (!columns.empty()) {
+    for (const auto& c : columns) std::printf("%-20s", c.c_str());
     std::printf("\n");
-    for (const auto& c : result.columns) {
+    for (const auto& c : columns) {
       (void)c;
       std::printf("%-20s", "------------------");
     }
     std::printf("\n");
-    for (const auto& row : result.rows) {
+    for (const auto& row : rows) {
       for (const auto& v : row) std::printf("%-20s", v.ToString().c_str());
       std::printf("\n");
     }
-    std::printf("(%zu row%s", result.rows.size(),
-                result.rows.size() == 1 ? "" : "s");
+    std::printf("(%zu row%s", rows.size(), rows.size() == 1 ? "" : "s");
   } else {
-    std::printf("%s", result.message.c_str());
+    std::printf("%s", message.c_str());
     std::printf("(");
   }
-  std::printf(", %.2f ms, est cost %.1f, actual %.1f)\n", millis,
-              result.stats.estimated_cost, result.stats.actual_cost);
+  std::printf(", %.2f ms, est cost %.1f, actual %.1f)\n", millis, est_cost,
+              actual_cost);
 }
 
 void PrintEngineStats(Database* db) {
@@ -71,9 +81,60 @@ void PrintEngineStats(Database* db) {
               static_cast<double>(db->DataSizeBytes()) / (1024 * 1024));
 }
 
-}  // namespace
+void PrintHelp(bool remote) {
+  std::printf("  any SQL statement     executed on the engine\n");
+  std::printf("  imp_* tables          the IMA monitoring views\n");
+  std::printf("  \\stats                engine counters%s\n",
+              remote ? " (server.* metrics over SQL)" : "");
+  std::printf("  \\quit                 leave\n");
+}
 
-int main() {
+int RunRemote(const std::string& host, uint16_t port) {
+  imon::server::Client client;
+  auto s = client.Connect(host, port);
+  if (!s.ok()) {
+    std::fprintf(stderr, "imon_shell: cannot connect to %s:%u: %s\n",
+                 host.c_str(), port, s.ToString().c_str());
+    return 1;
+  }
+  std::printf("imon shell — connected to %s:%u (conn %lld). "
+              "\\help for commands.\n",
+              host.c_str(), port, static_cast<long long>(client.conn_id()));
+  std::string line;
+  while (true) {
+    std::printf("imon> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q" || line == "exit") break;
+    if (line == "\\help") {
+      PrintHelp(/*remote=*/true);
+      continue;
+    }
+    if (line == "\\stats") {
+      // The remote engine's own counters, read over its SQL surface.
+      line = "SELECT name, value FROM imp_metrics "
+             "WHERE name LIKE 'server.%' ORDER BY name";
+    }
+    int64_t start = imon::MonotonicNanos();
+    auto result = client.Execute(line);
+    double millis = static_cast<double>(imon::MonotonicNanos() - start) / 1e6;
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      if (!client.connected()) {
+        std::fprintf(stderr, "imon_shell: connection lost\n");
+        return 1;
+      }
+      continue;
+    }
+    PrintTable(result->columns, result->rows, result->message, millis,
+               result->estimated_cost, result->actual_cost);
+  }
+  client.Disconnect();
+  return 0;
+}
+
+int RunEmbedded() {
   DatabaseOptions options;
   options.plan_cache_capacity = 256;
   Database db(options);
@@ -88,10 +149,7 @@ int main() {
     if (line.empty()) continue;
     if (line == "\\quit" || line == "\\q" || line == "exit") break;
     if (line == "\\help") {
-      std::printf("  any SQL statement     executed on the engine\n");
-      std::printf("  imp_* tables          the IMA monitoring views\n");
-      std::printf("  \\stats                engine counters\n");
-      std::printf("  \\quit                 leave\n");
+      PrintHelp(/*remote=*/false);
       continue;
     }
     if (line == "\\stats") {
@@ -106,7 +164,37 @@ int main() {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
     }
-    PrintResult(*result, millis);
+    PrintTable(result->columns, result->rows, result->message, millis,
+               result->stats.estimated_cost, result->stats.actual_cost);
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--connect", 9) == 0) {
+      const char* target = nullptr;
+      if (argv[i][9] == '=') {
+        target = argv[i] + 10;
+      } else if (i + 1 < argc) {
+        target = argv[++i];
+      }
+      if (target == nullptr) {
+        std::fprintf(stderr, "usage: imon_shell [--connect host:port]\n");
+        return 1;
+      }
+      std::string spec(target);
+      size_t colon = spec.rfind(':');
+      if (colon == std::string::npos || colon + 1 >= spec.size()) {
+        std::fprintf(stderr, "imon_shell: --connect expects host:port\n");
+        return 1;
+      }
+      return RunRemote(spec.substr(0, colon),
+                       static_cast<uint16_t>(
+                           std::atoi(spec.c_str() + colon + 1)));
+    }
+  }
+  return RunEmbedded();
 }

@@ -240,17 +240,61 @@ if [[ "$hist_gate_ok" != 1 ]]; then
   exit 1
 fi
 
+echo "== tier-1: network server loopback smoke =="
+# imond --smoke binds an ephemeral loopback port, drives 8 concurrent
+# clients through the wire protocol against an NREF point-select mix,
+# checks remote results equal embedded execution, and drains cleanly.
+(cd build && ./src/server/imond --smoke)
+
+echo "== tier-1: network server throughput gate =="
+# The wire-protocol load bench emits BENCH_server.json: 1000 held
+# connections driving NREF point selects end to end (client -> epoll ->
+# request queue -> executor -> frames back). Gated against the committed
+# conservative baseline within IMON_SERVER_GATE_PCT (default 40 — full
+# network round-trips swing widely on a shared box). The bench itself
+# exits nonzero on any request error, dropped connection, or remote vs
+# embedded fingerprint divergence, so correctness is enforced on every
+# attempt; the gate additionally pins fingerprint_match == 1.
+server_gate_pct="${IMON_SERVER_GATE_PCT:-40}"
+server_gate_ok=0
+best_srps=""
+for attempt in 1 2 3; do
+  (cd build && ./bench/micro_server >/dev/null)
+  srps=$(json_value build/BENCH_server.json point_select_rps)
+  sfp=$(json_value build/BENCH_server.json fingerprint_match)
+  if [[ -z "$srps" || -z "$sfp" ]]; then
+    echo "tier-1: FAILED to read server benchmark output" >&2
+    exit 1
+  fi
+  if ! awk -v f="$sfp" 'BEGIN { exit !(f == 1) }'; then
+    echo "tier-1: remote results diverged from embedded execution" >&2
+    exit 1
+  fi
+  best_srps=$(awk -v a="${best_srps:-0}" -v b="$srps" 'BEGIN { print (b > a) ? b : a }')
+  base_srps=$(json_value bench/BENCH_server.baseline.json point_select_rps)
+  srps_pct=$(awk -v b="$base_srps" -v m="$best_srps" 'BEGIN { printf "%.2f", (b - m) / b * 100 }')
+  echo "  attempt $attempt: ${best_srps} req/s (regression ${srps_pct}%), fingerprints identical"
+  if awk -v r="$srps_pct" -v g="$server_gate_pct" 'BEGIN { exit !(r <= g) }'; then
+    server_gate_ok=1
+    break
+  fi
+done
+if [[ "$server_gate_ok" != 1 ]]; then
+  echo "tier-1: server throughput regressed more than ${server_gate_pct}% on every attempt" >&2
+  exit 1
+fi
+
 if [[ "$run_tsan" == 1 ]]; then
   echo "== tier-1: ThreadSanitizer build =="
   cmake -B build-tsan -S . -DIMON_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$(nproc)" --target \
     monitor_test monitor_concurrency_test engine_test daemon_test fault_test \
     common_test ima_observability_test tuner_test exec_batch_test \
-    storage_test parallel_scan_test compression_test
+    storage_test parallel_scan_test compression_test server_test
 
   echo "== tier-1: concurrency suites under TSan =="
   (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-    -R 'Monitor|MonitorConcurrency|Database|Differential|Daemon|Fault|Metrics|ImaObservability|Tuner|ExecBatch|ParallelScan|BufferPool|Compression|SamplingDeterminism|Log2Buckets')
+    -R 'Monitor|MonitorConcurrency|Database|Differential|Daemon|Fault|Metrics|ImaObservability|Tuner|ExecBatch|ParallelScan|BufferPool|Compression|SamplingDeterminism|Log2Buckets|Server')
 
   echo "== tier-1: fault injection under TSan =="
   (cd build-tsan && ./tests/fault_test)

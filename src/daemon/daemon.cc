@@ -154,6 +154,23 @@ std::vector<HistoryAlertRule> DefaultHistoryAlertRules() {
     r.message = "tuner rolled back repeatedly within the window";
     rules.push_back(std::move(r));
   }
+  {
+    // The network server's request queue has stayed half-full (against
+    // the default queue_depth of 256) across consecutive polls: the
+    // executor pool is saturated and clients are beginning to see
+    // ERROR(kResourceExhausted) backpressure rejects.
+    HistoryAlertRule r;
+    r.name = "server_queue_saturated";
+    r.series = "server.queue_depth";
+    r.resolution_seconds = 10;
+    r.kind = HistoryAlertRule::Kind::kThreshold;
+    r.cmp = HistoryAlertRule::Cmp::kAbove;
+    r.limit = 128;
+    r.window_seconds = 60;
+    r.sustain_polls = 3;
+    r.message = "server request queue saturated; executor pool overloaded";
+    rules.push_back(std::move(r));
+  }
   return rules;
 }
 

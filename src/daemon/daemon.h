@@ -102,8 +102,9 @@ struct HistoryAlertState {
 };
 
 /// The built-in rule set: buffer-pool hit-rate drop, sustained flush
-/// pressure (adaptive sampler pinned below full capture), and a
-/// tuner verification-regression streak.
+/// pressure (adaptive sampler pinned below full capture), a tuner
+/// verification-regression streak, and sustained network-server request
+/// queue saturation.
 std::vector<HistoryAlertRule> DefaultHistoryAlertRules();
 
 struct DaemonStats {

@@ -87,6 +87,11 @@
 //                    last_eval_micros, message): the daemon's
 //                    history-rule alert engine, evaluated every poll
 //                    over the imp_metrics_history rollups
+//   imp_connections (server::RegisterConnectionsTable) — (conn_id,
+//                    peer, state, requests, bytes_in, bytes_out,
+//                    last_activity_micros): every live network-server
+//                    connection (DESIGN.md §14), snapshotted from the
+//                    server's stats registry at scan time
 
 #ifndef IMON_IMA_IMA_H_
 #define IMON_IMA_IMA_H_

@@ -1,0 +1,187 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace imon::server {
+
+namespace {
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+/// Client-side sanity bound on inbound frames; matches the server's
+/// default max_frame_bytes ceiling scale.
+constexpr size_t kMaxInboundPayload = 1u << 28;
+}  // namespace
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  if (connected()) return Status::AlreadyExists("client already connected");
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Fail();
+    return Status::InvalidArgument("unparsable host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Errno("connect");
+    Fail();
+    return s;
+  }
+  int on = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+
+  std::string payload, out;
+  AppendU32(&payload, kProtocolVersion);
+  AppendFrame(&out, FrameType::kHello, payload);
+  IMON_RETURN_IF_ERROR(SendAll(out));
+
+  Frame frame;
+  IMON_RETURN_IF_ERROR(ReadFrame(&frame));
+  if (frame.type == FrameType::kError) {
+    Status s = DecodeErrorFrame(frame.payload);
+    Fail();
+    return s;
+  }
+  if (frame.type != FrameType::kHello) {
+    Fail();
+    return Status::Internal("expected HELLO reply");
+  }
+  size_t pos = 0;
+  uint32_t version = 0;
+  Status s = ReadU32(frame.payload, &pos, &version);
+  if (s.ok()) s = ReadI64(frame.payload, &pos, &conn_id_);
+  if (!s.ok() || version != kProtocolVersion) {
+    Fail();
+    return s.ok() ? Status::NotSupported("server protocol version mismatch")
+                  : s;
+  }
+  return Status::OK();
+}
+
+Result<WireResult> Client::Execute(const std::string& sql) {
+  if (!connected()) return Status::InvalidArgument("client not connected");
+  std::string out;
+  AppendFrame(&out, FrameType::kQuery, sql);
+  IMON_RETURN_IF_ERROR(SendAll(out));
+
+  Frame frame;
+  IMON_RETURN_IF_ERROR(ReadFrame(&frame));
+  if (frame.type == FrameType::kError) {
+    // Engine errors leave the connection usable; only transport-level
+    // failures (surfaced by ReadFrame/SendAll) close it.
+    return DecodeErrorFrame(frame.payload);
+  }
+  if (frame.type != FrameType::kResultHeader) {
+    Fail();
+    return Status::Internal("expected RESULT_HEADER, got frame type " +
+                            std::to_string(static_cast<int>(frame.type)));
+  }
+  WireResult result;
+  Status s = DecodeResultHeader(frame.payload, &result);
+  if (!s.ok()) {
+    Fail();
+    return s;
+  }
+  bool last = false;
+  while (!last) {
+    IMON_RETURN_IF_ERROR(ReadFrame(&frame));
+    if (frame.type != FrameType::kRowBatch) {
+      Fail();
+      return Status::Internal("expected ROW_BATCH mid-result");
+    }
+    s = DecodeRowBatch(frame.payload, &result, &last);
+    if (!s.ok()) {
+      Fail();
+      return s;
+    }
+  }
+  return result;
+}
+
+Status Client::Ping() {
+  if (!connected()) return Status::InvalidArgument("client not connected");
+  std::string out;
+  AppendFrame(&out, FrameType::kPing, "imon");
+  IMON_RETURN_IF_ERROR(SendAll(out));
+  Frame frame;
+  IMON_RETURN_IF_ERROR(ReadFrame(&frame));
+  if (frame.type == FrameType::kError) return DecodeErrorFrame(frame.payload);
+  if (frame.type != FrameType::kPing || frame.payload != "imon") {
+    Fail();
+    return Status::Internal("bad PING echo");
+  }
+  return Status::OK();
+}
+
+void Client::Disconnect() {
+  if (!connected()) return;
+  std::string out;
+  AppendFrame(&out, FrameType::kClose, "");
+  (void)SendAll(out);
+  Fail();
+}
+
+Status Client::SendAll(std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a dead server yields EPIPE here, not SIGPIPE.
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Errno("write");
+      Fail();
+      return s;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::ReadFrame(Frame* frame) {
+  while (true) {
+    Status s = ParseFrame(in_buf_, &in_pos_, kMaxInboundPayload, frame);
+    if (s.ok()) {
+      // Compact once the buffer is fully consumed so payload views from
+      // the *current* frame stay stable until the next ReadFrame call.
+      return Status::OK();
+    }
+    if (!s.IsBusy()) {
+      Fail();
+      return s;
+    }
+    if (in_pos_ > 0 && in_pos_ == in_buf_.size()) {
+      in_buf_.clear();
+      in_pos_ = 0;
+    }
+    char chunk[64 * 1024];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n == 0) {
+      Fail();
+      return Status::Aborted("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("read");
+      Fail();
+      return st;
+    }
+    in_buf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void Client::Fail() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace imon::server

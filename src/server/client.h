@@ -1,0 +1,80 @@
+// Blocking C++ client for the imon wire protocol (DESIGN.md §14).
+//
+// One Client is one connection: Connect() dials, performs the HELLO
+// handshake and reports the server-assigned connection id; Execute()
+// sends a QUERY frame and reassembles RESULT_HEADER + ROW_BATCH frames
+// into an engine::QueryResult-shaped value, so test harnesses can
+// fingerprint remote results against embedded Database::Execute calls
+// byte for byte. Not thread-safe — one thread per Client (tests and the
+// load bench hold many Clients).
+
+#ifndef IMON_SERVER_CLIENT_H_
+#define IMON_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace imon::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Disconnect(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept { *this = std::move(other); }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Disconnect();
+      fd_ = other.fd_;
+      conn_id_ = other.conn_id_;
+      in_buf_ = std::move(other.in_buf_);
+      in_pos_ = other.in_pos_;
+      other.fd_ = -1;
+      other.conn_id_ = 0;
+    }
+    return *this;
+  }
+
+  /// Dial host:port and run the HELLO handshake.
+  Status Connect(const std::string& host, uint16_t port);
+
+  /// Run one SQL statement remotely. A server-side ERROR frame comes
+  /// back as this call's Status (connection stays usable for engine
+  /// errors); transport failures also surface here and close the socket.
+  Result<WireResult> Execute(const std::string& sql);
+
+  /// Round-trip a PING frame (liveness probe).
+  Status Ping();
+
+  /// Polite close: send CLOSE, then shut the socket. Safe when already
+  /// disconnected.
+  void Disconnect();
+
+  bool connected() const { return fd_ >= 0; }
+  /// Server-assigned connection id (imp_connections.conn_id); 0 before
+  /// the handshake.
+  int64_t conn_id() const { return conn_id_; }
+
+ private:
+  /// Write all of `bytes` (blocking).
+  Status SendAll(std::string_view bytes);
+  /// Block until one complete frame is available; `frame->payload` views
+  /// into in_buf_ and stays valid until the next ReadFrame.
+  Status ReadFrame(Frame* frame);
+  /// Mark the connection dead after a transport error.
+  void Fail();
+
+  int fd_ = -1;
+  int64_t conn_id_ = 0;
+  std::string in_buf_;
+  size_t in_pos_ = 0;
+};
+
+}  // namespace imon::server
+
+#endif  // IMON_SERVER_CLIENT_H_

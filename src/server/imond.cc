@@ -1,0 +1,191 @@
+// imond — the monitored engine as a network daemon (DESIGN.md §14).
+//
+// Hosts one Database behind the epoll wire-protocol server, with the
+// full observability stack attached: IMA tables (including
+// imp_connections and imp_alerts), the storage daemon persisting into an
+// embedded workload DB, and the default history alert rules. Remote
+// shells connect with `imon_shell --connect host:port`.
+//
+//   imond [--port=N] [--event-threads=N] [--executor-threads=N]
+//         [--nref=N]           preload a synthetic NREF data set
+//         [--smoke]            loopback self-test: start on an ephemeral
+//                              port, run the point-select mix through
+//                              the client library, verify results match
+//                              the embedded path, drain, exit 0/1
+//
+// SIGINT/SIGTERM trigger a graceful drain: stop accepting, finish
+// in-flight queries, flush the storage daemon, exit.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "daemon/daemon.h"
+#include "engine/database.h"
+#include "ima/ima.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workload/nref.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+int64_t FlagValue(const char* arg, const char* name, int64_t fallback) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    return std::atoll(arg + len + 1);
+  }
+  return fallback;
+}
+
+/// Loopback smoke test: the tier-1 gate for "the wire works end to end".
+int RunSmoke(imon::engine::Database* db, imon::daemon::StorageDaemon* daemon,
+             imon::server::Server* server) {
+  using imon::workload::PointQuery;
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 25;
+
+  imon::server::Client clients[kClients];
+  for (int c = 0; c < kClients; ++c) {
+    auto s = clients[c].Connect("127.0.0.1", server->port());
+    if (!s.ok()) {
+      std::fprintf(stderr, "smoke: connect %d failed: %s\n", c,
+                   s.ToString().c_str());
+      return 1;
+    }
+    if (!clients[c].Ping().ok()) {
+      std::fprintf(stderr, "smoke: ping %d failed\n", c);
+      return 1;
+    }
+  }
+
+  // Point-select mix over the wire; every result must match the
+  // embedded path value for value.
+  for (int c = 0; c < kClients; ++c) {
+    for (int q = 0; q < kQueriesPerClient; ++q) {
+      std::string sql = PointQuery(1 + (c * kQueriesPerClient + q) % 500);
+      auto remote = clients[c].Execute(sql);
+      auto local = db->Execute(sql);
+      if (!remote.ok() || !local.ok()) {
+        std::fprintf(stderr, "smoke: query failed: remote=%s local=%s\n",
+                     remote.status().ToString().c_str(),
+                     local.status().ToString().c_str());
+        return 1;
+      }
+      if (remote->rows != local->rows || remote->columns != local->columns) {
+        std::fprintf(stderr, "smoke: remote/embedded result mismatch on %s\n",
+                     sql.c_str());
+        return 1;
+      }
+    }
+  }
+
+  // The connections must be visible over SQL (imp_connections).
+  auto conns = clients[0].Execute(
+      "SELECT conn_id FROM imp_connections ORDER BY conn_id");
+  if (!conns.ok() || conns->rows.size() < kClients) {
+    std::fprintf(stderr, "smoke: imp_connections reported %zu rows\n",
+                 conns.ok() ? conns->rows.size() : 0);
+    return 1;
+  }
+
+  for (int c = 0; c < kClients; ++c) clients[c].Disconnect();
+  server->Shutdown();
+  if (!daemon->FlushNow().ok()) {
+    std::fprintf(stderr, "smoke: daemon flush failed\n");
+    return 1;
+  }
+  std::printf("smoke: OK (%d clients x %d point selects, results identical, "
+              "clean drain)\n",
+              kClients, kQueriesPerClient);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace imon;
+
+  bool smoke = false;
+  server::ServerOptions sopts;
+  sopts.port = 7433;
+  int64_t nref_rows = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    sopts.port =
+        static_cast<uint16_t>(FlagValue(argv[i], "--port", sopts.port));
+    sopts.event_threads = static_cast<size_t>(
+        FlagValue(argv[i], "--event-threads", sopts.event_threads));
+    sopts.executor_threads = static_cast<size_t>(
+        FlagValue(argv[i], "--executor-threads", sopts.executor_threads));
+    nref_rows = FlagValue(argv[i], "--nref", nref_rows);
+  }
+  if (smoke) {
+    sopts.port = 0;  // ephemeral: no collisions on a busy CI box
+    if (nref_rows == 0) nref_rows = 500;
+  }
+
+  engine::DatabaseOptions dbopts;
+  dbopts.plan_cache_capacity = 1024;
+  engine::Database db(dbopts);
+  engine::Database workload_db;
+  if (!ima::RegisterImaTables(&db).ok()) return 1;
+
+  daemon::DaemonConfig dconf;
+  daemon::StorageDaemon storage_daemon(&db, &workload_db, dconf);
+  if (!storage_daemon.Initialize().ok()) return 1;
+  for (auto& rule : daemon::DefaultHistoryAlertRules()) {
+    storage_daemon.AddHistoryAlertRule(std::move(rule));
+  }
+  if (!daemon::RegisterAlertsTable(&db, &storage_daemon).ok()) return 1;
+
+  if (nref_rows > 0) {
+    workload::NrefConfig nref;
+    nref.proteins = nref_rows;
+    if (!workload::SetupNref(&db, nref).ok()) {
+      std::fprintf(stderr, "imond: NREF preload failed\n");
+      return 1;
+    }
+  }
+
+  server::Server server(&db, sopts);
+  if (Status s = server::RegisterConnectionsTable(&db, &server); !s.ok()) {
+    std::fprintf(stderr, "imond: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "imond: start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  storage_daemon.Start();
+
+  if (smoke) {
+    int rc = RunSmoke(&db, &storage_daemon, &server);
+    storage_daemon.Stop();
+    return rc;
+  }
+
+  std::printf("imond: listening on %s:%u (%zu event threads, %zu executors)\n",
+              sopts.host.c_str(), server.port(), sopts.event_threads,
+              sopts.executor_threads);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("imond: draining...\n");
+  server.Shutdown();
+  storage_daemon.Stop();
+  (void)storage_daemon.FlushNow();
+  std::printf("imond: bye\n");
+  return 0;
+}

@@ -1,0 +1,239 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+#include "common/value.h"
+
+namespace imon::server {
+
+bool IsClientFrameType(uint8_t type) {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kHello:
+    case FrameType::kQuery:
+    case FrameType::kPing:
+    case FrameType::kClose:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(buf, 4);
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  uint64_t u = static_cast<uint64_t>(v);
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((u >> (8 * i)) & 0xff);
+  out->append(buf, 8);
+}
+
+void AppendF64(std::string* out, double v) {
+  uint64_t u;
+  static_assert(sizeof(u) == sizeof(v));
+  std::memcpy(&u, &v, sizeof(u));
+  AppendI64(out, static_cast<int64_t>(u));
+}
+
+void AppendString(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+namespace {
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated payload reading ") +
+                                 what);
+}
+}  // namespace
+
+Status ReadU8(std::string_view data, size_t* offset, uint8_t* v) {
+  if (*offset + 1 > data.size()) return Truncated("u8");
+  *v = static_cast<uint8_t>(data[*offset]);
+  *offset += 1;
+  return Status::OK();
+}
+
+Status ReadU32(std::string_view data, size_t* offset, uint32_t* v) {
+  if (*offset + 4 > data.size()) return Truncated("u32");
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(data[*offset + i]))
+           << (8 * i);
+  }
+  *v = out;
+  *offset += 4;
+  return Status::OK();
+}
+
+Status ReadI64(std::string_view data, size_t* offset, int64_t* v) {
+  if (*offset + 8 > data.size()) return Truncated("i64");
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(data[*offset + i]))
+           << (8 * i);
+  }
+  *v = static_cast<int64_t>(out);
+  *offset += 8;
+  return Status::OK();
+}
+
+Status ReadF64(std::string_view data, size_t* offset, double* v) {
+  int64_t bits = 0;
+  IMON_RETURN_IF_ERROR(ReadI64(data, offset, &bits));
+  uint64_t u = static_cast<uint64_t>(bits);
+  std::memcpy(v, &u, sizeof(*v));
+  return Status::OK();
+}
+
+Status ReadString(std::string_view data, size_t* offset, std::string* s) {
+  uint32_t len = 0;
+  IMON_RETURN_IF_ERROR(ReadU32(data, offset, &len));
+  if (*offset + len > data.size()) return Truncated("string body");
+  s->assign(data.data() + *offset, len);
+  *offset += len;
+  return Status::OK();
+}
+
+void AppendFrame(std::string* out, FrameType type, std::string_view payload) {
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  AppendU8(out, static_cast<uint8_t>(type));
+  out->append(payload.data(), payload.size());
+}
+
+Status ParseFrame(std::string_view data, size_t* offset, size_t max_payload,
+                  Frame* frame) {
+  if (data.size() - *offset < kFrameHeaderBytes) {
+    return Status::Busy("partial frame header");
+  }
+  size_t pos = *offset;
+  uint32_t len = 0;
+  uint8_t type = 0;
+  IMON_RETURN_IF_ERROR(ReadU32(data, &pos, &len));
+  IMON_RETURN_IF_ERROR(ReadU8(data, &pos, &type));
+  if (len > max_payload) {
+    return Status::InvalidArgument("frame payload of " + std::to_string(len) +
+                                   " bytes exceeds the " +
+                                   std::to_string(max_payload) + "-byte limit");
+  }
+  if (data.size() - pos < len) return Status::Busy("partial frame payload");
+  frame->type = static_cast<FrameType>(type);
+  frame->payload = data.substr(pos, len);
+  *offset = pos + len;
+  return Status::OK();
+}
+
+void AppendResultFrames(std::string* out, const WireResult& result,
+                        size_t rows_per_batch) {
+  if (rows_per_batch == 0) rows_per_batch = 1;
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(result.columns.size()));
+  for (const std::string& c : result.columns) AppendString(&payload, c);
+  AppendI64(&payload, result.affected_rows);
+  AppendString(&payload, result.message);
+  AppendF64(&payload, result.estimated_cost);
+  AppendF64(&payload, result.actual_cost);
+  AppendI64(&payload, result.wallclock_nanos);
+  AppendFrame(out, FrameType::kResultHeader, payload);
+
+  size_t sent = 0;
+  do {
+    size_t n = result.rows.size() - sent;
+    if (n > rows_per_batch) n = rows_per_batch;
+    bool last = sent + n == result.rows.size();
+    payload.clear();
+    AppendU8(&payload, last ? 1 : 0);
+    AppendU32(&payload, static_cast<uint32_t>(n));
+    for (size_t i = 0; i < n; ++i) SerializeRow(result.rows[sent + i], &payload);
+    AppendFrame(out, FrameType::kRowBatch, payload);
+    sent += n;
+  } while (sent < result.rows.size());
+}
+
+void AppendErrorFrame(std::string* out, const Status& status) {
+  std::string payload;
+  AppendU8(&payload, static_cast<uint8_t>(status.code()));
+  AppendString(&payload, status.message());
+  AppendFrame(out, FrameType::kError, payload);
+}
+
+Status DecodeResultHeader(std::string_view payload, WireResult* result) {
+  size_t pos = 0;
+  uint32_t ncols = 0;
+  IMON_RETURN_IF_ERROR(ReadU32(payload, &pos, &ncols));
+  // Bound by the remaining bytes: each column name costs >= 4 bytes.
+  if (static_cast<size_t>(ncols) > (payload.size() - pos) / 4) {
+    return Status::InvalidArgument("column count exceeds payload size");
+  }
+  result->columns.clear();
+  result->columns.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    std::string name;
+    IMON_RETURN_IF_ERROR(ReadString(payload, &pos, &name));
+    result->columns.push_back(std::move(name));
+  }
+  IMON_RETURN_IF_ERROR(ReadI64(payload, &pos, &result->affected_rows));
+  IMON_RETURN_IF_ERROR(ReadString(payload, &pos, &result->message));
+  IMON_RETURN_IF_ERROR(ReadF64(payload, &pos, &result->estimated_cost));
+  IMON_RETURN_IF_ERROR(ReadF64(payload, &pos, &result->actual_cost));
+  IMON_RETURN_IF_ERROR(ReadI64(payload, &pos, &result->wallclock_nanos));
+  return Status::OK();
+}
+
+Status DecodeRowBatch(std::string_view payload, WireResult* result,
+                      bool* last) {
+  size_t pos = 0;
+  uint8_t last_flag = 0;
+  uint32_t nrows = 0;
+  IMON_RETURN_IF_ERROR(ReadU8(payload, &pos, &last_flag));
+  IMON_RETURN_IF_ERROR(ReadU32(payload, &pos, &nrows));
+  *last = last_flag != 0;
+  for (uint32_t i = 0; i < nrows; ++i) {
+    // Row layout (see SerializeRow): u64 value count, then each value in
+    // the tagged Value codec. Decode values in place so `pos` tracks the
+    // exact consumed length across the batch.
+    if (payload.size() - pos < 8) return Truncated("row header");
+    uint64_t nvals = 0;
+    std::memcpy(&nvals, payload.data() + pos, 8);
+    pos += 8;
+    // Each serialized value costs at least its 1-byte tag.
+    if (nvals > payload.size() - pos) {
+      return Status::InvalidArgument("row value count exceeds payload size");
+    }
+    Row row(static_cast<size_t>(nvals));
+    for (uint64_t j = 0; j < nvals; ++j) {
+      IMON_RETURN_IF_ERROR(Value::DeserializeInto(payload, &pos, &row[j]));
+    }
+    result->rows.push_back(std::move(row));
+  }
+  if (pos != payload.size()) {
+    return Status::InvalidArgument("row batch payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status DecodeErrorFrame(std::string_view payload) {
+  size_t pos = 0;
+  uint8_t code = 0;
+  std::string message;
+  IMON_RETURN_IF_ERROR(ReadU8(payload, &pos, &code));
+  IMON_RETURN_IF_ERROR(ReadString(payload, &pos, &message));
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status(StatusCode::kInternal,
+                  "malformed error frame (code " + std::to_string(code) +
+                      "): " + message);
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+}  // namespace imon::server

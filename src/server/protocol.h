@@ -1,0 +1,130 @@
+// The imon wire protocol (DESIGN.md §14).
+//
+// Every message is one length-prefixed binary frame:
+//
+//   [u32 payload_len (LE)] [u8 type] [payload: payload_len bytes]
+//
+// payload_len counts only the payload (not the 5-byte header) and is
+// bounded by ServerOptions::max_frame_bytes on the server side — an
+// oversized or malformed frame gets an ERROR frame and the connection is
+// closed. Integers are little-endian; strings are u32-length-prefixed
+// byte runs; rows ride the existing Value codec (SerializeRow /
+// DeserializeRow), so a remote result is bit-identical to an embedded
+// one.
+//
+// Frame types and payloads:
+//   HELLO          c->s: u32 protocol_version
+//                  s->c: u32 protocol_version, i64 connection_id
+//   QUERY          c->s: the SQL text (raw payload bytes)
+//   RESULT_HEADER  s->c: u32 ncols, ncols x string column name,
+//                        i64 affected_rows, string message,
+//                        f64 estimated_cost, f64 actual_cost,
+//                        i64 wallclock_nanos
+//   ROW_BATCH      s->c: u8 last (1 on the final batch), u32 nrows,
+//                        nrows x SerializeRow
+//   ERROR          s->c: u8 status_code (StatusCode), string message
+//   PING           either direction; the server echoes the payload back
+//   CLOSE          c->s: none; the server flushes and closes
+//
+// A successful query yields RESULT_HEADER followed by one or more
+// ROW_BATCH frames (the final one flagged last=1; an empty result is one
+// empty last batch). A failed query yields a single ERROR frame; the
+// connection stays usable unless the error was a protocol violation.
+
+#ifndef IMON_SERVER_PROTOCOL_H_
+#define IMON_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace imon::server {
+
+inline constexpr uint32_t kProtocolVersion = 1;
+/// u32 payload length + u8 frame type.
+inline constexpr size_t kFrameHeaderBytes = 5;
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kQuery = 2,
+  kResultHeader = 3,
+  kRowBatch = 4,
+  kError = 5,
+  kPing = 6,
+  kClose = 7,
+};
+
+/// True for the types a client may legally send.
+bool IsClientFrameType(uint8_t type);
+
+// -- primitive writers (append to `out`) ------------------------------------
+void AppendU8(std::string* out, uint8_t v);
+void AppendU32(std::string* out, uint32_t v);
+void AppendI64(std::string* out, int64_t v);
+void AppendF64(std::string* out, double v);
+void AppendString(std::string* out, std::string_view s);
+
+// -- primitive readers (advance *offset; bounds-checked) --------------------
+Status ReadU8(std::string_view data, size_t* offset, uint8_t* v);
+Status ReadU32(std::string_view data, size_t* offset, uint32_t* v);
+Status ReadI64(std::string_view data, size_t* offset, int64_t* v);
+Status ReadF64(std::string_view data, size_t* offset, double* v);
+Status ReadString(std::string_view data, size_t* offset, std::string* s);
+
+/// Append one complete frame (header + payload) to `out`.
+void AppendFrame(std::string* out, FrameType type, std::string_view payload);
+
+/// One frame parsed out of a byte stream.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string_view payload;  ///< view into the input buffer
+};
+
+/// Try to parse one frame starting at data[*offset].
+///   * returns OK and advances *offset past the frame when complete;
+///     `frame->payload` views into `data`;
+///   * returns kBusy when the buffer holds only a partial frame (caller
+///     reads more bytes);
+///   * returns kInvalidArgument when the header itself is malformed
+///     (payload length above `max_payload`) — the connection is beyond
+///     recovery since framing is lost.
+/// Unknown type bytes parse fine (the length is still trustworthy);
+/// dispatch rejects them, so one bad frame need not kill the stream.
+Status ParseFrame(std::string_view data, size_t* offset, size_t max_payload,
+                  Frame* frame);
+
+// -- composite payload builders ---------------------------------------------
+
+/// Subset of engine::QueryResult that crosses the wire.
+struct WireResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  int64_t affected_rows = 0;
+  std::string message;
+  double estimated_cost = 0;
+  double actual_cost = 0;
+  int64_t wallclock_nanos = 0;
+};
+
+/// RESULT_HEADER + ROW_BATCH frames for a full result (batched every
+/// `rows_per_batch` rows; the final batch carries last=1).
+void AppendResultFrames(std::string* out, const WireResult& result,
+                        size_t rows_per_batch = 256);
+
+/// ERROR frame from a Status.
+void AppendErrorFrame(std::string* out, const Status& status);
+
+/// Decode a RESULT_HEADER payload into `result` (columns + scalars).
+Status DecodeResultHeader(std::string_view payload, WireResult* result);
+/// Decode a ROW_BATCH payload, appending rows; sets *last.
+Status DecodeRowBatch(std::string_view payload, WireResult* result,
+                      bool* last);
+/// Decode an ERROR payload back into a Status.
+Status DecodeErrorFrame(std::string_view payload);
+
+}  // namespace imon::server
+
+#endif  // IMON_SERVER_PROTOCOL_H_

@@ -97,6 +97,45 @@ Status FaultInjector::BeforeApply() {
   return Status::OK();
 }
 
+Status FaultInjector::BeforeAccept() {
+  if (!armed()) return Status::OK();
+  bool fail;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.accepts_seen;
+    fail = Decide(config_.accept_fault_prob, config_.fail_accept_at,
+                  counters_.accepts_seen, &counters_.accept_faults);
+  }
+  if (fail) return Status::Internal("injected accept fault");
+  return Status::OK();
+}
+
+Status FaultInjector::BeforeNetRead() {
+  if (!armed()) return Status::OK();
+  bool fail;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.net_reads_seen;
+    fail = Decide(config_.net_read_fault_prob, config_.fail_net_read_at,
+                  counters_.net_reads_seen, &counters_.net_read_faults);
+  }
+  if (fail) return Status::Internal("injected network read fault");
+  return Status::OK();
+}
+
+Status FaultInjector::BeforeNetWrite() {
+  if (!armed()) return Status::OK();
+  bool fail;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.net_writes_seen;
+    fail = Decide(config_.net_write_fault_prob, config_.fail_net_write_at,
+                  counters_.net_writes_seen, &counters_.net_write_faults);
+  }
+  if (fail) return Status::Internal("injected network write fault");
+  return Status::OK();
+}
+
 FaultInjector::Counters FaultInjector::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_;

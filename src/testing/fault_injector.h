@@ -32,6 +32,11 @@ struct FaultConfig {
   double write_fault_prob = 0;
   double poll_fault_prob = 0;
   double apply_fault_prob = 0;
+  /// Network-server faults (server::ServerFaultHooks): accepted sockets
+  /// dropped at the door, connection reads/writes failed mid-stream.
+  double accept_fault_prob = 0;
+  double net_read_fault_prob = 0;
+  double net_write_fault_prob = 0;
 
   /// Scheduled one-shot faults: fail exactly the Nth armed read / write /
   /// poll / apply (1-based; 0 disables). Fires once, then only the
@@ -41,6 +46,9 @@ struct FaultConfig {
   int64_t fail_write_at = 0;
   int64_t fail_poll_at = 0;
   int64_t fail_apply_at = 0;
+  int64_t fail_accept_at = 0;
+  int64_t fail_net_read_at = 0;
+  int64_t fail_net_write_at = 0;
 
   /// Busy-wait added to every armed, non-faulted read/write, for tests
   /// that widen race windows rather than kill I/O. 0 = off.
@@ -77,15 +85,29 @@ class FaultInjector : public storage::DiskFaultHook {
   /// change, depending on which consultation fires).
   Status BeforeApply();
 
+  /// Network-server hooks: install as server::ServerFaultHooks, e.g.
+  ///   opts.fault_hooks.before_accept = [&] { return injector.BeforeAccept(); };
+  /// The server closes the affected socket through its normal teardown
+  /// path, so these double as connection-slot leak probes.
+  Status BeforeAccept();
+  Status BeforeNetRead();
+  Status BeforeNetWrite();
+
   struct Counters {
     int64_t reads_seen = 0;    ///< armed reads that consulted the injector
     int64_t writes_seen = 0;
     int64_t polls_seen = 0;
     int64_t applies_seen = 0;
+    int64_t accepts_seen = 0;
+    int64_t net_reads_seen = 0;
+    int64_t net_writes_seen = 0;
     int64_t read_faults = 0;   ///< of those, how many were failed
     int64_t write_faults = 0;
     int64_t poll_faults = 0;
     int64_t apply_faults = 0;
+    int64_t accept_faults = 0;
+    int64_t net_read_faults = 0;
+    int64_t net_write_faults = 0;
   };
   Counters counters() const;
 
