@@ -26,6 +26,7 @@ imon_add_bench(ablation_plan_cache bench/ablation_plan_cache.cc)
 imon_add_bench(micro_concurrent bench/micro_concurrent.cc)
 imon_add_bench(micro_exec_batch bench/micro_exec_batch.cc)
 imon_add_bench(micro_parallel_scan bench/micro_parallel_scan.cc)
+imon_add_bench(micro_parallel_join bench/micro_parallel_join.cc)
 imon_add_bench(observability_overhead bench/observability_overhead.cc)
 imon_add_bench(micro_tuner bench/micro_tuner.cc)
 target_link_libraries(micro_tuner PRIVATE imon_tuner)

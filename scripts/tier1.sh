@@ -165,6 +165,38 @@ if [[ "$par_gate_ok" != 1 ]]; then
   exit 1
 fi
 
+echo "== tier-1: parallel hash-join build gate =="
+# The partitioned-build benchmark emits BENCH_join.json. Same
+# machine-relative discipline as the scan gate: the 1-worker join
+# throughput (which runs the full chunk/partition/fold machinery on
+# the serial lane) is gated against the committed baseline within
+# IMON_JOIN_GATE_PCT (default 15) percent; the w8 figure and the
+# build speedup are recorded but not gated, because they measure the
+# hardware more than the code on a small CI box.
+join_gate_pct="${IMON_JOIN_GATE_PCT:-15}"
+join_gate_ok=0
+best_jb1=""
+for attempt in 1 2 3; do
+  (cd build && ./bench/micro_parallel_join >/dev/null)
+  jb1=$(json_value build/BENCH_join.json join_w1_rows_per_sec)
+  if [[ -z "$jb1" ]]; then
+    echo "tier-1: FAILED to read parallel join benchmark output" >&2
+    exit 1
+  fi
+  best_jb1=$(awk -v a="${best_jb1:-0}" -v b="$jb1" 'BEGIN { print (b > a) ? b : a }')
+  base_jb1=$(json_value bench/BENCH_join.baseline.json join_w1_rows_per_sec)
+  jb1_pct=$(awk -v b="$base_jb1" -v m="$best_jb1" 'BEGIN { printf "%.2f", (b - m) / b * 100 }')
+  echo "  attempt $attempt: join build w1 ${best_jb1} rows/s (regression ${jb1_pct}%)"
+  if awk -v a="$jb1_pct" -v g="$join_gate_pct" 'BEGIN { exit !(a <= g) }'; then
+    join_gate_ok=1
+    break
+  fi
+done
+if [[ "$join_gate_ok" != 1 ]]; then
+  echo "tier-1: parallel join throughput regressed more than ${join_gate_pct}% on every attempt" >&2
+  exit 1
+fi
+
 echo "== tier-1: workload compression gate =="
 # The compression benchmark emits BENCH_compress.json. Two absolute
 # bounds: the per-template history at 100x execution volume must stay

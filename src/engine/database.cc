@@ -369,7 +369,8 @@ Result<QueryResult> Database::ExecSelect(sql::SelectStmt* stmt,
   // Optimize (timed, I/O-accounted).
   int64_t opt_start = MonotonicNanos();
   int64_t opt_io_before = DiskIoTotal(disk_->stats());
-  Planner planner(&catalog_, PlannerOptions{options_.cost_model, {}});
+  Planner planner(&catalog_, PlannerOptions{options_.cost_model, {}, options_.exec_workers,
+                                     options_.exec_morsel_pages});
   IMON_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
                         planner.PlanJoinTree(bound));
   PlanSummary summary = planner.Summarize(*plan, bound);
@@ -410,6 +411,7 @@ Result<QueryResult> Database::RunPlannedSelect(
   ctx.compiled = compiled;
   ctx.workers = workers_.get();
   ctx.morsel_pages = options_.exec_morsel_pages;
+  ctx.metrics = &metrics_;
   auto rs = exec::ExecuteSelect(bound, plan, &ctx);
   int64_t exec_nanos = MonotonicNanos() - exec_start;
   int64_t exec_io = DiskIoTotal(disk_->stats()) - io_before;
@@ -441,7 +443,8 @@ Result<QueryResult> Database::ExecExplain(sql::ExplainStmt* stmt,
   auto* select = static_cast<sql::SelectStmt*>(stmt->inner.get());
   Binder binder(&catalog_);
   IMON_ASSIGN_OR_RETURN(BoundSelect bound, binder.BindSelect(select));
-  Planner planner(&catalog_, PlannerOptions{options_.cost_model, {}});
+  Planner planner(&catalog_, PlannerOptions{options_.cost_model, {}, options_.exec_workers,
+                                     options_.exec_morsel_pages});
   IMON_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
                         planner.PlanJoinTree(bound));
   PlanSummary summary = planner.Summarize(*plan, bound);
@@ -470,7 +473,8 @@ Result<WhatIfResult> Database::WhatIfPlan(
   auto* select = static_cast<sql::SelectStmt*>(stmt.get());
   Binder binder(&catalog_);
   IMON_ASSIGN_OR_RETURN(BoundSelect bound, binder.BindSelect(select));
-  PlannerOptions options{options_.cost_model, virtual_indexes};
+  PlannerOptions options{options_.cost_model, virtual_indexes,
+                         options_.exec_workers, options_.exec_morsel_pages};
   Planner planner(&catalog_, options);
   IMON_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
                         planner.PlanJoinTree(bound));
@@ -701,7 +705,8 @@ Result<QueryResult> Database::ExecUpdate(sql::UpdateStmt* stmt,
   }
 
   int64_t opt_start = MonotonicNanos();
-  Planner planner(&catalog_, PlannerOptions{options_.cost_model, {}});
+  Planner planner(&catalog_, PlannerOptions{options_.cost_model, {}, options_.exec_workers,
+                                     options_.exec_morsel_pages});
   IMON_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> scan,
                         planner.PlanSingleTable(bound.table, bound.conjuncts));
   monitor_->OnOptimizeComplete(
@@ -795,7 +800,8 @@ Result<QueryResult> Database::ExecDelete(sql::DeleteStmt* stmt,
   }
 
   int64_t opt_start = MonotonicNanos();
-  Planner planner(&catalog_, PlannerOptions{options_.cost_model, {}});
+  Planner planner(&catalog_, PlannerOptions{options_.cost_model, {}, options_.exec_workers,
+                                     options_.exec_morsel_pages});
   IMON_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> scan,
                         planner.PlanSingleTable(bound.table, bound.conjuncts));
   monitor_->OnOptimizeComplete(

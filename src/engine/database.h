@@ -67,11 +67,14 @@ struct DatabaseOptions {
   /// tree-walking path — the differential oracle in tests compares the
   /// two.
   bool use_compiled_exprs = true;
-  /// Executor lanes for morsel-parallel heap scans (caller + persistent
-  /// workers). 1 = serial execution on the calling thread. Results are
-  /// identical for every worker count.
+  /// Executor lanes for morsel-parallel scans (caller + persistent
+  /// workers) over every non-virtual access path — heap pages, B-Tree
+  /// and secondary-index leaves, hash buckets, ISAM chains — plus the
+  /// partitioned hash-join build. 1 = serial execution on the calling
+  /// thread. Results are identical for every worker count.
   size_t exec_workers = DefaultExecWorkers();
-  /// Pages per scan morsel (the parallel-scan work unit). Morsel
+  /// Units per scan morsel (the parallel-scan work unit; pages for heap
+  /// scans, leaves/buckets/chains for the other structures). Morsel
   /// boundaries are independent of the worker count.
   size_t exec_morsel_pages = exec::kDefaultMorselPages;
   /// Buffer pool shards (page-id hash partitioned, each with its own

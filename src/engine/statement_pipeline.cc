@@ -91,7 +91,9 @@ Result<QueryResult> StatementPipeline::BindPlanAndCache(
   }
   int64_t opt_start = MonotonicNanos();
   Planner planner(&db_->catalog_,
-                  PlannerOptions{db_->options_.cost_model, {}});
+                  PlannerOptions{db_->options_.cost_model, {},
+                                 db_->options_.exec_workers,
+                                 db_->options_.exec_morsel_pages});
   IMON_ASSIGN_OR_RETURN(entry->plan, planner.PlanJoinTree(entry->bound));
   entry->summary = planner.Summarize(*entry->plan, entry->bound);
   db_->monitor_->OnOptimizeComplete(

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "exec/expr_program.h"
 #include "exec/expression_eval.h"
 #include "exec/worker_pool.h"
@@ -80,10 +81,12 @@ Result<std::vector<Row>> ExecuteNode(const PlanNode& plan, ExecContext* ctx,
 // ---------------------------------------------------------------------------
 // Morsel-driven parallel scans.
 //
-// Eligible scans (full sequential scans of real HEAP tables) split the
-// page chain into fixed page ranges ("morsels") executed on the context's
-// worker pool. Determinism contract: morsel boundaries depend only on the
-// chain and `morsel_pages`, every per-morsel computation follows storage
+// Eligible scans (every real-table access path except hash point probes)
+// split the structure's unit list — heap chain pages, B-Tree or index
+// leaves, ISAM chain heads, hash buckets — into fixed unit ranges
+// ("morsels") executed on the context's worker pool. Determinism
+// contract: morsel boundaries depend only on the structure, the access
+// path and `morsel_pages`, every per-morsel computation follows storage
 // order, and gather merges in morsel-index order — so results (and
 // grouped aggregates) are bit-identical for any worker count, including
 // the inline 1-lane pool.
@@ -91,26 +94,48 @@ Result<std::vector<Row>> ExecuteNode(const PlanNode& plan, ExecContext* ctx,
 
 struct MorselPlan {
   const optimizer::BoundTable* bt = nullptr;
-  std::vector<uint32_t> pages;   ///< heap chain in scan order
+  StorageLayer::ParallelScanPlan scan;  ///< structure units in scan order
   size_t morsel_pages = kDefaultMorselPages;
-  size_t count = 0;              ///< number of morsels
+  size_t count = 0;                     ///< number of morsels
 };
 
 bool MorselEligible(const PlanNode& plan, const ExecContext* ctx) {
   if (ctx->workers == nullptr || ctx->tables == nullptr) return false;
   if (plan.kind != PlanNodeKind::kScan) return false;
-  if (plan.access.kind != AccessPathKind::kSeqScan) return false;
   const optimizer::BoundTable& bt = (*ctx->tables)[plan.table_idx];
   if (bt.is_virtual) return false;
-  return bt.info.structure == catalog::StorageStructure::kHeap;
+  switch (plan.access.kind) {
+    case AccessPathKind::kPrimaryHash:
+      return false;  // one bucket chain: nothing to split
+    case AccessPathKind::kSecondaryIndex:
+      // Virtual-index plans must reach the serial path's Internal error.
+      return !plan.access.index.is_virtual;
+    default:
+      return true;
+  }
 }
 
 Result<MorselPlan> BuildMorselPlan(const PlanNode& plan, ExecContext* ctx) {
   MorselPlan mp;
   mp.bt = &(*ctx->tables)[plan.table_idx];
-  IMON_ASSIGN_OR_RETURN(mp.pages, ctx->storage->HeapPageChain(mp.bt->info));
+  IMON_ASSIGN_OR_RETURN(
+      mp.scan, ctx->storage->BuildParallelScan(mp.bt->info, plan.access));
+  // Index-backed paths count one probe whether executed serially or in
+  // morsels.
+  if (plan.access.kind != AccessPathKind::kSeqScan) ++ctx->stats.index_probes;
   mp.morsel_pages = std::max<size_t>(1, ctx->morsel_pages);
-  mp.count = (mp.pages.size() + mp.morsel_pages - 1) / mp.morsel_pages;
+  mp.count = (mp.scan.units.size() + mp.morsel_pages - 1) / mp.morsel_pages;
+  if (ctx->metrics != nullptr) {
+    ctx->metrics
+        ->GetCounter(std::string("exec.parallel_scans.") + mp.scan.structure)
+        ->Add(1);
+    ctx->metrics->GetCounter("exec.morsels_total")
+        ->Add(static_cast<int64_t>(mp.count));
+    size_t lanes =
+        std::min(ctx->workers->lane_count(), std::max<size_t>(1, mp.count));
+    ctx->metrics->GetGauge("exec.morsel_lanes")
+        ->Set(static_cast<int64_t>(lanes));
+  }
   return mp;
 }
 
@@ -133,7 +158,7 @@ Result<int64_t> ScanMorselFiltered(const MorselPlan& mp, size_t m,
                                    LaneScratch* ls,
                                    const std::function<bool(const Row&)>& sink) {
   size_t begin = m * mp.morsel_pages;
-  size_t end = std::min(mp.pages.size(), begin + mp.morsel_pages);
+  size_t end = std::min(mp.scan.units.size(), begin + mp.morsel_pages);
   int64_t examined = 0;
   Status inner = Status::OK();
   if (programs != nullptr) {
@@ -155,8 +180,8 @@ Result<int64_t> ScanMorselFiltered(const MorselPlan& mp, size_t m,
       batch.Reset();
       return Status::OK();
     };
-    IMON_RETURN_IF_ERROR(ctx->storage->ScanHeapPages(
-        mp.bt->info, mp.pages, begin, end, [&](const Locator&, Row& row) {
+    IMON_RETURN_IF_ERROR(ctx->storage->ScanUnits(
+        mp.bt->info, mp.scan, begin, end, [&](const Locator&, Row& row) {
           batch.PushSwap(&row);
           if (batch.full(batch_capacity)) {
             Status st = flush();
@@ -171,8 +196,8 @@ Result<int64_t> ScanMorselFiltered(const MorselPlan& mp, size_t m,
     IMON_RETURN_IF_ERROR(inner);
     if (!stopped && batch.filled > 0) IMON_RETURN_IF_ERROR(flush());
   } else {
-    IMON_RETURN_IF_ERROR(ctx->storage->ScanHeapPages(
-        mp.bt->info, mp.pages, begin, end, [&](const Locator&, Row& row) {
+    IMON_RETURN_IF_ERROR(ctx->storage->ScanUnits(
+        mp.bt->info, mp.scan, begin, end, [&](const Locator&, Row& row) {
           ++examined;
           for (const Expr* f : plan.filters) {
             auto ok = EvalPredicate(*f, plan.layout, row);
@@ -465,6 +490,25 @@ Result<bool> JoinConditionsHold(const PlanNode& plan, const Row& combined,
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Hash join with a partitioned parallel build.
+//
+// Phase A evaluates build-side key expressions over fixed row chunks in
+// parallel, routing each keyed row to one of kJoinPartitions partitions
+// by a re-mixed key hash. Phase B builds the per-partition hash tables
+// in parallel, concatenating the chunks' contributions in chunk order so
+// every hash bucket lists inner-row indices ascending. Both constants
+// are worker-count independent, so partition contents — and therefore
+// probe emission order — are identical for any worker count, including
+// the serial (null-pool) fallback, which runs the same phases inline.
+// ---------------------------------------------------------------------------
+
+/// Build-side partition count (fixed: partition assignment must never
+/// depend on the worker count).
+constexpr size_t kJoinPartitions = 32;
+/// Build rows per parallel key-evaluation chunk (fixed likewise).
+constexpr size_t kJoinBuildChunkRows = 1024;
+
 Result<std::vector<Row>> ExecuteHashJoin(const PlanNode& plan,
                                          ExecContext* ctx,
                                          size_t* node_counter) {
@@ -473,24 +517,71 @@ Result<std::vector<Row>> ExecuteHashJoin(const PlanNode& plan,
   IMON_ASSIGN_OR_RETURN(std::vector<Row> inner_rows,
                         ExecuteNode(*plan.right, ctx, node_counter));
 
-  // Build on inner side.
-  std::unordered_multimap<uint64_t, size_t> table;
-  table.reserve(inner_rows.size() * 2);
-  std::vector<Row> inner_keys(inner_rows.size());
-  for (size_t i = 0; i < inner_rows.size(); ++i) {
-    Row key;
-    bool null_key = false;
-    for (const auto& [outer_e, inner_e] : plan.equi_keys) {
-      IMON_ASSIGN_OR_RETURN(
-          Value v, Eval(*inner_e, plan.right->layout, inner_rows[i]));
-      if (v.is_null()) null_key = true;
-      key.push_back(std::move(v));
+  auto run = [&](size_t count,
+                 const std::function<void(size_t, size_t)>& fn) {
+    if (ctx->workers != nullptr) {
+      ctx->workers->RunTasks(count, fn);
+    } else {
+      for (size_t i = 0; i < count; ++i) fn(i, 0);
     }
-    if (null_key) continue;  // NULL never joins
-    table.emplace(HashRow(key), i);
-    inner_keys[i] = std::move(key);
-  }
+  };
 
+  // Phase A: per-chunk key evaluation + partition routing. Chunks write
+  // disjoint slices of inner_keys and their own keyed[] slots; Eval over
+  // the const expression tree is thread-safe.
+  const size_t n = inner_rows.size();
+  const size_t chunks = (n + kJoinBuildChunkRows - 1) / kJoinBuildChunkRows;
+  std::vector<Row> inner_keys(n);
+  // keyed[c * kJoinPartitions + p]: (hash, idx) pairs chunk c routes to
+  // partition p, in ascending idx.
+  std::vector<std::vector<std::pair<uint64_t, size_t>>> keyed(
+      chunks * kJoinPartitions);
+  std::vector<Status> chunk_errors(chunks, Status::OK());
+  run(chunks, [&](size_t c, size_t) {
+    size_t begin = c * kJoinBuildChunkRows;
+    size_t end = std::min(n, begin + kJoinBuildChunkRows);
+    for (size_t i = begin; i < end; ++i) {
+      Row key;
+      bool null_key = false;
+      for (const auto& [outer_e, inner_e] : plan.equi_keys) {
+        auto v = Eval(*inner_e, plan.right->layout, inner_rows[i]);
+        if (!v.ok()) {
+          chunk_errors[c] = v.status();
+          return;
+        }
+        if (v->is_null()) null_key = true;
+        key.push_back(std::move(*v));
+      }
+      if (null_key) continue;  // NULL never joins
+      uint64_t h = HashRow(key);
+      keyed[c * kJoinPartitions + Mix64(h) % kJoinPartitions]
+          .emplace_back(h, i);
+      inner_keys[i] = std::move(key);
+    }
+  });
+  // Chunks run to completion once started and are claimed in index
+  // order, so the lowest erroring chunk holds the globally-first error.
+  for (size_t c = 0; c < chunks; ++c) IMON_RETURN_IF_ERROR(chunk_errors[c]);
+
+  // Phase B: per-partition hash tables; each bucket's index list ascends
+  // because chunks are folded in chunk order.
+  std::vector<std::unordered_map<uint64_t, std::vector<size_t>>> parts(
+      kJoinPartitions);
+  run(kJoinPartitions, [&](size_t p, size_t) {
+    size_t total = 0;
+    for (size_t c = 0; c < chunks; ++c) {
+      total += keyed[c * kJoinPartitions + p].size();
+    }
+    parts[p].reserve(total * 2);
+    for (size_t c = 0; c < chunks; ++c) {
+      for (const auto& [h, i] : keyed[c * kJoinPartitions + p]) {
+        parts[p][h].push_back(i);
+      }
+    }
+  });
+
+  // Probe (serial: outer-side parallelism comes from the morsel scan
+  // when the probe side is the root pipeline).
   std::vector<Row> out;
   for (const Row& outer : outer_rows) {
     Row key;
@@ -502,9 +593,12 @@ Result<std::vector<Row>> ExecuteHashJoin(const PlanNode& plan,
     }
     ++ctx->stats.rows_examined;
     if (null_key) continue;
-    auto [begin, end] = table.equal_range(HashRow(key));
-    for (auto it = begin; it != end; ++it) {
-      const Row& ikey = inner_keys[it->second];
+    uint64_t h = HashRow(key);
+    const auto& part = parts[Mix64(h) % kJoinPartitions];
+    auto it = part.find(h);
+    if (it == part.end()) continue;
+    for (size_t i : it->second) {
+      const Row& ikey = inner_keys[i];
       bool match = true;
       for (size_t k = 0; k < key.size(); ++k) {
         if (key[k].Compare(ikey[k]) != 0) {
@@ -513,7 +607,7 @@ Result<std::vector<Row>> ExecuteHashJoin(const PlanNode& plan,
         }
       }
       if (!match) continue;
-      Row combined = ConcatRows(outer, inner_rows[it->second]);
+      Row combined = ConcatRows(outer, inner_rows[i]);
       IMON_ASSIGN_OR_RETURN(bool keep,
                             JoinConditionsHold(plan, combined, false, ctx));
       if (keep) out.push_back(std::move(combined));

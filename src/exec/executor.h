@@ -16,6 +16,10 @@
 #include "optimizer/binder.h"
 #include "optimizer/plan.h"
 
+namespace imon::metrics {
+class MetricsRegistry;
+}
+
 namespace imon::exec {
 
 struct CompiledSelect;
@@ -43,12 +47,16 @@ struct ExecContext {
   /// Compiled programs for the statement, or null to interpret the AST
   /// per row (the scalar fallback; also the benchmark baseline).
   const CompiledSelect* compiled = nullptr;
-  /// Worker pool for morsel-parallel heap scans, or null for the serial
-  /// path. A 1-lane pool still routes eligible scans through the morsel
-  /// machinery (inline), keeping results identical across worker counts.
+  /// Worker pool for morsel-parallel scans (all non-virtual access paths
+  /// except hash point probes), or null for the serial path. A 1-lane
+  /// pool still routes eligible scans through the morsel machinery
+  /// (inline), keeping results identical across worker counts.
   WorkerPool* workers = nullptr;
   /// Pages per morsel for parallel scans.
   size_t morsel_pages = kDefaultMorselPages;
+  /// Registry for parallel-scan telemetry (`exec.morsels_total`,
+  /// `exec.morsel_lanes`, `exec.parallel_scans.<structure>`), or null.
+  metrics::MetricsRegistry* metrics = nullptr;
 };
 
 /// Materialized query result.

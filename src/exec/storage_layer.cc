@@ -1,6 +1,7 @@
 #include "exec/storage_layer.h"
 
 #include <cstring>
+#include <numeric>
 
 #include "storage/key_codec.h"
 
@@ -461,6 +462,40 @@ Status StorageLayer::ScanHeapPages(
       [&](Rid rid, Row& row) { return fn(PackRid(rid), row); });
 }
 
+Status StorageLayer::EncodeIsamBounds(
+    const TableInfo& table, const std::vector<Value>& eq_prefix,
+    const std::optional<optimizer::KeyBound>& lower,
+    const std::optional<optimizer::KeyBound>& upper, std::string* low,
+    std::string* high) const {
+  std::vector<int> key_cols = BtreeKeyColumns(table);
+  std::string prefix;
+  for (size_t i = 0; i < eq_prefix.size() && i < key_cols.size(); ++i) {
+    IMON_ASSIGN_OR_RETURN(
+        Value v, eq_prefix[i].CastTo(table.columns[key_cols[i]].type));
+    storage::EncodeKeyValue(v, &prefix);
+  }
+  *low = prefix;
+  if (lower.has_value() && eq_prefix.size() < key_cols.size()) {
+    IMON_ASSIGN_OR_RETURN(
+        Value v,
+        lower->value.CastTo(table.columns[key_cols[eq_prefix.size()]].type));
+    storage::EncodeKeyValue(v, low);
+  }
+  high->clear();
+  if (upper.has_value() && eq_prefix.size() < key_cols.size()) {
+    *high = prefix;
+    IMON_ASSIGN_OR_RETURN(
+        Value v,
+        upper->value.CastTo(table.columns[key_cols[eq_prefix.size()]].type));
+    storage::EncodeKeyValue(v, high);
+  } else if (!prefix.empty()) {
+    // Prefix-successor: everything sharing the prefix sorts below
+    // prefix + 0xFF... (field tags stay below 0xFF).
+    *high = prefix + std::string(4, '\xff');
+  }
+  return Status::OK();
+}
+
 Status StorageLayer::ScanIsamRange(
     const TableInfo& table, const std::vector<Value>& eq_prefix,
     const std::optional<optimizer::KeyBound>& lower,
@@ -469,32 +504,9 @@ Status StorageLayer::ScanIsamRange(
   if (table.structure != StorageStructure::kIsam) {
     return Status::Internal("ISAM range scan on non-ISAM table");
   }
-  std::vector<int> key_cols = BtreeKeyColumns(table);
-  std::string prefix;
-  for (size_t i = 0; i < eq_prefix.size() && i < key_cols.size(); ++i) {
-    IMON_ASSIGN_OR_RETURN(
-        Value v, eq_prefix[i].CastTo(table.columns[key_cols[i]].type));
-    storage::EncodeKeyValue(v, &prefix);
-  }
-  std::string low = prefix;
-  if (lower.has_value() && eq_prefix.size() < key_cols.size()) {
-    IMON_ASSIGN_OR_RETURN(
-        Value v,
-        lower->value.CastTo(table.columns[key_cols[eq_prefix.size()]].type));
-    storage::EncodeKeyValue(v, &low);
-  }
-  std::string high;
-  if (upper.has_value() && eq_prefix.size() < key_cols.size()) {
-    high = prefix;
-    IMON_ASSIGN_OR_RETURN(
-        Value v,
-        upper->value.CastTo(table.columns[key_cols[eq_prefix.size()]].type));
-    storage::EncodeKeyValue(v, &high);
-  } else if (!prefix.empty()) {
-    // Prefix-successor: everything sharing the prefix sorts below
-    // prefix + 0xFF... (field tags stay below 0xFF).
-    high = prefix + std::string(4, '\xff');
-  }
+  std::string low, high;
+  IMON_RETURN_IF_ERROR(EncodeIsamBounds(table, eq_prefix, lower, upper, &low,
+                                        &high));
   return IsamFor(table)->ScanRange(low, high, [&](Rid rid, Row& row) {
     return fn(PackRid(rid), row);
   });
@@ -568,6 +580,225 @@ Status StorageLayer::IndexScan(
                         loc.assign(payload.data(), payload.size());
                         return fn(loc);
                       });
+}
+
+namespace {
+
+/// Verdict of the per-entry range predicate on parallel leaf scans.
+enum class RangeCheck {
+  kYield,  ///< entry is in range
+  kSkip,   ///< entry is outside but later ones may match
+  kStop,   ///< entry and everything after it are outside
+};
+
+/// Serial-equivalent range predicate. The serial path seeks to
+/// range.lower and then applies IterateRange's checks; parallel leaf
+/// units cannot seek, so entries below the seek target (possible only on
+/// the chain's first leaf — key encodings are prefix-free, making the
+/// user-key comparison equivalent to the full-key lower bound) are
+/// skipped here instead. The kStop conditions are monotone in key order,
+/// so stopping inside any unit stops at the same entry the serial scan
+/// would.
+RangeCheck CheckRange(const StorageLayer::EncodedRange& range,
+                      std::string_view key) {
+  if (key.compare(range.lower) < 0) return RangeCheck::kSkip;
+  if (!StartsWith(key, range.eq_prefix)) return RangeCheck::kStop;
+  if (range.has_upper) {
+    int cmp = key.compare(range.upper_limit);
+    bool is_prefix = StartsWith(key, range.upper_limit);
+    if (range.upper_open) {
+      if (cmp >= 0) return RangeCheck::kStop;
+    } else {
+      if (cmp > 0 && !is_prefix) return RangeCheck::kStop;
+    }
+  }
+  if (!range.lower_exclusive_prefix.empty() &&
+      StartsWith(key, range.lower_exclusive_prefix)) {
+    return RangeCheck::kSkip;
+  }
+  return RangeCheck::kYield;
+}
+
+/// LeafChain keep-going predicate: a later leaf is consulted through its
+/// first live user key, and the chain ends exactly where the serial
+/// scan's early stop would fire.
+std::function<bool(std::string_view)> KeepGoing(
+    const StorageLayer::EncodedRange& range) {
+  return [&range](std::string_view key) {
+    return CheckRange(range, key) != RangeCheck::kStop;
+  };
+}
+
+}  // namespace
+
+Result<StorageLayer::ParallelScanPlan> StorageLayer::BuildParallelScan(
+    const TableInfo& table, const optimizer::AccessPath& access) {
+  ParallelScanPlan plan;
+  switch (access.kind) {
+    case optimizer::AccessPathKind::kSeqScan:
+      switch (table.structure) {
+        case StorageStructure::kHeap: {
+          plan.kind = ParallelScanPlan::Kind::kHeapPages;
+          plan.structure = "heap";
+          IMON_ASSIGN_OR_RETURN(plan.units, HeapPageChain(table));
+          break;
+        }
+        case StorageStructure::kHash: {
+          plan.kind = ParallelScanPlan::Kind::kHashBuckets;
+          plan.structure = "hash";
+          plan.units.resize(HashFor(table)->buckets());
+          std::iota(plan.units.begin(), plan.units.end(), 0u);
+          break;
+        }
+        case StorageStructure::kIsam:
+          plan.kind = ParallelScanPlan::Kind::kIsamChains;
+          plan.structure = "isam";
+          IMON_RETURN_IF_ERROR(IsamFor(table)->RoutedChainHeads(
+              std::string(), std::string(), &plan.units));
+          break;
+        case StorageStructure::kBtree:
+          plan.kind = ParallelScanPlan::Kind::kBtreeLeaves;
+          plan.structure = "btree";
+          // Default (all-pass) range; every leaf stays in the chain.
+          IMON_RETURN_IF_ERROR(BtreeFor(table.file_id)
+                                   ->LeafChain(std::string(),
+                                               [](std::string_view) {
+                                                 return true;
+                                               },
+                                               &plan.units));
+          break;
+      }
+      break;
+    case optimizer::AccessPathKind::kPrimaryBtree: {
+      if (table.structure != StorageStructure::kBtree) {
+        return Status::Internal("primary range scan on non-BTREE table");
+      }
+      plan.kind = ParallelScanPlan::Kind::kBtreeLeaves;
+      plan.structure = "btree";
+      std::vector<int> key_cols = BtreeKeyColumns(table);
+      std::vector<TypeId> types;
+      for (int ord : key_cols) types.push_back(table.columns[ord].type);
+      IMON_ASSIGN_OR_RETURN(plan.range,
+                            EncodeRange(types, access.eq_values, access.lower,
+                                        access.upper));
+      IMON_RETURN_IF_ERROR(BtreeFor(table.file_id)
+                               ->LeafChain(plan.range.lower,
+                                           KeepGoing(plan.range),
+                                           &plan.units));
+      break;
+    }
+    case optimizer::AccessPathKind::kPrimaryIsam: {
+      if (table.structure != StorageStructure::kIsam) {
+        return Status::Internal("ISAM range scan on non-ISAM table");
+      }
+      plan.kind = ParallelScanPlan::Kind::kIsamChains;
+      plan.structure = "isam";
+      std::string low, high;
+      IMON_RETURN_IF_ERROR(EncodeIsamBounds(table, access.eq_values,
+                                            access.lower, access.upper, &low,
+                                            &high));
+      IMON_RETURN_IF_ERROR(
+          IsamFor(table)->RoutedChainHeads(low, high, &plan.units));
+      break;
+    }
+    case optimizer::AccessPathKind::kSecondaryIndex: {
+      if (access.index.is_virtual) {
+        return Status::Internal(
+            "virtual index has no parallel decomposition");
+      }
+      plan.kind = ParallelScanPlan::Kind::kIndexLeaves;
+      plan.structure = "index";
+      plan.index = access.index;
+      std::vector<TypeId> types;
+      for (int ord : access.index.key_columns) {
+        types.push_back(table.columns[ord].type);
+      }
+      IMON_ASSIGN_OR_RETURN(plan.range,
+                            EncodeRange(types, access.eq_values, access.lower,
+                                        access.upper));
+      IMON_RETURN_IF_ERROR(BtreeFor(access.index.file_id)
+                               ->LeafChain(plan.range.lower,
+                                           KeepGoing(plan.range),
+                                           &plan.units));
+      break;
+    }
+    case optimizer::AccessPathKind::kPrimaryHash:
+      return Status::Internal(
+          "hash point probe has no parallel decomposition");
+  }
+  return plan;
+}
+
+Status StorageLayer::ScanUnits(
+    const TableInfo& table, const ParallelScanPlan& plan, size_t begin,
+    size_t end, const std::function<bool(const Locator&, Row&)>& fn) {
+  end = std::min(end, plan.units.size());
+  if (begin >= end) return Status::OK();
+  switch (plan.kind) {
+    case ParallelScanPlan::Kind::kHeapPages:
+      return ScanHeapPages(table, plan.units, begin, end, fn);
+    case ParallelScanPlan::Kind::kHashBuckets:
+      // Bucket units are a contiguous ascending range by construction.
+      return HashFor(table)->ScanBuckets(
+          plan.units[begin], plan.units[end - 1] + 1,
+          [&](Rid rid, Row& row) { return fn(PackRid(rid), row); });
+    case ParallelScanPlan::Kind::kIsamChains:
+      return IsamFor(table)->ScanChainPages(
+          plan.units, begin, end,
+          [&](Rid rid, Row& row) { return fn(PackRid(rid), row); });
+    case ParallelScanPlan::Kind::kBtreeLeaves: {
+      Status inner = Status::OK();
+      Row row;
+      Locator loc;
+      IMON_RETURN_IF_ERROR(BtreeFor(table.file_id)
+              ->ScanLeafPages(
+                  plan.units, begin, end,
+                  [&](std::string_view key, std::string_view payload) {
+                    switch (CheckRange(plan.range, key)) {
+                      case RangeCheck::kSkip:
+                        return true;
+                      case RangeCheck::kStop:
+                        return false;
+                      case RangeCheck::kYield:
+                        break;
+                    }
+                    Status st = DeserializeRowInto(payload, &row);
+                    if (!st.ok()) {
+                      inner = st;
+                      return false;
+                    }
+                    loc.assign(key.data(), key.size());
+                    return fn(loc, row);
+                  }));
+      return inner;
+    }
+    case ParallelScanPlan::Kind::kIndexLeaves: {
+      Status inner = Status::OK();
+      Locator loc;
+      IMON_RETURN_IF_ERROR(BtreeFor(plan.index.file_id)
+              ->ScanLeafPages(
+                  plan.units, begin, end,
+                  [&](std::string_view key, std::string_view payload) {
+                    switch (CheckRange(plan.range, key)) {
+                      case RangeCheck::kSkip:
+                        return true;
+                      case RangeCheck::kStop:
+                        return false;
+                      case RangeCheck::kYield:
+                        break;
+                    }
+                    loc.assign(payload.data(), payload.size());
+                    auto row = Fetch(table, loc);
+                    if (!row.ok()) {
+                      inner = row.status();
+                      return false;
+                    }
+                    return fn(loc, *row);
+                  }));
+      return inner;
+    }
+  }
+  return Status::Internal("unknown parallel scan kind");
 }
 
 Status StorageLayer::ModifyStructure(TableInfo* info,

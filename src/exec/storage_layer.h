@@ -141,6 +141,47 @@ class StorageLayer {
     std::string lower_exclusive_prefix;
   };
 
+  // -- morsel-parallel scans --------------------------------------------------
+  /// Structure-specific unit list for a morsel-parallel scan. Units are
+  /// pages (heap chain, B-Tree leaves, index leaves), routed chain-head
+  /// pages (ISAM) or bucket numbers (HASH). The list and its order are a
+  /// pure function of the structure and the access path — never of the
+  /// worker count — and visiting every unit in order reproduces the
+  /// serial scan exactly (same rows, same order, same early-stop set).
+  struct ParallelScanPlan {
+    enum class Kind {
+      kHeapPages,    ///< units: heap chain pages
+      kBtreeLeaves,  ///< units: primary B-Tree leaf pages
+      kHashBuckets,  ///< units: bucket numbers
+      kIsamChains,   ///< units: routed chain-head pages
+      kIndexLeaves,  ///< units: secondary-index leaf pages
+    };
+    Kind kind = Kind::kHeapPages;
+    std::vector<uint32_t> units;
+    /// Per-entry range predicate for kBtreeLeaves / kIndexLeaves: each
+    /// unit re-applies it, replacing the serial scan's seek + early stop.
+    EncodedRange range;
+    /// kIndexLeaves: the probed secondary index.
+    catalog::IndexInfo index;
+    /// Metrics label: "heap", "btree", "hash", "isam" or "index".
+    const char* structure = "heap";
+  };
+
+  /// Build the unit list for `access` over `table`. Callers must not ask
+  /// for access paths without a parallel decomposition (kPrimaryHash
+  /// point probes, virtual tables or indexes).
+  Result<ParallelScanPlan> BuildParallelScan(
+      const catalog::TableInfo& table, const optimizer::AccessPath& access);
+
+  /// Scan rows of units `plan.units[begin..end)` in unit order, with the
+  /// same callback contract as Scan; for kIndexLeaves the callback
+  /// receives fetched base rows keyed by their locator. Safe to call
+  /// concurrently over a frozen structure with disjoint or overlapping
+  /// unit ranges; not safe against concurrent writers.
+  Status ScanUnits(const catalog::TableInfo& table,
+                   const ParallelScanPlan& plan, size_t begin, size_t end,
+                   const std::function<bool(const Locator&, Row&)>& fn);
+
   storage::BufferPool* pool() const { return pool_; }
   storage::DiskManager* disk() const { return disk_; }
 
@@ -157,6 +198,15 @@ class StorageLayer {
       const std::vector<TypeId>& key_types, const std::vector<Value>& eq,
       const std::optional<optimizer::KeyBound>& lower,
       const std::optional<optimizer::KeyBound>& upper);
+
+  /// Encoded [low, high] routing bounds for an ISAM eq-prefix + range
+  /// probe; shared by ScanIsamRange and BuildParallelScan so serial and
+  /// parallel scans route through identical directory slots.
+  Status EncodeIsamBounds(const catalog::TableInfo& table,
+                          const std::vector<Value>& eq_prefix,
+                          const std::optional<optimizer::KeyBound>& lower,
+                          const std::optional<optimizer::KeyBound>& upper,
+                          std::string* low, std::string* high) const;
 
   storage::HeapFile* HeapFor(const catalog::TableInfo& table);
   storage::HashFile* HashFor(const catalog::TableInfo& table);

@@ -69,6 +69,9 @@ std::string PlanNode::ToString(int indent) const {
       }
       os << ") rows=" << static_cast<int64_t>(est_rows)
          << " cost=" << est_cost_io + est_cost_cpu;
+      if (est_lanes > 1) {
+        os << " lanes=" << static_cast<int64_t>(est_lanes);
+      }
       if (!filters.empty()) {
         os << " filters=" << filters.size();
       }
@@ -90,6 +93,9 @@ std::string PlanNode::ToString(int indent) const {
   }
   os << " rows=" << static_cast<int64_t>(est_rows)
      << " cost=" << est_cost_io + est_cost_cpu;
+  if (est_lanes > 1) {
+    os << " lanes=" << static_cast<int64_t>(est_lanes);
+  }
   if (left) os << "\n" << left->ToString(indent + 1);
   if (right) os << "\n" << right->ToString(indent + 1);
   return os.str();

@@ -102,6 +102,10 @@ struct PlanNode {
   double est_rows = 0;
   double est_cost_io = 0;   ///< page reads (sequential-page units)
   double est_cost_cpu = 0;  ///< cpu cost units
+  /// Parallel lanes the node's morsel decomposition can keep busy
+  /// (min(exec workers, estimated morsels); 1 when serial). CPU cost is
+  /// already divided by this.
+  double est_lanes = 1;
 
   OutputLayout layout;
 
@@ -117,6 +121,8 @@ struct PlanSummary {
   double est_rows = 0;
   double est_cost_io = 0;
   double est_cost_cpu = 0;
+  /// Parallel lanes costed for the root node (1 when serial).
+  double est_lanes = 1;
   double TotalCost() const { return est_cost_io + est_cost_cpu; }
   /// Ids of secondary indexes the plan probes (virtual ids included).
   std::vector<catalog::ObjectId> used_indexes;

@@ -71,6 +71,17 @@ bool MatchColOpLiteral(const Expr& e, int table_idx, const Expr** col,
 
 int Popcount(uint64_t v) { return __builtin_popcountll(v); }
 
+/// Parallel lanes a scan over `est_units` morsel units can keep busy:
+/// min(workers, ceil(units / morsel_pages)), at least 1.
+double EffectiveLanes(size_t workers, size_t morsel_pages, double est_units) {
+  if (workers <= 1) return 1.0;
+  double morsels = std::ceil(std::max(1.0, est_units) /
+                             static_cast<double>(
+                                 std::max<size_t>(1, morsel_pages)));
+  return std::max(1.0,
+                  std::min(static_cast<double>(workers), morsels));
+}
+
 }  // namespace
 
 std::vector<catalog::IndexInfo> Planner::CandidateIndexes(
@@ -176,12 +187,19 @@ std::unique_ptr<PlanNode> Planner::BestScan(
   double out_rows = std::max(filter_sel * rows, 1e-3);
   double pages = TablePages(bt, rows);
 
-  // Baseline: sequential scan.
+  // Baseline: sequential scan. Full sweeps split every structure's unit
+  // chain into morsels, so the CPU term divides by the effective lanes.
+  double seq_lanes =
+      bt.is_virtual ? 1.0
+                    : EffectiveLanes(options_.exec_workers,
+                                     options_.exec_morsel_pages, pages);
   node->access.kind = AccessPathKind::kSeqScan;
   node->est_rows = out_rows;
+  node->est_lanes = seq_lanes;
   node->est_cost_io = bt.is_virtual ? 0.0 : pages * cm.seq_page_cost;
   node->est_cost_cpu =
-      rows * cm.cpu_tuple_cost + rows * num_filters * cm.cpu_operator_cost;
+      (rows * cm.cpu_tuple_cost + rows * num_filters * cm.cpu_operator_cost) /
+      seq_lanes;
   double best_cost = node->est_cost_io + node->est_cost_cpu;
 
   if (bt.is_virtual) return node;
@@ -233,15 +251,22 @@ std::unique_ptr<PlanNode> Planner::BestScan(
     }
     if (sel > 0) {
       double matching = std::max(1.0, rows * sel);
+      // Range scans split at leaf boundaries; the matching leaf count
+      // bounds the morsels.
+      double lanes = EffectiveLanes(options_.exec_workers,
+                                    options_.exec_morsel_pages,
+                                    std::ceil(matching / kRowsPerPageGuess));
       double io = cm.btree_descent_pages * cm.random_page_cost +
                   std::ceil(matching / kRowsPerPageGuess) * cm.seq_page_cost;
-      double cpu = matching * cm.cpu_tuple_cost +
-                   matching * num_filters * cm.cpu_operator_cost;
+      double cpu = (matching * cm.cpu_tuple_cost +
+                    matching * num_filters * cm.cpu_operator_cost) /
+                   lanes;
       if (io + cpu < best_cost) {
         best_cost = io + cpu;
         node->access = path;
         node->est_cost_io = io;
         node->est_cost_cpu = cpu;
+        node->est_lanes = lanes;
         node->est_rows = std::min(node->est_rows, matching);
       }
     }
@@ -264,15 +289,22 @@ std::unique_ptr<PlanNode> Planner::BestScan(
     }
     if (sel > 0) {
       double matching = std::max(1.0, rows * sel);
+      // Routed chains split per directory slot; the routed page fraction
+      // bounds the morsels.
+      double lanes = EffectiveLanes(options_.exec_workers,
+                                    options_.exec_morsel_pages,
+                                    std::max(1.0, pages * sel));
       // Pages touched: the routed fraction of the file (chains included).
       double io = std::max(2.0, pages * sel) * cm.seq_page_cost;
-      double cpu = matching * cm.cpu_tuple_cost +
-                   matching * num_filters * cm.cpu_operator_cost;
+      double cpu = (matching * cm.cpu_tuple_cost +
+                    matching * num_filters * cm.cpu_operator_cost) /
+                   lanes;
       if (io + cpu < best_cost) {
         best_cost = io + cpu;
         node->access = path;
         node->est_cost_io = io;
         node->est_cost_cpu = cpu;
+        node->est_lanes = lanes;
         node->est_rows = std::min(node->est_rows, matching);
       }
     }
@@ -305,6 +337,7 @@ std::unique_ptr<PlanNode> Planner::BestScan(
       double buckets = std::max<double>(1.0, bt.info.main_page_target);
       double chain_pages = std::max(1.0, pages / buckets);
       double io = chain_pages * cm.random_page_cost;
+      // One bucket chain: no parallel decomposition.
       double cpu = matching * cm.cpu_tuple_cost +
                    matching * num_filters * cm.cpu_operator_cost;
       if (io + cpu < best_cost) {
@@ -312,6 +345,7 @@ std::unique_ptr<PlanNode> Planner::BestScan(
         node->access = path;
         node->est_cost_io = io;
         node->est_cost_cpu = cpu;
+        node->est_lanes = 1.0;
         node->est_rows = std::min(node->est_rows, matching);
       }
     }
@@ -329,18 +363,24 @@ std::unique_ptr<PlanNode> Planner::BestScan(
       sel = std::min(sel, 1.0 / rows);  // unique: at most one match
     }
     double matching = std::max(1.0, rows * sel);
+    // Index-leaf morsels parallelize entry decoding and base fetches.
+    double lanes =
+        EffectiveLanes(options_.exec_workers, options_.exec_morsel_pages,
+                       std::ceil(matching / kIndexEntriesPerPage));
     double io =
         cm.btree_descent_pages * cm.random_page_cost +
         std::ceil(matching / kIndexEntriesPerPage) * cm.seq_page_cost +
         matching * cm.random_page_cost;  // unclustered base fetches
-    double cpu = matching * cm.cpu_index_tuple_cost +
-                 matching * cm.cpu_tuple_cost +
-                 matching * num_filters * cm.cpu_operator_cost;
+    double cpu = (matching * cm.cpu_index_tuple_cost +
+                  matching * cm.cpu_tuple_cost +
+                  matching * num_filters * cm.cpu_operator_cost) /
+                 lanes;
     if (io + cpu < best_cost) {
       best_cost = io + cpu;
       node->access = path;
       node->est_cost_io = io;
       node->est_cost_cpu = cpu;
+      node->est_lanes = lanes;
       node->est_rows = std::min(node->est_rows, matching);
     }
   }
@@ -429,10 +469,19 @@ Result<std::unique_ptr<PlanNode>> Planner::PlanJoinTree(
     double base_io = outer->est_cost_io + inner->est_cost_io;
     double base_cpu = outer->est_cost_cpu + inner->est_cost_cpu;
 
-    // Candidate 1: hash join (needs at least one equi key).
+    // Candidate 1: hash join (needs at least one equi key). The build
+    // side partitions into fixed 1024-row chunks executed on the worker
+    // pool, so the hash-entry term divides by the build lanes.
     double hash_cost_total = std::numeric_limits<double>::infinity();
+    double hash_build_lanes = 1.0;
     if (!equi.empty()) {
-      double cpu = base_cpu + inner->est_rows * cm.hash_entry_cost +
+      if (options_.exec_workers > 1) {
+        hash_build_lanes = std::max(
+            1.0, std::min(static_cast<double>(options_.exec_workers),
+                          std::ceil(inner->est_rows / 1024.0)));
+      }
+      double cpu = base_cpu +
+                   inner->est_rows * cm.hash_entry_cost / hash_build_lanes +
                    outer->est_rows * cm.cpu_tuple_cost +
                    out_rows * cm.cpu_tuple_cost +
                    out_rows * residual.size() * cm.cpu_operator_cost;
@@ -514,6 +563,7 @@ Result<std::unique_ptr<PlanNode>> Planner::PlanJoinTree(
       node->kind = PlanNodeKind::kHashJoin;
       node->est_cost_io = base_io;
       node->est_cost_cpu = best_total - base_io;
+      node->est_lanes = hash_build_lanes;
     } else if (best_total == inl_cost_total) {
       node->kind = PlanNodeKind::kIndexNLJoin;
       node->inner_access = inl_access;
@@ -548,6 +598,7 @@ Result<std::unique_ptr<PlanNode>> Planner::PlanJoinTree(
         out->est_rows = src.est_rows;
         out->est_cost_io = src.est_cost_io;
         out->est_cost_cpu = src.est_cost_cpu;
+        out->est_lanes = src.est_lanes;
         out->layout = src.layout;
         out->table_mask = src.table_mask;
         return out;
@@ -597,6 +648,7 @@ PlanSummary Planner::Summarize(const PlanNode& root,
   out.est_rows = root.est_rows;
   out.est_cost_io = root.est_cost_io;
   out.est_cost_cpu = root.est_cost_cpu;
+  out.est_lanes = root.est_lanes;
 
   const CostModel& cm = options_.cost;
   // Aggregation / sort / distinct surcharges.

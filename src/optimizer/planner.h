@@ -27,6 +27,12 @@ struct PlannerOptions {
   /// Hypothetical indexes injected for what-if planning. Their `id` must
   /// be unique (the analyzer uses negative ids) and `is_virtual` true.
   std::vector<catalog::IndexInfo> virtual_indexes;
+  /// Execution lanes available to morsel-parallel scans: CPU cost terms
+  /// of parallel-eligible access paths are divided by the effective lane
+  /// count min(exec_workers, estimated morsels). 1 keeps costing serial.
+  size_t exec_workers = 1;
+  /// Units per morsel (mirrors DatabaseOptions::exec_morsel_pages).
+  size_t exec_morsel_pages = 32;
 };
 
 class Planner {

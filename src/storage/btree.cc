@@ -380,6 +380,59 @@ Status BTree::ScanFrom(
   return Status::OK();
 }
 
+Status BTree::LeafChain(
+    const std::string& start_user_key,
+    const std::function<bool(std::string_view first_user_key)>& keep_going,
+    std::vector<uint32_t>* out) const {
+  out->clear();
+  IMON_ASSIGN_OR_RETURN(uint32_t page_no, FindLeaf(start_user_key));
+  bool first = true;
+  while (page_no != kInvalidPageNo) {
+    IMON_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(PageId{file_, page_no}));
+    PageView view = guard.Read();
+    if (view.type() != PageType::kBTreeLeaf)
+      return Status::Corruption("btree: non-leaf page in leaf chain");
+    if (!first) {
+      // The first live entry is the leaf's minimum; if it is already out
+      // of range, so is every entry in this and all later leaves. The
+      // start leaf is always kept (its low slots sit below the range).
+      for (uint16_t slot = 0; slot < view.slot_count(); ++slot) {
+        std::string_view record = view.Get(slot);
+        if (record.empty()) continue;
+        std::string_view full = EntryKey(record);
+        if (!keep_going(full.substr(0, full.size() - kUniquifierBytes)))
+          return Status::OK();
+        break;
+      }
+    }
+    first = false;
+    out->push_back(page_no);
+    page_no = view.next_page();
+  }
+  return Status::OK();
+}
+
+Status BTree::ScanLeafPages(
+    const std::vector<uint32_t>& pages, size_t begin, size_t end,
+    const std::function<bool(std::string_view user_key,
+                             std::string_view payload)>& fn) const {
+  for (size_t i = begin; i < end && i < pages.size(); ++i) {
+    IMON_ASSIGN_OR_RETURN(PageGuard guard,
+                          pool_->Fetch(PageId{file_, pages[i]}));
+    PageView view = guard.Read();
+    if (view.type() != PageType::kBTreeLeaf)
+      return Status::Corruption("btree: non-leaf page in leaf-page scan");
+    for (uint16_t slot = 0; slot < view.slot_count(); ++slot) {
+      std::string_view record = view.Get(slot);
+      if (record.empty()) continue;
+      std::string_view full = EntryKey(record);
+      std::string_view user = full.substr(0, full.size() - kUniquifierBytes);
+      if (!fn(user, LeafPayload(record))) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
 Result<BTree::Cursor> BTree::SeekToFirst() const {
   IMON_ASSIGN_OR_RETURN(Meta meta, ReadMeta());
   uint32_t page_no = meta.root;

@@ -90,6 +90,29 @@ class BTree {
                                            std::string_view payload)>& fn)
       const;
 
+  /// Leaf pages in chain order starting at the leaf that may contain
+  /// `start_user_key` (empty = leftmost leaf) — the unit list
+  /// morsel-parallel scans partition. After the first leaf,
+  /// `keep_going(first_user_key)` is consulted on each leaf's first live
+  /// entry (uniquifier stripped); returning false stops the walk, which
+  /// is sound for range scans because keys ascend across the chain.
+  /// Leaves with no live entries are included and never consulted.
+  Status LeafChain(
+      const std::string& start_user_key,
+      const std::function<bool(std::string_view first_user_key)>& keep_going,
+      std::vector<uint32_t>* out) const;
+
+  /// Scan entries of the leaf pages `pages[begin..end)` in slot order,
+  /// with the same callback contract as ScanFrom (no seek: every live
+  /// entry of the pages is yielded; callers apply their own range
+  /// predicate per entry). Safe to call concurrently over a frozen tree
+  /// — each call pins one leaf at a time; not safe against writers.
+  Status ScanLeafPages(const std::vector<uint32_t>& pages, size_t begin,
+                       size_t end,
+                       const std::function<bool(std::string_view user_key,
+                                                std::string_view payload)>& fn)
+      const;
+
   Result<BTreeStats> ComputeStats() const;
 
   FileId file_id() const { return file_; }

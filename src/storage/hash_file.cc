@@ -124,8 +124,14 @@ Status HashFile::LookupBucket(
 
 Status HashFile::Scan(
     const std::function<bool(Rid, Row&)>& fn) const {
+  return ScanBuckets(0, buckets_, fn);
+}
+
+Status HashFile::ScanBuckets(
+    uint32_t begin, uint32_t end,
+    const std::function<bool(Rid, Row&)>& fn) const {
   bool stop = false;
-  for (uint32_t b = 0; b < buckets_ && !stop; ++b) {
+  for (uint32_t b = begin; b < end && b < buckets_ && !stop; ++b) {
     IMON_RETURN_IF_ERROR(ScanChain(b, [&](Rid rid, Row& row) {
       if (!fn(rid, row)) {
         stop = true;

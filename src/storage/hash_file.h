@@ -51,6 +51,14 @@ class HashFile {
   /// Visit every live row (bucket by bucket).
   Status Scan(const std::function<bool(Rid, Row&)>& fn) const;
 
+  /// Visit live rows of buckets [begin, end) in bucket order — the
+  /// bucket-range unit morsel-parallel scans partition. Visiting every
+  /// bucket range in order reproduces Scan exactly. Safe to call
+  /// concurrently over a frozen file (each call owns its decode buffer);
+  /// not safe against concurrent writers.
+  Status ScanBuckets(uint32_t begin, uint32_t end,
+                     const std::function<bool(Rid, Row&)>& fn) const;
+
   Result<HeapFileStats> ComputeStats() const;
 
   uint32_t buckets() const { return buckets_; }

@@ -88,12 +88,19 @@ Status IsamFile::Build(std::vector<std::pair<std::string, Row>> keyed_rows,
       dir_page = next;
     }
   }
-  directory_ = std::move(directory);
-  directory_loaded_ = true;
+  {
+    std::lock_guard<std::mutex> lock(directory_mutex_);
+    directory_ = std::move(directory);
+    directory_loaded_ = true;
+  }
   return Status::OK();
 }
 
 Status IsamFile::LoadDirectory() const {
+  // Readers that go on to touch directory_ without the lock are safe:
+  // every mutation happened before this mutex was released, and they
+  // acquired the same mutex here first.
+  std::lock_guard<std::mutex> lock(directory_mutex_);
   if (directory_loaded_) return Status::OK();
   directory_.clear();
   uint32_t page_no = kDirectoryPage;
@@ -208,26 +215,46 @@ Status IsamFile::ScanChain(
   return Status::OK();
 }
 
-Status IsamFile::ScanRange(
-    const std::string& lower, const std::string& upper,
-    const std::function<bool(Rid, Row&)>& fn) const {
+Status IsamFile::RoutedChainHeads(const std::string& lower,
+                                  const std::string& upper,
+                                  std::vector<uint32_t>* out) const {
   IMON_RETURN_IF_ERROR(LoadDirectory());
+  out->clear();
   size_t start = lower.empty() ? 0 : RouteTo(lower);
-  bool stop = false;
-  for (size_t d = start; d < directory_.size() && !stop; ++d) {
+  for (size_t d = start; d < directory_.size(); ++d) {
     // Main pages after the upper bound's routing page cannot hold keys
     // in range: their fence (smallest build-time key) already exceeds it.
     if (!upper.empty() && d > start && directory_[d].fence > upper) break;
-    IMON_RETURN_IF_ERROR(
-        ScanChain(directory_[d].page_no, [&](Rid rid, Row& row) {
-          if (!fn(rid, row)) {
-            stop = true;
-            return false;
-          }
-          return true;
-        }));
+    out->push_back(directory_[d].page_no);
   }
   return Status::OK();
+}
+
+Status IsamFile::ScanChainPages(
+    const std::vector<uint32_t>& heads, size_t begin, size_t end,
+    const std::function<bool(Rid, Row&)>& fn) const {
+  bool stop = false;
+  for (size_t i = begin; i < end && i < heads.size() && !stop; ++i) {
+    IMON_RETURN_IF_ERROR(ScanChain(heads[i], [&](Rid rid, Row& row) {
+      if (!fn(rid, row)) {
+        stop = true;
+        return false;
+      }
+      return true;
+    }));
+  }
+  return Status::OK();
+}
+
+Status IsamFile::ScanRange(
+    const std::string& lower, const std::string& upper,
+    const std::function<bool(Rid, Row&)>& fn) const {
+  // Routing + chain walking share one path with the morsel-parallel
+  // scans, so serial and parallel range scans visit identical chains in
+  // identical order.
+  std::vector<uint32_t> heads;
+  IMON_RETURN_IF_ERROR(RoutedChainHeads(lower, upper, &heads));
+  return ScanChainPages(heads, 0, heads.size(), fn);
 }
 
 Status IsamFile::Scan(

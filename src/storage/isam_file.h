@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,21 @@ class IsamFile {
   /// Visit every live row.
   Status Scan(const std::function<bool(Rid, Row&)>& fn) const;
 
+  /// Main pages whose chains a [lower, upper] range scan must visit
+  /// (same routing and fence pruning as ScanRange), in directory order —
+  /// the unit list morsel-parallel scans partition. Empty strings mean
+  /// unbounded.
+  Status RoutedChainHeads(const std::string& lower, const std::string& upper,
+                          std::vector<uint32_t>* out) const;
+
+  /// Visit live rows of the chains headed at `heads[begin..end)` in
+  /// order; same callback contract as ScanRange. Safe to call
+  /// concurrently over a frozen file (each call owns its decode buffer);
+  /// not safe against concurrent writers.
+  Status ScanChainPages(const std::vector<uint32_t>& heads, size_t begin,
+                        size_t end,
+                        const std::function<bool(Rid, Row&)>& fn) const;
+
   Result<HeapFileStats> ComputeStats() const;
 
   FileId file_id() const { return file_; }
@@ -66,7 +82,10 @@ class IsamFile {
     std::string fence;  ///< smallest key routed to this page at build time
   };
 
-  /// Load the (immutable) directory from the meta page chain.
+  /// Load the (immutable) directory from the meta page chain. Guarded by
+  /// `directory_mutex_` so concurrent readers (parallel scan lanes,
+  /// separate client threads) race-free share the one-shot load; once
+  /// loaded the directory is never mutated again.
   Status LoadDirectory() const;
 
   /// Index into the directory for `key` (last fence <= key; 0 if below
@@ -78,6 +97,7 @@ class IsamFile {
 
   BufferPool* pool_;
   FileId file_;
+  mutable std::mutex directory_mutex_;
   mutable std::vector<DirectoryEntry> directory_;  // lazily loaded cache
   mutable bool directory_loaded_ = false;
 };

@@ -30,6 +30,7 @@ std::string PhysicalDesign::Label() const {
   if (indexes) label += "+indexes";
   if (statistics) label += "+stats";
   if (plan_cache) label += "+cache";
+  if (workers > 1) label += "+w" + std::to_string(workers);
   return label;
 }
 
@@ -77,6 +78,32 @@ std::vector<PhysicalDesign> DifferentialOracle::DefaultDesigns() {
     d.plan_cache = true;
     designs.push_back(d);
   }
+  {
+    PhysicalDesign d;  // parallel heap scans
+    d.workers = 4;
+    designs.push_back(d);
+  }
+  // Parallel variants of every non-heap morsel source: BTREE leaf
+  // chains (+secondary index leaves), HASH buckets, ISAM routed chains.
+  {
+    PhysicalDesign d;
+    d.structure = "BTREE";
+    d.indexes = true;
+    d.workers = 4;
+    designs.push_back(d);
+  }
+  {
+    PhysicalDesign d;
+    d.structure = "HASH";
+    d.workers = 4;
+    designs.push_back(d);
+  }
+  {
+    PhysicalDesign d;
+    d.structure = "ISAM";
+    d.workers = 4;
+    designs.push_back(d);
+  }
   return designs;
 }
 
@@ -85,6 +112,9 @@ Result<std::vector<std::string>> DifferentialOracle::Replay(
     const std::vector<std::string>& data, int64_t* statements_executed) {
   engine::DatabaseOptions options;
   options.plan_cache_capacity = design.plan_cache ? 64 : 0;
+  options.exec_workers = std::max<size_t>(1, design.workers);
+  // Fuzz tables are tiny; a small morsel makes >1 lane actually engage.
+  if (options.exec_workers > 1) options.exec_morsel_pages = 2;
   engine::Database db(options);
 
   auto exec = [&](const std::string& sql) -> Status {

@@ -40,6 +40,9 @@ struct PhysicalDesign {
   bool indexes = false;     ///< apply the workload's CREATE INDEX DDL
   bool statistics = false;  ///< ANALYZE every table
   bool plan_cache = false;  ///< plan cache on; queries run cold then hot
+  /// Executor worker lanes (exec_workers); > 1 also shrinks the morsel
+  /// size so parallel scans really split on the small fuzz tables.
+  size_t workers = 1;
   std::string Label() const;
 };
 

@@ -1,9 +1,11 @@
 // Morsel-driven parallel scans: the differential invariant is that the
 // worker count and the morsel size may change *cost*, never *results*.
 // Every query must produce byte-identical output across worker counts
-// {1, 2, 4, 8} x both expression paths (compiled / scalar), morsel
-// boundaries must not leak into results, and errors raised mid-scan
-// must be deterministic regardless of scheduling.
+// {1, 2, 4, 8} x both expression paths (compiled / scalar) x every
+// storage structure (HEAP, BTREE, HASH, ISAM — full sweeps, range
+// scans, secondary-index scans and hash joins all have morsel sources
+// now), morsel boundaries must not leak into results, and errors
+// raised mid-scan must be deterministic regardless of scheduling.
 
 #include <gtest/gtest.h>
 
@@ -92,6 +94,92 @@ TEST_F(ParallelScanTest, WorkerCountsAndExprPathsAgree) {
             << "workers=" << workers << " compiled=" << compiled
             << " diverged on: " << kParallelQueries[i];
       }
+    }
+  }
+}
+
+// The structure matrix drives every per-structure morsel source:
+// B-Tree full sweeps and leaf ranges, ISAM directory-routed ranges,
+// HASH bucket sweeps (plus the serial hash point probe), a
+// secondary-index scan, and a hash join whose build side is
+// partitioned across the pool. morsel_pages=1 on the small dataset
+// forces real multi-morsel decompositions for each of them.
+const char* const kStructureQueries[] = {
+    "SELECT count(*), count(tag), sum(price), min(id), max(id) FROM item",
+    "SELECT id, grp, price FROM item WHERE id >= 57 AND id < 311 "
+    "ORDER BY id",
+    "SELECT id, tag FROM item WHERE id > 380 ORDER BY id",
+    "SELECT count(*) FROM item WHERE id = 123",
+    "SELECT id, price FROM item WHERE grp = 3 ORDER BY id",
+    "SELECT grp, count(*) FROM item WHERE price < 5000.0 GROUP BY grp "
+    "ORDER BY grp",
+    "SELECT i.grp, count(*), sum(s.qty) FROM item i "
+    "JOIN sale s ON i.id = s.item_id WHERE s.day < 20 "
+    "GROUP BY i.grp ORDER BY i.grp",
+    "SELECT count(*) FROM sale WHERE item_id >= 100 AND item_id < 300",
+};
+
+std::vector<std::string> RunStructure(Database* db) {
+  std::vector<std::string> out;
+  for (const char* q : kStructureQueries) {
+    auto r = db->Execute(q);
+    EXPECT_TRUE(r.ok()) << q << " -> " << r.status();
+    out.push_back(r.ok() ? OrderedDump(*r) : "<error>");
+  }
+  return out;
+}
+
+TEST_F(ParallelScanTest, StructureMatrixAgreesAcrossWorkers) {
+  for (const char* structure : {"HEAP", "BTREE", "HASH", "ISAM"}) {
+    std::vector<std::string> baseline;
+    for (size_t workers : {1u, 2u, 4u, 8u}) {
+      for (bool compiled : {false, true}) {
+        Database db{ParOpts(workers, compiled, /*morsel_pages=*/1)};
+        imon::testing::Populate(&db, /*seed=*/7);
+        if (std::string(structure) != "HEAP") {
+          ASSERT_TRUE(
+              db.Execute(std::string("MODIFY item TO ") + structure).ok());
+          ASSERT_TRUE(
+              db.Execute(std::string("MODIFY sale TO ") + structure).ok());
+        }
+        ASSERT_TRUE(db.Execute("CREATE INDEX i_grp ON item (grp)").ok());
+        ASSERT_TRUE(db.Execute("ANALYZE item").ok());
+        ASSERT_TRUE(db.Execute("ANALYZE sale").ok());
+        auto got = RunStructure(&db);
+        if (baseline.empty()) {
+          baseline = got;
+        } else {
+          for (size_t i = 0; i < std::size(kStructureQueries); ++i) {
+            EXPECT_EQ(got[i], baseline[i])
+                << "structure=" << structure << " workers=" << workers
+                << " compiled=" << compiled
+                << " diverged on: " << kStructureQueries[i];
+          }
+        }
+      }
+    }
+  }
+}
+
+// A hash join with the smaller relation as build side: the partitioned
+// parallel build must emit probe matches in the same order as the
+// serial build for any worker count, including under ORDER BY-free
+// queries where emission order is directly visible.
+TEST_F(ParallelScanTest, HashJoinBuildDeterministicAcrossWorkers) {
+  std::string baseline;
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    Database db{ParOpts(workers, /*compiled=*/true, /*morsel_pages=*/1)};
+    imon::testing::Populate(&db, /*seed=*/13);
+    auto r = db.Execute(
+        "SELECT i.id, i.grp, s.qty, s.day FROM item i "
+        "JOIN sale s ON i.id = s.item_id WHERE i.grp < 9");
+    ASSERT_TRUE(r.ok()) << r.status();
+    std::string got = OrderedDump(*r);
+    if (workers == 1) {
+      baseline = got;
+      EXPECT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(got, baseline) << "workers=" << workers;
     }
   }
 }
@@ -206,11 +294,23 @@ TEST_F(ParallelScanTest, ParallelCountersSurfaceInMetrics) {
   ASSERT_TRUE(db.Execute("SELECT count(*) FROM sale").ok());
 
   EXPECT_GT(db.metrics()->GetCounter("exec.morsels_dispatched")->Value(), 0);
+  EXPECT_GT(db.metrics()->GetCounter("exec.morsels_total")->Value(), 0);
+  EXPECT_GT(db.metrics()->GetCounter("exec.parallel_scans.heap")->Value(), 0);
+  EXPECT_GT(db.metrics()->GetGauge("exec.morsel_lanes")->Value(), 0);
+
+  // Per-structure scan counters follow the access path actually run.
+  ASSERT_TRUE(db.Execute("MODIFY sale TO BTREE").ok());
+  ASSERT_TRUE(db.Execute("SELECT count(*) FROM sale").ok());
+  EXPECT_GT(db.metrics()->GetCounter("exec.parallel_scans.btree")->Value(), 0);
+  ASSERT_TRUE(db.Execute("MODIFY sale TO HASH").ok());
+  ASSERT_TRUE(db.Execute("SELECT count(*) FROM sale").ok());
+  EXPECT_GT(db.metrics()->GetCounter("exec.parallel_scans.hash")->Value(), 0);
 
   std::vector<std::string> want = {
       "buffer_pool.shard_lock_wait", "buffer_pool.shard0.hits",
       "buffer_pool.shard0.misses",   "buffer_pool.shard0.evictions",
       "exec.morsels_dispatched",     "exec.worker_busy",
+      "exec.morsels_total",          "exec.morsel_lanes",
   };
   auto values = db.metrics()->SnapshotValues();
   for (const std::string& name : want) {
